@@ -1,0 +1,43 @@
+// Ablation (paper §4.1 / §8 future work): edge-weight models for
+// forward-push edges — constant vs linear decay (fit of Fig. 4(a)) vs
+// sigmoid (fit of Fig. 4(b)). The paper ships constant weights and leaves
+// the sigmoid "to future inquiry"; this bench quantifies the choice.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tgraph/edge_weight.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Ablation: forward-push edge-weight model (Sec 4.1 / Sec 8)");
+  const Workload w = MakeMicroWorkload(DefaultMicro(machines, txns));
+  const auto seq = w.SequencedRequests();
+
+  const std::shared_ptr<const EdgeWeightModel> models[] = {
+      std::make_shared<ConstantEdgeWeight>(),
+      std::make_shared<LinearDecayEdgeWeight>(),
+      std::make_shared<SigmoidEdgeWeight>(),
+  };
+  std::printf("%14s %16s %10s %14s\n", "model", "Calvin+TP tps", "stall%",
+              "avg wait us");
+  for (const auto& model : models) {
+    TPartSimOptions o = TPartOpts(machines);
+    o.scheduler.graph.push_weight = model;
+    const RunStats r = RunTPartSim(o, w.partition_map, seq);
+    std::printf("%14s %16.0f %10.1f %14.1f\n", model->name(),
+                r.Throughput(), 100.0 * r.NetworkStalledFraction(),
+                r.stall_wait.mean() / 1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

@@ -1,0 +1,40 @@
+// Ablation (§4.3): plan optimisation on/off — how many remote pushes the
+// co-located-relay rewrite eliminates and what it buys in throughput.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 4));
+  Header("Ablation: plan optimisation (Sec 4.3)");
+  // Few writers + hot reads: many same-batch readers of one version, so
+  // co-located relays (the paper's T1 -> T5 via T2 rewrite) are common.
+  MicroOptions mo = DefaultMicro(machines, txns);
+  mo.hot_set_size = 50;
+  mo.read_write_rate = 0.2;
+  const Workload w = MakeMicroWorkload(mo);
+  const auto seq = w.SequencedRequests();
+
+  std::printf("%10s %16s %20s\n", "optimize", "Calvin+TP tps",
+              "pushes eliminated");
+  for (const bool opt : {false, true}) {
+    TPartSimOptions o = TPartOpts(machines);
+    o.scheduler.optimize_plans = opt;
+    const RunStats r = RunTPartSim(o, w.partition_map, seq);
+    std::printf("%10s %16.0f %20llu\n", opt ? "on" : "off",
+                r.Throughput(),
+                static_cast<unsigned long long>(r.pushes_eliminated));
+  }
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

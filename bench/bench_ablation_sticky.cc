@@ -1,0 +1,41 @@
+// Ablation (§5.2): sticky caching on/off under a workload with
+// "immediate storage reads after write" — access locality whose interval
+// exceeds the sinking interval.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Ablation: sticky caching (Sec 5.2)");
+  // Strong locality on a small hot set, small sink size: versions get
+  // written back and promptly re-read from storage.
+  MicroOptions mo = DefaultMicro(machines, txns);
+  mo.hot_set_size = 100;
+  const Workload w = MakeMicroWorkload(mo);
+  const auto seq = w.SequencedRequests();
+
+  std::printf("%8s %8s %16s %14s\n", "sticky", "ttl", "Calvin+TP tps",
+              "sticky hits");
+  for (const SinkEpoch ttl : {0u, 2u, 8u}) {
+    TPartSimOptions o = TPartOpts(machines, /*sink=*/25);
+    o.sticky_ttl = ttl;
+    o.scheduler.graph.sticky_cache = ttl > 0;
+    const RunStats r = RunTPartSim(o, w.partition_map, seq);
+    std::printf("%8s %8llu %16.0f %14llu\n", ttl > 0 ? "on" : "off",
+                static_cast<unsigned long long>(ttl), r.Throughput(),
+                static_cast<unsigned long long>(r.sticky_hits));
+  }
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

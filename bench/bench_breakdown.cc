@@ -1,0 +1,64 @@
+// E9 — Figure 7: execution-time breakdown per component, Calvin vs
+// Calvin+TP, on the Microbenchmark defaults. Paper: "the main cause of
+// the transaction delay is the time spent in waiting for remote records.
+// And T-Part can reduce about 50% of this cost"; the Schedule component
+// is "almost negligible (less than 0.05% of the overall delay)".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void PrintColumn(const char* name, const RunStats& stats) {
+  std::printf("%s:\n", name);
+  double total = 0;
+  for (int i = 0; i < kNumComponents; ++i) {
+    total += stats.breakdown.MeanPerTxn(static_cast<Component>(i));
+  }
+  for (int i = 0; i < kNumComponents; ++i) {
+    const auto c = static_cast<Component>(i);
+    const double us = stats.breakdown.MeanPerTxn(c) / 1000.0;
+    std::printf("  %-14s %10.1f us/txn  (%5.2f%%)\n", ComponentName(c), us,
+                100.0 * stats.breakdown.MeanPerTxn(c) / total);
+  }
+}
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Figure 7: execution-time breakdown (Microbenchmark defaults)");
+  const Workload w = MakeMicroWorkload(DefaultMicro(machines, txns));
+  const EnginePair r = RunBoth(w, machines);
+  PrintColumn("Calvin", r.calvin);
+  PrintColumn("Calvin+TP", r.tpart);
+  // At saturation both engines queue heavily; the comparable quantity is
+  // the remote-wait share of the *processing* path (queueing excluded),
+  // which is what Fig. 7's bars convey, plus the per-stall wait that
+  // Figs. 9/10 report.
+  auto share = [](const RunStats& s) {
+    double total = 0;
+    for (int i = 0; i < kNumComponents; ++i) {
+      const auto c = static_cast<Component>(i);
+      if (c != Component::kQueueWait) total += s.breakdown.MeanPerTxn(c);
+    }
+    return s.breakdown.MeanPerTxn(Component::kRemoteWait) / total;
+  };
+  std::printf("remote-wait share of processing: Calvin %.0f%%, "
+              "Calvin+TP %.0f%%\n",
+              100.0 * share(r.calvin), 100.0 * share(r.tpart));
+  std::printf("avg wait of a network-stalled txn: Calvin %.0f us, "
+              "Calvin+TP %.0f us (%.0f%% lower; paper: ~50%%)\n",
+              r.calvin.stall_wait.mean() / 1000.0,
+              r.tpart.stall_wait.mean() / 1000.0,
+              100.0 * (1.0 - r.tpart.stall_wait.mean() /
+                                 r.calvin.stall_wait.mean()));
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

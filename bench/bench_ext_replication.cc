@@ -1,0 +1,43 @@
+// Extension (§8 future work): "data partitions may be replicated within
+// a data center to survive from machine failure and/or to avoid hot
+// spots due to reads." Sweeps the replication factor of the storage
+// partitions in the T-Part simulator: storage reads hit a reader-local
+// replica when one exists; write-backs fan out to every replica.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 10));
+  Header("Extension (Sec 8): intra-datacenter read replicas");
+  // Make storage reads matter: lower distributed rate so cold reads (not
+  // pushes) dominate the remote traffic.
+  MicroOptions mo = DefaultMicro(machines, txns);
+  mo.read_write_rate = 0.2;
+  const Workload w = MakeMicroWorkload(mo);
+  const auto seq = w.SequencedRequests();
+  std::printf("%10s %16s %10s %14s\n", "replicas", "Calvin+TP tps",
+              "stall%", "avg wait us");
+  for (const std::size_t replicas : {1u, 2u, 3u, 5u}) {
+    TPartSimOptions o = TPartOpts(machines);
+    o.storage_replicas = replicas;
+    const RunStats r = RunTPartSim(o, w.partition_map, seq);
+    std::printf("%10zu %16.0f %10.1f %14.1f\n", replicas, r.Throughput(),
+                100.0 * r.NetworkStalledFraction(),
+                r.stall_wait.mean() / 1000.0);
+  }
+  std::printf("(replicas turn remote storage reads into local ones at the "
+              "cost of fan-out write-backs)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

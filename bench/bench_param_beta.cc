@@ -1,0 +1,43 @@
+// E17 — Figure 11(b): throughput vs the load-balancing coefficient β of
+// the extended Algorithm 1 (§6.3.6). Paper: "the throughput is high only
+// if β is sufficiently large, justifying the importance of load
+// balancing."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "partition/streaming_greedy.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 10));
+  Header("Figure 11(b): throughput vs beta (load-balance weight)");
+  // Skew makes balancing matter.
+  MicroOptions mo = DefaultMicro(machines, txns);
+  mo.skewed_rate = 0.6;
+  const Workload w = MakeMicroWorkload(mo);
+  const auto seq = w.SequencedRequests();
+  std::printf("%10s %16s %12s\n", "beta", "Calvin+TP tps", "stall%");
+  for (const double beta :
+       {0.0, 0.001, 0.01, 0.05, 0.1, 0.5, 2.0, 10.0}) {
+    TPartSimOptions o = TPartOpts(machines);
+    o.partitioner = std::make_shared<StreamingGreedyPartitioner>(
+        StreamingGreedyPartitioner::Options{
+            StreamingGreedyPartitioner::Mode::kWeighted, beta});
+    const RunStats r = RunTPartSim(o, w.partition_map, seq);
+    std::printf("%10.3f %16.0f %12.1f\n", beta, r.Throughput(),
+                100.0 * r.NetworkStalledFraction());
+  }
+  std::printf("(paper: low beta starves balance and hurts throughput; "
+              "large beta is safe)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

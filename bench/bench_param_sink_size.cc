@@ -1,0 +1,37 @@
+// E16 — Figure 11(a): throughput vs sink size. Paper: "either a too
+// large or too small sink size has negative impact ... Note that except
+// with extreme values, the sink size does not impact the system
+// throughput too much. One can easily pick a value around 100."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Figure 11(a): throughput vs sink size");
+  const Workload w = MakeMicroWorkload(DefaultMicro(machines, txns));
+  const auto seq = w.SequencedRequests();
+  std::printf("%10s %16s %18s\n", "sink size", "Calvin+TP tps",
+              "sched ms (total)");
+  for (const std::size_t sink : {1u, 5u, 25u, 50u, 100u, 200u, 400u,
+                                 800u}) {
+    const RunStats r =
+        RunTPartSim(TPartOpts(machines, sink), w.partition_map, seq);
+    std::printf("%10zu %16.0f %18.1f\n", sink, r.Throughput(),
+                r.scheduling_seconds * 1e3);
+  }
+  std::printf("(paper: flat plateau around 100; degradation at the "
+              "extremes)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

@@ -1,0 +1,36 @@
+// E7 — Figure 5(c): system throughput vs number of machines on the
+// Microbenchmark with Table-1 default parameters. Expected shape: Calvin
+// saturates early; Calvin+TP keeps scaling.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
+  const auto max_machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "max-machines", 30));
+  Header("Figure 5(c): Microbenchmark (default params) throughput vs "
+         "machines");
+  std::printf("%9s %14s %14s %9s\n", "machines", "Calvin tps",
+              "Calvin+TP tps", "TP/Calvin");
+  for (std::size_t m : {2u, 4u, 6u, 10u, 14u, 18u, 22u, 26u, 30u}) {
+    if (m > max_machines) break;
+    const Workload w = MakeMicroWorkload(DefaultMicro(m, txns));
+    const EnginePair r = RunBoth(w, m);
+    std::printf("%9zu %14.0f %14.0f %9.2f\n", m, r.calvin.Throughput(),
+                r.tpart.Throughput(),
+                r.tpart.Throughput() / r.calvin.Throughput());
+  }
+  std::printf("(paper: Calvin flattens, Calvin+TP scales — same trend as "
+              "Fig. 5(b))\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

@@ -1,0 +1,49 @@
+// E5 — Figure 5(a): TPC-C New-Order throughput vs number of machines.
+// TPC-C partitions cleanly by warehouse, so *both* engines scale and
+// T-Part "incurs little overhead ... It is safe to turn it on even with
+// easy workloads" (§6.1.1).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
+  const auto max_machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "max-machines", 30));
+  Header("Figure 5(a): TPC-C New-Order throughput vs machines");
+  std::printf("%9s %16s %16s %9s\n", "machines", "Calvin NO-tps",
+              "Calvin+TP NO-tps", "TP/Calvin");
+  for (std::size_t m : {2u, 4u, 6u, 10u, 14u, 18u, 22u, 26u, 30u}) {
+    if (m > max_machines) break;
+    TpccOptions o;
+    o.num_machines = m;
+    o.warehouses_per_machine = 2;
+    o.num_txns = txns;
+    const Workload w = MakeTpccWorkload(o);
+    // Count the New-Order share of committed throughput, as the paper
+    // reports New-Order tps.
+    std::size_t new_orders = 0;
+    for (const auto& spec : w.requests) {
+      if (spec.proc == kTpccNewOrder) ++new_orders;
+    }
+    const double no_share =
+        static_cast<double>(new_orders) / static_cast<double>(txns);
+    const EnginePair r = RunBoth(w, m);
+    std::printf("%9zu %16.0f %16.0f %9.2f\n", m,
+                r.calvin.Throughput() * no_share,
+                r.tpart.Throughput() * no_share,
+                r.tpart.Throughput() / r.calvin.Throughput());
+  }
+  std::printf("(paper: both scale out to 30 machines; ratio stays near "
+              "1.0)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

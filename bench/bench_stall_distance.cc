@@ -1,0 +1,71 @@
+// E2/E3 — Figure 4(a)/(b): average and maximum stall versus transaction
+// distance (j - i), measured over every version dependency in a T-Part
+// run. Paper: the average fits a decreasing linear function; the maximum
+// fits a (decreasing) sigmoid with a drop around distance 200.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/fit.h"
+#include "sim/stall_tracker.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 8000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Figure 4(a)/(b): stall vs transaction distance (j - i)");
+  // Dense wr-dependencies: small hot sets + high write rate, so most
+  // transactions wait on a recent writer's push (what Fig. 4 samples).
+  MicroOptions mo = DefaultMicro(machines, txns);
+  mo.hot_set_size = 40;
+  mo.read_write_rate = 0.9;
+  const Workload w = MakeMicroWorkload(mo);
+  StallTracker stalls(512);
+  RunTPartSim(TPartOpts(machines, /*sink=*/100), w.partition_map,
+              w.SequencedRequests(), &stalls);
+
+  std::printf("%14s %12s %12s %10s\n", "distance", "avg us", "max us",
+              "samples");
+  const std::size_t buckets[][2] = {{1, 8},     {9, 16},    {17, 32},
+                                    {33, 64},   {65, 128},  {129, 192},
+                                    {193, 256}, {257, 384}, {385, 512}};
+  for (const auto& b : buckets) {
+    std::size_t n = 0;
+    for (std::size_t d = b[0]; d <= b[1]; ++d) {
+      n += stalls.AtDistance(d).count();
+    }
+    std::printf("%6zu-%-7zu %12.1f %12.1f %10zu\n", b[0], b[1],
+                stalls.MeanStallInRange(b[0], b[1]) / 1000.0,
+                stalls.MaxStallInRange(b[0], b[1]) / 1000.0, n);
+  }
+  // Fit the curves the way §4.1 does: a line through the per-distance
+  // averages, and the knee of the (bucketed) maximums.
+  std::vector<std::pair<double, double>> avg_points, max_points;
+  for (std::size_t d = 1; d <= stalls.max_distance(); ++d) {
+    const auto& s = stalls.AtDistance(d);
+    if (s.count() < 5) continue;
+    avg_points.push_back({static_cast<double>(d), s.mean() / 1000.0});
+  }
+  for (const auto& b : buckets) {
+    const double mid = static_cast<double>(b[0] + b[1]) / 2.0;
+    const double mx = stalls.MaxStallInRange(b[0], b[1]) / 1000.0;
+    if (mx > 0) max_points.push_back({mid, mx});
+  }
+  const LinearFit avg_fit = FitLine(avg_points);
+  std::printf("linear fit of avg stall: %.2f us %+0.4f us/distance "
+              "(r2=%.2f)\n",
+              avg_fit.intercept, avg_fit.slope, avg_fit.r2);
+  std::printf("max-stall knee (sigmoid midpoint) at distance ~%.0f\n",
+              SigmoidMidpoint(max_points));
+  std::printf("(paper: avg decreases ~linearly with distance; max drops "
+              "past the sink window, ~2x sink size = 200)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

@@ -1,0 +1,43 @@
+// E14 — Figure 9: network-stalled transactions under a TPC-C-like
+// Microbenchmark configuration ("skewed transaction rate to 0.0 and the
+// remote transaction rate to 0.1"), sweeping the number of remote
+// operations. Paper: Calvin's stalled fraction grows with remote ops;
+// Calvin+TP's does not, and its average waiting time is >30% lower at
+// high remote-record counts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Figure 9: network stall, TPC-C-like (skew 0.0, dist 0.1)");
+  std::printf("%8s | %12s %12s | %14s %14s\n", "remote", "Calvin stall%",
+              "TP stall%", "Calvin wait us", "TP wait us");
+  for (const int remote : {1, 3, 5, 7, 9}) {
+    MicroOptions o = DefaultMicro(machines, txns);
+    o.skewed_rate = 0.0;
+    o.distributed_rate = 0.1;
+    o.remote_records = remote;
+    const Workload w = MakeMicroWorkload(o);
+    const EnginePair r = RunBoth(w, machines);
+    std::printf("%8d | %12.1f %12.1f | %14.1f %14.1f\n", remote,
+                100.0 * r.calvin.NetworkStalledFraction(),
+                100.0 * r.tpart.NetworkStalledFraction(),
+                r.calvin.stall_wait.mean() / 1000.0,
+                r.tpart.stall_wait.mean() / 1000.0);
+  }
+  std::printf("(paper: TP stalled-fraction flat/decreasing; wait time "
+              ">30%% lower at 9 remote records)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

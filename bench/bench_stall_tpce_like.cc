@@ -1,0 +1,43 @@
+// E15 — Figure 10: network stall under the TPC-E-like (default)
+// Microbenchmark parameters, sweeping remote operations. Paper: Calvin's
+// stalled percentage stays flat (it is already saturated); Calvin+TP's
+// decreases; Calvin+TP cuts the average waiting time by >50% at high
+// remote-record counts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Figure 10: network stall, TPC-E-like (Table 1 defaults)");
+  std::printf("%8s | %12s %12s | %14s %14s | %8s\n", "remote",
+              "Calvin stall%", "TP stall%", "Calvin wait us", "TP wait us",
+              "wait cut");
+  for (const int remote : {1, 3, 5, 7, 9}) {
+    MicroOptions o = DefaultMicro(machines, txns);
+    o.remote_records = remote;
+    const Workload w = MakeMicroWorkload(o);
+    const EnginePair r = RunBoth(w, machines);
+    std::printf("%8d | %12.1f %12.1f | %14.1f %14.1f | %7.0f%%\n", remote,
+                100.0 * r.calvin.NetworkStalledFraction(),
+                100.0 * r.tpart.NetworkStalledFraction(),
+                r.calvin.stall_wait.mean() / 1000.0,
+                r.tpart.stall_wait.mean() / 1000.0,
+                100.0 * (1.0 - r.tpart.stall_wait.mean() /
+                                   r.calvin.stall_wait.mean()));
+  }
+  std::printf("(paper: >50%% waiting-time reduction at high remote "
+              "counts)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

@@ -1,0 +1,36 @@
+// E10 — Figure 8(a): throughput vs distributed-transaction rate.
+// Paper: "T-Part leads to 60%~120% speedup when ... the distributed
+// transaction rate ... is high. The improvement becomes significant when
+// the distributed transaction rate is above 0.2."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Figure 8(a): throughput vs distributed txn rate");
+  std::printf("%10s %14s %14s %9s\n", "dist-rate", "Calvin tps",
+              "Calvin+TP tps", "TP/Calvin");
+  for (const double rate : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    MicroOptions o = DefaultMicro(machines, txns);
+    o.distributed_rate = rate;
+    const Workload w = MakeMicroWorkload(o);
+    const EnginePair r = RunBoth(w, machines);
+    std::printf("%10.1f %14.0f %14.0f %9.2f\n", rate,
+                r.calvin.Throughput(), r.tpart.Throughput(),
+                r.tpart.Throughput() / r.calvin.Throughput());
+  }
+  std::printf("(paper: gap opens above rate 0.2, reaching 1.6x-2.2x)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

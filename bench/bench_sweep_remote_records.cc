@@ -1,0 +1,36 @@
+// E11 — Figure 8(b): throughput vs number of remote records per
+// distributed transaction. Paper: improvement "when there are more than
+// 5 remote records in a transaction".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Figure 8(b): throughput vs #remote records per distributed txn");
+  std::printf("%8s %14s %14s %9s\n", "remote", "Calvin tps",
+              "Calvin+TP tps", "TP/Calvin");
+  for (const int remote : {1, 3, 5, 7, 9}) {
+    MicroOptions o = DefaultMicro(machines, txns);
+    o.remote_records = remote;
+    const Workload w = MakeMicroWorkload(o);
+    const EnginePair r = RunBoth(w, machines);
+    std::printf("%8d %14.0f %14.0f %9.2f\n", remote,
+                r.calvin.Throughput(), r.tpart.Throughput(),
+                r.tpart.Throughput() / r.calvin.Throughput());
+  }
+  std::printf("(paper: speedup grows with remote records, significant "
+              "above 5)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

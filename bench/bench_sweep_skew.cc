@@ -1,0 +1,36 @@
+// E12 — Figure 8(c): throughput vs skewed-transaction rate. Paper:
+// "T-Part significantly outperforms Calvin when the skewness is high.
+// This justifies the effectiveness of Algorithm 1 on balancing machine
+// loads."
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 10));
+  Header("Figure 8(c): throughput vs skewed txn rate");
+  std::printf("%10s %14s %14s %9s\n", "skew-rate", "Calvin tps",
+              "Calvin+TP tps", "TP/Calvin");
+  for (const double skew : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    MicroOptions o = DefaultMicro(machines, txns);
+    o.skewed_rate = skew;
+    const Workload w = MakeMicroWorkload(o);
+    const EnginePair r = RunBoth(w, machines);
+    std::printf("%10.1f %14.0f %14.0f %9.2f\n", skew,
+                r.calvin.Throughput(), r.tpart.Throughput(),
+                r.tpart.Throughput() / r.calvin.Throughput());
+  }
+  std::printf("(paper: T-Part's advantage widens as skew rises)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

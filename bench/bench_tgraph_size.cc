@@ -1,0 +1,48 @@
+// E4 — Figure 4(c): number of unsunk transactions (T-graph size) over the
+// run. Paper: "normally, the number of unsunk transactions ... is under
+// 200" with sink size 100 — the window oscillates in
+// [sink_size, 2 * sink_size).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "scheduler/tpart_scheduler.h"
+
+namespace tpart::bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 8));
+  Header("Figure 4(c): T-graph size (unsunk transactions) over time");
+  const Workload w = MakeMicroWorkload(DefaultMicro(machines, txns));
+
+  for (const std::size_t sink_size : {50u, 100u, 200u}) {
+    TPartScheduler::Options so;
+    so.sink_size = sink_size;
+    so.graph.num_machines = machines;
+    TPartScheduler sched(so, w.partition_map);
+    std::size_t samples = 0;
+    double sum = 0;
+    std::size_t peak = 0;
+    for (const TxnSpec& spec : w.SequencedRequests()) {
+      sched.OnTxn(spec);
+      const std::size_t size = sched.graph().num_unsunk();
+      sum += static_cast<double>(size);
+      peak = std::max(peak, size);
+      ++samples;
+    }
+    std::printf("sink_size=%3zu: mean graph size %7.1f, peak %4zu "
+                "(bound: %zu)\n",
+                sink_size, sum / static_cast<double>(samples), peak,
+                2 * sink_size);
+  }
+  std::printf("(paper: with sink size 100 the graph stays under 200)\n");
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

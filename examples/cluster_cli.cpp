@@ -1,0 +1,145 @@
+// Command-line driver: run any bundled workload on any engine, on the
+// simulated cluster or the threaded runtime, and print the statistics.
+//
+//   ./build/examples/cluster_cli --workload=tpce --engine=both \
+//       --machines=8 --txns=5000 --sink=100
+//   ./build/examples/cluster_cli --workload=tpcc --engine=tpart \
+//       --runtime --machines=4 --txns=2000
+//
+// Flags:
+//   --workload=micro|tpcc|tpce      (default micro)
+//   --engine=calvin|tpart|both      (default both)
+//   --machines=N                    (default 4)
+//   --txns=N                        (default 5000)
+//   --sink=N                        sink size (default 100)
+//   --runtime                       threaded runtime instead of simulator
+//   --gstore                        G-Store emulation (sink 1, write-back)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baselines/gstore.h"
+#include "runtime/cluster.h"
+#include "sim/calvin_sim.h"
+#include "sim/tpart_sim.h"
+#include "workload/micro.h"
+#include "workload/tpcc.h"
+#include "workload/tpce.h"
+
+using namespace tpart;
+
+namespace {
+
+std::string StrFlag(int argc, char** argv, const char* name,
+                    const std::string& def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
+
+std::int64_t IntFlag(int argc, char** argv, const char* name,
+                     std::int64_t def) {
+  const std::string s =
+      StrFlag(argc, argv, name, std::to_string(def));
+  return std::atoll(s.c_str());
+}
+
+bool BoolFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+Workload MakeWorkload(const std::string& name, std::size_t machines,
+                      std::size_t txns) {
+  if (name == "tpcc") {
+    TpccOptions o;
+    o.num_machines = machines;
+    o.num_txns = txns;
+    return MakeTpccWorkload(o);
+  }
+  if (name == "tpce") {
+    TpceOptions o;
+    o.num_machines = machines;
+    o.num_txns = txns;
+    return MakeTpceWorkload(o);
+  }
+  MicroOptions o;
+  o.num_machines = machines;
+  o.records_per_machine = 20'000;
+  o.hot_set_size = 200;
+  o.num_txns = txns;
+  return MakeMicroWorkload(o);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string workload_name = StrFlag(argc, argv, "workload", "micro");
+  const std::string engine = StrFlag(argc, argv, "engine", "both");
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 4));
+  const auto txns = static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
+  const auto sink = static_cast<std::size_t>(IntFlag(argc, argv, "sink", 100));
+  const bool use_runtime = BoolFlag(argc, argv, "runtime");
+  const bool gstore = BoolFlag(argc, argv, "gstore");
+
+  const Workload w = MakeWorkload(workload_name, machines, txns);
+  std::printf("%s: %zu machines, %zu txns, %.0f%% distributed\n",
+              w.name.c_str(), machines, w.requests.size(),
+              100.0 * MeasureDistributedRate(w.requests, *w.partition_map));
+
+  if (use_runtime) {
+    LocalClusterOptions opts;
+    opts.scheduler.sink_size = sink;
+    if (gstore) {
+      opts.scheduler.sink_size = 1;
+      opts.scheduler.graph.always_write_back = true;
+      opts.scheduler.graph.sticky_cache = false;
+      opts.scheduler.optimize_plans = false;
+    }
+    LocalCluster cluster(&w, opts);
+    if (engine == "calvin" || engine == "both") {
+      const ClusterRunOutcome out = cluster.RunCalvin();
+      std::printf("calvin (runtime): committed=%llu aborted=%llu\n",
+                  static_cast<unsigned long long>(out.committed),
+                  static_cast<unsigned long long>(out.aborted));
+    }
+    if (engine == "tpart" || engine == "both") {
+      const ClusterRunOutcome out = cluster.RunTPart();
+      std::printf("tpart  (runtime): committed=%llu aborted=%llu\n",
+                  static_cast<unsigned long long>(out.committed),
+                  static_cast<unsigned long long>(out.aborted));
+    }
+    return 0;
+  }
+
+  const auto seq = w.SequencedRequests();
+  if (engine == "calvin" || engine == "both") {
+    CalvinSimOptions o;
+    o.num_machines = machines;
+    const RunStats stats = RunCalvinSim(o, *w.partition_map, seq);
+    std::printf("calvin (sim): %s\n", stats.Summary().c_str());
+  }
+  if (engine == "tpart" || engine == "both") {
+    TPartSimOptions o;
+    o.num_machines = machines;
+    o.scheduler.sink_size = sink;
+    if (gstore) o = MakeGStoreSimOptions(o);
+    const RunStats stats = RunTPartSim(o, w.partition_map, seq);
+    std::printf("tpart  (sim): %s\n", stats.Summary().c_str());
+    std::printf("  scheduling: %.2f ms total, %llu pushes eliminated, "
+                "peak T-graph %zu\n",
+                stats.scheduling_seconds * 1e3,
+                static_cast<unsigned long long>(stats.pushes_eliminated),
+                stats.max_tgraph_size);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// §5.4 failure handling demo: run a T-Part cluster, "crash" one machine,
+// and rebuild its partition purely from its own logs — the request log
+// (its slice of each push plan) and the network log (PUSH-log plus other
+// inbound traffic) — with all outbound communication suppressed.
+//
+//   ./build/examples/recovery_demo
+
+#include <cstdio>
+
+#include "runtime/cluster.h"
+#include "runtime/recovery.h"
+#include "workload/micro.h"
+
+using namespace tpart;
+
+int main() {
+  MicroOptions wopts;
+  wopts.num_machines = 3;
+  wopts.records_per_machine = 500;
+  wopts.hot_set_size = 50;
+  wopts.num_txns = 1'500;
+  const Workload workload = MakeMicroWorkload(wopts);
+
+  LocalClusterOptions copts;
+  copts.scheduler.sink_size = 50;
+  LocalCluster cluster(&workload, copts);
+  const ClusterRunOutcome live = cluster.RunTPart();
+  std::printf("live run: %llu committed across %zu machines\n",
+              static_cast<unsigned long long>(live.committed),
+              cluster.num_machines());
+
+  const MachineId victim = 1;
+  Machine& failed = cluster.machine(victim);
+  std::printf("crashing machine %u  (request log: %zu plans, network "
+              "log: %zu messages)\n",
+              victim, failed.request_log().size(),
+              failed.network_log().size());
+
+  const ReplayResult replay =
+      ReplayMachine(workload, victim, failed.request_log(),
+                    failed.network_log(), copts.sticky_ttl);
+
+  // Compare the replayed partition with the pre-crash one.
+  auto dump = [&](KvStore& store) {
+    std::vector<std::pair<ObjectKey, Record>> out;
+    store.Scan(0, ~ObjectKey{0},
+               [&](ObjectKey k, const Record& r) { out.emplace_back(k, r); });
+    return out;
+  };
+  const bool identical =
+      dump(replay.store->store(victim)) == dump(cluster.store().store(victim));
+  std::printf("replayed %zu transactions locally; partition %s the "
+              "pre-crash state\n",
+              replay.results.size(), identical ? "MATCHES" : "DIVERGES from");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+#include "baselines/gstore.h"
+
+namespace tpart {
+
+TPartSimOptions MakeGStoreSimOptions(const TPartSimOptions& base) {
+  TPartSimOptions o = base;
+  o.scheduler.sink_size = 1;
+  o.scheduler.graph.always_write_back = true;
+  // A one-transaction batch has nothing to optimise.
+  o.scheduler.optimize_plans = false;
+  // Records always travel back to storage immediately; sticky caching
+  // would blur the "move the records back" semantics.
+  o.scheduler.graph.sticky_cache = false;
+  o.sticky_ttl = 0;
+  return o;
+}
+
+}  // namespace tpart

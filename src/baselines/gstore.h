@@ -1,0 +1,18 @@
+#ifndef TPART_BASELINES_GSTORE_H_
+#define TPART_BASELINES_GSTORE_H_
+
+#include "sim/tpart_sim.h"
+
+namespace tpart {
+
+/// G-Store-style dynamic data movement [10] (§6.2, Fig. 6(d)): move each
+/// transaction group's read/write sets to one machine, execute there, and
+/// move the records back. The paper observes that its simulation of this
+/// approach "reduces to T-Part with the sink size 1": no cross-batch cache
+/// entries survive (always_write_back) and no forward-push edges exist
+/// within a one-transaction batch.
+TPartSimOptions MakeGStoreSimOptions(const TPartSimOptions& base);
+
+}  // namespace tpart
+
+#endif  // TPART_BASELINES_GSTORE_H_

@@ -1,0 +1,65 @@
+#include "baselines/schism.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tpart {
+
+std::shared_ptr<LookupPartitionMap> BuildSchismPartition(
+    const std::vector<TxnSpec>& trace,
+    std::shared_ptr<const DataPartitionMap> fallback,
+    const SchismOptions& options) {
+  // Assign dense vertex ids to records in first-touch order.
+  std::unordered_map<ObjectKey, int> vertex_of;
+  std::vector<ObjectKey> key_of;
+  auto vtx = [&](ObjectKey k) {
+    auto [it, inserted] =
+        vertex_of.emplace(k, static_cast<int>(key_of.size()));
+    if (inserted) key_of.push_back(k);
+    return it->second;
+  };
+
+  // Co-access clique edges, merged via a map keyed by (min, max).
+  std::unordered_map<std::uint64_t, double> edge_weight;
+  std::size_t used = 0;
+  for (const TxnSpec& spec : trace) {
+    if (spec.is_dummy) continue;
+    if (++used > options.max_trace_txns) break;
+    std::vector<ObjectKey> keys = spec.rw.AllKeys();
+    if (keys.size() > options.max_keys_per_txn) {
+      keys.resize(options.max_keys_per_txn);
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const int a = vtx(keys[i]);
+      for (std::size_t j = i + 1; j < keys.size(); ++j) {
+        const int b = vtx(keys[j]);
+        const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+        const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+        edge_weight[(lo << 32) | hi] += 1.0;
+      }
+    }
+  }
+
+  WeightedGraph g;
+  g.vertex_weight.assign(key_of.size(), 1.0);
+  g.fixed.assign(key_of.size(), -1);
+  g.adj.resize(key_of.size());
+  for (const auto& [packed, w] : edge_weight) {
+    const auto a = static_cast<int>(packed >> 32);
+    const auto b = static_cast<int>(packed & 0xFFFFFFFFu);
+    g.adj[static_cast<std::size_t>(a)].emplace_back(b, w);
+    g.adj[static_cast<std::size_t>(b)].emplace_back(a, w);
+  }
+
+  const std::vector<int> part = MultilevelPartition(
+      g, static_cast<int>(options.num_machines), options.multilevel);
+
+  auto map = std::make_shared<LookupPartitionMap>(options.num_machines,
+                                                  std::move(fallback));
+  for (std::size_t v = 0; v < key_of.size(); ++v) {
+    map->Assign(key_of[v], static_cast<MachineId>(part[v]));
+  }
+  return map;
+}
+
+}  // namespace tpart

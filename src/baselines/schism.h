@@ -1,0 +1,40 @@
+#ifndef TPART_BASELINES_SCHISM_H_
+#define TPART_BASELINES_SCHISM_H_
+
+#include <memory>
+#include <vector>
+
+#include "partition/multilevel.h"
+#include "storage/data_partition.h"
+#include "txn/txn.h"
+
+namespace tpart {
+
+/// Schism-style workload-driven data partitioning [9] (§6.2, Fig. 6(b)):
+/// "model the trace of ... transactions into a graph, then employ METIS
+/// ... to partition the graph and obtain data partitions." Nodes are
+/// records, edges are co-accesses within a transaction; the balanced
+/// min-cut assignment becomes an explicit per-record placement.
+///
+/// This is the *looking-back* approach the paper contrasts with T-Part:
+/// it "only finds good partitions in the past, and gives no guarantee on
+/// the quality of partitions when facing the changing workloads" (§1).
+struct SchismOptions {
+  std::size_t num_machines = 4;
+  MultilevelOptions multilevel;
+  /// Cap on trace transactions modelled (the paper uses 300K).
+  std::size_t max_trace_txns = 300'000;
+  /// Cap on clique edges per transaction (guards degenerate huge txns).
+  std::size_t max_keys_per_txn = 64;
+};
+
+/// Builds a data-partition map from `trace`, with `fallback` placement
+/// for records the trace never touched.
+std::shared_ptr<LookupPartitionMap> BuildSchismPartition(
+    const std::vector<TxnSpec>& trace,
+    std::shared_ptr<const DataPartitionMap> fallback,
+    const SchismOptions& options);
+
+}  // namespace tpart
+
+#endif  // TPART_BASELINES_SCHISM_H_

@@ -1,0 +1,135 @@
+#include "cache/cache_area.h"
+
+namespace tpart {
+
+void CacheArea::PutVersion(ObjectKey key, TxnId version, TxnId dst,
+                           Record value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    versions_[{key, version, dst}] = std::move(value);
+    NotePeakLocked();
+  }
+  cv_.notify_all();
+}
+
+std::optional<Record> CacheArea::AwaitVersion(ObjectKey key, TxnId version,
+                                              TxnId dst) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::tuple<ObjectKey, TxnId, TxnId> k{key, version, dst};
+  cv_.wait(lock,
+           [&] { return shutdown_ || versions_.count(k) > 0; });
+  if (shutdown_ && versions_.count(k) == 0) return std::nullopt;
+  auto it = versions_.find(k);
+  Record out = std::move(it->second);
+  // "After reading an object from the cache area, the destination
+  // transaction can invalidate the enclosing entry immediately" (§5.2).
+  versions_.erase(it);
+  return out;
+}
+
+bool CacheArea::HasVersion(ObjectKey key, TxnId version, TxnId dst) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.count({key, version, dst}) > 0;
+}
+
+void CacheArea::PublishEpochEntry(ObjectKey key, TxnId version,
+                                  SinkEpoch epoch, Record value) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EpochEntry& e = epochs_[{key, version}];
+    e.value = std::move(value);
+    e.epoch = epoch;
+    NotePeakLocked();
+  }
+  cv_.notify_all();
+}
+
+std::optional<Record> CacheArea::AwaitEpochEntry(ObjectKey key, TxnId version,
+                                                 bool invalidate,
+                                                 std::uint32_t total_reads) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::pair<ObjectKey, TxnId> k{key, version};
+  cv_.wait(lock, [&] { return shutdown_ || epochs_.count(k) > 0; });
+  auto it = epochs_.find(k);
+  if (it == epochs_.end()) return std::nullopt;  // shutdown
+  EpochEntry& e = it->second;
+  Record out = e.value;
+  ++e.reads_served;
+  if (invalidate) e.total_reads = total_reads;
+  if (e.total_reads != 0 && e.reads_served >= e.total_reads) {
+    epochs_.erase(it);
+  }
+  return out;
+}
+
+std::optional<Record> CacheArea::TryEpochEntry(ObjectKey key, TxnId version,
+                                               bool invalidate,
+                                               std::uint32_t total_reads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = epochs_.find({key, version});
+  if (it == epochs_.end()) return std::nullopt;
+  EpochEntry& e = it->second;
+  Record out = e.value;
+  ++e.reads_served;
+  if (invalidate) e.total_reads = total_reads;
+  if (e.total_reads != 0 && e.reads_served >= e.total_reads) {
+    epochs_.erase(it);
+  }
+  return out;
+}
+
+void CacheArea::PutSticky(ObjectKey key, TxnId version, Record value,
+                          SinkEpoch expire_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sticky_[key] = StickyEntry{std::move(value), version, expire_epoch};
+}
+
+std::optional<Record> CacheArea::ReadSticky(ObjectKey key,
+                                            TxnId expected_version,
+                                            SinkEpoch now_epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sticky_.find(key);
+  if (it == sticky_.end()) return std::nullopt;
+  const StickyEntry& e = it->second;
+  if (e.version != expected_version || e.expire_epoch < now_epoch) {
+    return std::nullopt;
+  }
+  ++sticky_hits_;
+  return e.value;
+}
+
+void CacheArea::EvictExpiredSticky(SinkEpoch now_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = sticky_.begin(); it != sticky_.end();) {
+    if (it->second.expire_epoch < now_epoch) {
+      it = sticky_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CacheArea::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t CacheArea::num_version_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.size();
+}
+
+std::size_t CacheArea::num_epoch_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_.size();
+}
+
+std::size_t CacheArea::num_sticky_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sticky_.size();
+}
+
+}  // namespace tpart

@@ -1,0 +1,126 @@
+#ifndef TPART_CACHE_CACHE_AREA_H_
+#define TPART_CACHE_CACHE_AREA_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <tuple>
+
+#include "common/types.h"
+#include "storage/record.h"
+
+namespace tpart {
+
+/// The executor's key-value cache area (§3.4, §5.2), "implemented above
+/// the buffer manager of the storage engine" to hold objects written by
+/// earlier local transactions or pushed from remote machines.
+///
+/// Three entry families, exactly as §5.2 describes:
+///  * version entries <obj, source txn, destination txn> — one per
+///    forward-push / local hand-off, read exactly once and invalidated by
+///    that read;
+///  * epoch entries <obj, sink#> (here additionally tagged with the
+///    version txn) — published for transactions sunk in later rounds,
+///    freed after all planned reads have been served;
+///  * sticky entries <obj> — clean copies retained after a write-back for
+///    a bounded number of sinking rounds, serving "immediate storage reads
+///    after write" cheaply.
+///
+/// Internally synchronized: local executor threads and the network
+/// receiver both touch it, and readers block until the wanted version
+/// materialises — this *is* the version-based deterministic concurrency
+/// control ("the transaction stalls if the object is not available in
+/// memory yet", §3.4).
+class CacheArea {
+ public:
+  /// Stores a version entry <key, version, dst> and wakes waiters.
+  void PutVersion(ObjectKey key, TxnId version, TxnId dst, Record value);
+
+  /// Blocks until entry <key, version, dst> exists, then consumes it.
+  /// Returns nullopt only after Shutdown().
+  std::optional<Record> AwaitVersion(ObjectKey key, TxnId version, TxnId dst);
+
+  /// Non-blocking probe of a version entry (does not consume).
+  bool HasVersion(ObjectKey key, TxnId version, TxnId dst) const;
+
+  /// Publishes epoch entry <key, version> (the paper's <obj, sink#>).
+  void PublishEpochEntry(ObjectKey key, TxnId version, SinkEpoch epoch,
+                         Record value);
+
+  /// Blocks until epoch entry <key, version> exists and serves one read.
+  /// When `invalidate` is set, this read also announces the entry's final
+  /// read count `total_reads`; the entry is freed once that many reads
+  /// (including earlier and still-outstanding ones) have been served.
+  /// Returns nullopt only after Shutdown().
+  std::optional<Record> AwaitEpochEntry(ObjectKey key, TxnId version,
+                                        bool invalidate,
+                                        std::uint32_t total_reads);
+
+  /// Non-blocking variant for service threads (remote pulls are parked by
+  /// the machine until the entry appears). Serves one read when present.
+  std::optional<Record> TryEpochEntry(ObjectKey key, TxnId version,
+                                      bool invalidate,
+                                      std::uint32_t total_reads);
+
+  /// Inserts/refreshes a sticky entry for `key` (§5.2), valid through
+  /// sinking round `expire_epoch`.
+  void PutSticky(ObjectKey key, TxnId version, Record value,
+                 SinkEpoch expire_epoch);
+
+  /// Returns the sticky value when present, version-matched, and not
+  /// expired relative to `now_epoch`.
+  std::optional<Record> ReadSticky(ObjectKey key, TxnId expected_version,
+                                   SinkEpoch now_epoch) const;
+
+  /// Drops sticky entries expired at `now_epoch`.
+  void EvictExpiredSticky(SinkEpoch now_epoch);
+
+  /// Releases every blocked reader (they observe nullopt). Used on
+  /// machine shutdown / simulated failure.
+  void Shutdown();
+
+  // --- Introspection ---------------------------------------------------
+  std::size_t num_version_entries() const;
+  std::size_t num_epoch_entries() const;
+  std::size_t num_sticky_entries() const;
+  std::uint64_t sticky_hits() const { return sticky_hits_; }
+  /// High-water mark of live (version + epoch) entries; the §5.2 claim is
+  /// that this stays proportional to the assigned working set.
+  std::size_t peak_entries() const { return peak_entries_; }
+
+ private:
+  struct EpochEntry {
+    Record value;
+    SinkEpoch epoch = 0;
+    std::uint32_t reads_served = 0;
+    // 0 until the invalidating read announces the total.
+    std::uint32_t total_reads = 0;
+  };
+  struct StickyEntry {
+    Record value;
+    TxnId version = kInvalidTxnId;
+    SinkEpoch expire_epoch = 0;
+  };
+
+  void NotePeakLocked() {
+    const std::size_t live = versions_.size() + epochs_.size();
+    if (live > peak_entries_) peak_entries_ = live;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+
+  std::map<std::tuple<ObjectKey, TxnId, TxnId>, Record> versions_;
+  std::map<std::pair<ObjectKey, TxnId>, EpochEntry> epochs_;
+  std::map<ObjectKey, StickyEntry> sticky_;
+
+  std::size_t peak_entries_ = 0;
+  mutable std::uint64_t sticky_hits_ = 0;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_CACHE_CACHE_AREA_H_

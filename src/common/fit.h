@@ -1,0 +1,74 @@
+#ifndef TPART_COMMON_FIT_H_
+#define TPART_COMMON_FIT_H_
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tpart {
+
+/// Ordinary least-squares line fit y = intercept + slope * x.
+/// Used to reproduce the paper's Fig. 4(a) procedure: "our approach is to
+/// regard w_{i,j} as a function of (j - i), and fit the function to the
+/// inverse of our measurements" — the average stall is fitted by a
+/// linear function of the distance.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0, 1].
+  double r2 = 0.0;
+
+  double At(double x) const { return intercept + slope * x; }
+};
+
+inline LinearFit FitLine(const std::vector<std::pair<double, double>>& xy) {
+  LinearFit fit;
+  const std::size_t n = xy.size();
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [x, y] : xy) {
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double nd = static_cast<double>(n);
+  const double denom = nd * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (nd * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / nd;
+  double ss_res = 0, ss_tot = 0;
+  const double mean_y = sy / nd;
+  for (const auto& [x, y] : xy) {
+    const double e = y - fit.At(x);
+    ss_res += e * e;
+    ss_tot += (y - mean_y) * (y - mean_y);
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+/// Estimates the midpoint of a decreasing step/sigmoid curve: the x at
+/// which y first drops below (max + min) / 2. The paper's Fig. 4(b)
+/// observes "the jump around (j-i) = 200"; this locates that knee in the
+/// measured maximum-stall curve.
+inline double SigmoidMidpoint(
+    const std::vector<std::pair<double, double>>& xy) {
+  if (xy.size() < 2) return 0.0;
+  double lo = xy.front().second, hi = xy.front().second;
+  for (const auto& [x, y] : xy) {
+    (void)x;
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  const double mid = (lo + hi) / 2.0;
+  for (const auto& [x, y] : xy) {
+    if (y <= mid) return x;
+  }
+  return xy.back().first;
+}
+
+}  // namespace tpart
+
+#endif  // TPART_COMMON_FIT_H_

@@ -1,0 +1,64 @@
+#ifndef TPART_COMMON_LOGGING_H_
+#define TPART_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tpart {
+
+/// Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are discarded.
+/// Defaults to kWarning so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Use via the TPART_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// No-op sink used when the level is disabled.
+class NullMessage {
+ public:
+  template <typename T>
+  NullMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace tpart
+
+#define TPART_LOG(level)                                          \
+  if (::tpart::LogLevel::level < ::tpart::GetLogLevel()) {        \
+  } else                                                          \
+    ::tpart::internal_logging::LogMessage(::tpart::LogLevel::level, \
+                                          __FILE__, __LINE__)
+
+#define TPART_CHECK(cond)                                              \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::tpart::internal_logging::LogMessage(::tpart::LogLevel::kError,   \
+                                          __FILE__, __LINE__)          \
+        << "Check failed: " #cond " "
+
+#endif  // TPART_COMMON_LOGGING_H_

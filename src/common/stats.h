@@ -1,0 +1,66 @@
+#ifndef TPART_COMMON_STATS_H_
+#define TPART_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tpart {
+
+/// Streaming summary of a sequence of samples: count / mean / min / max /
+/// variance (Welford). Cheap enough to keep one per metric per machine.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Population variance.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Merges another summary into this one.
+  void Merge(const RunningStat& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket histogram with exponentially growing bucket bounds,
+/// suitable for latency distributions spanning several orders of magnitude.
+class Histogram {
+ public:
+  /// Buckets: [0,1), [1,2), [2,4), [4,8), ... up to 2^62 and an overflow
+  /// bucket, in the caller's unit (typically microseconds).
+  Histogram();
+
+  void Add(std::uint64_t value);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  std::uint64_t max_value() const { return max_; }
+
+  /// Value at quantile q in [0,1], approximated by the bucket upper bound.
+  std::uint64_t Quantile(double q) const;
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  std::vector<std::uint64_t> buckets_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_COMMON_STATS_H_

@@ -1,0 +1,140 @@
+#ifndef TPART_COMMON_STATUS_H_
+#define TPART_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tpart {
+
+/// Error category for Status. Mirrors the small set of failure modes a
+/// deterministic engine can encounter; everything else aborts the process.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kInternal,
+  kAborted,        // transaction-logic abort (the only abort kind, §5.3)
+  kUnavailable,    // e.g. machine marked failed in the runtime
+};
+
+/// Returns a human-readable name for `code` ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight error-or-success value used across all module boundaries.
+/// The library never throws across its public API.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status, in the spirit of absl::StatusOr. The value is only
+/// accessible when ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: enables `return value;` from Result-returning code.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit from error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tpart
+
+#define TPART_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::tpart::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define TPART_INTERNAL_CONCAT2(a, b) a##b
+#define TPART_INTERNAL_CONCAT(a, b) TPART_INTERNAL_CONCAT2(a, b)
+
+#define TPART_ASSIGN_OR_RETURN(lhs, expr)                       \
+  TPART_INTERNAL_ASSIGN_OR_RETURN_IMPL(                         \
+      TPART_INTERNAL_CONCAT(_tpart_res_, __LINE__), lhs, expr)
+
+#define TPART_INTERNAL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)    \
+  auto tmp = (expr);                                            \
+  if (!tmp.ok()) return tmp.status();                           \
+  lhs = std::move(tmp).value()
+
+#endif  // TPART_COMMON_STATUS_H_

@@ -1,0 +1,57 @@
+#ifndef TPART_COMMON_TYPES_H_
+#define TPART_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace tpart {
+
+/// Position of a transaction in the global total order decided by the
+/// sequencers. Total-order ids start at 1; 0 means "no transaction"
+/// (used e.g. as the source of a storage read).
+using TxnId = std::uint64_t;
+
+/// Identifier of a machine (equivalently: a data partition / a sink node).
+using MachineId = std::uint32_t;
+
+/// Identifier of a table in the storage layer.
+using TableId = std::uint32_t;
+
+/// Flat identifier of a record: table id in the high 16 bits, primary key
+/// in the low 48 bits. See MakeObjectKey().
+using ObjectKey = std::uint64_t;
+
+/// Monotone counter of sinking rounds ("the p-th sinking process", §5.2).
+using SinkEpoch = std::uint64_t;
+
+/// Simulated time in nanoseconds (discrete-event simulator).
+using SimTime = std::int64_t;
+
+inline constexpr TxnId kInvalidTxnId = 0;
+inline constexpr MachineId kInvalidMachine =
+    std::numeric_limits<MachineId>::max();
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+inline constexpr int kTableShift = 48;
+inline constexpr ObjectKey kPrimaryKeyMask = (ObjectKey{1} << kTableShift) - 1;
+
+/// Packs a (table, primary key) pair into a flat ObjectKey.
+constexpr ObjectKey MakeObjectKey(TableId table, std::uint64_t primary_key) {
+  return (static_cast<ObjectKey>(table) << kTableShift) |
+         (primary_key & kPrimaryKeyMask);
+}
+
+/// Extracts the table id from a flat ObjectKey.
+constexpr TableId TableOf(ObjectKey key) {
+  return static_cast<TableId>(key >> kTableShift);
+}
+
+/// Extracts the primary key from a flat ObjectKey.
+constexpr std::uint64_t PrimaryKeyOf(ObjectKey key) {
+  return key & kPrimaryKeyMask;
+}
+
+}  // namespace tpart
+
+#endif  // TPART_COMMON_TYPES_H_

@@ -1,0 +1,42 @@
+#ifndef TPART_COMMON_ZIPF_H_
+#define TPART_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tpart {
+
+/// Zipfian distribution over {0, ..., n-1} with exponent `theta`.
+/// Used to model the non-uniform customer-id generation of the TPC-E
+/// EGen driver (§6.1.2): "the BGen program provided by TPC generates
+/// non-uniform customer ID, thus the data access pattern is skewed."
+///
+/// Implementation: the classic Gray et al. rejection-free inverse method
+/// with precomputed zeta constants.
+class ZipfGenerator {
+ public:
+  /// `n` must be >= 1; `theta` in [0, 1) for the standard YCSB-style
+  /// distribution (theta = 0 degenerates to uniform).
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  /// Draws a value in [0, n).
+  std::uint64_t Next(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_COMMON_ZIPF_H_

@@ -1,0 +1,132 @@
+#include "exec/lock_table.h"
+
+#include <algorithm>
+
+#include "txn/rw_set.h"
+
+namespace tpart {
+
+void LockTable::Enqueue(TxnId txn, const std::vector<ObjectKey>& reads,
+                        const std::vector<ObjectKey>& writes) {
+  std::vector<std::pair<ObjectKey, Mode>> requests;
+  requests.reserve(reads.size() + writes.size());
+  for (const ObjectKey k : reads) {
+    if (!KeySetContains(writes, k)) requests.push_back({k, Mode::kShared});
+  }
+  for (const ObjectKey k : writes) {
+    requests.push_back({k, Mode::kExclusive});
+  }
+
+  bool granted_any = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t& pending = pending_[txn];
+    pending = 0;
+    auto& held = held_[txn];
+    for (const auto& [key, mode] : requests) {
+      KeyQueue& q = keys_[key];
+      q.waiters.push_back(Request{txn, mode});
+      held.push_back(key);
+      ++pending;
+      GrantHeadLocked(q);  // may grant immediately
+    }
+    granted_any = pending == 0;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+void LockTable::GrantHeadLocked(KeyQueue& q) {
+  // Grant the head request, plus subsequent shared requests while the
+  // head section is shared.
+  while (q.granted < q.waiters.size()) {
+    const Request& next = q.waiters[q.granted];
+    if (q.granted == 0) {
+      // Head always grants.
+    } else if (next.mode == Mode::kShared &&
+               q.waiters[0].mode == Mode::kShared) {
+      // Shared coalescing: all granted entries are shared.
+      bool all_shared = true;
+      for (std::size_t i = 0; i < q.granted; ++i) {
+        if (q.waiters[i].mode != Mode::kShared) {
+          all_shared = false;
+          break;
+        }
+      }
+      if (!all_shared) break;
+    } else {
+      break;
+    }
+    ++q.granted;
+    auto it = pending_.find(next.txn);
+    if (it != pending_.end() && it->second > 0) {
+      --it->second;
+    }
+  }
+}
+
+bool LockTable::AwaitGranted(TxnId txn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    if (shutdown_) return true;
+    auto it = pending_.find(txn);
+    return it == pending_.end() || it->second == 0;
+  });
+  if (shutdown_) {
+    auto it = pending_.find(txn);
+    return it == pending_.end() || it->second == 0;
+  }
+  return true;
+}
+
+bool LockTable::IsGranted(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(txn);
+  return it == pending_.end() || it->second == 0;
+}
+
+void LockTable::Release(TxnId txn) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto hit = held_.find(txn);
+    if (hit == held_.end()) return;
+    for (const ObjectKey key : hit->second) {
+      auto qit = keys_.find(key);
+      if (qit == keys_.end()) continue;
+      KeyQueue& q = qit->second;
+      for (std::size_t i = 0; i < q.waiters.size(); ++i) {
+        if (q.waiters[i].txn == txn) {
+          const bool was_granted = i < q.granted;
+          q.waiters.erase(q.waiters.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+          if (was_granted) --q.granted;
+          break;
+        }
+      }
+      if (q.waiters.empty()) {
+        keys_.erase(qit);
+      } else {
+        GrantHeadLocked(q);
+        notify = true;
+      }
+    }
+    held_.erase(hit);
+    pending_.erase(txn);
+  }
+  if (notify) cv_.notify_all();
+}
+
+void LockTable::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t LockTable::active_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.size();
+}
+
+}  // namespace tpart

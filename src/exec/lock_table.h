@@ -1,0 +1,70 @@
+#ifndef TPART_EXEC_LOCK_TABLE_H_
+#define TPART_EXEC_LOCK_TABLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tpart {
+
+/// Calvin's deterministic conservative locking (§2.1/§3.4): lock requests
+/// are enqueued strictly in total order by a single dispatcher, granted
+/// FIFO per key (shared readers coalesce), and a transaction executes only
+/// once it holds every lock. Because requests enter in total order, the
+/// wait-for graph is acyclic and deadlock is impossible.
+class LockTable {
+ public:
+  /// Enqueues `txn`'s lock requests. Must be called from one thread in
+  /// ascending txn order. Keys present in both sets are locked exclusive.
+  void Enqueue(TxnId txn, const std::vector<ObjectKey>& reads,
+               const std::vector<ObjectKey>& writes);
+
+  /// Blocks until `txn` holds all its locks (returns immediately for
+  /// transactions with no enqueued keys). Returns false after Shutdown().
+  bool AwaitGranted(TxnId txn);
+
+  /// Non-blocking check.
+  bool IsGranted(TxnId txn) const;
+
+  /// Releases all of `txn`'s locks, granting successors.
+  void Release(TxnId txn);
+
+  /// Releases all waiters (they observe false).
+  void Shutdown();
+
+  /// Number of keys with a non-empty queue (for tests).
+  std::size_t active_keys() const;
+
+ private:
+  enum class Mode { kShared, kExclusive };
+  struct Request {
+    TxnId txn;
+    Mode mode;
+  };
+  struct KeyQueue {
+    std::deque<Request> waiters;  // head section = granted
+    std::size_t granted = 0;      // count of granted head entries
+  };
+
+  // Grants as many head requests as compatibility allows; decrements the
+  // pending count of newly granted txns. mu_ held.
+  void GrantHeadLocked(KeyQueue& q);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  std::unordered_map<ObjectKey, KeyQueue> keys_;
+  // Locks still ungranted per txn; granted when count reaches 0.
+  std::unordered_map<TxnId, std::size_t> pending_;
+  std::unordered_map<TxnId, std::vector<ObjectKey>> held_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_EXEC_LOCK_TABLE_H_

@@ -1,0 +1,72 @@
+#include "exec/serial_executor.h"
+
+#include "txn/rw_set.h"
+
+namespace tpart {
+
+Result<Record> GatheredTxnContext::Get(ObjectKey key) {
+  if (!spec_->rw.ReadsKey(key) && !spec_->rw.WritesKey(key)) {
+    return Status::FailedPrecondition(
+        "read of key outside the declared read set");
+  }
+  // Read-your-writes within the transaction.
+  auto wit = writes_.find(key);
+  if (wit != writes_.end()) return wit->second;
+  auto it = values_.find(key);
+  if (it == values_.end()) return Record::Absent();
+  return it->second;
+}
+
+Status GatheredTxnContext::Put(ObjectKey key, Record record) {
+  if (!spec_->rw.WritesKey(key)) {
+    return Status::FailedPrecondition(
+        "write of key outside the declared write set");
+  }
+  writes_[key] = std::move(record);
+  return Status::Ok();
+}
+
+Record GatheredTxnContext::OutgoingValue(ObjectKey key,
+                                         bool committed) const {
+  if (committed) {
+    auto wit = writes_.find(key);
+    if (wit != writes_.end()) return wit->second;
+  }
+  auto it = values_.find(key);
+  if (it == values_.end()) return Record::Absent();
+  return it->second;
+}
+
+Result<SerialRunResult> RunSerial(const ProcedureRegistry& registry,
+                                  const std::vector<TxnSpec>& txns,
+                                  KvStore& store) {
+  SerialRunResult out;
+  out.results.reserve(txns.size());
+  for (const TxnSpec& spec : txns) {
+    if (spec.is_dummy) continue;
+    std::unordered_map<ObjectKey, Record> values;
+    for (const ObjectKey k : spec.rw.AllKeys()) {
+      Result<Record> r = store.Read(k);
+      values.emplace(k, r.ok() ? std::move(r).value() : Record::Absent());
+    }
+    GatheredTxnContext ctx(&spec, std::move(values));
+    TPART_ASSIGN_OR_RETURN(TxnResult result,
+                           RunProcedure(registry, spec, ctx));
+    if (result.committed) {
+      ++out.committed;
+      for (auto& [key, rec] : ctx.writes()) {
+        if (rec.is_absent()) {
+          (void)store.Delete(key);
+        } else {
+          store.Upsert(key, std::move(rec));
+        }
+      }
+    } else {
+      ++out.aborted;
+    }
+    out.results.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace tpart

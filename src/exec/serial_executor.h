@@ -1,0 +1,59 @@
+#ifndef TPART_EXEC_SERIAL_EXECUTOR_H_
+#define TPART_EXEC_SERIAL_EXECUTOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/kv_store.h"
+#include "txn/procedure.h"
+#include "txn/txn.h"
+
+namespace tpart {
+
+/// TxnContext over pre-gathered read values with buffered writes — the
+/// execution surface shared by every engine. Reads are served from the
+/// gathered map (absent keys yield Record::Absent()); writes are buffered
+/// and only visible through TakeWrites() when the procedure committed.
+class GatheredTxnContext : public BasicTxnContext {
+ public:
+  GatheredTxnContext(const TxnSpec* spec,
+                     std::unordered_map<ObjectKey, Record> values)
+      : BasicTxnContext(&spec->params),
+        spec_(spec),
+        values_(std::move(values)) {}
+
+  Result<Record> Get(ObjectKey key) override;
+  Status Put(ObjectKey key, Record record) override;
+
+  /// Buffered writes (valid regardless of commit; callers consult the
+  /// commit decision).
+  std::unordered_map<ObjectKey, Record>& writes() { return writes_; }
+
+  /// Value of `key` as this transaction leaves it: the buffered write
+  /// when committed and written, otherwise the gathered (old) value —
+  /// exactly what forward-pushing must ship, including for aborts (§5.3).
+  Record OutgoingValue(ObjectKey key, bool committed) const;
+
+ private:
+  const TxnSpec* spec_;
+  std::unordered_map<ObjectKey, Record> values_;
+  std::unordered_map<ObjectKey, Record> writes_;
+};
+
+/// Reference engine: executes the totally ordered `txns` one at a time
+/// against a single store. Its final state and outputs define correctness
+/// for every distributed engine (determinism + serializability).
+struct SerialRunResult {
+  std::vector<TxnResult> results;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+};
+
+Result<SerialRunResult> RunSerial(const ProcedureRegistry& registry,
+                                  const std::vector<TxnSpec>& txns,
+                                  KvStore& store);
+
+}  // namespace tpart
+
+#endif  // TPART_EXEC_SERIAL_EXECUTOR_H_

@@ -1,0 +1,48 @@
+#include "metrics/breakdown.h"
+
+#include <sstream>
+
+namespace tpart {
+
+const char* ComponentName(Component c) {
+  switch (c) {
+    case Component::kSchedule:
+      return "schedule";
+    case Component::kQueueWait:
+      return "queue-wait";
+    case Component::kStorageRead:
+      return "storage-read";
+    case Component::kRemoteWait:
+      return "remote-wait";
+    case Component::kExecute:
+      return "execute";
+    case Component::kStorageWrite:
+      return "storage-write";
+    case Component::kCacheMgmt:
+      return "cache-mgmt";
+    case Component::kNumComponents:
+      break;
+  }
+  return "?";
+}
+
+void BreakdownAccumulator::Merge(const BreakdownAccumulator& other) {
+  for (int i = 0; i < kNumComponents; ++i) {
+    totals_[static_cast<std::size_t>(i)] +=
+        other.totals_[static_cast<std::size_t>(i)];
+  }
+  txns_ += other.txns_;
+}
+
+std::string BreakdownAccumulator::ToString() const {
+  std::ostringstream out;
+  for (int i = 0; i < kNumComponents; ++i) {
+    const auto c = static_cast<Component>(i);
+    if (i > 0) out << " ";
+    out << ComponentName(c) << "="
+        << MeanPerTxn(c) / 1000.0 << "us";
+  }
+  return out.str();
+}
+
+}  // namespace tpart

@@ -1,0 +1,72 @@
+#ifndef TPART_METRICS_BREAKDOWN_H_
+#define TPART_METRICS_BREAKDOWN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace tpart {
+
+/// Execution-time components of a transaction, matching the Fig. 7
+/// breakdown ("we inject the probing code ... to record the execution
+/// time of every major component").
+enum class Component : int {
+  /// T-graph analysis + partitioning + plan generation ("Schedule").
+  kSchedule = 0,
+  /// Waiting for a worker / for deterministic locks (queueing).
+  kQueueWait,
+  /// Local storage reads.
+  kStorageRead,
+  /// Stalls waiting for remote records (pushes / peer read sets / remote
+  /// storage and cache responses).
+  kRemoteWait,
+  /// Stored-procedure CPU.
+  kExecute,
+  /// Storage writes / write-backs.
+  kStorageWrite,
+  /// Cache management (version entries, publishes) — T-Part's replacement
+  /// for Calvin's conservative locking CC (§6.3.1).
+  kCacheMgmt,
+  kNumComponents,
+};
+
+inline constexpr int kNumComponents =
+    static_cast<int>(Component::kNumComponents);
+
+const char* ComponentName(Component c);
+
+/// Accumulated per-component time (nanoseconds of simulated time).
+class BreakdownAccumulator {
+ public:
+  BreakdownAccumulator() { totals_.fill(0); }
+
+  void Add(Component c, SimTime t) {
+    totals_[static_cast<std::size_t>(c)] += t;
+  }
+  void AddTxn() { ++txns_; }
+
+  SimTime total(Component c) const {
+    return totals_[static_cast<std::size_t>(c)];
+  }
+  /// Mean nanoseconds per transaction for component `c`.
+  double MeanPerTxn(Component c) const {
+    return txns_ == 0 ? 0.0
+                      : static_cast<double>(total(c)) /
+                            static_cast<double>(txns_);
+  }
+  std::uint64_t txns() const { return txns_; }
+
+  void Merge(const BreakdownAccumulator& other);
+
+  std::string ToString() const;
+
+ private:
+  std::array<SimTime, static_cast<std::size_t>(kNumComponents)> totals_;
+  std::uint64_t txns_ = 0;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_METRICS_BREAKDOWN_H_

@@ -1,0 +1,20 @@
+#include "metrics/run_stats.h"
+
+#include <sstream>
+
+namespace tpart {
+
+std::string RunStats::Summary() const {
+  std::ostringstream out;
+  out << "txns=" << txns << " committed=" << committed
+      << " aborted=" << aborted << " tps=" << Throughput()
+      << " avg_latency_us=" << latency.mean() / 1000.0
+      << " p50_us=" << latency_us.Quantile(0.5)
+      << " p99_us=" << latency_us.Quantile(0.99)
+      << " stalled=" << NetworkStalledFraction() * 100.0 << "%"
+      << " avg_stall_us=" << stall_wait.mean() / 1000.0
+      << " distributed=" << distributed_txns;
+  return out.str();
+}
+
+}  // namespace tpart

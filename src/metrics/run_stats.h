@@ -1,0 +1,63 @@
+#ifndef TPART_METRICS_RUN_STATS_H_
+#define TPART_METRICS_RUN_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "metrics/breakdown.h"
+
+namespace tpart {
+
+/// Aggregate outcome of one simulated (or real) engine run. Produced by
+/// CalvinSim / TPartSim and by the threaded runtime; consumed by every
+/// benchmark.
+struct RunStats {
+  std::uint64_t txns = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+
+  /// Simulated wall-clock span from first dispatch to last commit (ns).
+  SimTime makespan = 0;
+
+  /// Committed transactions per simulated second.
+  double Throughput() const {
+    return makespan <= 0 ? 0.0
+                         : static_cast<double>(committed) * 1e9 /
+                               static_cast<double>(makespan);
+  }
+
+  /// Latency from dispatch to commit, ns.
+  RunningStat latency;
+  /// Latency distribution in microseconds (for p50/p99 reporting).
+  Histogram latency_us;
+
+  /// Network-stall accounting (§6.3.3): a transaction is network-stalled
+  /// when it "needs to wait for remote records"; wait is the stall span.
+  std::uint64_t network_stalled_txns = 0;
+  RunningStat stall_wait;  // over stalled transactions only, ns
+
+  double NetworkStalledFraction() const {
+    return txns == 0 ? 0.0
+                     : static_cast<double>(network_stalled_txns) /
+                           static_cast<double>(txns);
+  }
+
+  /// Transactions that touched data on more than one machine.
+  std::uint64_t distributed_txns = 0;
+
+  BreakdownAccumulator breakdown;
+
+  /// Scheduler-side statistics (T-Part runs only).
+  double scheduling_seconds = 0.0;
+  std::uint64_t pushes_eliminated = 0;
+  std::size_t max_tgraph_size = 0;
+  std::uint64_t sticky_hits = 0;
+
+  std::string Summary() const;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_METRICS_RUN_STATS_H_

@@ -1,0 +1,275 @@
+#include "partition/multilevel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace tpart {
+
+namespace {
+
+struct Level {
+  WeightedGraph graph;
+  /// coarse vertex of each fine vertex (into the next level).
+  std::vector<int> map_to_coarse;
+};
+
+// Heavy-edge matching: visit vertices in a deterministic shuffled order;
+// match each unmatched vertex with its heaviest-edge unmatched neighbour.
+// Vertices with different fixed labels (or two distinct fixed labels)
+// never match, so pins survive coarsening.
+WeightedGraph Coarsen(const WeightedGraph& g, std::vector<int>& map_to_coarse,
+                      Rng& rng) {
+  const std::size_t n = g.size();
+  std::vector<int> match(n, -1);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+
+  auto compatible = [&](std::size_t u, std::size_t v) {
+    return g.fixed[u] < 0 || g.fixed[v] < 0 || g.fixed[u] == g.fixed[v];
+  };
+
+  for (const std::size_t u : order) {
+    if (match[u] != -1) continue;
+    int best = -1;
+    double best_w = -1.0;
+    for (const auto& [v, w] : g.adj[u]) {
+      const auto vu = static_cast<std::size_t>(v);
+      if (vu == u || match[vu] != -1) continue;
+      if (!compatible(u, vu)) continue;
+      if (w > best_w) {
+        best_w = w;
+        best = v;
+      }
+    }
+    if (best >= 0) {
+      match[u] = best;
+      match[static_cast<std::size_t>(best)] = static_cast<int>(u);
+    } else {
+      match[u] = static_cast<int>(u);
+    }
+  }
+
+  // Number coarse vertices.
+  map_to_coarse.assign(n, -1);
+  int next = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (map_to_coarse[u] != -1) continue;
+    const auto v = static_cast<std::size_t>(match[u]);
+    map_to_coarse[u] = next;
+    map_to_coarse[v] = next;
+    ++next;
+  }
+
+  WeightedGraph coarse;
+  coarse.vertex_weight.assign(static_cast<std::size_t>(next), 0.0);
+  coarse.fixed.assign(static_cast<std::size_t>(next), -1);
+  coarse.adj.resize(static_cast<std::size_t>(next));
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto cu = static_cast<std::size_t>(map_to_coarse[u]);
+    coarse.vertex_weight[cu] += g.vertex_weight[u];
+    if (g.fixed[u] >= 0) coarse.fixed[cu] = g.fixed[u];
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    const int cu = map_to_coarse[u];
+    for (const auto& [v, w] : g.adj[u]) {
+      const int cv = map_to_coarse[static_cast<std::size_t>(v)];
+      if (cu == cv) continue;
+      coarse.adj[static_cast<std::size_t>(cu)].emplace_back(cv, w);
+    }
+  }
+  for (auto& nbrs : coarse.adj) {
+    std::sort(nbrs.begin(), nbrs.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < nbrs.size();) {
+      const int target = nbrs[i].first;
+      double w = 0.0;
+      while (i < nbrs.size() && nbrs[i].first == target) {
+        w += nbrs[i].second;
+        ++i;
+      }
+      nbrs[out++] = {target, w};
+    }
+    nbrs.resize(out);
+  }
+  return coarse;
+}
+
+// Greedy initial partitioning: fixed vertices seed their partitions; the
+// rest are placed by affinity, subject to the balance bound (falling back
+// to the lightest partition when nothing fits).
+std::vector<int> InitialPartition(const WeightedGraph& g, int k,
+                                  double max_load) {
+  const std::size_t n = g.size();
+  std::vector<int> part(n, -1);
+  std::vector<double> load(static_cast<std::size_t>(k), 0.0);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (g.fixed[u] >= 0) {
+      part[u] = g.fixed[u];
+      load[static_cast<std::size_t>(g.fixed[u])] += g.vertex_weight[u];
+    }
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    if (part[u] != -1) continue;
+    std::vector<double> affinity(static_cast<std::size_t>(k), 0.0);
+    for (const auto& [v, w] : g.adj[u]) {
+      const int pv = part[static_cast<std::size_t>(v)];
+      if (pv >= 0) affinity[static_cast<std::size_t>(pv)] += w;
+    }
+    int best = -1;
+    int lightest = 0;
+    for (int m = 0; m < k; ++m) {
+      const auto mi = static_cast<std::size_t>(m);
+      if (load[mi] < load[static_cast<std::size_t>(lightest)]) lightest = m;
+      if (load[mi] + g.vertex_weight[u] > max_load) continue;
+      if (best < 0) {
+        best = m;
+        continue;
+      }
+      const auto bi = static_cast<std::size_t>(best);
+      if (affinity[mi] > affinity[bi] ||
+          (affinity[mi] == affinity[bi] && load[mi] < load[bi])) {
+        best = m;
+      }
+    }
+    if (best < 0) best = lightest;
+    part[u] = best;
+    load[static_cast<std::size_t>(best)] += g.vertex_weight[u];
+  }
+  return part;
+}
+
+// One FM-style refinement sweep: move boundary vertices to the partition
+// with maximum positive gain, subject to the balance bound. Returns total
+// gain achieved.
+double RefinePass(const WeightedGraph& g, int k, double max_load,
+                  std::vector<int>& part, std::vector<double>& load) {
+  double total_gain = 0.0;
+  const std::size_t n = g.size();
+  std::vector<double> affinity(static_cast<std::size_t>(k));
+  for (std::size_t u = 0; u < n; ++u) {
+    if (g.fixed[u] >= 0) continue;
+    std::fill(affinity.begin(), affinity.end(), 0.0);
+    for (const auto& [v, w] : g.adj[u]) {
+      affinity[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])] +=
+          w;
+    }
+    const int cur = part[u];
+    const double cur_aff = affinity[static_cast<std::size_t>(cur)];
+    int best = cur;
+    double best_gain = 0.0;
+    for (int m = 0; m < k; ++m) {
+      if (m == cur) continue;
+      const double gain = affinity[static_cast<std::size_t>(m)] - cur_aff;
+      const bool fits =
+          load[static_cast<std::size_t>(m)] + g.vertex_weight[u] <= max_load;
+      if (gain > best_gain && fits) {
+        best_gain = gain;
+        best = m;
+      }
+    }
+    if (best != cur) {
+      load[static_cast<std::size_t>(cur)] -= g.vertex_weight[u];
+      load[static_cast<std::size_t>(best)] += g.vertex_weight[u];
+      part[u] = best;
+      total_gain += best_gain;
+    }
+  }
+  return total_gain;
+}
+
+}  // namespace
+
+double GraphCutWeight(const WeightedGraph& graph,
+                      const std::vector<int>& assignment) {
+  double cut = 0.0;
+  for (std::size_t u = 0; u < graph.size(); ++u) {
+    for (const auto& [v, w] : graph.adj[u]) {
+      if (static_cast<std::size_t>(v) > u &&
+          assignment[u] != assignment[static_cast<std::size_t>(v)]) {
+        cut += w;
+      }
+    }
+  }
+  return cut;
+}
+
+std::vector<double> GraphLoads(const WeightedGraph& graph, int k,
+                               const std::vector<int>& assignment) {
+  std::vector<double> load(static_cast<std::size_t>(k), 0.0);
+  for (std::size_t u = 0; u < graph.size(); ++u) {
+    load[static_cast<std::size_t>(assignment[u])] += graph.vertex_weight[u];
+  }
+  return load;
+}
+
+std::vector<int> MultilevelPartition(const WeightedGraph& graph, int k,
+                                     const MultilevelOptions& options) {
+  TPART_CHECK(k >= 1);
+  if (graph.size() == 0) return {};
+  Rng rng(options.seed);
+
+  // Build the coarsening hierarchy.
+  std::vector<Level> levels;
+  levels.push_back(Level{graph, {}});
+  while (levels.back().graph.size() > options.coarsen_threshold) {
+    Level& fine = levels.back();
+    WeightedGraph coarse = Coarsen(fine.graph, fine.map_to_coarse, rng);
+    if (coarse.size() >= fine.graph.size()) break;  // matching stalled
+    levels.push_back(Level{std::move(coarse), {}});
+  }
+
+  const double total_weight = std::accumulate(
+      graph.vertex_weight.begin(), graph.vertex_weight.end(), 0.0);
+  const double max_load =
+      (total_weight / k) * (1.0 + options.imbalance) +
+      std::numeric_limits<double>::epsilon();
+
+  // Initial partition at the coarsest level, then refine while projecting
+  // back to finer levels.
+  std::vector<int> part = InitialPartition(levels.back().graph, k, max_load);
+  for (std::size_t li = levels.size(); li-- > 0;) {
+    WeightedGraph& g = levels[li].graph;
+    std::vector<double> load = GraphLoads(g, k, part);
+    for (int pass = 0; pass < options.refine_passes; ++pass) {
+      if (RefinePass(g, k, max_load, part, load) <= 0.0) break;
+    }
+    if (li > 0) {
+      // Project to the finer level.
+      const std::vector<int>& map = levels[li - 1].map_to_coarse;
+      std::vector<int> fine_part(levels[li - 1].graph.size());
+      for (std::size_t u = 0; u < fine_part.size(); ++u) {
+        fine_part[u] = part[static_cast<std::size_t>(map[u])];
+      }
+      part = std::move(fine_part);
+    }
+  }
+  // Fixed vertices must have kept their labels.
+  for (std::size_t u = 0; u < graph.size(); ++u) {
+    if (graph.fixed[u] >= 0) {
+      assert(part[u] == graph.fixed[u]);
+      part[u] = graph.fixed[u];
+    }
+  }
+  return part;
+}
+
+void MultilevelPartitioner::Partition(TGraph& graph) {
+  TGraph::Snapshot snap = graph.ExportSnapshot();
+  WeightedGraph wg;
+  wg.vertex_weight = snap.vertex_weight;
+  wg.fixed = snap.fixed;
+  wg.adj = snap.adj;
+  const std::vector<int> part = MultilevelPartition(
+      wg, static_cast<int>(graph.num_machines()), options_);
+  graph.ApplySnapshotAssignment(snap, part);
+}
+
+}  // namespace tpart

@@ -1,0 +1,76 @@
+#ifndef TPART_PARTITION_MULTILEVEL_H_
+#define TPART_PARTITION_MULTILEVEL_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace tpart {
+
+/// Undirected weighted graph, possibly with fixed (pinned) vertices, as
+/// consumed by the multilevel partitioner. Layout matches
+/// TGraph::Snapshot (sinks first, fixed to their machine).
+struct WeightedGraph {
+  std::vector<double> vertex_weight;
+  /// fixed[v] = partition id, or -1 when free.
+  std::vector<int> fixed;
+  /// Symmetric adjacency with merged parallel edges.
+  std::vector<std::vector<std::pair<int, double>>> adj;
+
+  std::size_t size() const { return vertex_weight.size(); }
+};
+
+struct MultilevelOptions {
+  /// Allowed load imbalance: max part weight <= (1 + imbalance) * average.
+  double imbalance = 0.10;
+  /// Stop coarsening below this vertex count.
+  std::size_t coarsen_threshold = 64;
+  /// Maximum FM refinement sweeps per level.
+  int refine_passes = 8;
+  /// Deterministic seed for matching order perturbation.
+  std::uint64_t seed = 42;
+};
+
+/// METIS-style multilevel k-way partitioning: heavy-edge-matching
+/// coarsening, greedy initial partitioning seeded from the fixed
+/// vertices, and FM-style boundary refinement during uncoarsening.
+/// The disconnectivity constraint (§3.2/§5.1) is honoured natively by
+/// treating sink vertices as fixed, rather than via the pin-node/tie-edge
+/// reduction (which partition/pin_reduction.h provides for comparison).
+///
+/// Returns assignment[v] in [0, k) for every vertex; fixed vertices keep
+/// their pinned partition.
+std::vector<int> MultilevelPartition(const WeightedGraph& graph, int k,
+                                     const MultilevelOptions& options = {});
+
+/// Cut weight of `assignment` on `graph` (each undirected edge counted
+/// once).
+double GraphCutWeight(const WeightedGraph& graph,
+                      const std::vector<int>& assignment);
+
+/// Per-partition vertex-weight loads.
+std::vector<double> GraphLoads(const WeightedGraph& graph, int k,
+                               const std::vector<int>& assignment);
+
+/// GraphPartitioner adapter: snapshots the T-graph, runs the multilevel
+/// algorithm, and writes assignments back. This is the "METIS-based"
+/// baseline of the §5.1 comparison table — higher quality, much slower,
+/// and requiring a full repartition per batch.
+class MultilevelPartitioner : public GraphPartitioner {
+ public:
+  explicit MultilevelPartitioner(MultilevelOptions options)
+      : options_(options) {}
+  MultilevelPartitioner() : MultilevelPartitioner(MultilevelOptions{}) {}
+
+  void Partition(TGraph& graph) override;
+  const char* name() const override { return "multilevel"; }
+
+ private:
+  MultilevelOptions options_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_PARTITION_MULTILEVEL_H_

@@ -1,0 +1,33 @@
+#include "partition/partition_metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tpart {
+
+std::string PartitionQuality::ToString() const {
+  std::ostringstream out;
+  out << "cut=" << cut << " skew=" << skew << " loads=[";
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (i > 0) out << ",";
+    out << loads[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+PartitionQuality MeasurePartition(const TGraph& graph) {
+  PartitionQuality q;
+  q.cut = graph.CutWeight();
+  q.loads = graph.AssignedLoad();
+  for (std::size_t m = 0; m < q.loads.size(); ++m) {
+    q.loads[m] += graph.sink_weight(static_cast<MachineId>(m));
+  }
+  if (!q.loads.empty()) {
+    const auto [lo, hi] = std::minmax_element(q.loads.begin(), q.loads.end());
+    q.skew = *hi - *lo;
+  }
+  return q;
+}
+
+}  // namespace tpart

@@ -1,0 +1,29 @@
+#ifndef TPART_PARTITION_PARTITION_METRICS_H_
+#define TPART_PARTITION_PARTITION_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "tgraph/tgraph.h"
+
+namespace tpart {
+
+/// Quality metrics of a T-graph partitioning, matching the §5.1
+/// comparison table: cut = total weight of cross-partition edges; skew =
+/// "the maximum difference between the loads of machines (in total weight
+/// of nodes on a machine)".
+struct PartitionQuality {
+  double cut = 0.0;
+  double skew = 0.0;
+  std::vector<double> loads;
+
+  std::string ToString() const;
+};
+
+/// Measures the current assignment of `graph` (sink weights included in
+/// machine loads).
+PartitionQuality MeasurePartition(const TGraph& graph);
+
+}  // namespace tpart
+
+#endif  // TPART_PARTITION_PARTITION_METRICS_H_

@@ -1,0 +1,24 @@
+#ifndef TPART_PARTITION_PARTITIONER_H_
+#define TPART_PARTITION_PARTITIONER_H_
+
+#include "tgraph/tgraph.h"
+
+namespace tpart {
+
+/// Assigns every unsunk transaction node of a T-graph to a machine,
+/// subject to the disconnectivity constraint (§3.2): sink nodes are
+/// pinned, one per partition. Implementations must be deterministic
+/// functions of the graph so that independent schedulers agree (§3.3).
+class GraphPartitioner {
+ public:
+  virtual ~GraphPartitioner() = default;
+
+  /// (Re)assigns all unsunk nodes of `graph`.
+  virtual void Partition(TGraph& graph) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_PARTITION_PARTITIONER_H_

@@ -1,0 +1,59 @@
+#include "partition/pin_reduction.h"
+
+#include <algorithm>
+
+namespace tpart {
+
+WeightedGraph ApplyPinReduction(const WeightedGraph& graph,
+                                std::size_t num_pins, double pin_weight,
+                                double tie_weight) {
+  WeightedGraph out = graph;
+  const std::size_t base = graph.size();
+  std::fill(out.fixed.begin(), out.fixed.end(), -1);
+  for (std::size_t i = 0; i < num_pins; ++i) {
+    out.vertex_weight.push_back(pin_weight);
+    out.fixed.push_back(-1);
+    out.adj.emplace_back();
+    const int pin = static_cast<int>(base + i);
+    const int sink = static_cast<int>(i);
+    out.adj[static_cast<std::size_t>(pin)].emplace_back(sink, tie_weight);
+    out.adj[static_cast<std::size_t>(sink)].emplace_back(pin, tie_weight);
+  }
+  return out;
+}
+
+bool RecoverPinAssignment(const WeightedGraph& reduced,
+                          std::size_t num_pins,
+                          const std::vector<int>& reduced_assignment,
+                          std::vector<int>& out) {
+  const std::size_t n = reduced.size() - num_pins;
+  // Partition label chosen for each sink (vertex i < num_pins).
+  std::vector<int> label_of_sink(num_pins);
+  std::vector<bool> label_used(num_pins, false);
+  for (std::size_t i = 0; i < num_pins; ++i) {
+    const int label = reduced_assignment[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= num_pins) {
+      return false;
+    }
+    if (label_used[static_cast<std::size_t>(label)]) return false;
+    label_used[static_cast<std::size_t>(label)] = true;
+    label_of_sink[i] = label;
+  }
+  // relabel[old label] = sink index that owns it.
+  std::vector<int> relabel(num_pins, -1);
+  for (std::size_t i = 0; i < num_pins; ++i) {
+    relabel[static_cast<std::size_t>(label_of_sink[i])] =
+        static_cast<int>(i);
+  }
+  out.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const int label = reduced_assignment[v];
+    if (label < 0 || static_cast<std::size_t>(label) >= num_pins) {
+      return false;
+    }
+    out[v] = relabel[static_cast<std::size_t>(label)];
+  }
+  return true;
+}
+
+}  // namespace tpart

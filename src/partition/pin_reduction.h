@@ -1,0 +1,42 @@
+#ifndef TPART_PARTITION_PIN_REDUCTION_H_
+#define TPART_PARTITION_PIN_REDUCTION_H_
+
+#include "partition/multilevel.h"
+
+namespace tpart {
+
+/// The paper's first (and discarded) idea for the disconnectivity
+/// constraint (§5.1): "introduce a virtual node, called the pin node, for
+/// each sink node and connect them using a virtual edge, called the tie
+/// edge. Then, by giving sufficiently large weights to all the tie edges,
+/// we can ensure that each pair of the sink and pin nodes will go to the
+/// same partition. Furthermore, by giving sufficiently large weights to
+/// the pin nodes we can ensure that two pins never go to the same
+/// partition."
+///
+/// This reduction lets an *unconstrained* balanced partitioner handle the
+/// pinned problem. We keep it for tests and the ablation bench that
+/// demonstrates its shortcoming ("the large pin weights dilute the weights
+/// of normal nodes, so we may not find very balanced partitions").
+///
+/// Input: a graph whose first `num_pins` vertices are the sinks (fixed
+/// labels are ignored). Output: the same graph plus `num_pins` pin
+/// vertices appended at the end, connected by tie edges; all fixed labels
+/// cleared.
+WeightedGraph ApplyPinReduction(const WeightedGraph& graph,
+                                std::size_t num_pins, double pin_weight,
+                                double tie_weight);
+
+/// Recovers a constrained assignment from the reduced solution: relabels
+/// partitions so that sink i ends up in partition i (using the pin/sink
+/// placement), and drops the pin vertices. Returns false when the reduced
+/// solution violates the disconnectivity constraint (two sinks sharing a
+/// partition), in which case `out` is untouched.
+bool RecoverPinAssignment(const WeightedGraph& reduced,
+                          std::size_t num_pins,
+                          const std::vector<int>& reduced_assignment,
+                          std::vector<int>& out);
+
+}  // namespace tpart
+
+#endif  // TPART_PARTITION_PIN_REDUCTION_H_

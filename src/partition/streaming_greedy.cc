@@ -1,0 +1,55 @@
+#include "partition/streaming_greedy.h"
+
+#include <vector>
+
+namespace tpart {
+
+void StreamingGreedyPartitioner::Partition(TGraph& graph) {
+  const std::size_t k = graph.num_machines();
+  std::vector<double> load(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    load[m] = graph.sink_weight(static_cast<MachineId>(m));
+  }
+
+  std::vector<TxnId> order;
+  order.reserve(graph.num_unsunk());
+  graph.ForEachUnsunk(
+      [&](const TxnNode& n) { order.push_back(n.spec.id); });
+
+  std::vector<double> affinity(k);
+  for (const TxnId id : order) {
+    std::fill(affinity.begin(), affinity.end(), 0.0);
+    // Only neighbours already (re)placed in this pass count as placed —
+    // i.e. transactions earlier in the total order — plus sink nodes.
+    graph.AccumulateAffinity(
+        id, [&](TxnId peer) { return peer < id; }, affinity);
+
+    MachineId best = 0;
+    if (options_.mode == Mode::kWeighted) {
+      double best_score = affinity[0] - options_.beta * load[0];
+      for (std::size_t m = 1; m < k; ++m) {
+        const double score = affinity[m] - options_.beta * load[m];
+        if (score > best_score ||
+            (score == best_score && load[m] < load[best])) {
+          best = static_cast<MachineId>(m);
+          best_score = score;
+        }
+      }
+    } else {
+      // Algorithm 1: max affinity; tie -> lighter partition; tie ->
+      // smaller machine id (ids ascend, so '>' strictly keeps the first).
+      for (std::size_t m = 1; m < k; ++m) {
+        if (affinity[m] > affinity[best] ||
+            (affinity[m] == affinity[best] && load[m] < load[best])) {
+          best = static_cast<MachineId>(m);
+        }
+      }
+    }
+
+    TxnNode& node = graph.mutable_node(id);
+    node.assigned = best;
+    load[best] += node.weight;
+  }
+}
+
+}  // namespace tpart

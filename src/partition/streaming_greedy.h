@@ -1,0 +1,50 @@
+#ifndef TPART_PARTITION_STREAMING_GREEDY_H_
+#define TPART_PARTITION_STREAMING_GREEDY_H_
+
+#include "partition/partitioner.h"
+
+namespace tpart {
+
+/// The paper's real-time partitioner (Algorithm 1, §5.1), an extension of
+/// weighted deterministic greedy streaming graph partitioning [26]:
+/// process unsunk transactions in total order; place each at the partition
+/// with the greatest edge affinity, breaking ties toward the lighter
+/// partition, then toward the smaller machine id.
+///
+/// The β extension (§6.3.6) folds load balance into the score itself:
+/// score(m) = affinity(m) - beta * load(m); "the throughput is high only
+/// if β is sufficiently large, justifying the importance of load
+/// balancing."
+///
+/// Because assignments of unsunk nodes may change until they sink (§3.3),
+/// Partition() re-streams the whole unsunk window; this is the per-batch
+/// "update" cost reported in the §5.1 table.
+class StreamingGreedyPartitioner : public GraphPartitioner {
+ public:
+  enum class Mode {
+    /// Plain Algorithm 1: lexicographic (affinity, then load, then id).
+    kLexicographic,
+    /// β extension: affinity - beta * load.
+    kWeighted,
+  };
+
+  struct Options {
+    Mode mode = Mode::kWeighted;
+    double beta = 0.05;
+  };
+
+  explicit StreamingGreedyPartitioner(Options options) : options_(options) {}
+  StreamingGreedyPartitioner() : StreamingGreedyPartitioner(Options{}) {}
+
+  void Partition(TGraph& graph) override;
+  const char* name() const override { return "streaming-greedy"; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_PARTITION_STREAMING_GREEDY_H_

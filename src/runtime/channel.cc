@@ -1,0 +1,34 @@
+#include "runtime/channel.h"
+
+namespace tpart {
+
+void Channel::Send(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+Message Channel::Receive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !queue_.empty(); });
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::optional<Message> Channel::TryReceive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::size_t Channel::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace tpart

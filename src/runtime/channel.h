@@ -1,0 +1,81 @@
+#ifndef TPART_RUNTIME_CHANNEL_H_
+#define TPART_RUNTIME_CHANNEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/record.h"
+
+namespace tpart {
+
+/// Inter-machine message. One variant struct keeps the wire format
+/// explicit and cheap to log for recovery (§5.4).
+struct Message {
+  enum class Type {
+    /// Forward-push of a version entry <key, version, dst_txn> (§3.4).
+    kPushVersion,
+    /// Remote cache pull request for epoch entry <key, version>.
+    kCacheReadReq,
+    kCacheReadResp,
+    /// Remote storage read of the version tagged `version`.
+    kStorageReadReq,
+    kStorageReadResp,
+    /// Apply a write-back at the record's home (§5.4: UNDO-logged there).
+    kWriteBackApply,
+    /// Calvin peer-push of local read results for one transaction (§2.1).
+    kPeerReads,
+    /// Self-notification: the local executor published an epoch entry;
+    /// parked remote pulls may now be served.
+    kLocalPublish,
+    /// Stop the service loop.
+    kShutdown,
+  };
+
+  Type type = Type::kShutdown;
+  ObjectKey key = 0;
+  TxnId version = kInvalidTxnId;
+  /// kWriteBackApply: storage version the write-back replaces.
+  TxnId replaces = kInvalidTxnId;
+  TxnId dst_txn = kInvalidTxnId;
+  Record value;
+  bool invalidate = false;
+  std::uint32_t total_reads = 0;
+  std::uint32_t awaits = 0;
+  bool sticky = false;
+  SinkEpoch epoch = 0;
+  MachineId reply_to = kInvalidMachine;
+  std::uint64_t req_id = 0;
+  TxnId txn = kInvalidTxnId;
+  std::vector<std::pair<ObjectKey, Record>> kvs;
+};
+
+/// Unbounded MPSC blocking queue — the "network" between machines. A
+/// LocalCluster wires one Channel per machine; Send() is the only way
+/// machines affect each other.
+class Channel {
+ public:
+  void Send(Message msg);
+
+  /// Blocks for the next message.
+  Message Receive();
+
+  /// Non-blocking variant.
+  std::optional<Message> TryReceive();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_RUNTIME_CHANNEL_H_

@@ -1,0 +1,147 @@
+#include "runtime/cluster.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace tpart {
+
+LocalCluster::LocalCluster(const Workload* workload,
+                           LocalClusterOptions options)
+    : workload_(workload), options_(options) {
+  Reset();
+}
+
+LocalCluster::~LocalCluster() { StopAll(); }
+
+void LocalCluster::Reset() {
+  StopAll();
+  machines_.clear();
+  store_ = std::make_unique<PartitionedStore>(
+      workload_->num_machines, workload_->partition_map,
+      /*maintain_ordered_index=*/true);
+  workload_->loader(*store_);
+  for (std::size_t m = 0; m < workload_->num_machines; ++m) {
+    machines_.push_back(std::make_unique<Machine>(
+        static_cast<MachineId>(m), workload_->num_machines,
+        &store_->store(static_cast<MachineId>(m)),
+        workload_->procedures.get(),
+        [this](MachineId to, Message msg) {
+          machines_.at(to)->Deliver(std::move(msg));
+        },
+        options_.sticky_ttl, options_.executor_workers));
+    const DataPartitionMap* map = workload_->partition_map.get();
+    machines_.back()->set_locator(
+        [map](ObjectKey key) { return map->Locate(key); });
+  }
+}
+
+void LocalCluster::StopAll() {
+  for (auto& m : machines_) {
+    if (m) m->Stop();
+  }
+}
+
+ClusterRunOutcome LocalCluster::RunTPart() {
+  if (used_) Reset();
+  used_ = true;
+  // One scheduler suffices: every scheduler in a real deployment computes
+  // the identical plan stream (verified by the determinism tests).
+  TPartScheduler::Options sched_opts = options_.scheduler;
+  sched_opts.graph.num_machines = workload_->num_machines;
+  TPartScheduler scheduler(sched_opts, workload_->partition_map);
+
+  const std::vector<TxnSpec> txns = workload_->SequencedRequests();
+  std::unordered_map<TxnId, const TxnSpec*> spec_of;
+  spec_of.reserve(txns.size());
+  for (const auto& t : txns) spec_of[t.id] = &t;
+
+  last_plans_.clear();
+  for (const TxnSpec& spec : txns) {
+    for (SinkPlan& plan : scheduler.OnTxn(spec)) {
+      last_plans_.push_back(std::move(plan));
+    }
+  }
+  for (SinkPlan& plan : scheduler.Drain()) {
+    last_plans_.push_back(std::move(plan));
+  }
+
+  // Distribute per-machine slices (every machine sees every epoch so its
+  // sticky/eviction clock advances).
+  for (const SinkPlan& plan : last_plans_) {
+    std::vector<std::vector<Machine::PlanItem>> slices(machines_.size());
+    for (const TxnPlan& p : plan.txns) {
+      slices[p.machine].push_back(
+          Machine::PlanItem{p, *spec_of.at(p.txn)});
+    }
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      machines_[m]->EnqueueTPartEpoch(plan.epoch, std::move(slices[m]));
+    }
+  }
+
+  for (auto& m : machines_) m->StartTPart();
+  for (auto& m : machines_) m->FinishEnqueue();
+  for (auto& m : machines_) m->JoinExecutor();
+  ClusterRunOutcome outcome = CollectResults(/*dedup_participants=*/false);
+  StopAll();
+  return outcome;
+}
+
+ClusterRunOutcome LocalCluster::RunCalvin() {
+  if (used_) Reset();
+  used_ = true;
+  const std::vector<TxnSpec> txns = workload_->SequencedRequests();
+  for (const TxnSpec& spec : txns) {
+    if (spec.is_dummy) continue;
+    // Each scheduler "forwards the request to the local executor if the
+    // read and write sets cover any data stored locally" (§2.1).
+    std::vector<bool> participates(machines_.size(), false);
+    for (const ObjectKey k : spec.rw.AllKeys()) {
+      participates[workload_->partition_map->Locate(k)] = true;
+    }
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      if (participates[m]) machines_[m]->EnqueueCalvinTxn(spec);
+    }
+  }
+  for (auto& m : machines_) m->StartCalvin();
+  for (auto& m : machines_) m->FinishEnqueue();
+  for (auto& m : machines_) m->JoinExecutor();
+  ClusterRunOutcome outcome = CollectResults(/*dedup_participants=*/true);
+  StopAll();
+  return outcome;
+}
+
+ClusterRunOutcome LocalCluster::CollectResults(bool dedup_participants) {
+  std::vector<TxnResult> all;
+  for (auto& m : machines_) {
+    for (auto& r : m->TakeResults()) all.push_back(std::move(r));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TxnResult& a, const TxnResult& b) {
+              return a.id < b.id;
+            });
+  ClusterRunOutcome outcome;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (dedup_participants && !outcome.results.empty() &&
+        outcome.results.back().id == all[i].id) {
+      // Determinism: every participant must reach the same decision and
+      // outputs (§2.1).
+      TPART_CHECK(outcome.results.back().committed == all[i].committed &&
+                  outcome.results.back().output == all[i].output)
+          << "participants diverged on T" << all[i].id;
+      continue;
+    }
+    outcome.results.push_back(std::move(all[i]));
+  }
+  for (const auto& r : outcome.results) {
+    if (r.committed) {
+      ++outcome.committed;
+    } else {
+      ++outcome.aborted;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace tpart

@@ -1,0 +1,79 @@
+#ifndef TPART_RUNTIME_CLUSTER_H_
+#define TPART_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "metrics/run_stats.h"
+#include "runtime/machine.h"
+#include "scheduler/tpart_scheduler.h"
+#include "storage/partitioned_store.h"
+#include "workload/workload.h"
+
+namespace tpart {
+
+/// Options for a threaded in-process cluster run.
+struct LocalClusterOptions {
+  TPartScheduler::Options scheduler;
+  SinkEpoch sticky_ttl = 2;
+  /// Executor worker threads per machine in T-Part mode (the version CC
+  /// makes >1 safe; results are interleaving-independent).
+  int executor_workers = 1;
+
+  LocalClusterOptions() {
+    // Procedures in the runtime can abort, so transactions must read the
+    // objects they write (§5.3).
+    scheduler.graph.read_own_writes = true;
+  }
+};
+
+/// Outcome of a cluster run: per-transaction results in total order, plus
+/// commit/abort counts.
+struct ClusterRunOutcome {
+  std::vector<TxnResult> results;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+};
+
+/// A multi-machine deterministic database in one process: N Machines
+/// (each a partition-owning executor + service thread) wired by in-memory
+/// channels. Supports both execution engines over the same workload:
+///  * RunCalvin() — the §2.1 baseline (peer-pushing, every participant
+///    executes);
+///  * RunTPart() — the paper's engine (one executor per transaction,
+///    T-graph-partitioned, forward-pushing).
+/// Both must produce identical results and identical final database state
+/// as the serial reference — the integration tests assert exactly this.
+class LocalCluster {
+ public:
+  LocalCluster(const Workload* workload, LocalClusterOptions options);
+  ~LocalCluster();
+
+  /// Rebuilds stores (reloading initial data) and machines.
+  void Reset();
+
+  ClusterRunOutcome RunTPart();
+  ClusterRunOutcome RunCalvin();
+
+  PartitionedStore& store() { return *store_; }
+  Machine& machine(MachineId m) { return *machines_.at(m); }
+  std::size_t num_machines() const { return machines_.size(); }
+
+  /// Plans of the last RunTPart (for inspection / recovery tests).
+  const std::vector<SinkPlan>& last_plans() const { return last_plans_; }
+
+ private:
+  void StopAll();
+  ClusterRunOutcome CollectResults(bool dedup_participants);
+
+  const Workload* workload_;
+  LocalClusterOptions options_;
+  bool used_ = false;
+  std::unique_ptr<PartitionedStore> store_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<SinkPlan> last_plans_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_RUNTIME_CLUSTER_H_

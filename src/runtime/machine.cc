@@ -1,0 +1,490 @@
+#include "runtime/machine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "exec/serial_executor.h"
+#include "txn/rw_set.h"
+
+namespace tpart {
+
+Machine::Machine(MachineId id, std::size_t num_machines, KvStore* store,
+                 const ProcedureRegistry* registry, SendFn send,
+                 SinkEpoch sticky_ttl, int executor_workers)
+    : id_(id),
+      num_machines_(num_machines),
+      store_(store),
+      registry_(registry),
+      send_(std::move(send)),
+      sticky_ttl_(sticky_ttl),
+      storage_(store, sticky_ttl),
+      executor_workers_(std::max(executor_workers, 1)) {}
+
+Machine::~Machine() {
+  if (executor_.joinable()) executor_.join();
+  for (auto& t : worker_pool_) {
+    if (t.joinable()) t.join();
+  }
+  if (service_.joinable()) {
+    Deliver(Message{});  // kShutdown default
+    service_.join();
+  }
+}
+
+void Machine::SendOut(MachineId to, Message msg) {
+  if (replay_) return;  // §5.4 replay is local
+  send_(to, std::move(msg));
+}
+
+void Machine::EnqueueTPartEpoch(SinkEpoch epoch,
+                                std::vector<PlanItem> items) {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    for (auto& item : items) {
+      tpart_work_.emplace_back(epoch, std::move(item));
+    }
+  }
+  work_cv_.notify_all();
+}
+
+void Machine::EnqueueCalvinTxn(TxnSpec spec) {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    calvin_work_.push_back(std::move(spec));
+  }
+  work_cv_.notify_one();
+}
+
+void Machine::FinishEnqueue() {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    finished_enqueue_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void Machine::StartTPart() {
+  service_running_ = true;
+  service_ = std::thread([this] { ServiceLoop(); });
+  executor_ = std::thread([this] { TPartWorkerLoop(); });
+  for (int wkr = 1; wkr < executor_workers_; ++wkr) {
+    worker_pool_.emplace_back([this] { TPartWorkerLoop(); });
+  }
+}
+
+void Machine::StartCalvin() {
+  service_running_ = true;
+  service_ = std::thread([this] { ServiceLoop(); });
+  executor_ = std::thread([this] { CalvinExecutorLoop(); });
+}
+
+void Machine::JoinExecutor() {
+  if (executor_.joinable()) executor_.join();
+  for (auto& t : worker_pool_) {
+    if (t.joinable()) t.join();
+  }
+  worker_pool_.clear();
+}
+
+void Machine::Stop() {
+  // Drain first: every peer executor has joined by the time a machine is
+  // stopped, so all in-flight messages already sit in the inbound queue;
+  // processing up to the shutdown sentinel applies any remaining
+  // write-backs before the storage front-end closes.
+  if (service_.joinable()) {
+    Message stop;
+    stop.type = Message::Type::kShutdown;
+    inbound_.Send(std::move(stop));
+    service_.join();
+  }
+  cache_.Shutdown();
+  storage_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(resp_mu_);
+    resp_shutdown_ = true;
+  }
+  resp_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(peer_mu_);
+    peer_shutdown_ = true;
+  }
+  peer_cv_.notify_all();
+  service_running_ = false;
+}
+
+std::vector<TxnResult> Machine::TakeResults() {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  return std::move(results_);
+}
+
+// ---------------------------------------------------------------------
+// Service thread
+// ---------------------------------------------------------------------
+
+void Machine::ServiceLoop() {
+  while (true) {
+    Message msg = inbound_.Receive();
+    switch (msg.type) {
+      case Message::Type::kShutdown:
+        return;
+      case Message::Type::kPushVersion:
+        // The PUSH-log (§5.4): remember pushed values for local replay.
+        if (!replay_) network_log_.push_back(msg);
+        cache_.PutVersion(msg.key, msg.version, msg.dst_txn,
+                          std::move(msg.value));
+        break;
+      case Message::Type::kCacheReadReq: {
+        // Logged so replay re-serves the same reads and entry/version
+        // refcounts line up (§5.4 local replay).
+        if (!replay_) network_log_.push_back(msg);
+        auto v = cache_.TryEpochEntry(msg.key, msg.version, msg.invalidate,
+                                      msg.total_reads);
+        if (v.has_value()) {
+          Message resp;
+          resp.type = Message::Type::kCacheReadResp;
+          resp.req_id = msg.req_id;
+          resp.value = std::move(*v);
+          SendOut(msg.reply_to, std::move(resp));
+        } else {
+          parked_pulls_[{msg.key, msg.version}].push_back(std::move(msg));
+        }
+        break;
+      }
+      case Message::Type::kLocalPublish: {
+        auto it = parked_pulls_.find({msg.key, msg.version});
+        if (it != parked_pulls_.end()) {
+          for (Message& req : it->second) {
+            auto v = cache_.TryEpochEntry(req.key, req.version,
+                                          req.invalidate, req.total_reads);
+            TPART_CHECK(v.has_value())
+                << "parked pull found no entry after publish";
+            Message resp;
+            resp.type = Message::Type::kCacheReadResp;
+            resp.req_id = req.req_id;
+            resp.value = std::move(*v);
+            SendOut(req.reply_to, std::move(resp));
+          }
+          parked_pulls_.erase(it);
+        }
+        break;
+      }
+      case Message::Type::kCacheReadResp:
+      case Message::Type::kStorageReadResp: {
+        if (!replay_) network_log_.push_back(msg);
+        {
+          std::lock_guard<std::mutex> lock(resp_mu_);
+          responses_[msg.req_id] = std::move(msg.value);
+        }
+        resp_cv_.notify_all();
+        break;
+      }
+      case Message::Type::kStorageReadReq: {
+        if (!replay_) network_log_.push_back(msg);
+        const MachineId reply_to = msg.reply_to;
+        const std::uint64_t req_id = msg.req_id;
+        storage_.AsyncRead(msg.key, msg.version,
+                           [this, reply_to, req_id](Record value) {
+                             Message resp;
+                             resp.type = Message::Type::kStorageReadResp;
+                             resp.req_id = req_id;
+                             resp.value = std::move(value);
+                             SendOut(reply_to, std::move(resp));
+                           });
+        break;
+      }
+      case Message::Type::kWriteBackApply:
+        if (!replay_) network_log_.push_back(msg);
+        storage_.ApplyWriteBack(msg.key, msg.version, msg.replaces,
+                                std::move(msg.value), msg.awaits, msg.sticky,
+                                msg.epoch);
+        break;
+      case Message::Type::kPeerReads: {
+        if (!replay_) network_log_.push_back(msg);
+        {
+          std::lock_guard<std::mutex> lock(peer_mu_);
+          auto& bucket = peer_reads_[msg.txn];
+          for (auto& [key, value] : msg.kvs) {
+            bucket[key] = std::move(value);
+          }
+        }
+        peer_cv_.notify_all();
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// T-Part executor
+// ---------------------------------------------------------------------
+
+void Machine::TPartWorkerLoop() {
+  // Workers pop plans in total order; the version-based CC makes the
+  // outcome independent of which worker runs which plan (a read blocks
+  // until its named version exists, produced by an earlier — hence
+  // already-popped — transaction or a remote machine).
+  while (true) {
+    SinkEpoch epoch;
+    PlanItem item;
+    bool evict = false;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [&] {
+        return !tpart_work_.empty() || finished_enqueue_;
+      });
+      if (tpart_work_.empty()) return;
+      epoch = tpart_work_.front().first;
+      item = std::move(tpart_work_.front().second);
+      tpart_work_.pop_front();
+      if (epoch > evicted_upto_) {
+        evicted_upto_ = epoch;
+        evict = true;
+      }
+    }
+    if (evict) {
+      cache_.EvictExpiredSticky(epoch > sticky_ttl_ ? epoch - sticky_ttl_
+                                                    : 0);
+    }
+    ExecutePlan(epoch, item);
+  }
+}
+
+void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item) {
+  const TxnPlan& p = item.plan;
+  const TxnSpec& spec = item.spec;
+  TPART_CHECK(p.machine == id_);
+  // Request log: "the transaction requests are logged only after they are
+  // partitioned, and each machine logs only those requests that are
+  // assigned to itself" (§5.4). Entries may interleave across workers;
+  // replay re-sorts by txn id.
+  if (!replay_) {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    request_log_.push_back(RequestLogEntry{epoch, item});
+  }
+
+  // ---- Gather every planned read (the version-based deterministic CC:
+  // each read waits for its exact version, §5.2).
+  std::unordered_map<ObjectKey, Record> values;
+  struct PendingResp {
+    ObjectKey key;
+    std::uint64_t req_id;
+  };
+  std::vector<PendingResp> pending;
+  // Request ids are deterministic functions of (txn, read position) so a
+  // §5.4 replay pairs logged responses with re-issued requests no matter
+  // how worker threads interleave.
+  TPART_CHECK(p.reads.size() < 1024) << "read set too wide for req ids";
+  std::uint32_t read_idx = 0;
+  for (const ReadStep& r : p.reads) {
+    const std::uint64_t req_id = (p.txn << 10) | read_idx++;
+    switch (r.kind) {
+      case ReadSourceKind::kLocalVersion:
+      case ReadSourceKind::kPush: {
+        auto v = cache_.AwaitVersion(r.key, r.src_txn, p.txn);
+        values[r.key] = v.has_value() ? std::move(*v) : Record::Absent();
+        break;
+      }
+      case ReadSourceKind::kCacheLocal: {
+        auto v = cache_.AwaitEpochEntry(r.key, r.src_txn,
+                                        r.invalidate_entry,
+                                        r.entry_total_reads);
+        values[r.key] = v.has_value() ? std::move(*v) : Record::Absent();
+        break;
+      }
+      case ReadSourceKind::kCacheRemote: {
+        Message req;
+        req.type = Message::Type::kCacheReadReq;
+        req.key = r.key;
+        req.version = r.src_txn;
+        req.invalidate = r.invalidate_entry;
+        req.total_reads = r.entry_total_reads;
+        req.reply_to = id_;
+        req.req_id = req_id;
+        SendOut(r.src_machine, std::move(req));
+        pending.push_back(PendingResp{r.key, req_id});
+        break;
+      }
+      case ReadSourceKind::kStorage: {
+        if (r.src_machine == id_) {
+          values[r.key] = storage_.BlockingRead(r.key, r.src_txn);
+        } else {
+          Message req;
+          req.type = Message::Type::kStorageReadReq;
+          req.key = r.key;
+          req.version = r.src_txn;
+          req.reply_to = id_;
+          req.req_id = req_id;
+          SendOut(r.src_machine, std::move(req));
+          pending.push_back(PendingResp{r.key, req_id});
+        }
+        break;
+      }
+    }
+  }
+  for (auto& pr : pending) {
+    values[pr.key] = AwaitResponse(pr.req_id);
+  }
+
+  // ---- Execute the stored procedure.
+  GatheredTxnContext ctx(&spec, std::move(values));
+  Result<TxnResult> result = RunProcedure(*registry_, spec, ctx);
+  TPART_CHECK(result.ok()) << "engine failure executing T" << p.txn << ": "
+                           << result.status().ToString();
+  const bool committed = result->committed;
+
+  // ---- Outbound plan steps. An aborted transaction forwards the values
+  // it read (§5.3), which OutgoingValue() encapsulates.
+  for (const PushStep& s : p.pushes) {
+    Message m;
+    m.type = Message::Type::kPushVersion;
+    m.key = s.key;
+    m.version = s.version_txn;
+    m.dst_txn = s.dst_txn;
+    m.value = ctx.OutgoingValue(s.key, committed);
+    SendOut(s.dst_machine, std::move(m));
+  }
+  for (const LocalVersionStep& s : p.local_versions) {
+    cache_.PutVersion(s.key, s.version_txn, s.dst_txn,
+                      ctx.OutgoingValue(s.key, committed));
+  }
+  for (const CachePublishStep& s : p.cache_publishes) {
+    cache_.PublishEpochEntry(s.key, p.txn, s.epoch,
+                             ctx.OutgoingValue(s.key, committed));
+    Message note;
+    note.type = Message::Type::kLocalPublish;
+    note.key = s.key;
+    note.version = p.txn;
+    inbound_.Send(std::move(note));  // wake parked remote pulls
+  }
+  for (const WriteBackStep& s : p.write_backs) {
+    Record value = ctx.OutgoingValue(s.key, committed);
+    if (s.home == id_) {
+      storage_.ApplyWriteBack(s.key, s.version_txn, s.replaces_version,
+                              std::move(value), s.readers_to_await,
+                              s.make_sticky, epoch);
+    } else {
+      Message m;
+      m.type = Message::Type::kWriteBackApply;
+      m.key = s.key;
+      m.version = s.version_txn;
+      m.replaces = s.replaces_version;
+      m.value = std::move(value);
+      m.awaits = s.readers_to_await;
+      m.sticky = s.make_sticky;
+      m.epoch = epoch;
+      SendOut(s.home, std::move(m));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    results_.push_back(std::move(*result));
+  }
+}
+
+Record Machine::AwaitResponse(std::uint64_t req_id) {
+  std::unique_lock<std::mutex> lock(resp_mu_);
+  resp_cv_.wait(lock, [&] {
+    return resp_shutdown_ || responses_.count(req_id) > 0;
+  });
+  auto it = responses_.find(req_id);
+  if (it == responses_.end()) return Record::Absent();
+  Record v = std::move(it->second);
+  responses_.erase(it);
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Calvin executor
+// ---------------------------------------------------------------------
+
+void Machine::CalvinExecutorLoop() {
+  while (true) {
+    TxnSpec spec;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [&] {
+        return !calvin_work_.empty() || finished_enqueue_;
+      });
+      if (calvin_work_.empty()) return;
+      spec = std::move(calvin_work_.front());
+      calvin_work_.pop_front();
+    }
+    ExecuteCalvin(spec);
+  }
+}
+
+void Machine::ExecuteCalvin(const TxnSpec& spec) {
+  // Calvin (§2.1): read local footprint, push to peers, wait for peers'
+  // reads, execute the full procedure, write local keys.
+  const std::vector<ObjectKey> all_keys = spec.rw.AllKeys();
+  std::vector<MachineId> participants;
+  std::vector<ObjectKey> remote_keys;
+  std::unordered_map<ObjectKey, Record> values;
+  std::vector<std::pair<ObjectKey, Record>> local_kvs;
+  for (const ObjectKey k : all_keys) {
+    const MachineId home = locate_(k);
+    if (std::find(participants.begin(), participants.end(), home) ==
+        participants.end()) {
+      participants.push_back(home);
+    }
+    if (home == id_) {
+      Result<Record> r = store_->Read(k);
+      Record value = r.ok() ? std::move(*r) : Record::Absent();
+      local_kvs.emplace_back(k, value);
+      values.emplace(k, std::move(value));
+    } else {
+      remote_keys.push_back(k);
+    }
+  }
+
+  for (const MachineId peer : participants) {
+    if (peer == id_) continue;
+    Message m;
+    m.type = Message::Type::kPeerReads;
+    m.txn = spec.id;
+    m.kvs = local_kvs;
+    SendOut(peer, std::move(m));
+  }
+
+  if (!remote_keys.empty()) {
+    std::unique_lock<std::mutex> lock(peer_mu_);
+    peer_cv_.wait(lock, [&] {
+      if (peer_shutdown_) return true;
+      auto it = peer_reads_.find(spec.id);
+      if (it == peer_reads_.end()) return false;
+      for (const ObjectKey k : remote_keys) {
+        if (it->second.count(k) == 0) return false;
+      }
+      return true;
+    });
+    auto it = peer_reads_.find(spec.id);
+    if (it != peer_reads_.end()) {
+      for (auto& [key, value] : it->second) {
+        values[key] = std::move(value);
+      }
+      peer_reads_.erase(it);
+    }
+  }
+
+  GatheredTxnContext ctx(&spec, std::move(values));
+  Result<TxnResult> result = RunProcedure(*registry_, spec, ctx);
+  TPART_CHECK(result.ok()) << "engine failure executing T" << spec.id
+                           << ": " << result.status().ToString();
+  if (result->committed) {
+    for (auto& [key, rec] : ctx.writes()) {
+      if (locate_(key) != id_) continue;  // "local write" (§2.1)
+      if (rec.is_absent()) {
+        (void)store_->Delete(key);
+      } else {
+        store_->Upsert(key, std::move(rec));
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    results_.push_back(std::move(*result));
+  }
+}
+
+}  // namespace tpart

@@ -1,0 +1,168 @@
+#ifndef TPART_RUNTIME_MACHINE_H_
+#define TPART_RUNTIME_MACHINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_area.h"
+#include "runtime/channel.h"
+#include "runtime/storage_service.h"
+#include "scheduler/push_plan.h"
+#include "storage/kv_store.h"
+#include "txn/procedure.h"
+#include "txn/txn.h"
+
+namespace tpart {
+
+/// One machine of the threaded runtime: an executor thread running the
+/// machine's slice of each sinking round (T-Part mode) or its relevant
+/// transactions in total order (Calvin mode), and a service thread
+/// handling inbound messages (pushes, pulls, storage requests,
+/// write-backs, peer reads).
+///
+/// Recovery support (§5.4): the machine logs the requests assigned to it
+/// (after partitioning) and every inbound value-bearing message
+/// (generalising the PUSH-log); see Replay in runtime/recovery.h.
+class Machine {
+ public:
+  using SendFn = std::function<void(MachineId, Message)>;
+
+  /// `executor_workers` > 1 enables concurrent plan execution in T-Part
+  /// mode: the version-based CC (reads wait for exact versions) makes the
+  /// result independent of the interleaving, so workers may run plans out
+  /// of order. Calvin mode always uses one executor thread.
+  Machine(MachineId id, std::size_t num_machines, KvStore* store,
+          const ProcedureRegistry* registry, SendFn send,
+          SinkEpoch sticky_ttl = 2, int executor_workers = 1);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // ---- Work intake ----------------------------------------------------
+  struct PlanItem {
+    TxnPlan plan;
+    TxnSpec spec;
+  };
+  /// T-Part mode: the machine's slice of sinking round `epoch`.
+  void EnqueueTPartEpoch(SinkEpoch epoch, std::vector<PlanItem> items);
+  /// Calvin mode: next relevant transaction in total order.
+  void EnqueueCalvinTxn(TxnSpec spec);
+  /// No more work will arrive; the executor drains and exits.
+  void FinishEnqueue();
+
+  void StartTPart();
+  void StartCalvin();
+  /// Joins the executor thread (service keeps running until Stop()).
+  void JoinExecutor();
+  /// Stops the service thread and releases all waiters.
+  void Stop();
+
+  /// Network intake (called by the cluster router).
+  void Deliver(Message msg) { inbound_.Send(std::move(msg)); }
+
+  /// Replay mode (§5.4): outbound messages are suppressed and the logged
+  /// inbound messages must be re-Delivered by the caller.
+  void set_replay(bool replay) { replay_ = replay; }
+
+  /// Key -> home machine, required by Calvin mode (peer sets and local
+  /// writes are derived from data placement).
+  void set_locator(std::function<MachineId(ObjectKey)> locate) {
+    locate_ = std::move(locate);
+  }
+
+  // ---- Results & state ------------------------------------------------
+  MachineId id() const { return id_; }
+  std::vector<TxnResult> TakeResults();
+  KvStore& store() { return *store_; }
+  CacheArea& cache() { return cache_; }
+  StorageService& storage() { return storage_; }
+
+  // ---- Recovery logs --------------------------------------------------
+  struct RequestLogEntry {
+    SinkEpoch epoch;
+    PlanItem item;
+  };
+  const std::vector<RequestLogEntry>& request_log() const {
+    return request_log_;
+  }
+  const std::vector<Message>& network_log() const { return network_log_; }
+
+ private:
+  struct EpochWork {
+    SinkEpoch epoch = 0;
+    std::vector<PlanItem> items;
+  };
+
+  void TPartWorkerLoop();
+  void CalvinExecutorLoop();
+  void ServiceLoop();
+  void ExecutePlan(SinkEpoch epoch, const PlanItem& item);
+  void ExecuteCalvin(const TxnSpec& spec);
+  void SendOut(MachineId to, Message msg);
+
+  // Awaits a response delivered by the service thread for `req_id`.
+  Record AwaitResponse(std::uint64_t req_id);
+
+  MachineId id_;
+  std::size_t num_machines_;
+  KvStore* store_;
+  const ProcedureRegistry* registry_;
+  SendFn send_;
+  SinkEpoch sticky_ttl_;
+  bool replay_ = false;
+  std::function<MachineId(ObjectKey)> locate_;
+
+  CacheArea cache_;
+  StorageService storage_;
+  Channel inbound_;
+
+  // Executor work queue. T-Part work is flattened to (epoch, item) pairs
+  // consumed in total order by the worker pool.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::pair<SinkEpoch, PlanItem>> tpart_work_;
+  std::deque<TxnSpec> calvin_work_;
+  bool finished_enqueue_ = false;
+  SinkEpoch evicted_upto_ = 0;
+  int executor_workers_ = 1;
+  std::vector<std::thread> worker_pool_;
+  std::mutex log_mu_;
+
+  // Request/response plumbing for remote pulls & storage reads.
+  std::mutex resp_mu_;
+  std::condition_variable resp_cv_;
+  std::unordered_map<std::uint64_t, Record> responses_;
+  bool resp_shutdown_ = false;
+
+  // Calvin peer-read buffer: values received per transaction.
+  std::mutex peer_mu_;
+  std::condition_variable peer_cv_;
+  std::unordered_map<TxnId, std::unordered_map<ObjectKey, Record>> peer_reads_;
+  bool peer_shutdown_ = false;
+
+  // Parked remote cache pulls: (key, version) -> pending requests.
+  std::map<std::pair<ObjectKey, TxnId>, std::vector<Message>> parked_pulls_;
+
+  std::vector<TxnResult> results_;
+  std::mutex results_mu_;
+
+  std::vector<RequestLogEntry> request_log_;
+  std::vector<Message> network_log_;
+
+  std::thread executor_;
+  std::thread service_;
+  std::atomic<bool> service_running_{false};
+};
+
+}  // namespace tpart
+
+#endif  // TPART_RUNTIME_MACHINE_H_

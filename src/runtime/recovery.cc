@@ -1,0 +1,54 @@
+#include "runtime/recovery.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tpart {
+
+ReplayResult ReplayMachine(
+    const Workload& workload, MachineId id,
+    const std::vector<Machine::RequestLogEntry>& request_log,
+    const std::vector<Message>& network_log, SinkEpoch sticky_ttl) {
+  ReplayResult out;
+  // Checkpoint: reload the initial database (a real deployment would read
+  // the latest checkpoint / fetch a replica snapshot; the log replay on
+  // top is identical).
+  out.store = std::make_unique<PartitionedStore>(
+      workload.num_machines, workload.partition_map,
+      /*maintain_ordered_index=*/true);
+  workload.loader(*out.store);
+
+  Machine machine(id, workload.num_machines, &out.store->store(id),
+                  workload.procedures.get(),
+                  [](MachineId, Message) { /* outbound suppressed */ },
+                  sticky_ttl);
+  machine.set_replay(true);
+
+  // Pre-deliver the logged inbound traffic; parking in the cache and the
+  // storage service makes delivery order irrelevant.
+  for (const Message& msg : network_log) {
+    machine.Deliver(msg);
+  }
+
+  // Re-enqueue the logged plans grouped by sinking round, in total order
+  // (a multi-worker live run may have logged them interleaved).
+  std::map<SinkEpoch, std::vector<Machine::PlanItem>> rounds;
+  for (const auto& entry : request_log) {
+    rounds[entry.epoch].push_back(entry.item);
+  }
+  machine.StartTPart();
+  for (auto& [epoch, items] : rounds) {
+    std::sort(items.begin(), items.end(),
+              [](const Machine::PlanItem& a, const Machine::PlanItem& b) {
+                return a.plan.txn < b.plan.txn;
+              });
+    machine.EnqueueTPartEpoch(epoch, std::move(items));
+  }
+  machine.FinishEnqueue();
+  machine.JoinExecutor();
+  out.results = machine.TakeResults();
+  machine.Stop();
+  return out;
+}
+
+}  // namespace tpart

@@ -1,0 +1,153 @@
+#include "runtime/storage_service.h"
+
+#include <condition_variable>
+
+namespace tpart {
+
+Record StorageService::CurrentValueLocked(ObjectKey key, const KeyState& st) {
+  (void)st;
+  Result<Record> r = store_->Read(key);
+  return r.ok() ? std::move(r).value() : Record::Absent();
+}
+
+void StorageService::DrainKeyLocked(
+    ObjectKey key, KeyState& st,
+    std::vector<std::pair<ReadDone, Record>>& ready) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Serve parked reads of the current version.
+    for (std::size_t i = 0; i < st.parked_reads.size();) {
+      if (st.parked_reads[i].expected == st.current) {
+        ready.emplace_back(std::move(st.parked_reads[i].done),
+                           CurrentValueLocked(key, st));
+        st.parked_reads.erase(st.parked_reads.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        ++st.reads_served_since_wb;
+        ++reads_served_total_;
+        progressed = true;
+      } else {
+        ++i;
+      }
+    }
+    // Apply the next write-back if its gates are open: it must replace
+    // the *current* version (strict replacement order) and all planned
+    // readers of that version must have been served.
+    auto it = st.parked_wbs.find(st.current);
+    if (it != st.parked_wbs.end()) {
+      ParkedWb& wb = it->second;
+      if (st.reads_served_since_wb >= wb.awaits) {
+        wb_log_.BeginBatch(++next_log_batch_);
+        Result<Record> old = store_->Read(key);
+        wb_log_.LogWrite(key, old.ok()
+                                  ? std::optional<Record>(std::move(*old))
+                                  : std::nullopt);
+        if (wb.value.is_absent()) {
+          (void)store_->Delete(key);
+        } else {
+          store_->Upsert(key, wb.value);
+        }
+        wb_log_.CommitBatch();
+        ++write_backs_applied_;
+        st.current = wb.version;
+        st.reads_served_since_wb = 0;
+        st.has_sticky = wb.sticky;
+        st.sticky_expire = wb.epoch + sticky_ttl_;
+        st.parked_wbs.erase(it);
+        progressed = true;
+      }
+    }
+  }
+}
+
+void StorageService::AsyncRead(ObjectKey key, TxnId expected_version,
+                               ReadDone done) {
+  std::vector<std::pair<ReadDone, Record>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ready.emplace_back(std::move(done), Record::Absent());
+    } else {
+      KeyState& st = keys_[key];
+      if (st.current == expected_version) {
+        if (st.has_sticky) ++sticky_hits_;
+        ready.emplace_back(std::move(done), CurrentValueLocked(key, st));
+        ++st.reads_served_since_wb;
+        ++reads_served_total_;
+        DrainKeyLocked(key, st, ready);
+      } else {
+        st.parked_reads.push_back(ParkedRead{expected_version,
+                                             std::move(done)});
+      }
+    }
+  }
+  for (auto& [cb, value] : ready) cb(std::move(value));
+}
+
+Record StorageService::BlockingRead(ObjectKey key, TxnId expected_version) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  Record out;
+  AsyncRead(key, expected_version, [&](Record value) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      out = std::move(value);
+      done = true;
+    }
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done; });
+  return out;
+}
+
+void StorageService::ApplyWriteBack(ObjectKey key, TxnId version,
+                                    TxnId replaces, Record value,
+                                    std::uint32_t awaits, bool sticky,
+                                    SinkEpoch epoch) {
+  std::vector<std::pair<ReadDone, Record>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    KeyState& st = keys_[key];
+    st.parked_wbs.emplace(
+        replaces,
+        ParkedWb{version, replaces, std::move(value), awaits, sticky, epoch});
+    DrainKeyLocked(key, st, ready);
+  }
+  for (auto& [cb, v] : ready) cb(std::move(v));
+}
+
+void StorageService::Shutdown() {
+  std::vector<std::pair<ReadDone, Record>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& [key, st] : keys_) {
+      (void)key;
+      for (auto& pr : st.parked_reads) {
+        ready.emplace_back(std::move(pr.done), Record::Absent());
+      }
+      st.parked_reads.clear();
+    }
+  }
+  for (auto& [cb, v] : ready) cb(std::move(v));
+}
+
+std::uint64_t StorageService::sticky_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sticky_hits_;
+}
+
+std::uint64_t StorageService::reads_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_served_total_;
+}
+
+std::uint64_t StorageService::write_backs_applied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_backs_applied_;
+}
+
+}  // namespace tpart

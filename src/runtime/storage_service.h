@@ -1,0 +1,104 @@
+#ifndef TPART_RUNTIME_STORAGE_SERVICE_H_
+#define TPART_RUNTIME_STORAGE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/kv_store.h"
+#include "storage/write_back_log.h"
+
+namespace tpart {
+
+/// Home-machine storage front-end implementing T-Part's storage-side
+/// version discipline:
+///  * every record carries the tag of the transaction whose write-back
+///    produced it (0 = initial load);
+///  * a read names the exact tag it must observe (ReadStep::src_txn) and
+///    parks until that version is current;
+///  * a write-back parks until (a) all earlier write-backs for the key
+///    applied, and (b) its `awaits` count of reads of the previous version
+///    have been served — so concurrent sinking rounds on different
+///    machines can never overtake each other on storage.
+/// Write-backs are the only storage writes and are UNDO-logged (§5.4);
+/// applied values also feed the sticky cache (§5.2).
+class StorageService {
+ public:
+  StorageService(KvStore* store, SinkEpoch sticky_ttl = 2)
+      : store_(store), sticky_ttl_(sticky_ttl) {}
+
+  using ReadDone = std::function<void(Record)>;
+
+  /// Serves (possibly later) the version of `key` tagged
+  /// `expected_version`. `done` may run inline or from a later
+  /// ApplyWriteBack call on another thread; it must be lightweight.
+  void AsyncRead(ObjectKey key, TxnId expected_version, ReadDone done);
+
+  /// Blocking wrapper for the local executor.
+  Record BlockingRead(ObjectKey key, TxnId expected_version);
+
+  /// Applies (or parks) the write-back of `version` of `key`, which
+  /// replaces storage version `replaces` (strict replacement order).
+  void ApplyWriteBack(ObjectKey key, TxnId version, TxnId replaces,
+                      Record value, std::uint32_t awaits, bool sticky,
+                      SinkEpoch epoch);
+
+  /// Releases blocked readers (machine shutdown); they observe
+  /// Record::Absent().
+  void Shutdown();
+
+  const WriteBackLog& write_back_log() const { return wb_log_; }
+  std::uint64_t sticky_hits() const;
+  std::uint64_t reads_served() const;
+  std::uint64_t write_backs_applied() const;
+
+ private:
+  struct ParkedRead {
+    TxnId expected;
+    ReadDone done;
+  };
+  struct ParkedWb {
+    TxnId version;
+    TxnId replaces;
+    Record value;
+    std::uint32_t awaits;
+    bool sticky;
+    SinkEpoch epoch;
+  };
+  struct KeyState {
+    TxnId current = kInvalidTxnId;  // 0 = initial version
+    std::uint32_t reads_served_since_wb = 0;
+    std::vector<ParkedRead> parked_reads;
+    // Keyed by the version each write-back replaces; a write-back applies
+    // only when its predecessor version is current.
+    std::map<TxnId, ParkedWb> parked_wbs;
+    // Sticky copy of the current version (§5.2).
+    bool has_sticky = false;
+    SinkEpoch sticky_expire = 0;
+  };
+
+  // mu_ held; returns callbacks to run after unlock.
+  void DrainKeyLocked(ObjectKey key, KeyState& st,
+                      std::vector<std::pair<ReadDone, Record>>& ready);
+  Record CurrentValueLocked(ObjectKey key, const KeyState& st);
+
+  mutable std::mutex mu_;
+  bool shutdown_ = false;
+  KvStore* store_;
+  SinkEpoch sticky_ttl_;
+  std::unordered_map<ObjectKey, KeyState> keys_;
+  WriteBackLog wb_log_;
+  SinkEpoch next_log_batch_ = 0;
+  std::uint64_t sticky_hits_ = 0;
+  std::uint64_t reads_served_total_ = 0;
+  std::uint64_t write_backs_applied_ = 0;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_RUNTIME_STORAGE_SERVICE_H_

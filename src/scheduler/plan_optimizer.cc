@@ -1,0 +1,72 @@
+#include "scheduler/plan_optimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace tpart {
+
+std::size_t OptimizeSinkPlan(SinkPlan& plan) {
+  // Index plans by txn id for push-step removal on the writers.
+  std::unordered_map<TxnId, std::size_t> slot;
+  slot.reserve(plan.txns.size());
+  for (std::size_t i = 0; i < plan.txns.size(); ++i) {
+    slot[plan.txns[i].txn] = i;
+  }
+
+  // holders[(key, version)] = transactions that acquire that version,
+  // in total order, with their machines.
+  std::map<std::pair<ObjectKey, TxnId>,
+           std::vector<std::pair<TxnId, MachineId>>>
+      holders;
+  for (const auto& p : plan.txns) {
+    for (const auto& r : p.reads) {
+      if (r.kind == ReadSourceKind::kStorage) continue;
+      holders[{r.key, r.src_txn}].emplace_back(p.txn, p.machine);
+    }
+  }
+
+  std::size_t eliminated = 0;
+  for (auto& p : plan.txns) {
+    for (auto& r : p.reads) {
+      if (r.kind != ReadSourceKind::kPush) continue;
+      const auto it = holders.find({r.key, r.src_txn});
+      if (it == holders.end()) continue;
+      // Earliest co-located holder preceding this reader.
+      TxnId relay = kInvalidTxnId;
+      for (const auto& [holder, machine] : it->second) {
+        if (holder >= p.txn) break;
+        if (machine == p.machine) {
+          relay = holder;
+          break;
+        }
+      }
+      if (relay == kInvalidTxnId) continue;
+
+      // Drop the writer's push to this reader.
+      auto wit = slot.find(r.src_txn);
+      if (wit != slot.end()) {
+        auto& pushes = plan.txns[wit->second].pushes;
+        pushes.erase(std::remove_if(pushes.begin(), pushes.end(),
+                                    [&](const PushStep& s) {
+                                      return s.key == r.key &&
+                                             s.dst_txn == p.txn;
+                                    }),
+                     pushes.end());
+      }
+      // The relay hands the version off locally.
+      auto rit = slot.find(relay);
+      if (rit == slot.end()) continue;
+      plan.txns[rit->second].local_versions.push_back(
+          LocalVersionStep{r.key, p.txn, r.src_txn});
+      r.kind = ReadSourceKind::kLocalVersion;
+      r.provider_txn = relay;
+      r.src_machine = p.machine;
+      ++eliminated;
+    }
+  }
+  return eliminated;
+}
+
+}  // namespace tpart

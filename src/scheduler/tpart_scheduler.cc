@@ -1,0 +1,66 @@
+#include "scheduler/tpart_scheduler.h"
+
+#include <chrono>
+
+#include "partition/streaming_greedy.h"
+#include "scheduler/plan_optimizer.h"
+
+namespace tpart {
+
+TPartScheduler::TPartScheduler(
+    Options options, std::shared_ptr<const DataPartitionMap> data_map,
+    std::shared_ptr<GraphPartitioner> partitioner)
+    : options_(options),
+      graph_(options.graph, std::move(data_map)),
+      partitioner_(partitioner != nullptr
+                       ? std::move(partitioner)
+                       : std::make_shared<StreamingGreedyPartitioner>()) {}
+
+std::vector<SinkPlan> TPartScheduler::OnTxn(const TxnSpec& spec) {
+  graph_.AddTxn(spec);
+  max_tgraph_size_ = std::max(max_tgraph_size_, graph_.num_unsunk());
+  return MaybeSink();
+}
+
+std::vector<SinkPlan> TPartScheduler::OnBatch(const TxnBatch& batch) {
+  std::vector<SinkPlan> plans;
+  for (const auto& spec : batch.txns) {
+    graph_.AddTxn(spec);
+    max_tgraph_size_ = std::max(max_tgraph_size_, graph_.num_unsunk());
+    auto produced = MaybeSink();
+    for (auto& p : produced) plans.push_back(std::move(p));
+  }
+  return plans;
+}
+
+std::vector<SinkPlan> TPartScheduler::MaybeSink() {
+  std::vector<SinkPlan> plans;
+  while (graph_.num_unsunk() >= 2 * options_.sink_size) {
+    plans.push_back(SinkRound(options_.sink_size));
+  }
+  return plans;
+}
+
+std::vector<SinkPlan> TPartScheduler::Drain() {
+  std::vector<SinkPlan> plans;
+  while (graph_.num_unsunk() > 0) {
+    plans.push_back(
+        SinkRound(std::min(options_.sink_size, graph_.num_unsunk())));
+  }
+  return plans;
+}
+
+SinkPlan TPartScheduler::SinkRound(std::size_t count) {
+  const auto start = std::chrono::steady_clock::now();
+  partitioner_->Partition(graph_);
+  SinkPlan plan = graph_.Sink(count, next_epoch_++);
+  if (options_.optimize_plans) {
+    pushes_eliminated_ += OptimizeSinkPlan(plan);
+  }
+  scheduling_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return plan;
+}
+
+}  // namespace tpart

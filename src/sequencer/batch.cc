@@ -1,0 +1,22 @@
+#include "sequencer/batch.h"
+
+namespace tpart {
+
+std::size_t TxnBatch::NumRealTxns() const {
+  std::size_t n = 0;
+  for (const auto& t : txns) {
+    if (!t.is_dummy) ++n;
+  }
+  return n;
+}
+
+bool TxnBatch::CheckWellFormed(TxnId expected_first_id) const {
+  TxnId expect = expected_first_id;
+  for (const auto& t : txns) {
+    if (t.id != expect) return false;
+    ++expect;
+  }
+  return true;
+}
+
+}  // namespace tpart

@@ -1,0 +1,29 @@
+#ifndef TPART_SEQUENCER_BATCH_H_
+#define TPART_SEQUENCER_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txn/txn.h"
+
+namespace tpart {
+
+/// A totally ordered batch of transaction requests, as emitted by the
+/// sequencers: "each sequencer ... periodically compiles its requests
+/// arriving within a time interval into a batch ... and uses the
+/// total-ordering protocol to determine the total order of that batch
+/// only" (§3.1).
+struct TxnBatch {
+  std::uint64_t batch_id = 0;
+  std::vector<TxnSpec> txns;
+
+  /// Number of non-dummy requests.
+  std::size_t NumRealTxns() const;
+
+  /// Ids are consecutive and ascending, dummies flagged. Used by tests.
+  bool CheckWellFormed(TxnId expected_first_id) const;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_SEQUENCER_BATCH_H_

@@ -1,0 +1,45 @@
+#include "sequencer/sequencer.h"
+
+namespace tpart {
+
+void Sequencer::Submit(TxnSpec spec) {
+  spec.id = kInvalidTxnId;
+  spec.is_dummy = false;
+  pending_.push_back(std::move(spec));
+}
+
+TxnBatch Sequencer::FormBatch(std::size_t take, std::size_t pad) {
+  TxnBatch batch;
+  batch.batch_id = next_batch_id_++;
+  batch.txns.reserve(take + pad);
+  for (std::size_t i = 0; i < take; ++i) {
+    TxnSpec spec = std::move(pending_.front());
+    pending_.pop_front();
+    spec.id = next_id_++;
+    batch.txns.push_back(std::move(spec));
+  }
+  for (std::size_t i = 0; i < pad; ++i) {
+    TxnSpec dummy = MakeDummyTxn();
+    dummy.id = next_id_++;
+    batch.txns.push_back(std::move(dummy));
+    ++num_dummies_;
+  }
+  return batch;
+}
+
+std::optional<TxnBatch> Sequencer::NextBatch() {
+  if (pending_.size() < options_.batch_size) return std::nullopt;
+  return FormBatch(options_.batch_size, 0);
+}
+
+std::optional<TxnBatch> Sequencer::Flush() {
+  const std::size_t take = std::min(pending_.size(), options_.batch_size);
+  std::size_t pad = 0;
+  if (options_.pad_with_dummies && take < options_.batch_size) {
+    pad = options_.batch_size - take;
+  }
+  if (take + pad == 0) return std::nullopt;
+  return FormBatch(take, pad);
+}
+
+}  // namespace tpart

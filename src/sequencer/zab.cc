@@ -1,0 +1,179 @@
+#include "sequencer/zab.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tpart {
+
+ZabCluster::ZabCluster(Options options) : options_(options) {
+  TPART_CHECK(options_.num_nodes >= 1);
+  nodes_.resize(options_.num_nodes);
+}
+
+void ZabCluster::Propose(TxnBatch batch) {
+  // Client request arrives at the leader; the leader logs and broadcasts.
+  Node& leader = nodes_[leader_];
+  if (!leader.alive) return;  // lost until election installs a new leader
+  LogEntry entry{MakeZxid(), std::move(batch)};
+  leader.accepted.push_back(entry);
+  acks_.push_back({entry.zxid, 1});  // leader implicitly acks its own log
+  if (Quorum() == 1) {
+    // Single-node cluster: the leader's own log is the quorum.
+    DeliverUpTo(leader, entry.zxid);
+  }
+  Broadcast(entry);
+}
+
+void ZabCluster::Broadcast(const LogEntry& entry) {
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (n == leader_) continue;
+    Message m;
+    m.type = Message::Type::kProposal;
+    m.from = leader_;
+    m.to = n;
+    m.zxid = entry.zxid;
+    m.batch = entry.batch;
+    network_.push_back(std::move(m));
+  }
+}
+
+void ZabCluster::DeliverUpTo(Node& node, std::uint64_t zxid) {
+  for (const LogEntry& e : node.accepted) {
+    if (e.zxid <= node.committed_upto || e.zxid > zxid) continue;
+    node.delivered.push_back(e.batch);
+    node.delivered_zxids.push_back(e.zxid);
+  }
+  node.committed_upto = std::max(node.committed_upto, zxid);
+}
+
+void ZabCluster::Run() {
+  if (election_pending_) ElectLeader();
+  while (!network_.empty()) {
+    Message m = std::move(network_.front());
+    network_.pop_front();
+    Node& dst = nodes_[m.to];
+    if (!dst.alive) continue;
+    switch (m.type) {
+      case Message::Type::kProposal: {
+        // Follower accepts in zxid order (drop stale-epoch proposals).
+        if ((m.zxid >> 32) < epoch_) break;
+        dst.accepted.push_back(LogEntry{m.zxid, m.batch});
+        Message ack;
+        ack.type = Message::Type::kAck;
+        ack.from = m.to;
+        ack.to = m.from;
+        ack.zxid = m.zxid;
+        network_.push_back(std::move(ack));
+        break;
+      }
+      case Message::Type::kAck: {
+        if (m.to != leader_ || !nodes_[leader_].alive) break;
+        for (auto& [zxid, count] : acks_) {
+          if (zxid != m.zxid) continue;
+          if (++count == Quorum()) {
+            // Commit: deliver at the leader and notify everyone.
+            DeliverUpTo(nodes_[leader_], zxid);
+            for (std::size_t n = 0; n < nodes_.size(); ++n) {
+              if (n == leader_) continue;
+              Message commit;
+              commit.type = Message::Type::kCommit;
+              commit.from = leader_;
+              commit.to = n;
+              commit.zxid = zxid;
+              network_.push_back(std::move(commit));
+            }
+          }
+          break;
+        }
+        break;
+      }
+      case Message::Type::kCommit: {
+        DeliverUpTo(dst, m.zxid);
+        break;
+      }
+    }
+  }
+}
+
+void ZabCluster::CrashLeader() {
+  nodes_[leader_].alive = false;
+  election_pending_ = true;
+}
+
+void ZabCluster::Restart(std::size_t node) {
+  Node& n = nodes_[node];
+  if (n.alive) return;
+  n.alive = true;
+  // Sync from the current leader: adopt its accepted log and committed
+  // point (Zab's synchronisation phase, condensed).
+  const Node& lead = nodes_[leader_];
+  n.accepted = lead.accepted;
+  n.delivered = lead.delivered;
+  n.delivered_zxids = lead.delivered_zxids;
+  n.committed_upto = lead.committed_upto;
+}
+
+void ZabCluster::ElectLeader() {
+  election_pending_ = false;
+  // In-flight traffic from the dead epoch is discarded (network
+  // partition semantics around an election).
+  network_.clear();
+  acks_.clear();
+
+  // Leader = alive node with the most advanced accepted history
+  // (lexicographic on last zxid), ties toward the lower id.
+  std::size_t best = nodes_.size();
+  std::uint64_t best_last = 0;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (!nodes_[n].alive) continue;
+    const std::uint64_t last =
+        nodes_[n].accepted.empty() ? 0 : nodes_[n].accepted.back().zxid;
+    if (best == nodes_.size() || last > best_last) {
+      best = n;
+      best_last = last;
+    }
+  }
+  TPART_CHECK(best < nodes_.size()) << "no alive node to lead";
+  leader_ = best;
+  ++epoch_;
+  counter_ = 1;
+
+  // Synchronisation: the new leader's history becomes authoritative. A
+  // quorum-accepted prefix is re-committed; everything else is truncated
+  // on the followers.
+  Node& lead = nodes_[leader_];
+  // Determine the highest zxid accepted by a quorum (counting the
+  // leader's own copy).
+  std::uint64_t quorum_zxid = lead.committed_upto;
+  for (const LogEntry& e : lead.accepted) {
+    std::size_t copies = 0;
+    for (const Node& n : nodes_) {
+      if (!n.alive) continue;
+      for (const LogEntry& o : n.accepted) {
+        if (o.zxid == e.zxid) {
+          ++copies;
+          break;
+        }
+      }
+    }
+    if (copies >= Quorum()) quorum_zxid = std::max(quorum_zxid, e.zxid);
+  }
+  // Leader keeps only entries up to the quorum point... no: Zab keeps the
+  // leader's whole accepted history; entries beyond the quorum point are
+  // re-proposed under the new epoch. We re-commit the quorum prefix and
+  // drop the unacknowledged tail (it was never visible anywhere).
+  lead.accepted.erase(
+      std::remove_if(lead.accepted.begin(), lead.accepted.end(),
+                     [&](const LogEntry& e) { return e.zxid > quorum_zxid; }),
+      lead.accepted.end());
+  DeliverUpTo(lead, quorum_zxid);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (n == leader_ || !nodes_[n].alive) continue;
+    Node& f = nodes_[n];
+    f.accepted = lead.accepted;
+    DeliverUpTo(f, quorum_zxid);
+  }
+}
+
+}  // namespace tpart

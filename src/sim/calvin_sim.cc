@@ -1,0 +1,174 @@
+#include "sim/calvin_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/sim_cluster.h"
+#include "txn/rw_set.h"
+
+namespace tpart {
+
+RunStats RunCalvinSim(const CalvinSimOptions& options,
+                      const DataPartitionMap& data_map,
+                      const std::vector<TxnSpec>& txns,
+                      StallTracker* stalls) {
+  (void)stalls;  // distance-keyed stalls are a T-Part notion (Fig. 4)
+  TPART_CHECK(data_map.num_partitions() == options.num_machines);
+  SimCluster cluster(options.num_machines, options.cost);
+  const CostModel& cost = options.cost;
+  RunStats stats;
+
+  struct Participant {
+    MachineId m = 0;
+    std::size_t worker = 0;
+    std::vector<ObjectKey> local_reads;
+    std::vector<ObjectKey> local_writes;
+    SimTime t_dispatchable = 0;  // worker picked
+    SimTime t_lock = 0;          // locks granted
+    SimTime t_read_done = 0;     // local reads collected / broadcast
+    SimTime t_done = 0;          // written + locks released
+    SimTime stall = 0;           // waiting for peer pushes
+    SimTime read_cost = 0;       // local storage read service time
+  };
+
+  std::vector<Participant> parts;
+  for (const auto& spec : txns) {
+    if (spec.is_dummy) continue;
+    ++stats.txns;
+
+    parts.clear();
+    auto part_of = [&](MachineId m) -> Participant& {
+      for (auto& p : parts) {
+        if (p.m == m) return p;
+      }
+      parts.push_back(Participant{});
+      parts.back().m = m;
+      return parts.back();
+    };
+    for (const ObjectKey k : spec.rw.reads) {
+      part_of(data_map.Locate(k)).local_reads.push_back(k);
+    }
+    for (const ObjectKey k : spec.rw.writes) {
+      part_of(data_map.Locate(k)).local_writes.push_back(k);
+    }
+    if (parts.empty()) continue;
+    std::sort(parts.begin(), parts.end(),
+              [](const Participant& a, const Participant& b) {
+                return a.m < b.m;
+              });
+    if (parts.size() > 1) ++stats.distributed_txns;
+
+    const SimTime dispatch = cluster.ClusterNow();
+
+    // Phase 1: acquire worker + deterministic locks, read locally.
+    for (auto& p : parts) {
+      SimMachine& mach = cluster.machine(p.m);
+      p.worker = mach.workers.EarliestWorker();
+      p.t_dispatchable =
+          std::max(mach.workers.free_at(p.worker), dispatch) +
+          cost.Scaled(cost.txn_overhead, p.m);
+      SimTime lock_avail = 0;
+      for (const ObjectKey k : p.local_reads) {
+        if (KeySetContains(spec.rw.writes, k)) continue;  // write lock below
+        lock_avail = std::max(lock_avail, mach.locks.ReadAvailable(k));
+      }
+      for (const ObjectKey k : p.local_writes) {
+        lock_avail = std::max(lock_avail, mach.locks.WriteAvailable(k));
+      }
+      p.t_lock = std::max(p.t_dispatchable, lock_avail);
+      const std::size_t nkeys = p.local_reads.size() + p.local_writes.size();
+      const SimTime lock_cost =
+          cost.Scaled(cost.lock_op * static_cast<SimTime>(nkeys), p.m);
+      SimTime read_cost = 0;
+      for (const ObjectKey k : p.local_reads) {
+        read_cost += cost.Scaled(mach.StorageReadCost(k, cost), p.m);
+      }
+      p.read_cost = read_cost;
+      for (const ObjectKey k : p.local_writes) mach.buffered.insert(k);
+      p.t_read_done = p.t_lock + lock_cost + read_cost;
+    }
+
+    // Phase 2: peer-push — each participant waits for every peer that
+    // holds part of the read set, then all execute the full procedure
+    // and write their local keys.
+    const SimTime exec_cost_base =
+        cost.cpu_per_op * static_cast<SimTime>(spec.rw.reads.size() +
+                                               spec.rw.writes.size());
+    SimTime commit = 0;
+    const Participant* critical = nullptr;
+    for (auto& p : parts) {
+      SimTime ready = p.t_read_done;
+      for (const auto& q : parts) {
+        if (q.m == p.m || q.local_reads.empty()) continue;
+        ready = std::max(ready, q.t_read_done + cost.network_latency);
+      }
+      p.stall = ready - p.t_read_done;
+      const SimTime exec_cost = cost.Scaled(exec_cost_base, p.m);
+      const SimTime write_cost = cost.Scaled(
+          cost.storage_write * static_cast<SimTime>(p.local_writes.size()),
+          p.m);
+      p.t_done = ready + exec_cost + write_cost;
+      if (p.t_done > commit) {
+        commit = p.t_done;
+        critical = &p;
+      }
+    }
+
+    // Release locks and free workers.
+    for (auto& p : parts) {
+      SimMachine& mach = cluster.machine(p.m);
+      for (const ObjectKey k : p.local_reads) {
+        if (!KeySetContains(spec.rw.writes, k)) {
+          mach.locks.ReleaseRead(k, p.t_done);
+        }
+      }
+      for (const ObjectKey k : p.local_writes) {
+        mach.locks.ReleaseWrite(k, p.t_done);
+      }
+      mach.workers.set_free_at(p.worker, p.t_done);
+    }
+
+    ++stats.committed;
+    stats.latency.Add(static_cast<double>(commit - dispatch));
+    stats.latency_us.Add(
+        static_cast<std::uint64_t>((commit - dispatch) / 1000));
+    stats.makespan = std::max(stats.makespan, commit);
+
+    bool stalled = false;
+    for (const auto& p : parts) {
+      if (p.stall > 0) stalled = true;
+    }
+    if (stalled) {
+      ++stats.network_stalled_txns;
+      SimTime max_stall = 0;
+      for (const auto& p : parts) max_stall = std::max(max_stall, p.stall);
+      stats.stall_wait.Add(static_cast<double>(max_stall));
+    }
+
+    // Breakdown along the critical participant's path.
+    if (critical != nullptr) {
+      const Participant& p = *critical;
+      stats.breakdown.AddTxn();
+      stats.breakdown.Add(Component::kQueueWait,
+                          p.t_lock - dispatch);
+      stats.breakdown.Add(
+          Component::kCacheMgmt,
+          cost.Scaled(cost.lock_op * static_cast<SimTime>(
+                                         p.local_reads.size() +
+                                         p.local_writes.size()),
+                      p.m));
+      stats.breakdown.Add(Component::kStorageRead, p.read_cost);
+      stats.breakdown.Add(Component::kRemoteWait, p.stall);
+      stats.breakdown.Add(Component::kExecute,
+                          cost.Scaled(exec_cost_base, p.m));
+      stats.breakdown.Add(
+          Component::kStorageWrite,
+          cost.Scaled(cost.storage_write *
+                          static_cast<SimTime>(p.local_writes.size()),
+                      p.m));
+    }
+  }
+  return stats;
+}
+
+}  // namespace tpart

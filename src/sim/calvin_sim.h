@@ -1,0 +1,37 @@
+#ifndef TPART_SIM_CALVIN_SIM_H_
+#define TPART_SIM_CALVIN_SIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "metrics/run_stats.h"
+#include "sim/cost_model.h"
+#include "sim/stall_tracker.h"
+#include "storage/data_partition.h"
+#include "txn/txn.h"
+
+namespace tpart {
+
+/// Timing simulation of the Calvin baseline (§2.1): every machine holding
+/// any of a transaction's data participates; participants take
+/// deterministic locks on their local keys in total order, read locally,
+/// exchange read sets by peer-pushing, all execute the full procedure,
+/// and each writes only its local keys. Machines that fall behind stall
+/// every peer of every distributed transaction they participate in — the
+/// synchronization problem (§2.2).
+struct CalvinSimOptions {
+  CostModel cost;
+  std::size_t num_machines = 2;
+};
+
+/// Runs the totally ordered `txns` (dummies ignored) and returns
+/// aggregate statistics. `stalls`, when given, receives one sample per
+/// peer-push wait, keyed by sequencing distance.
+RunStats RunCalvinSim(const CalvinSimOptions& options,
+                      const DataPartitionMap& data_map,
+                      const std::vector<TxnSpec>& txns,
+                      StallTracker* stalls = nullptr);
+
+}  // namespace tpart
+
+#endif  // TPART_SIM_CALVIN_SIM_H_

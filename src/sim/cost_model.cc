@@ -1,0 +1,17 @@
+#include "sim/cost_model.h"
+
+#include <sstream>
+
+namespace tpart {
+
+std::string CostModel::ToString() const {
+  std::ostringstream out;
+  out << "cpu=" << cpu_per_op << "ns sread=" << storage_read
+      << "ns swrite=" << storage_write << "ns cache=" << cache_op
+      << "ns lock=" << lock_op << "ns net=" << network_latency
+      << "ns overhead=" << txn_overhead
+      << "ns workers=" << workers_per_machine;
+  return out.str();
+}
+
+}  // namespace tpart

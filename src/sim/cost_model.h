@@ -1,0 +1,65 @@
+#ifndef TPART_SIM_COST_MODEL_H_
+#define TPART_SIM_COST_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tpart {
+
+/// Cost model of the simulated cluster (see DESIGN.md substitution table:
+/// this stands in for the paper's EC2 / in-house machines). All times are
+/// nanoseconds of simulated time; per-machine speed factors model the
+/// heterogeneous-instance effect the paper reports ("not all EC2 instances
+/// yield equivalent performance", §6.2).
+struct CostModel {
+  /// CPU per record operation inside the stored procedure.
+  SimTime cpu_per_op = 2'000;
+  /// Storage engine read / write of one record (buffer miss: index +
+  /// fetch + latch). Re-reads of a record already resident in a
+  /// machine's buffer pool cost `buffer_hit_read` instead — both engines
+  /// get this (the datasets fit in the paper's 7.5 GB nodes).
+  SimTime storage_read = 12'000;
+  SimTime buffer_hit_read = 2'500;
+  SimTime storage_write = 15'000;
+  /// One cache-area operation (put/get of a version entry).
+  SimTime cache_op = 800;
+  /// Lock-manager work per key (Calvin's conservative 2PL, §3.4).
+  SimTime lock_op = 600;
+  /// One-way network latency between machines.
+  SimTime network_latency = 100'000;
+  /// Fixed per-transaction overhead (dispatch, logging, result path).
+  SimTime txn_overhead = 8'000;
+  /// T-Part scheduler pipeline: fixed cost per sinking round (plan
+  /// assembly/distribution) and per unsunk node re-streamed. Small sink
+  /// sizes pay the round overhead per transaction; very large ones delay
+  /// plan release (Fig. 11(a)'s "too large or too small" effect).
+  SimTime sched_round_overhead = 8'000;
+  SimTime sched_per_node = 150;
+  /// Executor worker threads per machine (the paper's C3.xlarge nodes
+  /// have 4 virtual cores).
+  int workers_per_machine = 4;
+  /// Per-machine speed factor (>1 = faster). Missing entries default 1.0.
+  std::vector<double> machine_speed;
+
+  SimTime rtt() const { return 2 * network_latency; }
+
+  double SpeedOf(MachineId m) const {
+    return m < machine_speed.size() && machine_speed[m] > 0.0
+               ? machine_speed[m]
+               : 1.0;
+  }
+
+  /// Cost `t` executed on machine `m` (slower machines take longer).
+  SimTime Scaled(SimTime t, MachineId m) const {
+    return static_cast<SimTime>(static_cast<double>(t) / SpeedOf(m));
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_SIM_COST_MODEL_H_

@@ -1,0 +1,65 @@
+#include "sim/sim_cluster.h"
+
+#include <algorithm>
+
+namespace tpart {
+
+std::size_t SimWorkerPool::EarliestWorker() const {
+  std::size_t best = 0;
+  for (std::size_t w = 1; w < free_at_.size(); ++w) {
+    if (free_at_[w] < free_at_[best]) best = w;
+  }
+  return best;
+}
+
+SimTime SimWorkerPool::Frontier() const {
+  SimTime t = 0;
+  for (const SimTime f : free_at_) t = std::max(t, f);
+  return t;
+}
+
+SimTime SimLockTable::ReadAvailable(ObjectKey key) const {
+  auto it = keys_.find(key);
+  return it == keys_.end() ? 0 : it->second.last_write_release;
+}
+
+SimTime SimLockTable::WriteAvailable(ObjectKey key) const {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return 0;
+  return std::max(it->second.last_write_release,
+                  it->second.max_read_release);
+}
+
+void SimLockTable::ReleaseRead(ObjectKey key, SimTime t) {
+  KeyState& st = keys_[key];
+  st.max_read_release = std::max(st.max_read_release, t);
+}
+
+void SimLockTable::ReleaseWrite(ObjectKey key, SimTime t) {
+  KeyState& st = keys_[key];
+  st.last_write_release = std::max(st.last_write_release, t);
+}
+
+SimCluster::SimCluster(std::size_t num_machines, const CostModel& cost)
+    : cost_(cost) {
+  machines_.reserve(num_machines);
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    machines_.emplace_back(cost.workers_per_machine);
+  }
+}
+
+SimTime SimCluster::ClusterNow() const {
+  SimTime t = machines_.empty() ? 0 : machines_[0].workers.EarliestFreeTime();
+  for (const auto& m : machines_) {
+    t = std::min(t, m.workers.EarliestFreeTime());
+  }
+  return t;
+}
+
+SimTime SimCluster::Makespan() const {
+  SimTime t = 0;
+  for (const auto& m : machines_) t = std::max(t, m.workers.Frontier());
+  return t;
+}
+
+}  // namespace tpart

@@ -1,0 +1,103 @@
+#ifndef TPART_SIM_SIM_CLUSTER_H_
+#define TPART_SIM_SIM_CLUSTER_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/cost_model.h"
+
+namespace tpart {
+
+/// Worker pool of one simulated machine: `free_at[w]` is the simulated
+/// time worker `w` becomes idle.
+class SimWorkerPool {
+ public:
+  explicit SimWorkerPool(int workers)
+      : free_at_(static_cast<std::size_t>(workers), 0) {}
+
+  /// Index of the earliest-free worker (deterministic: lowest index wins
+  /// ties).
+  std::size_t EarliestWorker() const;
+
+  SimTime free_at(std::size_t w) const { return free_at_[w]; }
+  void set_free_at(std::size_t w, SimTime t) { free_at_[w] = t; }
+
+  /// Earliest time any worker is free.
+  SimTime EarliestFreeTime() const { return free_at_[EarliestWorker()]; }
+  /// Time the machine finishes everything currently accepted.
+  SimTime Frontier() const;
+
+  std::size_t size() const { return free_at_.size(); }
+
+ private:
+  std::vector<SimTime> free_at_;
+};
+
+/// Deterministic-locking timing state of one machine (Calvin mode): when
+/// the previous holders of each key release, a later transaction in the
+/// total order may acquire (§2.2's conservative locking).
+class SimLockTable {
+ public:
+  /// Earliest time a read lock on `key` can be granted.
+  SimTime ReadAvailable(ObjectKey key) const;
+  /// Earliest time a write lock on `key` can be granted.
+  SimTime WriteAvailable(ObjectKey key) const;
+
+  /// Registers that a transaction holding a read lock on `key` releases
+  /// at `t`.
+  void ReleaseRead(ObjectKey key, SimTime t);
+  /// Registers a write-lock release at `t`.
+  void ReleaseWrite(ObjectKey key, SimTime t);
+
+ private:
+  struct KeyState {
+    SimTime last_write_release = 0;
+    SimTime max_read_release = 0;
+  };
+  std::unordered_map<ObjectKey, KeyState> keys_;
+};
+
+/// Per-machine simulation state shared by both engines.
+struct SimMachine {
+  explicit SimMachine(int workers) : workers(workers) {}
+  SimWorkerPool workers;
+  SimLockTable locks;  // used by the Calvin engine only
+
+  /// Buffer-pool model: keys this machine's storage has touched. First
+  /// access pays the miss cost; later accesses pay the hit cost.
+  std::unordered_set<ObjectKey> buffered;
+  /// Storage-read service cost for `key` on this machine, marking it
+  /// resident.
+  SimTime StorageReadCost(ObjectKey key, const CostModel& cost) {
+    if (buffered.insert(key).second) return cost.storage_read;
+    return cost.buffer_hit_read;
+  }
+};
+
+/// Cluster of simulated machines.
+class SimCluster {
+ public:
+  SimCluster(std::size_t num_machines, const CostModel& cost);
+
+  SimMachine& machine(MachineId m) { return machines_[m]; }
+  const SimMachine& machine(MachineId m) const { return machines_[m]; }
+  std::size_t size() const { return machines_.size(); }
+  const CostModel& cost() const { return cost_; }
+
+  /// Earliest free-worker time across the whole cluster — the simulation's
+  /// notion of "now" for dispatch/backlog purposes.
+  SimTime ClusterNow() const;
+  /// Time the last machine finishes all accepted work (makespan).
+  SimTime Makespan() const;
+
+ private:
+  std::vector<SimMachine> machines_;
+  CostModel cost_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_SIM_SIM_CLUSTER_H_

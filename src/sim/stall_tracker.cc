@@ -1,0 +1,34 @@
+#include "sim/stall_tracker.h"
+
+#include <algorithm>
+
+namespace tpart {
+
+void StallTracker::Record(TxnId src, TxnId dst, SimTime stall) {
+  const std::size_t d =
+      dst > src ? static_cast<std::size_t>(dst - src) : 0;
+  stats_[std::min(d, stats_.size() - 1)].Add(
+      static_cast<double>(std::max<SimTime>(stall, 0)));
+}
+
+double StallTracker::MeanStallInRange(std::size_t lo, std::size_t hi) const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  hi = std::min(hi, stats_.size() - 1);
+  for (std::size_t d = lo; d <= hi; ++d) {
+    sum += stats_[d].sum();
+    count += stats_[d].count();
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double StallTracker::MaxStallInRange(std::size_t lo, std::size_t hi) const {
+  double mx = 0.0;
+  hi = std::min(hi, stats_.size() - 1);
+  for (std::size_t d = lo; d <= hi; ++d) {
+    mx = std::max(mx, stats_[d].max());
+  }
+  return mx;
+}
+
+}  // namespace tpart

@@ -1,0 +1,43 @@
+#ifndef TPART_SIM_STALL_TRACKER_H_
+#define TPART_SIM_STALL_TRACKER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace tpart {
+
+/// Records per-dependency stall samples keyed by transaction distance
+/// (j - i), producing the Fig. 4(a)/(b) curves: "the average and maximum
+/// stalls we observed over different (j-i)'s, which can be fitted by the
+/// linear and Sigmoid functions".
+class StallTracker {
+ public:
+  /// Distances above `max_distance` aggregate into the last bucket.
+  explicit StallTracker(std::size_t max_distance = 512)
+      : stats_(max_distance + 1) {}
+
+  /// One dependency edge: destination `dst` stalled `stall` ns waiting on
+  /// the value produced by `src` (0 stall allowed; it still counts toward
+  /// the average).
+  void Record(TxnId src, TxnId dst, SimTime stall);
+
+  std::size_t max_distance() const { return stats_.size() - 1; }
+  const RunningStat& AtDistance(std::size_t d) const {
+    return stats_[d < stats_.size() ? d : stats_.size() - 1];
+  }
+
+  /// Mean stall over buckets [lo, hi] (weighted by sample count).
+  double MeanStallInRange(std::size_t lo, std::size_t hi) const;
+  /// Max stall over buckets [lo, hi].
+  double MaxStallInRange(std::size_t lo, std::size_t hi) const;
+
+ private:
+  std::vector<RunningStat> stats_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_SIM_STALL_TRACKER_H_

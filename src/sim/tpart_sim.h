@@ -1,0 +1,49 @@
+#ifndef TPART_SIM_TPART_SIM_H_
+#define TPART_SIM_TPART_SIM_H_
+
+#include <memory>
+#include <vector>
+
+#include "metrics/run_stats.h"
+#include "scheduler/tpart_scheduler.h"
+#include "sim/cost_model.h"
+#include "sim/stall_tracker.h"
+#include "storage/data_partition.h"
+#include "txn/txn.h"
+
+namespace tpart {
+
+/// Timing simulation of Calvin+TP: the *real* T-Part scheduler
+/// (T-graph, streaming partitioning, sinking, push plans — the paper's
+/// contribution, §3) drives a simulated cluster. Each transaction runs on
+/// exactly one machine; reads wait on forward-pushed versions, local
+/// cache entries, remote cache pulls, or (write-back-ordered) storage
+/// versions; writes flow out as pushes, cache publishes, and write-backs
+/// per the plan.
+struct TPartSimOptions {
+  CostModel cost;
+  std::size_t num_machines = 2;
+  TPartScheduler::Options scheduler;
+  /// Custom partitioner (defaults to streaming greedy / Algorithm 1).
+  std::shared_ptr<GraphPartitioner> partitioner;
+  /// Sticky-cache lifetime in sinking rounds (§5.2); 0 disables hits.
+  SinkEpoch sticky_ttl = 2;
+  /// §8 future-work extension: each data partition is replicated on this
+  /// many machines (home plus the next replicas-1 machines, mod M).
+  /// Storage reads are served by a reader-local replica when one exists;
+  /// write-backs fan out to every replica (one extra hop beyond the
+  /// home). 1 = the paper's configuration.
+  std::size_t storage_replicas = 1;
+};
+
+/// Runs the totally ordered `txns` and returns aggregate statistics.
+/// `stalls`, when given, receives one sample per version dependency,
+/// keyed by sequencing distance (j - i) — the Fig. 4 measurement.
+RunStats RunTPartSim(const TPartSimOptions& options,
+                     std::shared_ptr<const DataPartitionMap> data_map,
+                     const std::vector<TxnSpec>& txns,
+                     StallTracker* stalls = nullptr);
+
+}  // namespace tpart
+
+#endif  // TPART_SIM_TPART_SIM_H_

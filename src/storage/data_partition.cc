@@ -1,0 +1,10 @@
+#include "storage/data_partition.h"
+
+// All current DataPartitionMap implementations are header-only; this
+// translation unit anchors the interface's vtable.
+
+namespace tpart {
+
+// (Intentionally empty.)
+
+}  // namespace tpart

@@ -1,0 +1,301 @@
+#include "storage/ordered_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+namespace tpart {
+
+namespace {
+// Fanout parameters. A node holds at most kMaxKeys keys and, when not the
+// root, at least kMinKeys.
+constexpr std::size_t kMaxKeys = 31;
+constexpr std::size_t kMinKeys = kMaxKeys / 2;  // 15
+}  // namespace
+
+struct OrderedIndex::Node {
+  bool is_leaf = true;
+  std::vector<ObjectKey> keys;
+  std::vector<Node*> children;  // size keys.size()+1 when internal
+  Node* parent = nullptr;
+  Node* next = nullptr;  // leaf chain
+  Node* prev = nullptr;
+
+  ~Node() {
+    for (Node* c : children) delete c;
+  }
+
+  // Index of first key >= key.
+  std::size_t LowerBoundIdx(ObjectKey key) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+  }
+
+  // Child to descend into for `key` (internal nodes). Convention: keys[i]
+  // is the smallest key in subtree children[i+1].
+  std::size_t ChildIdx(ObjectKey key) const {
+    return static_cast<std::size_t>(
+        std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+  }
+
+  // Position of child `c` in children.
+  std::size_t IndexOfChild(const Node* c) const {
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (children[i] == c) return i;
+    }
+    assert(false && "child not found");
+    return 0;
+  }
+};
+
+OrderedIndex::OrderedIndex() : root_(new Node()) {}
+
+OrderedIndex::~OrderedIndex() { delete root_; }
+
+OrderedIndex::Node* OrderedIndex::FindLeaf(ObjectKey key) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    node = node->children[node->ChildIdx(key)];
+  }
+  return node;
+}
+
+bool OrderedIndex::Insert(ObjectKey key) {
+  Node* leaf = FindLeaf(key);
+  const std::size_t pos = leaf->LowerBoundIdx(key);
+  if (pos < leaf->keys.size() && leaf->keys[pos] == key) return false;
+  leaf->keys.insert(leaf->keys.begin() + static_cast<std::ptrdiff_t>(pos),
+                    key);
+  ++size_;
+
+  if (leaf->keys.size() <= kMaxKeys) return true;
+
+  // Split the leaf: upper half moves into a new right sibling.
+  Node* right = new Node();
+  right->is_leaf = true;
+  const std::size_t mid = leaf->keys.size() / 2;
+  right->keys.assign(leaf->keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                     leaf->keys.end());
+  leaf->keys.resize(mid);
+  right->next = leaf->next;
+  if (right->next != nullptr) right->next->prev = right;
+  right->prev = leaf;
+  leaf->next = right;
+  InsertIntoParent(leaf, right->keys.front(), right);
+  return true;
+}
+
+void OrderedIndex::InsertIntoParent(Node* node, ObjectKey sep, Node* right) {
+  if (node->parent == nullptr) {
+    Node* new_root = new Node();
+    new_root->is_leaf = false;
+    new_root->keys.push_back(sep);
+    new_root->children = {node, right};
+    node->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  Node* parent = node->parent;
+  const std::size_t pos = parent->IndexOfChild(node);
+  parent->keys.insert(parent->keys.begin() + static_cast<std::ptrdiff_t>(pos),
+                      sep);
+  parent->children.insert(
+      parent->children.begin() + static_cast<std::ptrdiff_t>(pos) + 1, right);
+  right->parent = parent;
+
+  if (parent->keys.size() <= kMaxKeys) return;
+
+  // Split the internal node: the median key moves up.
+  const std::size_t mid = parent->keys.size() / 2;
+  const ObjectKey up = parent->keys[mid];
+  Node* new_right = new Node();
+  new_right->is_leaf = false;
+  new_right->keys.assign(
+      parent->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+      parent->keys.end());
+  new_right->children.assign(
+      parent->children.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+      parent->children.end());
+  for (Node* c : new_right->children) c->parent = new_right;
+  parent->keys.resize(mid);
+  parent->children.resize(mid + 1);
+  InsertIntoParent(parent, up, new_right);
+}
+
+bool OrderedIndex::Contains(ObjectKey key) const {
+  const Node* leaf = FindLeaf(key);
+  const std::size_t pos = leaf->LowerBoundIdx(key);
+  return pos < leaf->keys.size() && leaf->keys[pos] == key;
+}
+
+bool OrderedIndex::Erase(ObjectKey key) {
+  Node* leaf = FindLeaf(key);
+  const std::size_t pos = leaf->LowerBoundIdx(key);
+  if (pos >= leaf->keys.size() || leaf->keys[pos] != key) return false;
+  leaf->keys.erase(leaf->keys.begin() + static_cast<std::ptrdiff_t>(pos));
+  --size_;
+  RebalanceAfterErase(leaf);
+  return true;
+}
+
+void OrderedIndex::RebalanceAfterErase(Node* node) {
+  if (node->parent == nullptr) {
+    // Root: collapse when an internal root loses all keys.
+    if (!node->is_leaf && node->keys.empty()) {
+      Node* child = node->children.front();
+      node->children.clear();  // prevent recursive delete of `child`
+      delete node;
+      child->parent = nullptr;
+      root_ = child;
+    }
+    return;
+  }
+  if (node->keys.size() >= kMinKeys) return;
+
+  Node* parent = node->parent;
+  const std::size_t idx = parent->IndexOfChild(node);
+  Node* left = idx > 0 ? parent->children[idx - 1] : nullptr;
+  Node* right =
+      idx + 1 < parent->children.size() ? parent->children[idx + 1] : nullptr;
+
+  // Borrow from a sibling when possible.
+  if (left != nullptr && left->keys.size() > kMinKeys) {
+    if (node->is_leaf) {
+      node->keys.insert(node->keys.begin(), left->keys.back());
+      left->keys.pop_back();
+      parent->keys[idx - 1] = node->keys.front();
+    } else {
+      node->keys.insert(node->keys.begin(), parent->keys[idx - 1]);
+      parent->keys[idx - 1] = left->keys.back();
+      left->keys.pop_back();
+      Node* moved = left->children.back();
+      left->children.pop_back();
+      moved->parent = node;
+      node->children.insert(node->children.begin(), moved);
+    }
+    return;
+  }
+  if (right != nullptr && right->keys.size() > kMinKeys) {
+    if (node->is_leaf) {
+      node->keys.push_back(right->keys.front());
+      right->keys.erase(right->keys.begin());
+      parent->keys[idx] = right->keys.front();
+    } else {
+      node->keys.push_back(parent->keys[idx]);
+      parent->keys[idx] = right->keys.front();
+      right->keys.erase(right->keys.begin());
+      Node* moved = right->children.front();
+      right->children.erase(right->children.begin());
+      moved->parent = node;
+      node->children.push_back(moved);
+    }
+    return;
+  }
+
+  // Merge with a sibling (prefer merging into the left one).
+  Node* dst = left != nullptr ? left : node;
+  Node* src = left != nullptr ? node : right;
+  const std::size_t sep_idx = left != nullptr ? idx - 1 : idx;
+  assert(src != nullptr);
+
+  if (dst->is_leaf) {
+    dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
+    dst->next = src->next;
+    if (dst->next != nullptr) dst->next->prev = dst;
+  } else {
+    dst->keys.push_back(parent->keys[sep_idx]);
+    dst->keys.insert(dst->keys.end(), src->keys.begin(), src->keys.end());
+    for (Node* c : src->children) c->parent = dst;
+    dst->children.insert(dst->children.end(), src->children.begin(),
+                         src->children.end());
+    src->children.clear();
+  }
+  parent->keys.erase(parent->keys.begin() +
+                     static_cast<std::ptrdiff_t>(sep_idx));
+  parent->children.erase(parent->children.begin() +
+                         static_cast<std::ptrdiff_t>(sep_idx) + 1);
+  delete src;
+  RebalanceAfterErase(parent);
+}
+
+std::size_t OrderedIndex::ScanRange(
+    ObjectKey lo, ObjectKey hi,
+    const std::function<void(ObjectKey)>& fn) const {
+  if (lo > hi) return 0;
+  const Node* leaf = FindLeaf(lo);
+  std::size_t visited = 0;
+  std::size_t pos = leaf->LowerBoundIdx(lo);
+  while (leaf != nullptr) {
+    for (; pos < leaf->keys.size(); ++pos) {
+      if (leaf->keys[pos] > hi) return visited;
+      fn(leaf->keys[pos]);
+      ++visited;
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return visited;
+}
+
+std::optional<ObjectKey> OrderedIndex::LowerBound(ObjectKey key) const {
+  const Node* leaf = FindLeaf(key);
+  std::size_t pos = leaf->LowerBoundIdx(key);
+  while (leaf != nullptr) {
+    if (pos < leaf->keys.size()) return leaf->keys[pos];
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return std::nullopt;
+}
+
+bool OrderedIndex::CheckNode(const Node* node, bool is_root, int* leaf_depth,
+                             int depth) {
+  if (!is_root && node->keys.size() < kMinKeys) return false;
+  if (node->keys.size() > kMaxKeys) return false;
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) return false;
+  if (node->is_leaf) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return false;
+    }
+    return true;
+  }
+  if (node->children.size() != node->keys.size() + 1) return false;
+  for (std::size_t i = 0; i < node->children.size(); ++i) {
+    const Node* child = node->children[i];
+    if (child->parent != node) return false;
+    if (!child->keys.empty()) {
+      if (i > 0 && child->keys.front() < node->keys[i - 1]) return false;
+      if (i < node->keys.size() && child->keys.back() >= node->keys[i]) {
+        return false;
+      }
+    }
+    if (!CheckNode(child, false, leaf_depth, depth + 1)) return false;
+  }
+  return true;
+}
+
+bool OrderedIndex::CheckInvariants() const {
+  int leaf_depth = -1;
+  if (!CheckNode(root_, /*is_root=*/true, &leaf_depth, 0)) return false;
+  // Leaf chain must enumerate all keys in ascending order.
+  const Node* leaf = root_;
+  while (!leaf->is_leaf) leaf = leaf->children.front();
+  std::size_t seen = 0;
+  ObjectKey prev = 0;
+  bool first = true;
+  while (leaf != nullptr) {
+    for (ObjectKey k : leaf->keys) {
+      if (!first && k <= prev) return false;
+      prev = k;
+      first = false;
+      ++seen;
+    }
+    leaf = leaf->next;
+  }
+  return seen == size_;
+}
+
+}  // namespace tpart

@@ -1,0 +1,65 @@
+#ifndef TPART_STORAGE_ORDERED_INDEX_H_
+#define TPART_STORAGE_ORDERED_INDEX_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tpart {
+
+/// In-memory B+-tree over ObjectKey, used as the ordered primary index of
+/// KvStore. Values are not stored here — the tree indexes key presence and
+/// supports ordered iteration; the record heap lives in KvStore's hash map.
+///
+/// A real B+-tree (rather than std::map) is used deliberately: it mirrors
+/// the index-maintenance cost the paper attributes part of its
+/// absolute-throughput gap to (§6.1.1), and it is exercised by the
+/// storage-layer tests.
+class OrderedIndex {
+ public:
+  OrderedIndex();
+  ~OrderedIndex();
+
+  OrderedIndex(const OrderedIndex&) = delete;
+  OrderedIndex& operator=(const OrderedIndex&) = delete;
+
+  /// Inserts `key`; returns false when already present.
+  bool Insert(ObjectKey key);
+
+  /// Removes `key`; returns false when absent.
+  bool Erase(ObjectKey key);
+
+  bool Contains(ObjectKey key) const;
+  std::size_t size() const { return size_; }
+
+  /// Visits keys in [lo, hi] in ascending order. Returns count visited.
+  std::size_t ScanRange(ObjectKey lo, ObjectKey hi,
+                        const std::function<void(ObjectKey)>& fn) const;
+
+  /// Smallest key >= `key`, or nullopt.
+  std::optional<ObjectKey> LowerBound(ObjectKey key) const;
+
+  /// Validates B+-tree structural invariants (fanout bounds, sorted keys,
+  /// uniform leaf depth, leaf-chain order). Used by tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  Node* FindLeaf(ObjectKey key) const;
+  void InsertIntoParent(Node* node, ObjectKey sep, Node* right);
+  void RebalanceAfterErase(Node* node);
+  static bool CheckNode(const Node* node, bool is_root, int* leaf_depth,
+                        int depth);
+
+  Node* root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_STORAGE_ORDERED_INDEX_H_

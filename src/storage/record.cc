@@ -1,0 +1,18 @@
+#include "storage/record.h"
+
+#include <sstream>
+
+namespace tpart {
+
+std::string Record::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << fields_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace tpart

@@ -1,0 +1,78 @@
+#ifndef TPART_STORAGE_RECORD_H_
+#define TPART_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tpart {
+
+/// A tuple in the storage layer. Records hold a small array of 64-bit
+/// fields (enough for the TPC-C / TPC-E-like schemas used here) plus an
+/// opaque padding size so that workloads can model the paper's record
+/// footprint (164 bytes in the Microbenchmark, §6.3) without shipping
+/// actual payload bytes around.
+class Record {
+ public:
+  Record() = default;
+
+  /// Record with `num_fields` zero-initialized fields.
+  explicit Record(std::size_t num_fields, std::size_t padding_bytes = 0)
+      : fields_(num_fields, 0), padding_bytes_(padding_bytes) {}
+
+  /// Record from explicit field values.
+  Record(std::initializer_list<std::int64_t> fields,
+         std::size_t padding_bytes = 0)
+      : fields_(fields), padding_bytes_(padding_bytes) {}
+
+  /// The "absent" marker: the pre-image of a key that does not exist yet.
+  /// Pushing/writing-back an absent value is how an aborted transaction
+  /// forwards the old state of a fresh insert (§5.3); applying it to
+  /// storage deletes the key if present.
+  static Record Absent() {
+    Record r;
+    r.absent_ = true;
+    return r;
+  }
+  bool is_absent() const { return absent_; }
+
+  std::size_t num_fields() const { return fields_.size(); }
+
+  std::int64_t field(std::size_t i) const { return fields_.at(i); }
+  void set_field(std::size_t i, std::int64_t v) { fields_.at(i) = v; }
+
+  /// Adds `delta` to field `i`; the canonical read-modify-write primitive
+  /// used by the stored procedures.
+  void add_to_field(std::size_t i, std::int64_t delta) {
+    fields_.at(i) += delta;
+  }
+
+  const std::vector<std::int64_t>& fields() const { return fields_; }
+
+  /// Logical wire/storage size in bytes (fields + declared padding).
+  std::size_t SizeBytes() const {
+    return fields_.size() * sizeof(std::int64_t) + padding_bytes_;
+  }
+
+  std::size_t padding_bytes() const { return padding_bytes_; }
+
+  bool operator==(const Record& other) const {
+    return fields_ == other.fields_ &&
+           padding_bytes_ == other.padding_bytes_ &&
+           absent_ == other.absent_;
+  }
+
+  /// Debug rendering: "[f0, f1, ...]".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::int64_t> fields_;
+  std::size_t padding_bytes_ = 0;
+  bool absent_ = false;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_STORAGE_RECORD_H_

@@ -1,0 +1,18 @@
+#include "storage/table.h"
+
+namespace tpart {
+
+TableId Catalog::AddTable(TableDef def) {
+  def.id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::move(def));
+  return tables_.back().id;
+}
+
+const TableDef* Catalog::FindTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace tpart

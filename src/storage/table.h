@@ -1,0 +1,40 @@
+#ifndef TPART_STORAGE_TABLE_H_
+#define TPART_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tpart {
+
+/// Static description of one table: id, name, arity, and the logical
+/// record padding used to model its on-disk footprint.
+struct TableDef {
+  TableId id = 0;
+  std::string name;
+  std::size_t num_fields = 1;
+  std::size_t padding_bytes = 0;
+};
+
+/// Catalog of table definitions for a workload's schema. Table ids must be
+/// dense (0..n-1) and unique.
+class Catalog {
+ public:
+  /// Registers a table. Returns its id. Ids are assigned densely in
+  /// registration order; `def.id` is overwritten.
+  TableId AddTable(TableDef def);
+
+  const TableDef& table(TableId id) const { return tables_.at(id); }
+  std::size_t num_tables() const { return tables_.size(); }
+
+  /// Looks up a table by name; returns nullptr when absent.
+  const TableDef* FindTable(const std::string& name) const;
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_STORAGE_TABLE_H_

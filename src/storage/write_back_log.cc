@@ -1,0 +1,62 @@
+#include "storage/write_back_log.h"
+
+#include <cassert>
+
+namespace tpart {
+
+void WriteBackLog::BeginBatch(SinkEpoch epoch) {
+  assert(!open_ && "previous batch still open");
+  assert((batch_epochs_.empty() || batch_epochs_.back() < epoch) &&
+         "batch epochs must increase");
+  batch_starts_.push_back(entries_.size());
+  batch_epochs_.push_back(epoch);
+  open_ = true;
+}
+
+void WriteBackLog::LogWrite(ObjectKey key, std::optional<Record> old_value) {
+  assert(open_ && "LogWrite outside a batch");
+  entries_.push_back(Entry{batch_epochs_.back(), key, std::move(old_value)});
+}
+
+void WriteBackLog::CommitBatch() {
+  assert(open_);
+  open_ = false;
+  ++committed_batches_;
+}
+
+std::size_t WriteBackLog::UndoIncomplete(KvStore& store) const {
+  if (!open_) return 0;
+  // Only the last batch can be incomplete (batches are sequential).
+  const std::size_t start = batch_starts_.back();
+  std::size_t undone = 0;
+  for (std::size_t i = entries_.size(); i > start; --i) {
+    const Entry& e = entries_[i - 1];
+    if (e.old_value.has_value()) {
+      store.Upsert(e.key, *e.old_value);
+    } else {
+      // Record did not exist before the batch; remove it if present.
+      (void)store.Delete(e.key);
+    }
+    ++undone;
+  }
+  return undone;
+}
+
+void WriteBackLog::TruncateCommitted() {
+  if (open_) {
+    // Keep only the open batch's entries.
+    const std::size_t start = batch_starts_.back();
+    const SinkEpoch epoch = batch_epochs_.back();
+    entries_.erase(entries_.begin(),
+                   entries_.begin() + static_cast<std::ptrdiff_t>(start));
+    batch_starts_.assign(1, 0);
+    batch_epochs_.assign(1, epoch);
+  } else {
+    entries_.clear();
+    batch_starts_.clear();
+    batch_epochs_.clear();
+  }
+  committed_batches_ = 0;
+}
+
+}  // namespace tpart

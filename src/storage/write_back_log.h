@@ -1,0 +1,66 @@
+#ifndef TPART_STORAGE_WRITE_BACK_LOG_H_
+#define TPART_STORAGE_WRITE_BACK_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/kv_store.h"
+#include "storage/record.h"
+
+namespace tpart {
+
+/// UNDO log for write-back procedures (§5.4): "all storage access is
+/// actually done by the write-back procedures rather than normal
+/// transactions. In T-Part, only the operations of write-back procedures
+/// need to be UNDO-logged. Normal transactions do not need any log."
+///
+/// A write-back batch (one per sinking round) is opened with BeginBatch,
+/// records the pre-image of every storage write, and is sealed with
+/// CommitBatch. After a crash, UndoIncomplete() rolls back the effects of
+/// any batch that never committed, restoring the storage to a
+/// batch-consistent state from which request replay can proceed.
+class WriteBackLog {
+ public:
+  /// Opens batch `epoch` (the sinking-round number). Batches must be
+  /// opened in increasing epoch order.
+  void BeginBatch(SinkEpoch epoch);
+
+  /// Records the pre-image of `key` before a storage write in the current
+  /// batch. `old_value` is nullopt when the write creates the record.
+  void LogWrite(ObjectKey key, std::optional<Record> old_value);
+
+  /// Marks the current batch durable/complete.
+  void CommitBatch();
+
+  /// Rolls back every entry belonging to an uncommitted batch, newest
+  /// first, against `store`. Returns the number of entries undone.
+  std::size_t UndoIncomplete(KvStore& store) const;
+
+  /// True when a batch is open but not committed.
+  bool HasOpenBatch() const { return open_; }
+
+  std::size_t num_entries() const { return entries_.size(); }
+  std::size_t num_committed_batches() const { return committed_batches_; }
+
+  /// Drops committed entries (checkpoint truncation).
+  void TruncateCommitted();
+
+ private:
+  struct Entry {
+    SinkEpoch epoch;
+    ObjectKey key;
+    std::optional<Record> old_value;
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<std::size_t> batch_starts_;  // index of first entry per batch
+  std::vector<SinkEpoch> batch_epochs_;
+  std::size_t committed_batches_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_STORAGE_WRITE_BACK_LOG_H_

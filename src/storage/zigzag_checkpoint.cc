@@ -1,0 +1,83 @@
+#include "storage/zigzag_checkpoint.h"
+
+#include <mutex>
+
+namespace tpart {
+
+void ZigZagCheckpointStore::Put(ObjectKey key, Record value) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  Slot& s = slots_[key];
+  s.copy[s.mw] = std::move(value);
+  // Reads follow the freshest copy (zig-zag's MR <- MW on update).
+  s.mr = s.mw;
+}
+
+Record ZigZagCheckpointStore::Get(ObjectKey key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return Record::Absent();
+  return it->second.copy[it->second.mr];
+}
+
+void ZigZagCheckpointStore::Delete(ObjectKey key) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return;
+  Slot& s = it->second;
+  s.copy[s.mw] = Record::Absent();
+  s.mr = s.mw;
+}
+
+std::size_t ZigZagCheckpointStore::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [k, s] : slots_) {
+    (void)k;
+    if (!s.copy[s.mr].is_absent()) ++n;
+  }
+  return n;
+}
+
+std::size_t ZigZagCheckpointStore::Checkpoint(
+    const std::function<void(ObjectKey, const Record&)>& emit) {
+  // Phase 1 (brief exclusive section): freeze the current committed copy
+  // of every key by pointing writes at the other one.
+  std::vector<std::pair<ObjectKey, std::uint8_t>> frozen;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    frozen.reserve(slots_.size());
+    for (auto& [key, s] : slots_) {
+      s.mw = static_cast<std::uint8_t>(1 - s.mr);
+      frozen.emplace_back(key, s.mr);
+    }
+  }
+  // Phase 2: stream the frozen copies. Concurrent Put()s write the other
+  // copy; a Put also flips mr to the written copy, so later reads see the
+  // new value while our frozen index keeps snapshotting the old one.
+  // `emit` runs outside the lock so it may itself touch the store.
+  std::size_t captured = 0;
+  for (const auto& [key, idx] : frozen) {
+    Record rec;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = slots_.find(key);
+      if (it == slots_.end()) continue;
+      rec = it->second.copy[idx];
+    }
+    if (rec.is_absent()) continue;
+    emit(key, rec);
+    ++captured;
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    ++rounds_;
+  }
+  return captured;
+}
+
+std::uint64_t ZigZagCheckpointStore::rounds() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return rounds_;
+}
+
+}  // namespace tpart

@@ -1,0 +1,18 @@
+#include "tgraph/edge_weight.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpart {
+
+double LinearDecayEdgeWeight::Weight(TxnId i, TxnId j) const {
+  const double d = j > i ? static_cast<double>(j - i) : 0.0;
+  return std::max(floor_, w0_ - slope_ * d);
+}
+
+double SigmoidEdgeWeight::Weight(TxnId i, TxnId j) const {
+  const double d = j > i ? static_cast<double>(j - i) : 0.0;
+  return lo_ + (hi_ - lo_) / (1.0 + std::exp((d - midpoint_) / steepness_));
+}
+
+}  // namespace tpart

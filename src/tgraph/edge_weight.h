@@ -1,0 +1,75 @@
+#ifndef TPART_TGRAPH_EDGE_WEIGHT_H_
+#define TPART_TGRAPH_EDGE_WEIGHT_H_
+
+#include <memory>
+
+#include "common/types.h"
+
+namespace tpart {
+
+/// Weight model for forward-push (and cache-read) edges, §4.1: the weight
+/// of edge e_{i,j} "should reflect the machine synchronization cost ...
+/// the amount of time v_j stalls to wait for the push from v_i.
+/// Intuitively, the larger the transaction distance (j - i), the lower the
+/// weight should be."
+class EdgeWeightModel {
+ public:
+  virtual ~EdgeWeightModel() = default;
+
+  /// Weight for a wr-dependency between total-order positions i < j.
+  virtual double Weight(TxnId i, TxnId j) const = 0;
+
+  /// Human-readable model name, for benchmark output.
+  virtual const char* name() const = 0;
+};
+
+/// All edges weigh 1 ("for simplicity, here we assume that all node/edge
+/// weights equal to 1", §3.1).
+class ConstantEdgeWeight : public EdgeWeightModel {
+ public:
+  explicit ConstantEdgeWeight(double w = 1.0) : w_(w) {}
+  double Weight(TxnId, TxnId) const override { return w_; }
+  const char* name() const override { return "constant"; }
+
+ private:
+  double w_;
+};
+
+/// Linear decay fitted to the *average* stall measurements (Fig. 4(a)):
+/// w(d) = max(floor, w0 - slope * d).
+class LinearDecayEdgeWeight : public EdgeWeightModel {
+ public:
+  LinearDecayEdgeWeight(double w0, double slope, double floor)
+      : w0_(w0), slope_(slope), floor_(floor) {}
+  /// Defaults calibrated so weight halves around distance ~100 and
+  /// bottoms out at 10% for very distant pairs.
+  LinearDecayEdgeWeight() : LinearDecayEdgeWeight(1.0, 0.005, 0.1) {}
+
+  double Weight(TxnId i, TxnId j) const override;
+  const char* name() const override { return "linear-decay"; }
+
+ private:
+  double w0_, slope_, floor_;
+};
+
+/// Sigmoid fitted to the *maximum* stall measurements (Fig. 4(b)): high
+/// plateau for close pairs, a drop around distance `midpoint` (the paper
+/// observes "the jump around (j-i) = 200"), low plateau beyond. The paper
+/// leaves evaluating this model to future work (§8); we ship it for the
+/// ablation bench.
+class SigmoidEdgeWeight : public EdgeWeightModel {
+ public:
+  SigmoidEdgeWeight(double lo, double hi, double midpoint, double steepness)
+      : lo_(lo), hi_(hi), midpoint_(midpoint), steepness_(steepness) {}
+  SigmoidEdgeWeight() : SigmoidEdgeWeight(0.1, 1.0, 200.0, 25.0) {}
+
+  double Weight(TxnId i, TxnId j) const override;
+  const char* name() const override { return "sigmoid"; }
+
+ private:
+  double lo_, hi_, midpoint_, steepness_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_TGRAPH_EDGE_WEIGHT_H_

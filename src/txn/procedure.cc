@@ -1,0 +1,42 @@
+#include "txn/procedure.h"
+
+namespace tpart {
+
+void ProcedureRegistry::Register(ProcId id, std::string name,
+                                 ProcedureFn fn) {
+  procs_[id] = Entry{std::move(name), std::move(fn)};
+}
+
+const ProcedureFn* ProcedureRegistry::Find(ProcId id) const {
+  auto it = procs_.find(id);
+  return it == procs_.end() ? nullptr : &it->second.fn;
+}
+
+const std::string& ProcedureRegistry::Name(ProcId id) const {
+  static const std::string kUnknown = "<unknown>";
+  auto it = procs_.find(id);
+  return it == procs_.end() ? kUnknown : it->second.name;
+}
+
+Result<TxnResult> RunProcedure(const ProcedureRegistry& registry,
+                               const TxnSpec& spec, TxnContext& ctx) {
+  const ProcedureFn* fn = registry.Find(spec.proc);
+  if (fn == nullptr) {
+    return Status::InvalidArgument("unregistered procedure id " +
+                                   std::to_string(spec.proc));
+  }
+  TxnResult result;
+  result.id = spec.id;
+  const Status st = (*fn)(ctx);
+  if (st.ok()) {
+    result.committed = true;
+    result.output = ctx.TakeOutput();
+  } else if (st.code() == StatusCode::kAborted) {
+    result.committed = false;
+  } else {
+    return st;  // engine invariant failure, not a logic abort
+  }
+  return result;
+}
+
+}  // namespace tpart

@@ -1,0 +1,52 @@
+#include "txn/rw_set.h"
+
+#include <algorithm>
+
+namespace tpart {
+
+void NormalizeKeySet(std::vector<ObjectKey>& keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+}
+
+bool KeySetContains(const std::vector<ObjectKey>& keys, ObjectKey key) {
+  return std::binary_search(keys.begin(), keys.end(), key);
+}
+
+bool KeySetsIntersect(const std::vector<ObjectKey>& a,
+                      const std::vector<ObjectKey>& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::vector<ObjectKey> KeySetUnion(const std::vector<ObjectKey>& a,
+                                   const std::vector<ObjectKey>& b) {
+  std::vector<ObjectKey> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<ObjectKey> KeySetIntersection(const std::vector<ObjectKey>& a,
+                                          const std::vector<ObjectKey>& b) {
+  std::vector<ObjectKey> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+void RwSet::Normalize() {
+  NormalizeKeySet(reads);
+  NormalizeKeySet(writes);
+}
+
+}  // namespace tpart

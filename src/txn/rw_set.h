@@ -1,0 +1,54 @@
+#ifndef TPART_TXN_RW_SET_H_
+#define TPART_TXN_RW_SET_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace tpart {
+
+/// Normalizes `keys` in place: sorts ascending and removes duplicates.
+/// All read/write sets in the system are kept normalized so set operations
+/// are linear merges and plans are deterministic.
+void NormalizeKeySet(std::vector<ObjectKey>& keys);
+
+/// Binary-search membership test over a normalized key set.
+bool KeySetContains(const std::vector<ObjectKey>& keys, ObjectKey key);
+
+/// True when two normalized key sets share at least one key.
+bool KeySetsIntersect(const std::vector<ObjectKey>& a,
+                      const std::vector<ObjectKey>& b);
+
+/// Sorted union of two normalized key sets.
+std::vector<ObjectKey> KeySetUnion(const std::vector<ObjectKey>& a,
+                                   const std::vector<ObjectKey>& b);
+
+/// Sorted intersection of two normalized key sets.
+std::vector<ObjectKey> KeySetIntersection(const std::vector<ObjectKey>& a,
+                                          const std::vector<ObjectKey>& b);
+
+/// Declared read and write sets of a transaction, known before execution
+/// as deterministic database systems require (§1: "each machine ... needs
+/// to analyze the read and write sets of that transaction" before
+/// executing it). Both sets are normalized.
+struct RwSet {
+  std::vector<ObjectKey> reads;
+  std::vector<ObjectKey> writes;
+
+  /// Sorts and dedups both sets.
+  void Normalize();
+
+  bool ReadsKey(ObjectKey key) const { return KeySetContains(reads, key); }
+  bool WritesKey(ObjectKey key) const { return KeySetContains(writes, key); }
+
+  /// Union of reads and writes (the transaction's full footprint).
+  std::vector<ObjectKey> AllKeys() const { return KeySetUnion(reads, writes); }
+
+  bool operator==(const RwSet& other) const {
+    return reads == other.reads && writes == other.writes;
+  }
+};
+
+}  // namespace tpart
+
+#endif  // TPART_TXN_RW_SET_H_

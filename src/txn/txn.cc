@@ -1,0 +1,31 @@
+#include "txn/txn.h"
+
+#include <sstream>
+
+namespace tpart {
+
+std::string TxnSpec::ToString() const {
+  std::ostringstream out;
+  out << "T" << id << (is_dummy ? "(dummy)" : "") << " proc=" << proc
+      << " R{";
+  for (std::size_t i = 0; i < rw.reads.size(); ++i) {
+    if (i > 0) out << ",";
+    out << rw.reads[i];
+  }
+  out << "} W{";
+  for (std::size_t i = 0; i < rw.writes.size(); ++i) {
+    if (i > 0) out << ",";
+    out << rw.writes[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+TxnSpec MakeDummyTxn() {
+  TxnSpec spec;
+  spec.is_dummy = true;
+  spec.node_weight = 0.0;
+  return spec;
+}
+
+}  // namespace tpart

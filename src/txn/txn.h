@@ -1,0 +1,63 @@
+#ifndef TPART_TXN_TXN_H_
+#define TPART_TXN_TXN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/rw_set.h"
+
+namespace tpart {
+
+/// Identifier of a stored-procedure type in the ProcedureRegistry.
+using ProcId = std::uint32_t;
+
+/// A totally ordered transaction request: the unit the sequencers emit,
+/// the schedulers model as T-graph nodes, and the executors run.
+///
+/// OLTP transactions are "short and drawn from predefined stored
+/// procedures" (§1): a request carries the procedure id, its parameters,
+/// and the read/write sets derived from them by the scheduler's analysis.
+struct TxnSpec {
+  /// Place in the total order (1-based; kInvalidTxnId before sequencing).
+  TxnId id = kInvalidTxnId;
+
+  ProcId proc = 0;
+
+  /// Procedure parameters; interpretation is procedure-specific.
+  std::vector<std::int64_t> params;
+
+  RwSet rw;
+
+  /// Dummy requests are sequencer padding (§3.3): they keep the sinking
+  /// process running during client silence and are "discarded when
+  /// generating a push plan".
+  bool is_dummy = false;
+
+  /// Node weight in the T-graph ("the weight of a node represents the
+  /// processing cost of a transaction", §3.1). 1.0 for ordinary OLTP
+  /// transactions.
+  double node_weight = 1.0;
+
+  bool ReadsKey(ObjectKey key) const { return rw.ReadsKey(key); }
+  bool WritesKey(ObjectKey key) const { return rw.WritesKey(key); }
+
+  std::string ToString() const;
+};
+
+/// A dummy padding request (see TxnSpec::is_dummy).
+TxnSpec MakeDummyTxn();
+
+/// Outcome of executing one transaction.
+struct TxnResult {
+  TxnId id = kInvalidTxnId;
+  bool committed = false;
+  /// Procedure-defined output values (e.g. read results); must be
+  /// identical across replicas/engines for the same total order.
+  std::vector<std::int64_t> output;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_TXN_TXN_H_

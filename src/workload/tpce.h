@@ -1,0 +1,64 @@
+#ifndef TPART_WORKLOAD_TPCE_H_
+#define TPART_WORKLOAD_TPCE_H_
+
+#include <cstdint>
+
+#include "workload/workload.h"
+
+namespace tpart {
+
+/// TPC-E-like brokerage workload (§6.1.2): "TPC-E ... has more
+/// complicated and long-running transactions, non-uniform data access,
+/// and hard-to-partition data. Because there is no well-known best
+/// partitioning method for TPC-E, we partition each table horizontally
+/// based on the hash value of the primary key ... we focus on the
+/// Trade-Order and Trade-Result transactions ... the EGen program
+/// generates non-uniform customer ID, thus the data access pattern is
+/// skewed."
+///
+/// Tables: CUSTOMER, ACCOUNT, BROKER, SECURITY, LAST_TRADE, TRADE,
+/// TRADE_HISTORY, HOLDING_SUMMARY. Customer selection is Zipfian
+/// (standing in for EGen's non-uniform ids); every table is
+/// hash-partitioned, so nearly every transaction is distributed with
+/// remote records spread across almost all machines — the hard case the
+/// paper targets.
+struct TpceOptions {
+  std::size_t num_machines = 4;
+  std::uint64_t customers_per_machine = 1'000;
+  std::uint64_t securities_per_machine = 500;
+  std::uint64_t accounts_per_customer = 2;
+  /// One broker per this many customers.
+  std::uint64_t customers_per_broker = 50;
+  std::size_t num_txns = 10'000;
+  /// Fraction of Trade-Order requests (rest are Trade-Result for
+  /// previously ordered trades).
+  double trade_order_fraction = 0.5;
+  /// Zipf exponent of customer selection (EGen-style non-uniformity).
+  double customer_zipf_theta = 0.75;
+  /// Zipf exponent of security popularity.
+  double security_zipf_theta = 0.60;
+  /// Extra quotes a Trade-Order consults (market scan): spreads the read
+  /// set over "almost all machines" as the paper observes of TPC-E.
+  int market_scan_quotes = 10;
+  std::uint64_t seed = 1;
+};
+
+Workload MakeTpceWorkload(const TpceOptions& options);
+
+inline constexpr ProcId kTpceTradeOrder = 300;
+inline constexpr ProcId kTpceTradeResult = 301;
+
+enum TpceTable : TableId {
+  kTpceCustomer = 0,
+  kTpceAccount = 1,
+  kTpceBroker = 2,
+  kTpceSecurity = 3,
+  kTpceLastTrade = 4,
+  kTpceTrade = 5,
+  kTpceTradeHistory = 6,
+  kTpceHolding = 7,
+};
+
+}  // namespace tpart
+
+#endif  // TPART_WORKLOAD_TPCE_H_

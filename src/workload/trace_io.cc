@@ -1,0 +1,85 @@
+#include "workload/trace_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace tpart {
+
+void WriteTrace(std::ostream& out, const std::vector<TxnSpec>& txns) {
+  for (const TxnSpec& t : txns) {
+    out << "txn " << t.id << " proc " << t.proc << " dummy "
+        << (t.is_dummy ? 1 : 0) << " weight " << t.node_weight << "\n";
+    out << "params " << t.params.size();
+    for (const auto v : t.params) out << " " << v;
+    out << "\n";
+    out << "reads " << t.rw.reads.size();
+    for (const auto k : t.rw.reads) out << " " << k;
+    out << "\n";
+    out << "writes " << t.rw.writes.size();
+    for (const auto k : t.rw.writes) out << " " << k;
+    out << "\n";
+  }
+}
+
+namespace {
+
+Status Malformed(const std::string& line) {
+  return Status::InvalidArgument("malformed trace line: " + line);
+}
+
+template <typename T>
+Status ParseList(std::istringstream& in, const std::string& line,
+                 std::vector<T>& out) {
+  std::size_t n = 0;
+  if (!(in >> n)) return Malformed(line);
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    T v;
+    if (!(in >> v)) return Malformed(line);
+    out.push_back(v);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<TxnSpec>> ReadTrace(std::istream& in) {
+  std::vector<TxnSpec> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag != "txn") return Malformed(line);
+    TxnSpec spec;
+    std::string k1, k2, k3;
+    int dummy = 0;
+    if (!(ls >> spec.id >> k1 >> spec.proc >> k2 >> dummy >> k3 >>
+          spec.node_weight) ||
+        k1 != "proc" || k2 != "dummy" || k3 != "weight") {
+      return Malformed(line);
+    }
+    spec.is_dummy = dummy != 0;
+
+    auto read_section = [&](const char* want,
+                            auto& dst) -> Status {
+      if (!std::getline(in, line)) return Malformed("<eof>");
+      std::istringstream ss(line);
+      std::string tag2;
+      ss >> tag2;
+      if (tag2 != want) return Malformed(line);
+      return ParseList(ss, line, dst);
+    };
+    TPART_RETURN_IF_ERROR(read_section("params", spec.params));
+    TPART_RETURN_IF_ERROR(read_section("reads", spec.rw.reads));
+    TPART_RETURN_IF_ERROR(read_section("writes", spec.rw.writes));
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace tpart

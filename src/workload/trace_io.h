@@ -1,0 +1,29 @@
+#ifndef TPART_WORKLOAD_TRACE_IO_H_
+#define TPART_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/txn.h"
+
+namespace tpart {
+
+/// Line-oriented text serialisation of transaction traces, so experiment
+/// inputs can be archived, diffed, and replayed across builds:
+///
+///   txn <id> proc <p> dummy <0|1> weight <w>
+///   params <n> v1 v2 ...
+///   reads <n> k1 k2 ...
+///   writes <n> k1 k2 ...
+///
+/// Round-trips exactly (the format carries everything TxnSpec holds).
+void WriteTrace(std::ostream& out, const std::vector<TxnSpec>& txns);
+
+/// Parses a trace written by WriteTrace. Fails with InvalidArgument on
+/// any malformed line.
+Result<std::vector<TxnSpec>> ReadTrace(std::istream& in);
+
+}  // namespace tpart
+
+#endif  // TPART_WORKLOAD_TRACE_IO_H_

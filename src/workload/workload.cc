@@ -1,0 +1,36 @@
+#include "workload/workload.h"
+
+#include <unordered_set>
+
+namespace tpart {
+
+std::vector<TxnSpec> Workload::SequencedRequests() const {
+  std::vector<TxnSpec> out = requests;
+  TxnId id = 1;
+  for (auto& spec : out) spec.id = id++;
+  return out;
+}
+
+double MeasureDistributedRate(const std::vector<TxnSpec>& requests,
+                              const DataPartitionMap& map) {
+  if (requests.empty()) return 0.0;
+  std::size_t distributed = 0;
+  for (const auto& spec : requests) {
+    MachineId first = kInvalidMachine;
+    bool multi = false;
+    for (const ObjectKey k : spec.rw.AllKeys()) {
+      const MachineId m = map.Locate(k);
+      if (first == kInvalidMachine) {
+        first = m;
+      } else if (m != first) {
+        multi = true;
+        break;
+      }
+    }
+    if (multi) ++distributed;
+  }
+  return static_cast<double>(distributed) /
+         static_cast<double>(requests.size());
+}
+
+}  // namespace tpart

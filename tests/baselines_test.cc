@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "baselines/gstore.h"
+#include "baselines/schism.h"
+#include "workload/micro.h"
+#include "workload/workload.h"
+
+namespace tpart {
+namespace {
+
+TEST(SchismTest, ReducesDistributedRateOnPartitionableWorkload) {
+  // A clusterable workload under a bad (hash) placement: Schism should
+  // recover most of the locality (Fig. 6(a) -> (b)).
+  MicroOptions o;
+  o.num_machines = 4;
+  o.records_per_machine = 500;
+  o.hot_set_size = 50;
+  o.num_txns = 4000;
+  o.distributed_rate = 0.0;  // co-access clusters are machine-local
+  const Workload w = MakeMicroWorkload(o);
+
+  auto bad_map = std::make_shared<HashPartitionMap>(4);
+  const double before = MeasureDistributedRate(w.requests, *bad_map);
+  ASSERT_GT(before, 0.9);  // hash placement shreds the clusters
+
+  SchismOptions opts;
+  opts.num_machines = 4;
+  const auto schism_map =
+      BuildSchismPartition(w.requests, bad_map, opts);
+  const double after = MeasureDistributedRate(w.requests, *schism_map);
+  EXPECT_LT(after, before * 0.7);
+  EXPECT_GT(schism_map->num_explicit_entries(), 0u);
+}
+
+TEST(SchismTest, LooksBackOnly) {
+  // Partitions derived from one trace do not help a shifted workload —
+  // the paper's core criticism of workload-driven data partitioning (§1).
+  MicroOptions past;
+  past.num_machines = 4;
+  past.records_per_machine = 500;
+  past.num_txns = 2000;
+  past.distributed_rate = 0.0;
+  past.seed = 1;
+  MicroOptions future = past;
+  future.seed = 99;  // different access pattern
+
+  const Workload old_w = MakeMicroWorkload(past);
+  const Workload new_w = MakeMicroWorkload(future);
+  auto fallback = std::make_shared<HashPartitionMap>(4);
+  SchismOptions opts;
+  opts.num_machines = 4;
+  const auto map = BuildSchismPartition(old_w.requests, fallback, opts);
+  const double on_old = MeasureDistributedRate(old_w.requests, *map);
+  const double on_new = MeasureDistributedRate(new_w.requests, *map);
+  EXPECT_GT(on_new, on_old);
+}
+
+TEST(SchismTest, RespectsTraceCap) {
+  MicroOptions o;
+  o.num_machines = 2;
+  o.records_per_machine = 100;
+  o.num_txns = 100;
+  const Workload w = MakeMicroWorkload(o);
+  SchismOptions opts;
+  opts.num_machines = 2;
+  opts.max_trace_txns = 10;
+  const auto map =
+      BuildSchismPartition(w.requests, w.partition_map, opts);
+  // Only keys of the first 10 txns can be assigned (10 txns * <=10 keys).
+  EXPECT_LE(map->num_explicit_entries(), 100u);
+}
+
+TEST(GStoreTest, OptionsReduceToSinkSizeOne) {
+  TPartSimOptions base;
+  base.scheduler.sink_size = 100;
+  const TPartSimOptions g = MakeGStoreSimOptions(base);
+  EXPECT_EQ(g.scheduler.sink_size, 1u);
+  EXPECT_TRUE(g.scheduler.graph.always_write_back);
+  EXPECT_FALSE(g.scheduler.optimize_plans);
+  EXPECT_FALSE(g.scheduler.graph.sticky_cache);
+}
+
+}  // namespace
+}  // namespace tpart

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "common/fit.h"
+
+namespace tpart {
+namespace {
+
+TEST(FitTest, ExactLine) {
+  std::vector<std::pair<double, double>> xy;
+  for (double x = 0; x < 10; ++x) xy.push_back({x, 3.0 - 0.25 * x});
+  const LinearFit fit = FitLine(xy);
+  EXPECT_NEAR(fit.slope, -0.25, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitTest, NoisyLineStillRecovered) {
+  std::vector<std::pair<double, double>> xy;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i;
+    const double noise = (i % 2 == 0 ? 1.0 : -1.0) * 0.5;
+    xy.push_back({x, 10.0 + 2.0 * x + noise});
+  }
+  const LinearFit fit = FitLine(xy);
+  EXPECT_NEAR(fit.slope, 2.0, 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitTest, DegenerateInputs) {
+  EXPECT_EQ(FitLine({}).slope, 0.0);
+  EXPECT_EQ(FitLine({{1, 1}}).slope, 0.0);
+  // Vertical data (same x) cannot be fitted.
+  const LinearFit f = FitLine({{2, 1}, {2, 5}});
+  EXPECT_EQ(f.slope, 0.0);
+}
+
+TEST(FitTest, SigmoidMidpointFindsKnee) {
+  std::vector<std::pair<double, double>> xy;
+  for (double x = 0; x <= 400; x += 10) {
+    xy.push_back({x, x < 200 ? 100.0 : 10.0});
+  }
+  EXPECT_NEAR(SigmoidMidpoint(xy), 200.0, 10.0);
+}
+
+TEST(FitTest, SigmoidMidpointFlatCurve) {
+  std::vector<std::pair<double, double>> xy = {{0, 5}, {10, 5}, {20, 5}};
+  // All values equal: first point is at the (degenerate) midpoint.
+  EXPECT_EQ(SigmoidMidpoint(xy), 0.0);
+}
+
+}  // namespace
+}  // namespace tpart

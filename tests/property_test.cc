@@ -1,0 +1,172 @@
+// Parameterised property sweeps: for randomised workloads across a grid
+// of engine configurations, the T-Part runtime must (a) agree with the
+// serial reference on final state and outputs, and (b) produce identical
+// plans from independent schedulers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "exec/serial_executor.h"
+#include "runtime/cluster.h"
+#include "scheduler/tpart_scheduler.h"
+#include "workload/micro.h"
+
+namespace tpart {
+namespace {
+
+// (machines, sink_size, distributed_rate, optimize_plans, seed)
+using Config = std::tuple<int, int, double, bool, int>;
+
+class EngineEquivalence : public ::testing::TestWithParam<Config> {};
+
+TEST_P(EngineEquivalence, TPartMatchesSerial) {
+  const auto [machines, sink_size, dist_rate, optimize, seed] = GetParam();
+  MicroOptions o;
+  o.num_machines = static_cast<std::size_t>(machines);
+  o.records_per_machine = 120;
+  o.hot_set_size = 12;
+  o.num_txns = 250;
+  o.distributed_rate = dist_rate;
+  o.seed = static_cast<std::uint64_t>(seed);
+  const Workload w = MakeMicroWorkload(o);
+
+  // Serial reference.
+  auto map1 = std::make_shared<HashPartitionMap>(1);
+  PartitionedStore serial_store(1, map1);
+  PartitionedStore scratch(w.num_machines, w.partition_map);
+  w.loader(scratch);
+  for (auto& [k, rec] : scratch.Snapshot()) serial_store.Upsert(k, rec);
+  auto serial = RunSerial(*w.procedures, w.SequencedRequests(),
+                          serial_store.store(0));
+  ASSERT_TRUE(serial.ok());
+
+  LocalClusterOptions opts;
+  opts.scheduler.sink_size = static_cast<std::size_t>(sink_size);
+  opts.scheduler.optimize_plans = optimize;
+  LocalCluster cluster(&w, opts);
+  const ClusterRunOutcome outcome = cluster.RunTPart();
+
+  ASSERT_EQ(outcome.results.size(), serial->results.size());
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    ASSERT_EQ(outcome.results[i].output, serial->results[i].output)
+        << "output diverged at T" << outcome.results[i].id;
+  }
+  EXPECT_EQ(cluster.store().Snapshot(), serial_store.Snapshot());
+}
+
+TEST_P(EngineEquivalence, IndependentSchedulersAgree) {
+  const auto [machines, sink_size, dist_rate, optimize, seed] = GetParam();
+  MicroOptions o;
+  o.num_machines = static_cast<std::size_t>(machines);
+  o.records_per_machine = 120;
+  o.hot_set_size = 12;
+  o.num_txns = 250;
+  o.distributed_rate = dist_rate;
+  o.seed = static_cast<std::uint64_t>(seed);
+  const Workload w = MakeMicroWorkload(o);
+
+  TPartScheduler::Options sopts;
+  sopts.sink_size = static_cast<std::size_t>(sink_size);
+  sopts.optimize_plans = optimize;
+  sopts.graph.num_machines = w.num_machines;
+  sopts.graph.read_own_writes = true;
+  TPartScheduler a(sopts, w.partition_map);
+  TPartScheduler b(sopts, w.partition_map);
+  std::vector<SinkPlan> pa, pb;
+  for (const TxnSpec& spec : w.SequencedRequests()) {
+    for (auto& p : a.OnTxn(spec)) pa.push_back(std::move(p));
+    for (auto& p : b.OnTxn(spec)) pb.push_back(std::move(p));
+  }
+  for (auto& p : a.Drain()) pa.push_back(std::move(p));
+  for (auto& p : b.Drain()) pb.push_back(std::move(p));
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_TRUE(pa[i] == pb[i]) << "round " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineEquivalence,
+    ::testing::Values(
+        Config{2, 1, 1.0, true, 1}, Config{2, 5, 1.0, true, 2},
+        Config{2, 25, 1.0, false, 3}, Config{3, 10, 0.5, true, 4},
+        Config{3, 10, 0.0, true, 5}, Config{4, 7, 1.0, true, 6},
+        Config{4, 40, 0.3, false, 7}, Config{5, 13, 0.8, true, 8}));
+
+// Partition-balance property: for any stream, the weighted streaming
+// partitioner keeps machine loads within a reasonable envelope.
+class BalanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BalanceProperty, LoadsStayBounded) {
+  MicroOptions o;
+  o.num_machines = 4;
+  o.records_per_machine = 200;
+  o.num_txns = 400;
+  o.seed = static_cast<std::uint64_t>(GetParam());
+  const Workload w = MakeMicroWorkload(o);
+  TPartScheduler::Options sopts;
+  sopts.sink_size = 50;
+  sopts.graph.num_machines = 4;
+  TPartScheduler sched(sopts, w.partition_map);
+  for (const TxnSpec& spec : w.SequencedRequests()) sched.OnTxn(spec);
+  const auto loads = sched.graph().AssignedLoad();
+  double total = 0;
+  double mx = 0;
+  for (const double l : loads) {
+    total += l;
+    mx = std::max(mx, l);
+  }
+  ASSERT_GT(total, 0.0);
+  EXPECT_LT(mx, 0.6 * total);  // no machine hoards the window
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalanceProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// Structural T-graph invariants must hold after every sink round of an
+// arbitrary stream, for any sink size and modelling options.
+class GraphInvariantProperty
+    : public ::testing::TestWithParam<std::tuple<int, bool, bool, int>> {};
+
+TEST_P(GraphInvariantProperty, HoldAcrossSinkRounds) {
+  const auto [sink_size, read_own_writes, always_write_back, seed] =
+      GetParam();
+  MicroOptions o;
+  o.num_machines = 3;
+  o.records_per_machine = 80;
+  o.hot_set_size = 8;
+  o.num_txns = 300;
+  o.seed = static_cast<std::uint64_t>(seed);
+  const Workload w = MakeMicroWorkload(o);
+
+  TPartScheduler::Options sopts;
+  sopts.sink_size = static_cast<std::size_t>(sink_size);
+  sopts.graph.num_machines = 3;
+  sopts.graph.read_own_writes = read_own_writes;
+  sopts.graph.always_write_back = always_write_back;
+  TPartScheduler sched(sopts, w.partition_map);
+
+  std::string why;
+  for (const TxnSpec& spec : w.SequencedRequests()) {
+    const auto plans = sched.OnTxn(spec);
+    if (!plans.empty()) {
+      ASSERT_TRUE(sched.graph().CheckInvariants(&why)) << why;
+    }
+  }
+  sched.Drain();
+  ASSERT_TRUE(sched.graph().CheckInvariants(&why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GraphInvariantProperty,
+    ::testing::Values(std::tuple<int, bool, bool, int>{1, true, false, 1},
+                      std::tuple<int, bool, bool, int>{3, true, false, 2},
+                      std::tuple<int, bool, bool, int>{10, false, false, 3},
+                      std::tuple<int, bool, bool, int>{10, true, true, 4},
+                      std::tuple<int, bool, bool, int>{25, true, false, 5},
+                      std::tuple<int, bool, bool, int>{1, true, true, 6}));
+
+}  // namespace
+}  // namespace tpart

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "sequencer/sequencer.h"
+
+namespace tpart {
+namespace {
+
+TxnSpec Request() {
+  TxnSpec spec;
+  spec.rw.reads = {1};
+  return spec;
+}
+
+TEST(SequencerTest, NoBatchUntilFull) {
+  Sequencer seq(Sequencer::Options{.batch_size = 3});
+  seq.Submit(Request());
+  seq.Submit(Request());
+  EXPECT_FALSE(seq.NextBatch().has_value());
+  seq.Submit(Request());
+  auto batch = seq.NextBatch();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->txns.size(), 3u);
+  EXPECT_EQ(batch->NumRealTxns(), 3u);
+}
+
+TEST(SequencerTest, IdsAreConsecutiveAcrossBatches) {
+  Sequencer seq(Sequencer::Options{.batch_size = 2});
+  for (int i = 0; i < 6; ++i) seq.Submit(Request());
+  TxnId expect = 1;
+  for (int b = 0; b < 3; ++b) {
+    auto batch = seq.NextBatch();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_TRUE(batch->CheckWellFormed(expect));
+    expect += 2;
+  }
+  EXPECT_EQ(seq.next_txn_id(), 7u);
+}
+
+TEST(SequencerTest, FlushPadsWithDummies) {
+  // §3.3: "we require each sequencer to add dummy requests into every
+  // batch ... if there are not enough requests from the clients."
+  Sequencer seq(Sequencer::Options{.batch_size = 5});
+  seq.Submit(Request());
+  auto batch = seq.Flush();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->txns.size(), 5u);
+  EXPECT_EQ(batch->NumRealTxns(), 1u);
+  EXPECT_EQ(seq.num_dummies_issued(), 4u);
+  EXPECT_TRUE(batch->CheckWellFormed(1));
+  EXPECT_FALSE(batch->txns[0].is_dummy);
+  EXPECT_TRUE(batch->txns[4].is_dummy);
+}
+
+TEST(SequencerTest, FlushOnSilenceIsAllDummies) {
+  Sequencer seq(Sequencer::Options{.batch_size = 3});
+  auto batch = seq.Flush();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->NumRealTxns(), 0u);
+  EXPECT_EQ(batch->txns.size(), 3u);
+}
+
+TEST(SequencerTest, FlushWithoutPaddingReturnsNulloptWhenEmpty) {
+  Sequencer seq(
+      Sequencer::Options{.batch_size = 3, .pad_with_dummies = false});
+  EXPECT_FALSE(seq.Flush().has_value());
+  seq.Submit(Request());
+  auto batch = seq.Flush();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->txns.size(), 1u);
+}
+
+TEST(SequencerTest, BatchIdsIncrease) {
+  Sequencer seq(Sequencer::Options{.batch_size = 1});
+  seq.Submit(Request());
+  seq.Submit(Request());
+  EXPECT_EQ(seq.NextBatch()->batch_id, 0u);
+  EXPECT_EQ(seq.NextBatch()->batch_id, 1u);
+  EXPECT_EQ(seq.num_batches_issued(), 2u);
+}
+
+}  // namespace
+}  // namespace tpart

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "storage/data_partition.h"
+#include "storage/kv_store.h"
+#include "storage/partitioned_store.h"
+#include "storage/record.h"
+#include "storage/table.h"
+
+namespace tpart {
+namespace {
+
+// ---- Record -------------------------------------------------------------
+
+TEST(RecordTest, FieldsAndPadding) {
+  Record r(3, 100);
+  EXPECT_EQ(r.num_fields(), 3u);
+  EXPECT_EQ(r.field(1), 0);
+  r.set_field(1, 42);
+  r.add_to_field(1, 8);
+  EXPECT_EQ(r.field(1), 50);
+  EXPECT_EQ(r.SizeBytes(), 3 * 8 + 100u);
+}
+
+TEST(RecordTest, InitializerListAndEquality) {
+  Record a{1, 2, 3};
+  Record b{1, 2, 3};
+  Record c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "[1, 2, 3]");
+}
+
+TEST(RecordTest, AbsentMarker) {
+  EXPECT_TRUE(Record::Absent().is_absent());
+  EXPECT_FALSE(Record{1}.is_absent());
+  EXPECT_FALSE(Record::Absent() == Record());
+}
+
+// ---- Catalog --------------------------------------------------------------
+
+TEST(CatalogTest, DenseIdsAndLookup) {
+  Catalog cat;
+  EXPECT_EQ(cat.AddTable({0, "A", 2, 10}), 0u);
+  EXPECT_EQ(cat.AddTable({0, "B", 3, 20}), 1u);
+  EXPECT_EQ(cat.table(1).name, "B");
+  EXPECT_EQ(cat.FindTable("A")->num_fields, 2u);
+  EXPECT_EQ(cat.FindTable("missing"), nullptr);
+  EXPECT_EQ(cat.num_tables(), 2u);
+}
+
+// ---- KvStore -----------------------------------------------------------
+
+TEST(KvStoreTest, CrudLifecycle) {
+  KvStore store;
+  EXPECT_TRUE(store.Insert(1, Record{10}).ok());
+  EXPECT_EQ(store.Insert(1, Record{11}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.Read(1)->field(0), 10);
+  EXPECT_TRUE(store.Update(1, Record{20}).ok());
+  EXPECT_EQ(store.Read(1)->field(0), 20);
+  EXPECT_EQ(store.Update(2, Record{1}).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store.Delete(1).ok());
+  EXPECT_EQ(store.Delete(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Read(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreTest, UpsertInsertsOrOverwrites) {
+  KvStore store;
+  store.Upsert(5, Record{1});
+  store.Upsert(5, Record{2});
+  EXPECT_EQ(store.Read(5)->field(0), 2);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, ScanVisitsRangeInOrder) {
+  KvStore store;
+  for (ObjectKey k = 0; k < 100; k += 2) store.Upsert(k, Record{(long)k});
+  std::vector<ObjectKey> seen;
+  store.Scan(10, 20, [&](ObjectKey k, const Record&) { seen.push_back(k); });
+  EXPECT_EQ(seen, (std::vector<ObjectKey>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST(KvStoreTest, TotalBytesTracksMutations) {
+  KvStore store;
+  store.Upsert(1, Record(2, 100));  // 116 bytes
+  EXPECT_EQ(store.TotalBytes(), 116u);
+  store.Upsert(1, Record(1, 0));  // 8 bytes
+  EXPECT_EQ(store.TotalBytes(), 8u);
+  ASSERT_TRUE(store.Delete(1).ok());
+  EXPECT_EQ(store.TotalBytes(), 0u);
+}
+
+TEST(KvStoreTest, ReadMutable) {
+  KvStore store;
+  store.Upsert(9, Record{1});
+  Record* r = store.ReadMutable(9);
+  ASSERT_NE(r, nullptr);
+  r->set_field(0, 99);
+  EXPECT_EQ(store.Read(9)->field(0), 99);
+  EXPECT_EQ(store.ReadMutable(10), nullptr);
+}
+
+// ---- DataPartitionMap ------------------------------------------------------
+
+TEST(DataPartitionTest, HashMapSpreadsKeys) {
+  HashPartitionMap map(8);
+  std::vector<int> counts(8, 0);
+  for (ObjectKey k = 0; k < 8000; ++k) counts[map.Locate(k)]++;
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(DataPartitionTest, HashMapIsStable) {
+  HashPartitionMap map(5);
+  for (ObjectKey k = 0; k < 100; ++k) {
+    EXPECT_EQ(map.Locate(k), map.Locate(k));
+  }
+}
+
+TEST(DataPartitionTest, RangeMapBlocks) {
+  RangePartitionMap map(4, 100);
+  EXPECT_EQ(map.Locate(MakeObjectKey(0, 0)), 0u);
+  EXPECT_EQ(map.Locate(MakeObjectKey(0, 99)), 0u);
+  EXPECT_EQ(map.Locate(MakeObjectKey(0, 100)), 1u);
+  EXPECT_EQ(map.Locate(MakeObjectKey(0, 399)), 3u);
+  EXPECT_EQ(map.Locate(MakeObjectKey(0, 400)), 0u);  // wraps
+}
+
+TEST(DataPartitionTest, LookupMapOverridesFallback) {
+  auto fallback = std::make_shared<HashPartitionMap>(4);
+  LookupPartitionMap map(4, fallback);
+  const ObjectKey k = 12345;
+  const MachineId fb = fallback->Locate(k);
+  const MachineId other = (fb + 1) % 4;
+  map.Assign(k, other);
+  EXPECT_EQ(map.Locate(k), other);
+  EXPECT_EQ(map.Locate(k + 1), fallback->Locate(k + 1));
+  EXPECT_EQ(map.num_explicit_entries(), 1u);
+}
+
+// ---- PartitionedStore ------------------------------------------------------
+
+TEST(PartitionedStoreTest, RoutesToHome) {
+  auto map = std::make_shared<RangePartitionMap>(3, 10);
+  PartitionedStore store(3, map);
+  ASSERT_TRUE(store.Insert(MakeObjectKey(0, 5), Record{1}).ok());
+  ASSERT_TRUE(store.Insert(MakeObjectKey(0, 15), Record{2}).ok());
+  EXPECT_EQ(store.store(0).size(), 1u);
+  EXPECT_EQ(store.store(1).size(), 1u);
+  EXPECT_EQ(store.store(2).size(), 0u);
+  EXPECT_EQ(store.Read(MakeObjectKey(0, 15))->field(0), 2);
+  EXPECT_EQ(store.TotalRecords(), 2u);
+}
+
+TEST(PartitionedStoreTest, SnapshotSortedAndStateEquals) {
+  auto map = std::make_shared<HashPartitionMap>(4);
+  PartitionedStore a(4, map), b(4, map);
+  for (ObjectKey k = 0; k < 50; ++k) {
+    a.Upsert(k, Record{(long)k});
+    b.Upsert(49 - k, Record{(long)(49 - k)});
+  }
+  auto snap = a.Snapshot();
+  ASSERT_EQ(snap.size(), 50u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+  EXPECT_TRUE(a.StateEquals(b));
+  b.Upsert(7, Record{999});
+  EXPECT_FALSE(a.StateEquals(b));
+}
+
+}  // namespace
+}  // namespace tpart

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/micro.h"
+#include "workload/tpcc.h"
+#include "workload/trace_io.h"
+
+namespace tpart {
+namespace {
+
+TEST(TraceIoTest, RoundTripsMicroTrace) {
+  MicroOptions o;
+  o.num_machines = 3;
+  o.records_per_machine = 200;
+  o.num_txns = 50;
+  const Workload w = MakeMicroWorkload(o);
+  const auto txns = w.SequencedRequests();
+
+  std::stringstream buf;
+  WriteTrace(buf, txns);
+  auto parsed = ReadTrace(buf);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), txns.size());
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].id, txns[i].id);
+    EXPECT_EQ((*parsed)[i].proc, txns[i].proc);
+    EXPECT_EQ((*parsed)[i].params, txns[i].params);
+    EXPECT_TRUE((*parsed)[i].rw == txns[i].rw);
+    EXPECT_EQ((*parsed)[i].is_dummy, txns[i].is_dummy);
+  }
+}
+
+TEST(TraceIoTest, RoundTripsTpccWithWideParams) {
+  TpccOptions o;
+  o.num_machines = 2;
+  o.warehouses_per_machine = 1;
+  o.customers_per_district = 10;
+  o.num_items = 50;
+  o.num_txns = 60;
+  const Workload w = MakeTpccWorkload(o);
+  std::stringstream buf;
+  WriteTrace(buf, w.SequencedRequests());
+  auto parsed = ReadTrace(buf);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 60u);
+}
+
+TEST(TraceIoTest, RoundTripsDummies) {
+  TxnSpec dummy = MakeDummyTxn();
+  dummy.id = 1;
+  std::stringstream buf;
+  WriteTrace(buf, {dummy});
+  auto parsed = ReadTrace(buf);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_TRUE((*parsed)[0].is_dummy);
+  EXPECT_EQ((*parsed)[0].node_weight, 0.0);
+}
+
+TEST(TraceIoTest, RejectsGarbage) {
+  std::stringstream buf("not a trace\n");
+  EXPECT_FALSE(ReadTrace(buf).ok());
+}
+
+TEST(TraceIoTest, RejectsTruncatedRecord) {
+  std::stringstream buf("txn 1 proc 0 dummy 0 weight 1\nparams 0\n");
+  EXPECT_FALSE(ReadTrace(buf).ok());  // missing reads/writes sections
+}
+
+TEST(TraceIoTest, EmptyInputIsEmptyTrace) {
+  std::stringstream buf("");
+  auto parsed = ReadTrace(buf);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+}  // namespace
+}  // namespace tpart

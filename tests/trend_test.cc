@@ -1,0 +1,166 @@
+// Trend guards: small-configuration versions of the paper's headline
+// experimental claims, run as part of the test suite so a regression in
+// the scheduler/partitioner/simulator that flips a paper result fails CI
+// rather than silently producing wrong benchmark output.
+
+#include <gtest/gtest.h>
+
+#include "baselines/gstore.h"
+#include "partition/streaming_greedy.h"
+#include "sim/calvin_sim.h"
+#include "sim/tpart_sim.h"
+#include "workload/micro.h"
+#include "workload/tpcc.h"
+#include "workload/tpce.h"
+
+namespace tpart {
+namespace {
+
+CostModel HeteroCost(std::size_t machines) {
+  CostModel cost;
+  cost.machine_speed.resize(machines);
+  for (std::size_t i = 0; i < machines; ++i) {
+    cost.machine_speed[i] =
+        0.8 + 0.4 * static_cast<double>((i * 7) % 10) / 10.0;
+  }
+  return cost;
+}
+
+RunStats Calvin(const Workload& w, std::size_t machines) {
+  CalvinSimOptions o;
+  o.num_machines = machines;
+  o.cost = HeteroCost(machines);
+  return RunCalvinSim(o, *w.partition_map, w.SequencedRequests());
+}
+
+RunStats TPart(const Workload& w, std::size_t machines,
+               std::size_t sink = 100) {
+  TPartSimOptions o;
+  o.num_machines = machines;
+  o.cost = HeteroCost(machines);
+  o.scheduler.sink_size = sink;
+  return RunTPartSim(o, w.partition_map, w.SequencedRequests());
+}
+
+TEST(TrendTest, Fig5bTpceTPartScalesCalvinSaturates) {
+  TpceOptions small;
+  small.customers_per_machine = 500;
+  small.securities_per_machine = 250;
+  small.num_txns = 2000;
+
+  TpceOptions at4 = small, at12 = small;
+  at4.num_machines = 4;
+  at12.num_machines = 12;
+  const Workload w4 = MakeTpceWorkload(at4);
+  const Workload w12 = MakeTpceWorkload(at12);
+
+  const double calvin4 = Calvin(w4, 4).Throughput();
+  const double calvin12 = Calvin(w12, 12).Throughput();
+  const double tpart4 = TPart(w4, 4).Throughput();
+  const double tpart12 = TPart(w12, 12).Throughput();
+
+  // Calvin+TP clearly ahead on the hard-to-partition workload...
+  EXPECT_GT(tpart4, 1.5 * calvin4);
+  EXPECT_GT(tpart12, 1.8 * calvin12);
+  // ...and it gains more from 4 -> 12 machines than Calvin does.
+  EXPECT_GT(tpart12 / tpart4, calvin12 / calvin4);
+}
+
+TEST(TrendTest, Fig5aTpccBothEnginesComparable) {
+  TpccOptions o;
+  o.num_machines = 6;
+  o.warehouses_per_machine = 2;
+  o.num_txns = 2000;
+  const Workload w = MakeTpccWorkload(o);
+  const double calvin = Calvin(w, 6).Throughput();
+  const double tpart = TPart(w, 6).Throughput();
+  // "It is safe to turn it on even with easy workloads" (§6.1.1).
+  EXPECT_GT(tpart, 0.6 * calvin);
+}
+
+TEST(TrendTest, Fig8aGapOpensWithDistributedRate) {
+  auto run = [&](double rate) {
+    MicroOptions o;
+    o.num_machines = 6;
+    o.records_per_machine = 5000;
+    o.hot_set_size = 50;
+    o.num_txns = 2000;
+    o.distributed_rate = rate;
+    const Workload w = MakeMicroWorkload(o);
+    return std::make_pair(Calvin(w, 6).Throughput(),
+                          TPart(w, 6).Throughput());
+  };
+  const auto [calvin_local, tpart_local] = run(0.0);
+  const auto [calvin_dist, tpart_dist] = run(1.0);
+  const double gap_local = tpart_local / calvin_local;
+  const double gap_dist = tpart_dist / calvin_dist;
+  EXPECT_GT(gap_dist, 1.5);
+  EXPECT_GT(gap_dist, 1.5 * gap_local);
+}
+
+TEST(TrendTest, Fig6GStoreBeatsCalvinAndLosesToTPart) {
+  TpceOptions o;
+  o.num_machines = 8;
+  o.customers_per_machine = 500;
+  o.securities_per_machine = 250;
+  o.num_txns = 2000;
+  const Workload w = MakeTpceWorkload(o);
+  const double calvin = Calvin(w, 8).Throughput();
+  TPartSimOptions gopts;
+  gopts.num_machines = 8;
+  gopts.cost = HeteroCost(8);
+  const double gstore =
+      RunTPartSim(MakeGStoreSimOptions(gopts), w.partition_map,
+                  w.SequencedRequests())
+          .Throughput();
+  const double tpart = TPart(w, 8).Throughput();
+  EXPECT_GT(gstore, calvin);  // dynamic movement beats static hash
+  EXPECT_GT(tpart, gstore);   // T-Part beats its sink-size-1 degeneration
+}
+
+TEST(TrendTest, Fig11bLowBetaHurts) {
+  MicroOptions o;
+  o.num_machines = 6;
+  o.records_per_machine = 5000;
+  o.hot_set_size = 50;
+  o.num_txns = 2000;
+  o.skewed_rate = 0.6;
+  const Workload w = MakeMicroWorkload(o);
+  auto with_beta = [&](double beta) {
+    TPartSimOptions opts;
+    opts.num_machines = 6;
+    opts.cost = HeteroCost(6);
+    opts.partitioner = std::make_shared<StreamingGreedyPartitioner>(
+        StreamingGreedyPartitioner::Options{
+            StreamingGreedyPartitioner::Mode::kWeighted, beta});
+    return RunTPartSim(opts, w.partition_map, w.SequencedRequests())
+        .Throughput();
+  };
+  EXPECT_GT(with_beta(1.0), 1.3 * with_beta(0.0));
+}
+
+TEST(TrendTest, Fig7RemoteWaitShareShrinks) {
+  // Fig. 7's essence: waiting for remote records dominates Calvin's
+  // processing path, and Calvin+TP shrinks that share.
+  MicroOptions o;
+  o.num_machines = 8;
+  o.records_per_machine = 5000;
+  o.hot_set_size = 50;
+  o.num_txns = 2500;
+  const Workload w = MakeMicroWorkload(o);
+  const RunStats calvin = Calvin(w, 8);
+  const RunStats tpart = TPart(w, 8);
+  auto remote_share = [](const RunStats& s) {
+    double total = 0;
+    for (int i = 0; i < kNumComponents; ++i) {
+      const auto c = static_cast<Component>(i);
+      if (c != Component::kQueueWait) total += s.breakdown.MeanPerTxn(c);
+    }
+    return s.breakdown.MeanPerTxn(Component::kRemoteWait) / total;
+  };
+  EXPECT_GT(remote_share(calvin), 0.4);  // remote waits dominate Calvin
+  EXPECT_LT(remote_share(tpart), 0.9 * remote_share(calvin));
+}
+
+}  // namespace
+}  // namespace tpart

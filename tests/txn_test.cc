@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "exec/serial_executor.h"
+#include "txn/procedure.h"
+#include "txn/rw_set.h"
+#include "txn/txn.h"
+
+namespace tpart {
+namespace {
+
+// ---- Key-set helpers ----------------------------------------------------
+
+TEST(RwSetTest, NormalizeSortsAndDedups) {
+  std::vector<ObjectKey> keys = {5, 1, 5, 3, 1};
+  NormalizeKeySet(keys);
+  EXPECT_EQ(keys, (std::vector<ObjectKey>{1, 3, 5}));
+}
+
+TEST(RwSetTest, ContainsAndIntersect) {
+  const std::vector<ObjectKey> a = {1, 3, 5};
+  const std::vector<ObjectKey> b = {2, 4, 5};
+  const std::vector<ObjectKey> c = {2, 4, 6};
+  EXPECT_TRUE(KeySetContains(a, 3));
+  EXPECT_FALSE(KeySetContains(a, 2));
+  EXPECT_TRUE(KeySetsIntersect(a, b));
+  EXPECT_FALSE(KeySetsIntersect(a, c));
+}
+
+TEST(RwSetTest, UnionAndIntersection) {
+  const std::vector<ObjectKey> a = {1, 3, 5};
+  const std::vector<ObjectKey> b = {3, 4};
+  EXPECT_EQ(KeySetUnion(a, b), (std::vector<ObjectKey>{1, 3, 4, 5}));
+  EXPECT_EQ(KeySetIntersection(a, b), (std::vector<ObjectKey>{3}));
+}
+
+TEST(RwSetTest, AllKeysIsFootprint) {
+  RwSet rw;
+  rw.reads = {2, 1};
+  rw.writes = {3, 2};
+  rw.Normalize();
+  EXPECT_EQ(rw.AllKeys(), (std::vector<ObjectKey>{1, 2, 3}));
+  EXPECT_TRUE(rw.ReadsKey(1));
+  EXPECT_TRUE(rw.WritesKey(3));
+  EXPECT_FALSE(rw.WritesKey(1));
+}
+
+// ---- TxnSpec / dummies -----------------------------------------------------
+
+TEST(TxnSpecTest, DummyHasZeroWeight) {
+  const TxnSpec dummy = MakeDummyTxn();
+  EXPECT_TRUE(dummy.is_dummy);
+  EXPECT_EQ(dummy.node_weight, 0.0);
+}
+
+TEST(TxnSpecTest, ToStringMentionsSets) {
+  TxnSpec spec;
+  spec.id = 3;
+  spec.rw.reads = {1};
+  spec.rw.writes = {2};
+  EXPECT_EQ(spec.ToString(), "T3 proc=0 R{1} W{2}");
+}
+
+// ---- ProcedureRegistry / RunProcedure ---------------------------------------
+
+TEST(ProcedureTest, RegistryLookup) {
+  ProcedureRegistry reg;
+  reg.Register(1, "noop", [](TxnContext&) { return Status::Ok(); });
+  EXPECT_NE(reg.Find(1), nullptr);
+  EXPECT_EQ(reg.Find(2), nullptr);
+  EXPECT_EQ(reg.Name(1), "noop");
+  EXPECT_EQ(reg.Name(2), "<unknown>");
+}
+
+TxnSpec SpecWith(std::vector<ObjectKey> reads, std::vector<ObjectKey> writes,
+                 ProcId proc = 1) {
+  TxnSpec spec;
+  spec.id = 1;
+  spec.proc = proc;
+  spec.rw.reads = std::move(reads);
+  spec.rw.writes = std::move(writes);
+  spec.rw.Normalize();
+  return spec;
+}
+
+TEST(ProcedureTest, CommitCollectsOutput) {
+  ProcedureRegistry reg;
+  reg.Register(1, "emit", [](TxnContext& ctx) {
+    ctx.EmitOutput(42);
+    ctx.EmitOutput(7);
+    return Status::Ok();
+  });
+  const TxnSpec spec = SpecWith({}, {});
+  GatheredTxnContext ctx(&spec, {});
+  auto result = RunProcedure(reg, spec, ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->committed);
+  EXPECT_EQ(result->output, (std::vector<std::int64_t>{42, 7}));
+}
+
+TEST(ProcedureTest, LogicAbortIsNotAnError) {
+  ProcedureRegistry reg;
+  reg.Register(1, "abort",
+               [](TxnContext&) { return Status::Aborted("logic"); });
+  const TxnSpec spec = SpecWith({}, {});
+  GatheredTxnContext ctx(&spec, {});
+  auto result = RunProcedure(reg, spec, ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->committed);
+}
+
+TEST(ProcedureTest, EngineErrorsPropagate) {
+  ProcedureRegistry reg;
+  reg.Register(1, "bad",
+               [](TxnContext&) { return Status::Internal("engine"); });
+  const TxnSpec spec = SpecWith({}, {});
+  GatheredTxnContext ctx(&spec, {});
+  EXPECT_FALSE(RunProcedure(reg, spec, ctx).ok());
+}
+
+TEST(ProcedureTest, UnregisteredProcedureFails) {
+  ProcedureRegistry reg;
+  const TxnSpec spec = SpecWith({}, {}, /*proc=*/9);
+  GatheredTxnContext ctx(&spec, {});
+  EXPECT_FALSE(RunProcedure(reg, spec, ctx).ok());
+}
+
+// ---- GatheredTxnContext ------------------------------------------------------
+
+TEST(GatheredContextTest, ReadsDeclaredKeysOnly) {
+  const TxnSpec spec = SpecWith({1}, {2});
+  GatheredTxnContext ctx(&spec, {{1, Record{10}}});
+  EXPECT_EQ(ctx.Get(1)->field(0), 10);
+  EXPECT_TRUE(ctx.Get(2).ok());  // write-set key readable (read-own-writes)
+  EXPECT_EQ(ctx.Get(3).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GatheredContextTest, MissingKeyIsAbsent) {
+  const TxnSpec spec = SpecWith({1}, {});
+  GatheredTxnContext ctx(&spec, {});
+  EXPECT_TRUE(ctx.Get(1)->is_absent());
+}
+
+TEST(GatheredContextTest, WriteOutsideSetRejected) {
+  const TxnSpec spec = SpecWith({1}, {2});
+  GatheredTxnContext ctx(&spec, {});
+  EXPECT_TRUE(ctx.Put(2, Record{1}).ok());
+  EXPECT_EQ(ctx.Put(1, Record{1}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GatheredContextTest, ReadYourOwnWrites) {
+  const TxnSpec spec = SpecWith({1}, {1});
+  GatheredTxnContext ctx(&spec, {{1, Record{10}}});
+  ASSERT_TRUE(ctx.Put(1, Record{20}).ok());
+  EXPECT_EQ(ctx.Get(1)->field(0), 20);
+}
+
+TEST(GatheredContextTest, OutgoingValueFollowsCommitDecision) {
+  const TxnSpec spec = SpecWith({1}, {1});
+  GatheredTxnContext ctx(&spec, {{1, Record{10}}});
+  ASSERT_TRUE(ctx.Put(1, Record{20}).ok());
+  // Committed: forward the new version.
+  EXPECT_EQ(ctx.OutgoingValue(1, /*committed=*/true).field(0), 20);
+  // Aborted: "push the read data forward" (§5.3).
+  EXPECT_EQ(ctx.OutgoingValue(1, /*committed=*/false).field(0), 10);
+}
+
+// ---- Serial reference engine ------------------------------------------------
+
+TEST(SerialExecutorTest, AppliesCommittedWritesOnly) {
+  ProcedureRegistry reg;
+  reg.Register(1, "incr", [](TxnContext& ctx) {
+    const ObjectKey key = static_cast<ObjectKey>(ctx.params()[0]);
+    TPART_ASSIGN_OR_RETURN(Record r, ctx.Get(key));
+    r.add_to_field(0, 1);
+    TPART_RETURN_IF_ERROR(ctx.Put(key, std::move(r)));
+    if (ctx.params()[1] != 0) return Status::Aborted("flagged");
+    return Status::Ok();
+  });
+
+  KvStore store;
+  store.Upsert(1, Record{0});
+  std::vector<TxnSpec> txns;
+  for (int i = 0; i < 5; ++i) {
+    TxnSpec spec = SpecWith({1}, {1});
+    spec.id = static_cast<TxnId>(i + 1);
+    spec.params = {1, i == 2 ? 1 : 0};  // third txn aborts
+    txns.push_back(std::move(spec));
+  }
+  auto result = RunSerial(reg, txns, store);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->committed, 4u);
+  EXPECT_EQ(result->aborted, 1u);
+  EXPECT_EQ(store.Read(1)->field(0), 4);
+}
+
+TEST(SerialExecutorTest, AbsentWriteDeletes) {
+  ProcedureRegistry reg;
+  reg.Register(1, "del", [](TxnContext& ctx) {
+    return ctx.Put(1, Record::Absent());
+  });
+  KvStore store;
+  store.Upsert(1, Record{5});
+  TxnSpec spec = SpecWith({}, {1});
+  auto result = RunSerial(reg, {spec}, store);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(store.Contains(1));
+}
+
+TEST(SerialExecutorTest, SkipsDummies) {
+  ProcedureRegistry reg;
+  KvStore store;
+  auto result = RunSerial(reg, {MakeDummyTxn()}, store);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->results.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tpart

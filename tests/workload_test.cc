@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "workload/micro.h"
+#include "workload/tpcc.h"
+#include "workload/tpce.h"
+#include "workload/workload.h"
+
+namespace tpart {
+namespace {
+
+// ---- Microbenchmark (§6.3, Table 1) ----------------------------------------
+
+MicroOptions SmallMicro() {
+  MicroOptions o;
+  o.num_machines = 4;
+  o.records_per_machine = 1000;
+  o.hot_set_size = 100;
+  o.num_txns = 2000;
+  return o;
+}
+
+TEST(MicroTest, RecordsPerTxnAndWriteCounts) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  ASSERT_EQ(w.requests.size(), 2000u);
+  std::size_t rw_txns = 0;
+  for (const auto& spec : w.requests) {
+    EXPECT_EQ(spec.rw.reads.size(), 10u);
+    EXPECT_TRUE(spec.rw.writes.empty() || spec.rw.writes.size() == 5u);
+    if (!spec.rw.writes.empty()) {
+      ++rw_txns;
+      for (const ObjectKey k : spec.rw.writes) {
+        EXPECT_TRUE(spec.rw.ReadsKey(k));  // writes drawn from the reads
+      }
+    }
+  }
+  EXPECT_NEAR(rw_txns / 2000.0, 0.5, 0.05);  // read-write rate
+}
+
+TEST(MicroTest, DistributedRateMatchesParameter) {
+  MicroOptions o = SmallMicro();
+  o.distributed_rate = 0.3;
+  const Workload w = MakeMicroWorkload(o);
+  EXPECT_NEAR(MeasureDistributedRate(w.requests, *w.partition_map), 0.3,
+              0.05);
+}
+
+TEST(MicroTest, FullyLocalWhenDistributedRateZero) {
+  MicroOptions o = SmallMicro();
+  o.distributed_rate = 0.0;
+  const Workload w = MakeMicroWorkload(o);
+  EXPECT_DOUBLE_EQ(MeasureDistributedRate(w.requests, *w.partition_map),
+                   0.0);
+}
+
+TEST(MicroTest, EveryTxnTouchesExactlyOneHotRecord) {
+  MicroOptions o = SmallMicro();
+  const Workload w = MakeMicroWorkload(o);
+  for (const auto& spec : w.requests) {
+    int hot = 0;
+    for (const ObjectKey k : spec.rw.reads) {
+      if (PrimaryKeyOf(k) % o.records_per_machine < o.hot_set_size) ++hot;
+    }
+    EXPECT_EQ(hot, 1);
+  }
+}
+
+TEST(MicroTest, SkewTargetsFirstFifthOfMachines) {
+  MicroOptions o = SmallMicro();
+  o.num_machines = 10;
+  o.skewed_rate = 1.0;
+  o.distributed_rate = 1.0;
+  o.num_txns = 4000;
+  const Workload w = MakeMicroWorkload(o);
+  std::unordered_map<MachineId, int> remote_hits;
+  for (const auto& spec : w.requests) {
+    for (const ObjectKey k : spec.rw.reads) {
+      remote_hits[w.partition_map->Locate(k)]++;
+    }
+  }
+  // Machines 0 and 1 (the first fifth of 10) should see the most traffic.
+  EXPECT_GT(remote_hits[0] + remote_hits[1], remote_hits[5] * 2);
+}
+
+TEST(MicroTest, DeterministicForSeed) {
+  const Workload a = MakeMicroWorkload(SmallMicro());
+  const Workload b = MakeMicroWorkload(SmallMicro());
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_TRUE(a.requests[i].rw == b.requests[i].rw);
+    EXPECT_EQ(a.requests[i].params, b.requests[i].params);
+  }
+}
+
+TEST(MicroTest, LoaderPopulatesAllPartitions) {
+  MicroOptions o = SmallMicro();
+  o.num_txns = 1;
+  const Workload w = MakeMicroWorkload(o);
+  PartitionedStore store(o.num_machines, w.partition_map);
+  w.loader(store);
+  EXPECT_EQ(store.TotalRecords(),
+            o.num_machines * o.records_per_machine);
+  for (std::size_t m = 0; m < o.num_machines; ++m) {
+    EXPECT_EQ(store.store(static_cast<MachineId>(m)).size(),
+              o.records_per_machine);
+  }
+}
+
+// ---- TPC-C (§6.1.1) ---------------------------------------------------------
+
+TpccOptions SmallTpcc() {
+  TpccOptions o;
+  o.num_machines = 4;
+  o.warehouses_per_machine = 1;
+  o.customers_per_district = 30;
+  o.num_items = 200;
+  o.num_txns = 3000;
+  return o;
+}
+
+TEST(TpccTest, MostNewOrdersAreSingleWarehouse) {
+  const Workload w = MakeTpccWorkload(SmallTpcc());
+  // "each transaction has only 10% probability to access the data in more
+  // than one warehouse" — with 1% remote items and ~10 lines, the
+  // multi-warehouse rate sits near 10%.
+  const double rate = MeasureDistributedRate(w.requests, *w.partition_map);
+  EXPECT_GT(rate, 0.03);
+  EXPECT_LT(rate, 0.25);
+}
+
+TEST(TpccTest, OrderIdsAreDensePerDistrictForCommits) {
+  const Workload w = MakeTpccWorkload(SmallTpcc());
+  std::unordered_map<std::uint64_t, std::uint64_t> last_oid;
+  for (const auto& spec : w.requests) {
+    if (spec.proc != kTpccNewOrder) continue;
+    const bool aborts = spec.params[4] != 0;
+    const std::uint64_t district =
+        static_cast<std::uint64_t>(spec.params[0]) * 10 +
+        static_cast<std::uint64_t>(spec.params[1]);
+    const auto o_id = static_cast<std::uint64_t>(spec.params[3]);
+    if (aborts) {
+      EXPECT_EQ(o_id, last_oid[district] + 1);  // id reused by next commit
+    } else {
+      EXPECT_EQ(o_id, last_oid[district] + 1);
+      last_oid[district] = o_id;
+    }
+  }
+}
+
+TEST(TpccTest, NewOrderWriteSetsDeclareInserts) {
+  const Workload w = MakeTpccWorkload(SmallTpcc());
+  for (const auto& spec : w.requests) {
+    if (spec.proc != kTpccNewOrder) continue;
+    const auto ol_cnt = static_cast<std::size_t>(spec.params[5]);
+    // district + order + new_order + ol_cnt order lines + up to ol_cnt
+    // stocks (duplicate items collapse to one stock key).
+    EXPECT_LE(spec.rw.writes.size(), 3 + 2 * ol_cnt);
+    EXPECT_GE(spec.rw.writes.size(), 3 + ol_cnt + 1);
+    EXPECT_GE(ol_cnt, 5u);
+    EXPECT_LE(ol_cnt, 15u);
+  }
+}
+
+TEST(TpccTest, WarehousePartitioningIsTableAware) {
+  const Workload w = MakeTpccWorkload(SmallTpcc());
+  // Every key of warehouse 2's schema lands on machine 2 % 4.
+  for (const auto& spec : w.requests) {
+    if (spec.params[0] != 2 || spec.proc != kTpccPayment) continue;
+    if (spec.params[2] != 2) continue;  // local payment only
+    for (const ObjectKey k : spec.rw.AllKeys()) {
+      EXPECT_EQ(w.partition_map->Locate(k), 2u);
+    }
+  }
+}
+
+TEST(TpccTest, FullMixContainsAllFiveTransactionTypes) {
+  TpccOptions o = SmallTpcc();
+  o.num_txns = 8000;
+  const Workload w = MakeTpccWorkload(o);
+  std::unordered_map<ProcId, int> mix;
+  for (const auto& spec : w.requests) mix[spec.proc]++;
+  EXPECT_GT(mix[kTpccNewOrder], 0);
+  EXPECT_GT(mix[kTpccPayment], 0);
+  EXPECT_GT(mix[kTpccDelivery], 0);
+  EXPECT_GT(mix[kTpccOrderStatus], 0);
+  EXPECT_GT(mix[kTpccStockLevel], 0);
+  EXPECT_NEAR(mix[kTpccNewOrder] / 8000.0, 0.45, 0.05);
+}
+
+TEST(TpccTest, DeliveriesTargetCommittedOrdersExactlyOnce) {
+  TpccOptions o = SmallTpcc();
+  o.num_txns = 8000;
+  o.delivery_fraction = 0.2;  // force plenty of deliveries
+  const Workload w = MakeTpccWorkload(o);
+  std::set<std::pair<std::int64_t, std::int64_t>> committed_orders;
+  std::set<std::pair<std::int64_t, std::int64_t>> delivered;
+  for (const auto& spec : w.requests) {
+    if (spec.proc == kTpccNewOrder && spec.params[4] == 0) {
+      committed_orders.insert(
+          {spec.params[0] * 10 + spec.params[1], spec.params[3]});
+    } else if (spec.proc == kTpccDelivery) {
+      const auto key = std::make_pair(
+          spec.params[0] * 10 + spec.params[1], spec.params[2]);
+      EXPECT_TRUE(committed_orders.count(key))
+          << "delivery of unknown/aborted order";
+      EXPECT_TRUE(delivered.insert(key).second)
+          << "order delivered twice";
+    }
+  }
+  EXPECT_GT(delivered.size(), 100u);
+}
+
+TEST(TpccTest, StockLevelReadsAreWellFormed) {
+  TpccOptions o = SmallTpcc();
+  o.num_txns = 6000;
+  o.stock_level_fraction = 0.2;
+  const Workload w = MakeTpccWorkload(o);
+  int stock_levels = 0;
+  for (const auto& spec : w.requests) {
+    if (spec.proc != kTpccStockLevel) continue;
+    ++stock_levels;
+    EXPECT_TRUE(spec.rw.writes.empty());  // read-only
+    const auto n_orders = static_cast<std::size_t>(spec.params[3]);
+    EXPECT_GE(n_orders, 1u);
+    EXPECT_LE(n_orders, 4u);
+    EXPECT_GE(spec.rw.reads.size(), 1 + n_orders);  // district + lines
+  }
+  EXPECT_GT(stock_levels, 100);
+}
+
+TEST(TpccTest, AbortRateNearOnePercent) {
+  TpccOptions o = SmallTpcc();
+  o.num_txns = 20000;
+  o.new_order_fraction = 1.0;
+  const Workload w = MakeTpccWorkload(o);
+  std::size_t aborts = 0;
+  for (const auto& spec : w.requests) {
+    if (spec.params[4] != 0) ++aborts;
+  }
+  EXPECT_NEAR(aborts / 20000.0, 0.01, 0.005);
+}
+
+// ---- TPC-E-like (§6.1.2) ----------------------------------------------------
+
+TpceOptions SmallTpce() {
+  TpceOptions o;
+  o.num_machines = 4;
+  o.customers_per_machine = 200;
+  o.securities_per_machine = 100;
+  o.num_txns = 3000;
+  return o;
+}
+
+TEST(TpceTest, AlmostAllTxnsAreDistributed) {
+  const Workload w = MakeTpceWorkload(SmallTpce());
+  // "Normally, almost all transactions of TPC-E are distributed."
+  EXPECT_GT(MeasureDistributedRate(w.requests, *w.partition_map), 0.9);
+}
+
+TEST(TpceTest, CustomerAccessIsSkewed) {
+  const Workload w = MakeTpceWorkload(SmallTpce());
+  std::unordered_map<std::int64_t, int> customer_hits;
+  int orders = 0;
+  for (const auto& spec : w.requests) {
+    if (spec.proc != kTpceTradeOrder) continue;
+    ++orders;
+    customer_hits[spec.params[0]]++;
+  }
+  // The most popular customer gets far more than the uniform share.
+  int top = 0;
+  for (const auto& [c, n] : customer_hits) top = std::max(top, n);
+  EXPECT_GT(top, 8 * orders / 800);
+}
+
+TEST(TpceTest, TradeResultsReferenceEarlierOrders) {
+  const Workload w = MakeTpceWorkload(SmallTpce());
+  std::set<std::int64_t> ordered;
+  for (const auto& spec : w.requests) {
+    if (spec.proc == kTpceTradeOrder) {
+      ordered.insert(spec.params[4]);
+    } else {
+      ASSERT_EQ(spec.proc, kTpceTradeResult);
+      EXPECT_TRUE(ordered.count(spec.params[0]) > 0)
+          << "result for unordered trade";
+    }
+  }
+}
+
+TEST(TpceTest, LoaderPopulatesAllTables) {
+  TpceOptions o = SmallTpce();
+  o.num_txns = 1;
+  const Workload w = MakeTpceWorkload(o);
+  PartitionedStore store(o.num_machines, w.partition_map);
+  w.loader(store);
+  const std::uint64_t customers = 4 * 200;
+  // customers + accounts + brokers (1 per 50 customers) + securities +
+  // last_trades.
+  EXPECT_EQ(store.TotalRecords(),
+            customers + customers * 2 + customers / 50 + 400 + 400);
+}
+
+}  // namespace
+}  // namespace tpart

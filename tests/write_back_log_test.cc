@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "storage/write_back_log.h"
+
+namespace tpart {
+namespace {
+
+TEST(WriteBackLogTest, CommittedBatchNeedsNoUndo) {
+  KvStore store;
+  store.Upsert(1, Record{10});
+  WriteBackLog log;
+  log.BeginBatch(1);
+  log.LogWrite(1, Record{10});
+  store.Upsert(1, Record{20});
+  log.CommitBatch();
+  EXPECT_EQ(log.UndoIncomplete(store), 0u);
+  EXPECT_EQ(store.Read(1)->field(0), 20);
+}
+
+TEST(WriteBackLogTest, UndoRestoresPreImages) {
+  KvStore store;
+  store.Upsert(1, Record{10});
+  store.Upsert(2, Record{20});
+  WriteBackLog log;
+  log.BeginBatch(1);
+  log.LogWrite(1, Record{10});
+  store.Upsert(1, Record{11});
+  log.LogWrite(2, Record{20});
+  store.Upsert(2, Record{21});
+  // Crash before CommitBatch.
+  EXPECT_EQ(log.UndoIncomplete(store), 2u);
+  EXPECT_EQ(store.Read(1)->field(0), 10);
+  EXPECT_EQ(store.Read(2)->field(0), 20);
+}
+
+TEST(WriteBackLogTest, UndoDeletesFreshInserts) {
+  KvStore store;
+  WriteBackLog log;
+  log.BeginBatch(1);
+  log.LogWrite(7, std::nullopt);  // key did not exist
+  store.Upsert(7, Record{1});
+  EXPECT_EQ(log.UndoIncomplete(store), 1u);
+  EXPECT_FALSE(store.Contains(7));
+}
+
+TEST(WriteBackLogTest, UndoAppliesNewestFirst) {
+  KvStore store;
+  store.Upsert(1, Record{10});
+  WriteBackLog log;
+  log.BeginBatch(1);
+  log.LogWrite(1, Record{10});
+  store.Upsert(1, Record{11});
+  log.LogWrite(1, Record{11});
+  store.Upsert(1, Record{12});
+  EXPECT_EQ(log.UndoIncomplete(store), 2u);
+  EXPECT_EQ(store.Read(1)->field(0), 10);
+}
+
+TEST(WriteBackLogTest, OnlyLastBatchCanBeIncomplete) {
+  KvStore store;
+  store.Upsert(1, Record{1});
+  store.Upsert(2, Record{2});
+  WriteBackLog log;
+  log.BeginBatch(1);
+  log.LogWrite(1, Record{1});
+  store.Upsert(1, Record{100});
+  log.CommitBatch();
+  log.BeginBatch(2);
+  log.LogWrite(2, Record{2});
+  store.Upsert(2, Record{200});
+  EXPECT_EQ(log.UndoIncomplete(store), 1u);
+  EXPECT_EQ(store.Read(1)->field(0), 100);  // committed batch untouched
+  EXPECT_EQ(store.Read(2)->field(0), 2);
+  EXPECT_EQ(log.num_committed_batches(), 1u);
+}
+
+TEST(WriteBackLogTest, TruncateCommittedKeepsOpenBatch) {
+  KvStore store;
+  WriteBackLog log;
+  log.BeginBatch(1);
+  log.LogWrite(1, std::nullopt);
+  log.CommitBatch();
+  log.BeginBatch(2);
+  log.LogWrite(2, std::nullopt);
+  store.Upsert(2, Record{1});
+  log.TruncateCommitted();
+  EXPECT_TRUE(log.HasOpenBatch());
+  EXPECT_EQ(log.num_entries(), 1u);
+  EXPECT_EQ(log.UndoIncomplete(store), 1u);
+  EXPECT_FALSE(store.Contains(2));
+}
+
+}  // namespace
+}  // namespace tpart
