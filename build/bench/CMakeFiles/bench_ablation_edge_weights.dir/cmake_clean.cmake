@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_edge_weights.dir/bench_ablation_edge_weights.cc.o"
+  "CMakeFiles/bench_ablation_edge_weights.dir/bench_ablation_edge_weights.cc.o.d"
+  "bench_ablation_edge_weights"
+  "bench_ablation_edge_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_edge_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_plan_opt.dir/bench_ablation_plan_opt.cc.o"
+  "CMakeFiles/bench_ablation_plan_opt.dir/bench_ablation_plan_opt.cc.o.d"
+  "bench_ablation_plan_opt"
+  "bench_ablation_plan_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_plan_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

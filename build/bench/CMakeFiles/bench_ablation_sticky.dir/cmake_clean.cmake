@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sticky.dir/bench_ablation_sticky.cc.o"
+  "CMakeFiles/bench_ablation_sticky.dir/bench_ablation_sticky.cc.o.d"
+  "bench_ablation_sticky"
+  "bench_ablation_sticky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sticky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_replication.dir/bench_ext_replication.cc.o"
+  "CMakeFiles/bench_ext_replication.dir/bench_ext_replication.cc.o.d"
+  "bench_ext_replication"
+  "bench_ext_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

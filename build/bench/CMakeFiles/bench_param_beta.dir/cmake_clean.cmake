@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_beta.dir/bench_param_beta.cc.o"
+  "CMakeFiles/bench_param_beta.dir/bench_param_beta.cc.o.d"
+  "bench_param_beta"
+  "bench_param_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_param_sink_size.dir/bench_param_sink_size.cc.o"
+  "CMakeFiles/bench_param_sink_size.dir/bench_param_sink_size.cc.o.d"
+  "bench_param_sink_size"
+  "bench_param_sink_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_param_sink_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioner_quality.dir/bench_partitioner_quality.cc.o"
+  "CMakeFiles/bench_partitioner_quality.dir/bench_partitioner_quality.cc.o.d"
+  "bench_partitioner_quality"
+  "bench_partitioner_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioner_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

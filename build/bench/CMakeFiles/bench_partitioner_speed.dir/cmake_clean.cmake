@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioner_speed.dir/bench_partitioner_speed.cc.o"
+  "CMakeFiles/bench_partitioner_speed.dir/bench_partitioner_speed.cc.o.d"
+  "bench_partitioner_speed"
+  "bench_partitioner_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioner_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

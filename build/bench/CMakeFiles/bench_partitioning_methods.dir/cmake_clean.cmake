@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partitioning_methods.dir/bench_partitioning_methods.cc.o"
+  "CMakeFiles/bench_partitioning_methods.dir/bench_partitioning_methods.cc.o.d"
+  "bench_partitioning_methods"
+  "bench_partitioning_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partitioning_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_micro.dir/bench_scalability_micro.cc.o"
+  "CMakeFiles/bench_scalability_micro.dir/bench_scalability_micro.cc.o.d"
+  "bench_scalability_micro"
+  "bench_scalability_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

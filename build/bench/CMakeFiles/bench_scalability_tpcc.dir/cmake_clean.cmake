@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_tpcc.dir/bench_scalability_tpcc.cc.o"
+  "CMakeFiles/bench_scalability_tpcc.dir/bench_scalability_tpcc.cc.o.d"
+  "bench_scalability_tpcc"
+  "bench_scalability_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

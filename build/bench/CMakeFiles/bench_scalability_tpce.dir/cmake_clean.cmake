@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_tpce.dir/bench_scalability_tpce.cc.o"
+  "CMakeFiles/bench_scalability_tpce.dir/bench_scalability_tpce.cc.o.d"
+  "bench_scalability_tpce"
+  "bench_scalability_tpce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_tpce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

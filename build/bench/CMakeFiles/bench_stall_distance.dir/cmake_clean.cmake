@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stall_distance.dir/bench_stall_distance.cc.o"
+  "CMakeFiles/bench_stall_distance.dir/bench_stall_distance.cc.o.d"
+  "bench_stall_distance"
+  "bench_stall_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stall_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stall_tpcc_like.dir/bench_stall_tpcc_like.cc.o"
+  "CMakeFiles/bench_stall_tpcc_like.dir/bench_stall_tpcc_like.cc.o.d"
+  "bench_stall_tpcc_like"
+  "bench_stall_tpcc_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stall_tpcc_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_conflict.dir/bench_sweep_conflict.cc.o"
+  "CMakeFiles/bench_sweep_conflict.dir/bench_sweep_conflict.cc.o.d"
+  "bench_sweep_conflict"
+  "bench_sweep_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sweep_conflict.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_distributed.dir/bench_sweep_distributed.cc.o"
+  "CMakeFiles/bench_sweep_distributed.dir/bench_sweep_distributed.cc.o.d"
+  "bench_sweep_distributed"
+  "bench_sweep_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

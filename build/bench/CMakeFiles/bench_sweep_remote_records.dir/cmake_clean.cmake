@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_remote_records.dir/bench_sweep_remote_records.cc.o"
+  "CMakeFiles/bench_sweep_remote_records.dir/bench_sweep_remote_records.cc.o.d"
+  "bench_sweep_remote_records"
+  "bench_sweep_remote_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_remote_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

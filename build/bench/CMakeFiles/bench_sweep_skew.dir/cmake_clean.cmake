@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_skew.dir/bench_sweep_skew.cc.o"
+  "CMakeFiles/bench_sweep_skew.dir/bench_sweep_skew.cc.o.d"
+  "bench_sweep_skew"
+  "bench_sweep_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

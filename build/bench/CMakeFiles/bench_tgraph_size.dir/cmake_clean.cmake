@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tgraph_size.dir/bench_tgraph_size.cc.o"
+  "CMakeFiles/bench_tgraph_size.dir/bench_tgraph_size.cc.o.d"
+  "bench_tgraph_size"
+  "bench_tgraph_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tgraph_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

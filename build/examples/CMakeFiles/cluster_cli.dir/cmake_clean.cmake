@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_cli.dir/cluster_cli.cpp.o"
+  "CMakeFiles/cluster_cli.dir/cluster_cli.cpp.o.d"
+  "cluster_cli"
+  "cluster_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

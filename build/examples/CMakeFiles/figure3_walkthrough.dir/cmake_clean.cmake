@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3_walkthrough.dir/figure3_walkthrough.cpp.o"
+  "CMakeFiles/figure3_walkthrough.dir/figure3_walkthrough.cpp.o.d"
+  "figure3_walkthrough"
+  "figure3_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

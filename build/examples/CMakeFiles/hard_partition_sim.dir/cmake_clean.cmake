@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_partition_sim.dir/hard_partition_sim.cpp.o"
+  "CMakeFiles/hard_partition_sim.dir/hard_partition_sim.cpp.o.d"
+  "hard_partition_sim"
+  "hard_partition_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_partition_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

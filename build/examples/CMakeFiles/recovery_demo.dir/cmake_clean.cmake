@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_demo.dir/recovery_demo.cpp.o"
+  "CMakeFiles/recovery_demo.dir/recovery_demo.cpp.o.d"
+  "recovery_demo"
+  "recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

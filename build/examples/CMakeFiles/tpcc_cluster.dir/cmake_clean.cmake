@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_cluster.dir/tpcc_cluster.cpp.o"
+  "CMakeFiles/tpcc_cluster.dir/tpcc_cluster.cpp.o.d"
+  "tpcc_cluster"
+  "tpcc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gstore.cc" "src/CMakeFiles/tpart.dir/baselines/gstore.cc.o" "gcc" "src/CMakeFiles/tpart.dir/baselines/gstore.cc.o.d"
+  "/root/repo/src/baselines/schism.cc" "src/CMakeFiles/tpart.dir/baselines/schism.cc.o" "gcc" "src/CMakeFiles/tpart.dir/baselines/schism.cc.o.d"
+  "/root/repo/src/cache/cache_area.cc" "src/CMakeFiles/tpart.dir/cache/cache_area.cc.o" "gcc" "src/CMakeFiles/tpart.dir/cache/cache_area.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/tpart.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tpart.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/tpart.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/tpart.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tpart.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tpart.dir/common/status.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/tpart.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/tpart.dir/common/zipf.cc.o.d"
+  "/root/repo/src/exec/lock_table.cc" "src/CMakeFiles/tpart.dir/exec/lock_table.cc.o" "gcc" "src/CMakeFiles/tpart.dir/exec/lock_table.cc.o.d"
+  "/root/repo/src/exec/serial_executor.cc" "src/CMakeFiles/tpart.dir/exec/serial_executor.cc.o" "gcc" "src/CMakeFiles/tpart.dir/exec/serial_executor.cc.o.d"
+  "/root/repo/src/metrics/breakdown.cc" "src/CMakeFiles/tpart.dir/metrics/breakdown.cc.o" "gcc" "src/CMakeFiles/tpart.dir/metrics/breakdown.cc.o.d"
+  "/root/repo/src/metrics/run_stats.cc" "src/CMakeFiles/tpart.dir/metrics/run_stats.cc.o" "gcc" "src/CMakeFiles/tpart.dir/metrics/run_stats.cc.o.d"
+  "/root/repo/src/partition/multilevel.cc" "src/CMakeFiles/tpart.dir/partition/multilevel.cc.o" "gcc" "src/CMakeFiles/tpart.dir/partition/multilevel.cc.o.d"
+  "/root/repo/src/partition/partition_metrics.cc" "src/CMakeFiles/tpart.dir/partition/partition_metrics.cc.o" "gcc" "src/CMakeFiles/tpart.dir/partition/partition_metrics.cc.o.d"
+  "/root/repo/src/partition/pin_reduction.cc" "src/CMakeFiles/tpart.dir/partition/pin_reduction.cc.o" "gcc" "src/CMakeFiles/tpart.dir/partition/pin_reduction.cc.o.d"
+  "/root/repo/src/partition/streaming_greedy.cc" "src/CMakeFiles/tpart.dir/partition/streaming_greedy.cc.o" "gcc" "src/CMakeFiles/tpart.dir/partition/streaming_greedy.cc.o.d"
+  "/root/repo/src/runtime/channel.cc" "src/CMakeFiles/tpart.dir/runtime/channel.cc.o" "gcc" "src/CMakeFiles/tpart.dir/runtime/channel.cc.o.d"
+  "/root/repo/src/runtime/cluster.cc" "src/CMakeFiles/tpart.dir/runtime/cluster.cc.o" "gcc" "src/CMakeFiles/tpart.dir/runtime/cluster.cc.o.d"
+  "/root/repo/src/runtime/machine.cc" "src/CMakeFiles/tpart.dir/runtime/machine.cc.o" "gcc" "src/CMakeFiles/tpart.dir/runtime/machine.cc.o.d"
+  "/root/repo/src/runtime/recovery.cc" "src/CMakeFiles/tpart.dir/runtime/recovery.cc.o" "gcc" "src/CMakeFiles/tpart.dir/runtime/recovery.cc.o.d"
+  "/root/repo/src/runtime/storage_service.cc" "src/CMakeFiles/tpart.dir/runtime/storage_service.cc.o" "gcc" "src/CMakeFiles/tpart.dir/runtime/storage_service.cc.o.d"
+  "/root/repo/src/scheduler/plan_optimizer.cc" "src/CMakeFiles/tpart.dir/scheduler/plan_optimizer.cc.o" "gcc" "src/CMakeFiles/tpart.dir/scheduler/plan_optimizer.cc.o.d"
+  "/root/repo/src/scheduler/push_plan.cc" "src/CMakeFiles/tpart.dir/scheduler/push_plan.cc.o" "gcc" "src/CMakeFiles/tpart.dir/scheduler/push_plan.cc.o.d"
+  "/root/repo/src/scheduler/tpart_scheduler.cc" "src/CMakeFiles/tpart.dir/scheduler/tpart_scheduler.cc.o" "gcc" "src/CMakeFiles/tpart.dir/scheduler/tpart_scheduler.cc.o.d"
+  "/root/repo/src/sequencer/batch.cc" "src/CMakeFiles/tpart.dir/sequencer/batch.cc.o" "gcc" "src/CMakeFiles/tpart.dir/sequencer/batch.cc.o.d"
+  "/root/repo/src/sequencer/sequencer.cc" "src/CMakeFiles/tpart.dir/sequencer/sequencer.cc.o" "gcc" "src/CMakeFiles/tpart.dir/sequencer/sequencer.cc.o.d"
+  "/root/repo/src/sequencer/zab.cc" "src/CMakeFiles/tpart.dir/sequencer/zab.cc.o" "gcc" "src/CMakeFiles/tpart.dir/sequencer/zab.cc.o.d"
+  "/root/repo/src/sim/calvin_sim.cc" "src/CMakeFiles/tpart.dir/sim/calvin_sim.cc.o" "gcc" "src/CMakeFiles/tpart.dir/sim/calvin_sim.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/tpart.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/tpart.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/sim_cluster.cc" "src/CMakeFiles/tpart.dir/sim/sim_cluster.cc.o" "gcc" "src/CMakeFiles/tpart.dir/sim/sim_cluster.cc.o.d"
+  "/root/repo/src/sim/stall_tracker.cc" "src/CMakeFiles/tpart.dir/sim/stall_tracker.cc.o" "gcc" "src/CMakeFiles/tpart.dir/sim/stall_tracker.cc.o.d"
+  "/root/repo/src/sim/tpart_sim.cc" "src/CMakeFiles/tpart.dir/sim/tpart_sim.cc.o" "gcc" "src/CMakeFiles/tpart.dir/sim/tpart_sim.cc.o.d"
+  "/root/repo/src/storage/data_partition.cc" "src/CMakeFiles/tpart.dir/storage/data_partition.cc.o" "gcc" "src/CMakeFiles/tpart.dir/storage/data_partition.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/CMakeFiles/tpart.dir/storage/kv_store.cc.o" "gcc" "src/CMakeFiles/tpart.dir/storage/kv_store.cc.o.d"
+  "/root/repo/src/storage/ordered_index.cc" "src/CMakeFiles/tpart.dir/storage/ordered_index.cc.o" "gcc" "src/CMakeFiles/tpart.dir/storage/ordered_index.cc.o.d"
+  "/root/repo/src/storage/partitioned_store.cc" "src/CMakeFiles/tpart.dir/storage/partitioned_store.cc.o" "gcc" "src/CMakeFiles/tpart.dir/storage/partitioned_store.cc.o.d"
+  "/root/repo/src/storage/record.cc" "src/CMakeFiles/tpart.dir/storage/record.cc.o" "gcc" "src/CMakeFiles/tpart.dir/storage/record.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/tpart.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/tpart.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/write_back_log.cc" "src/CMakeFiles/tpart.dir/storage/write_back_log.cc.o" "gcc" "src/CMakeFiles/tpart.dir/storage/write_back_log.cc.o.d"
+  "/root/repo/src/storage/zigzag_checkpoint.cc" "src/CMakeFiles/tpart.dir/storage/zigzag_checkpoint.cc.o" "gcc" "src/CMakeFiles/tpart.dir/storage/zigzag_checkpoint.cc.o.d"
+  "/root/repo/src/tgraph/edge_weight.cc" "src/CMakeFiles/tpart.dir/tgraph/edge_weight.cc.o" "gcc" "src/CMakeFiles/tpart.dir/tgraph/edge_weight.cc.o.d"
+  "/root/repo/src/tgraph/sinking.cc" "src/CMakeFiles/tpart.dir/tgraph/sinking.cc.o" "gcc" "src/CMakeFiles/tpart.dir/tgraph/sinking.cc.o.d"
+  "/root/repo/src/tgraph/tgraph.cc" "src/CMakeFiles/tpart.dir/tgraph/tgraph.cc.o" "gcc" "src/CMakeFiles/tpart.dir/tgraph/tgraph.cc.o.d"
+  "/root/repo/src/txn/procedure.cc" "src/CMakeFiles/tpart.dir/txn/procedure.cc.o" "gcc" "src/CMakeFiles/tpart.dir/txn/procedure.cc.o.d"
+  "/root/repo/src/txn/rw_set.cc" "src/CMakeFiles/tpart.dir/txn/rw_set.cc.o" "gcc" "src/CMakeFiles/tpart.dir/txn/rw_set.cc.o.d"
+  "/root/repo/src/txn/txn.cc" "src/CMakeFiles/tpart.dir/txn/txn.cc.o" "gcc" "src/CMakeFiles/tpart.dir/txn/txn.cc.o.d"
+  "/root/repo/src/workload/micro.cc" "src/CMakeFiles/tpart.dir/workload/micro.cc.o" "gcc" "src/CMakeFiles/tpart.dir/workload/micro.cc.o.d"
+  "/root/repo/src/workload/tpcc.cc" "src/CMakeFiles/tpart.dir/workload/tpcc.cc.o" "gcc" "src/CMakeFiles/tpart.dir/workload/tpcc.cc.o.d"
+  "/root/repo/src/workload/tpce.cc" "src/CMakeFiles/tpart.dir/workload/tpce.cc.o" "gcc" "src/CMakeFiles/tpart.dir/workload/tpce.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/tpart.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/tpart.dir/workload/trace_io.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/tpart.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/tpart.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for tpart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_test.dir/fit_test.cc.o"
+  "CMakeFiles/fit_test.dir/fit_test.cc.o.d"
+  "fit_test"
+  "fit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

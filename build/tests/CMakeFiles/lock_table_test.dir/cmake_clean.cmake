@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_table_test.dir/lock_table_test.cc.o"
+  "CMakeFiles/lock_table_test.dir/lock_table_test.cc.o.d"
+  "lock_table_test"
+  "lock_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

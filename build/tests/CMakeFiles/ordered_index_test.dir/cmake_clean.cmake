@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_index_test.dir/ordered_index_test.cc.o"
+  "CMakeFiles/ordered_index_test.dir/ordered_index_test.cc.o.d"
+  "ordered_index_test"
+  "ordered_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequencer_test.dir/sequencer_test.cc.o"
+  "CMakeFiles/sequencer_test.dir/sequencer_test.cc.o.d"
+  "sequencer_test"
+  "sequencer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequencer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

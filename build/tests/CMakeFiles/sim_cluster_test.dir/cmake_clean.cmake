@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_cluster_test.dir/sim_cluster_test.cc.o"
+  "CMakeFiles/sim_cluster_test.dir/sim_cluster_test.cc.o.d"
+  "sim_cluster_test"
+  "sim_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_service_test.dir/storage_service_test.cc.o"
+  "CMakeFiles/storage_service_test.dir/storage_service_test.cc.o.d"
+  "storage_service_test"
+  "storage_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgraph_figure3_test.dir/tgraph_figure3_test.cc.o"
+  "CMakeFiles/tgraph_figure3_test.dir/tgraph_figure3_test.cc.o.d"
+  "tgraph_figure3_test"
+  "tgraph_figure3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgraph_figure3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trend_test.dir/trend_test.cc.o"
+  "CMakeFiles/trend_test.dir/trend_test.cc.o.d"
+  "trend_test"
+  "trend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

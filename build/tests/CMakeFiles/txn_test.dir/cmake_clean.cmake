@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_test.dir/txn_test.cc.o"
+  "CMakeFiles/txn_test.dir/txn_test.cc.o.d"
+  "txn_test"
+  "txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

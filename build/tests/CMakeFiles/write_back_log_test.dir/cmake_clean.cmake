@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_back_log_test.dir/write_back_log_test.cc.o"
+  "CMakeFiles/write_back_log_test.dir/write_back_log_test.cc.o.d"
+  "write_back_log_test"
+  "write_back_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_back_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

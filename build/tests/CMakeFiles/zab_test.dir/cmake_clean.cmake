@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_test.dir/zab_test.cc.o"
+  "CMakeFiles/zab_test.dir/zab_test.cc.o.d"
+  "zab_test"
+  "zab_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zigzag_test.dir/zigzag_test.cc.o"
+  "CMakeFiles/zigzag_test.dir/zigzag_test.cc.o.d"
+  "zigzag_test"
+  "zigzag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zigzag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
