@@ -14,8 +14,11 @@
 //   --sink=N                        sink size (default 100)
 //   --runtime                       threaded runtime instead of simulator
 //   --gstore                        G-Store emulation (sink 1, write-back)
+//   --transport=direct|inproc|tcp   runtime wire substrate (default direct)
+//   --drop=P --dup=P --delay=P      runtime fault injection probabilities
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -90,6 +93,11 @@ int main(int argc, char** argv) {
   const auto sink = static_cast<std::size_t>(IntFlag(argc, argv, "sink", 100));
   const bool use_runtime = BoolFlag(argc, argv, "runtime");
   const bool gstore = BoolFlag(argc, argv, "gstore");
+  const std::string transport_name =
+      StrFlag(argc, argv, "transport", "direct");
+  const double drop = std::atof(StrFlag(argc, argv, "drop", "0").c_str());
+  const double dup = std::atof(StrFlag(argc, argv, "dup", "0").c_str());
+  const double delay = std::atof(StrFlag(argc, argv, "delay", "0").c_str());
 
   const Workload w = MakeWorkload(workload_name, machines, txns);
   std::printf("%s: %zu machines, %zu txns, %.0f%% distributed\n",
@@ -105,18 +113,32 @@ int main(int argc, char** argv) {
       opts.scheduler.graph.sticky_cache = false;
       opts.scheduler.optimize_plans = false;
     }
+    if (transport_name == "inproc") {
+      opts.transport.kind = TransportKind::kInProcess;
+    } else if (transport_name == "tcp") {
+      opts.transport.kind = TransportKind::kTcp;
+    }
+    opts.transport.faults.drop_prob = drop;
+    opts.transport.faults.duplicate_prob = dup;
+    opts.transport.faults.delay_prob = delay;
     LocalCluster cluster(&w, opts);
     if (engine == "calvin" || engine == "both") {
       const ClusterRunOutcome out = cluster.RunCalvin();
       std::printf("calvin (runtime): committed=%llu aborted=%llu\n",
                   static_cast<unsigned long long>(out.committed),
                   static_cast<unsigned long long>(out.aborted));
+      if (out.transport.messages_sent > 0) {
+        std::printf("  transport: %s\n", out.transport.Summary().c_str());
+      }
     }
     if (engine == "tpart" || engine == "both") {
       const ClusterRunOutcome out = cluster.RunTPart();
       std::printf("tpart  (runtime): committed=%llu aborted=%llu\n",
                   static_cast<unsigned long long>(out.committed),
                   static_cast<unsigned long long>(out.aborted));
+      if (out.transport.messages_sent > 0) {
+        std::printf("  transport: %s\n", out.transport.Summary().c_str());
+      }
     }
     return 0;
   }

@@ -1,8 +1,42 @@
 #include "metrics/run_stats.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace tpart {
+
+void TransportStats::MergeFrom(const TransportStats& other) {
+  messages_sent += other.messages_sent;
+  messages_delivered += other.messages_delivered;
+  bytes_out += other.bytes_out;
+  bytes_in += other.bytes_in;
+  packets_out += other.packets_out;
+  packets_in += other.packets_in;
+  acks_sent += other.acks_sent;
+  retries += other.retries;
+  duplicates_dropped += other.duplicates_dropped;
+  faults_dropped += other.faults_dropped;
+  faults_duplicated += other.faults_duplicated;
+  faults_delayed += other.faults_delayed;
+  backpressure_waits += other.backpressure_waits;
+  queue_high_water = std::max(queue_high_water, other.queue_high_water);
+}
+
+std::string TransportStats::Summary() const {
+  std::ostringstream out;
+  out << "msgs=" << messages_sent << "/" << messages_delivered
+      << " bytes=" << bytes_out << "/" << bytes_in
+      << " packets=" << packets_out << "/" << packets_in
+      << " acks=" << acks_sent << " retries=" << retries
+      << " dups_dropped=" << duplicates_dropped;
+  if (faults_dropped + faults_duplicated + faults_delayed > 0) {
+    out << " faults(drop/dup/delay)=" << faults_dropped << "/"
+        << faults_duplicated << "/" << faults_delayed;
+  }
+  out << " backpressure=" << backpressure_waits
+      << " queue_hw=" << queue_high_water;
+  return out.str();
+}
 
 std::string RunStats::Summary() const {
   std::ostringstream out;
@@ -14,6 +48,9 @@ std::string RunStats::Summary() const {
       << " stalled=" << NetworkStalledFraction() * 100.0 << "%"
       << " avg_stall_us=" << stall_wait.mean() / 1000.0
       << " distributed=" << distributed_txns;
+  if (transport.messages_sent > 0) {
+    out << " | transport: " << transport.Summary();
+  }
   return out.str();
 }
 

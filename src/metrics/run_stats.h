@@ -10,6 +10,42 @@
 
 namespace tpart {
 
+/// Counters for the wire transport subsystem (src/net): all inter-machine
+/// traffic of a threaded-runtime run, including the reliability layer's
+/// retransmissions and the fault injector's activity. Produced by
+/// Transport::stats(); zero/absent for simulator runs and for the direct
+/// (unserialized) transport's byte counters.
+struct TransportStats {
+  /// Message-level sends/deliveries (one Message each).
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  /// Serialized bytes entering / leaving the network (frame overhead
+  /// included for stream transports).
+  std::uint64_t bytes_out = 0;
+  std::uint64_t bytes_in = 0;
+  /// Packet-level traffic (data + acks, including retransmissions).
+  std::uint64_t packets_out = 0;
+  std::uint64_t packets_in = 0;
+  std::uint64_t acks_sent = 0;
+  /// Reliability layer: retransmitted data packets and receiver-side
+  /// duplicate suppressions.
+  std::uint64_t retries = 0;
+  std::uint64_t duplicates_dropped = 0;
+  /// Fault injector activity (FaultyPacketNetwork only).
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t faults_delayed = 0;
+  /// Sender-side flow control: sends that blocked on a full queue, and
+  /// the deepest any outgoing/delivery queue ever got.
+  std::uint64_t backpressure_waits = 0;
+  std::uint64_t queue_high_water = 0;
+
+  /// Accumulates `other` (sums counters, maxes high-water marks).
+  void MergeFrom(const TransportStats& other);
+
+  std::string Summary() const;
+};
+
 /// Aggregate outcome of one simulated (or real) engine run. Produced by
 /// CalvinSim / TPartSim and by the threaded runtime; consumed by every
 /// benchmark.
@@ -54,6 +90,9 @@ struct RunStats {
   std::uint64_t pushes_eliminated = 0;
   std::size_t max_tgraph_size = 0;
   std::uint64_t sticky_hits = 0;
+
+  /// Wire transport counters (threaded runtime over a real transport).
+  TransportStats transport;
 
   std::string Summary() const;
 };

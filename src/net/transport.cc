@@ -1,0 +1,257 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "net/tcp_network.h"
+#include "net/wire.h"
+
+namespace tpart {
+
+namespace {
+
+constexpr std::uint8_t kDataPacket = 0;
+constexpr std::uint8_t kAckPacket = 1;
+
+std::string MakeAckPacket(MachineId acker, std::uint64_t seq) {
+  std::string out;
+  WireWriter w(&out);
+  w.PutU8(kAckPacket);
+  w.PutVarint(acker);
+  w.PutVarint(seq);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// DirectTransport
+// ---------------------------------------------------------------------
+
+void DirectTransport::Start(std::vector<DeliverFn> deliver) {
+  deliver_ = std::move(deliver);
+}
+
+void DirectTransport::Send(MachineId from, MachineId to, Message msg) {
+  (void)from;
+  TPART_CHECK(to < deliver_.size()) << "send to unknown machine " << to;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.messages_sent;
+    ++stats_.messages_delivered;
+  }
+  deliver_[to](std::move(msg));
+}
+
+TransportStats DirectTransport::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------
+// SerializedTransport
+// ---------------------------------------------------------------------
+
+SerializedTransport::SerializedTransport(
+    std::unique_ptr<PacketNetwork> network, int retry_timeout_us)
+    : network_(std::move(network)),
+      retry_timeout_us_(std::max(retry_timeout_us, 100)) {}
+
+void SerializedTransport::Start(std::vector<DeliverFn> deliver) {
+  TPART_CHECK(!started_) << "transport started twice";
+  started_ = true;
+  deliver_ = std::move(deliver);
+  n_ = deliver_.size();
+  links_.resize(n_ * n_);
+  network_->Start(n_, [this](MachineId dst, std::string packet) {
+    OnPacket(dst, std::move(packet));
+  });
+  ack_thread_ = std::thread([this] { AckLoop(); });
+  retry_thread_ = std::thread([this] { RetryLoop(); });
+}
+
+void SerializedTransport::Send(MachineId from, MachineId to, Message msg) {
+  TPART_CHECK(started_ && from < n_ && to < n_)
+      << "bad send " << from << "->" << to;
+  std::string payload = EncodeMessage(msg);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.messages_sent;
+  }
+  if (from == to) {
+    // Self-sends skip the network (and the reliability protocol) but
+    // still round-trip the encoder, keeping the wire path uniform.
+    Result<Message> decoded = DecodeMessage(payload);
+    TPART_CHECK(decoded.ok())
+        << "self-send decode failed: " << decoded.status().ToString();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.messages_delivered;
+      stats_.bytes_out += payload.size();
+      stats_.bytes_in += payload.size();
+    }
+    deliver_[to](std::move(*decoded));
+    return;
+  }
+  std::string packet;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Link& link = links_[from * n_ + to];
+    const std::uint64_t seq = link.next_seq++;
+    WireWriter w(&packet);
+    w.PutU8(kDataPacket);
+    w.PutVarint(from);
+    w.PutVarint(seq);
+    packet.append(payload);
+    link.unacked[seq] =
+        Link::Unacked{packet, std::chrono::steady_clock::now()};
+    ++unacked_total_;
+  }
+  network_->Send(from, to, std::move(packet));
+}
+
+void SerializedTransport::OnPacket(MachineId dst, std::string packet) {
+  WireReader r(packet);
+  std::uint8_t kind;
+  std::uint64_t src64, seq;
+  TPART_CHECK(r.GetU8(&kind) && kind <= kAckPacket && r.GetVarint(&src64) &&
+              r.GetVarint(&seq) && src64 < n_)
+      << "malformed packet envelope";
+  const auto src = static_cast<MachineId>(src64);
+
+  if (kind == kAckPacket) {
+    // `src` is the acker = the data receiver; `dst` is the data sender.
+    std::lock_guard<std::mutex> lock(mu_);
+    Link& link = links_[dst * n_ + src];
+    if (link.unacked.erase(seq) > 0) {
+      if (--unacked_total_ == 0) flush_cv_.notify_all();
+    }
+    return;
+  }
+
+  const std::string_view payload(packet.data() + (packet.size() -
+                                                  r.remaining()),
+                                 r.remaining());
+  Link& link = links_[src * n_ + dst];
+  bool duplicate;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    duplicate = seq <= link.dedupe_floor ||
+                link.delivered_above.count(seq) > 0;
+    if (!duplicate) {
+      link.delivered_above.insert(seq);
+      while (link.delivered_above.count(link.dedupe_floor + 1) > 0) {
+        link.delivered_above.erase(++link.dedupe_floor);
+      }
+    }
+  }
+  if (duplicate) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.duplicates_dropped;
+  } else {
+    Result<Message> msg = DecodeMessage(payload);
+    TPART_CHECK(msg.ok()) << "wire decode failed for packet " << src << "->"
+                          << dst << " seq " << seq << ": "
+                          << msg.status().ToString();
+    deliver_[dst](std::move(*msg));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.messages_delivered;
+  }
+  // Ack even duplicates: the first ack may itself have been dropped.
+  ack_queue_.Send({dst, src, MakeAckPacket(dst, seq)});
+}
+
+void SerializedTransport::AckLoop() {
+  while (true) {
+    auto [from, to, packet] = ack_queue_.Receive();
+    if (packet.empty()) return;  // shutdown sentinel
+    network_->Send(from, to, std::move(packet));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.acks_sent;
+  }
+}
+
+void SerializedTransport::RetryLoop() {
+  const auto timeout = std::chrono::microseconds(retry_timeout_us_);
+  while (!shutdown_.load()) {
+    std::this_thread::sleep_for(timeout / 2);
+    std::vector<std::tuple<MachineId, MachineId, std::string>> resend;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t from = 0; from < n_; ++from) {
+        for (std::size_t to = 0; to < n_; ++to) {
+          for (auto& [seq, unacked] : links_[from * n_ + to].unacked) {
+            if (now - unacked.sent >= timeout) {
+              unacked.sent = now;
+              resend.emplace_back(static_cast<MachineId>(from),
+                                  static_cast<MachineId>(to),
+                                  unacked.packet);
+            }
+          }
+        }
+      }
+    }
+    for (auto& [from, to, packet] : resend) {
+      if (shutdown_.load()) return;
+      network_->Send(from, to, std::move(packet));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.retries;
+    }
+  }
+}
+
+void SerializedTransport::Flush() {
+  if (!started_) return;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    flush_cv_.wait(lock, [&] { return unacked_total_ == 0; });
+  }
+  network_->Drain();
+}
+
+void SerializedTransport::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  shutdown_.store(true);
+  if (retry_thread_.joinable()) retry_thread_.join();
+  ack_queue_.Send({0, 0, std::string()});
+  if (ack_thread_.joinable()) ack_thread_.join();
+  network_->Stop();
+}
+
+TransportStats SerializedTransport::stats() const {
+  TransportStats out = network_->stats();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.MergeFrom(stats_);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------
+
+std::unique_ptr<Transport> MakeTransport(const TransportOptions& options) {
+  TransportKind kind = options.kind;
+  if (kind == TransportKind::kDirect && options.faults.Any()) {
+    kind = TransportKind::kInProcess;  // faults act on wire packets
+  }
+  if (kind == TransportKind::kDirect) {
+    return std::make_unique<DirectTransport>();
+  }
+  std::unique_ptr<PacketNetwork> network;
+  if (kind == TransportKind::kTcp) {
+    network = std::make_unique<TcpPacketNetwork>(options.queue_capacity);
+  } else {
+    network = std::make_unique<InProcessPacketNetwork>(options.queue_capacity);
+  }
+  if (options.faults.Any()) {
+    network = std::make_unique<FaultyPacketNetwork>(std::move(network),
+                                                    options.faults);
+  }
+  return std::make_unique<SerializedTransport>(std::move(network),
+                                               options.retry_timeout_us);
+}
+
+}  // namespace tpart

@@ -1,0 +1,150 @@
+#ifndef TPART_NET_WIRE_H_
+#define TPART_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "runtime/channel.h"
+#include "scheduler/push_plan.h"
+#include "storage/record.h"
+
+namespace tpart {
+
+/// Compact binary wire format for everything that crosses a machine
+/// boundary: forward-pushed record versions, cache pulls, storage reads,
+/// write-backs, Calvin peer reads (runtime/channel.h Message), and sunk
+/// push plans (scheduler/push_plan.h) for scheduler->machine distribution
+/// in a real deployment. Integers are LEB128 varints (signed values
+/// zigzag-coded); every encoded object starts with a format-version byte
+/// so the format can evolve.
+inline constexpr std::uint8_t kWireFormatVersion = 1;
+
+// ---------------------------------------------------------------------
+// Primitive encoding
+// ---------------------------------------------------------------------
+
+/// Appends primitive values to a byte string.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutU8(std::uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void PutVarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_->push_back(static_cast<char>(v | 0x80));
+      v >>= 7;
+    }
+    out_->push_back(static_cast<char>(v));
+  }
+
+  void PutZigzag(std::int64_t v) {
+    PutVarint((static_cast<std::uint64_t>(v) << 1) ^
+              static_cast<std::uint64_t>(v >> 63));
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked reader over an encoded byte string. Every getter
+/// returns false on truncation instead of reading past the end.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(std::uint8_t* v) {
+    if (pos_ >= data_.size()) return false;
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool GetVarint(std::uint64_t* v) {
+    std::uint64_t out = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) return false;
+      const auto byte = static_cast<std::uint8_t>(data_[pos_++]);
+      out |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *v = out;
+        return true;
+      }
+    }
+    return false;  // > 10 bytes: malformed
+  }
+
+  bool GetZigzag(std::int64_t* v) {
+    std::uint64_t raw;
+    if (!GetVarint(&raw)) return false;
+    *v = static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+    return true;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Record / Message / SinkPlan encoding
+// ---------------------------------------------------------------------
+
+void EncodeRecord(const Record& record, WireWriter& w);
+bool DecodeRecord(WireReader& r, Record* record);
+
+/// Serializes `msg` (without framing).
+std::string EncodeMessage(const Message& msg);
+
+/// Parses a payload produced by EncodeMessage. Rejects unknown format
+/// versions, out-of-range enum values, truncated input, and trailing
+/// garbage.
+Result<Message> DecodeMessage(std::string_view bytes);
+
+/// Serializes one sinking round's full push plan (§3.4): what a central
+/// scheduler would broadcast to machines in a real deployment.
+std::string EncodeSinkPlan(const SinkPlan& plan);
+Result<SinkPlan> DecodeSinkPlan(std::string_view bytes);
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Frames are [u32 LE payload length][u32 LE FNV-1a checksum][payload];
+/// the checksum catches corruption, the length bound catches garbage
+/// headers before they trigger huge allocations.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+inline constexpr std::size_t kMaxFramePayloadBytes = 1u << 26;  // 64 MiB
+
+std::uint32_t WireChecksum(std::string_view payload);
+
+/// Appends one framed payload to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Reassembles frames from an arbitrary-chunked byte stream (the TCP
+/// receive path). Once a corrupt frame is seen the buffer stays in the
+/// error state: a stream with a bad length or checksum cannot be resynced.
+class FrameBuffer {
+ public:
+  void Append(std::string_view data) { buf_.append(data); }
+
+  /// Next complete frame's payload; nullopt when more bytes are needed;
+  /// error status on a corrupt stream.
+  Result<std::optional<std::string>> Next();
+
+  std::size_t buffered_bytes() const { return buf_.size() - off_; }
+
+ private:
+  std::string buf_;
+  std::size_t off_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_NET_WIRE_H_

@@ -2,33 +2,14 @@
 
 namespace tpart {
 
-void Channel::Send(Message msg) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(msg));
-  }
-  cv_.notify_one();
-}
-
-Message Channel::Receive() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !queue_.empty(); });
-  Message msg = std::move(queue_.front());
-  queue_.pop_front();
-  return msg;
-}
-
-std::optional<Message> Channel::TryReceive() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.empty()) return std::nullopt;
-  Message msg = std::move(queue_.front());
-  queue_.pop_front();
-  return msg;
-}
-
-std::size_t Channel::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+bool operator==(const Message& a, const Message& b) {
+  return a.type == b.type && a.key == b.key && a.version == b.version &&
+         a.replaces == b.replaces && a.dst_txn == b.dst_txn &&
+         a.value == b.value && a.invalidate == b.invalidate &&
+         a.total_reads == b.total_reads && a.awaits == b.awaits &&
+         a.sticky == b.sticky && a.epoch == b.epoch &&
+         a.reply_to == b.reply_to && a.req_id == b.req_id &&
+         a.txn == b.txn && a.kvs == b.kvs;
 }
 
 }  // namespace tpart

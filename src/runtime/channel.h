@@ -15,7 +15,8 @@
 namespace tpart {
 
 /// Inter-machine message. One variant struct keeps the wire format
-/// explicit and cheap to log for recovery (§5.4).
+/// explicit and cheap to log for recovery (§5.4); net/wire.h defines the
+/// binary serialization used by the real transports.
 struct Message {
   enum class Type {
     /// Forward-push of a version entry <key, version, dst_txn> (§3.4).
@@ -55,26 +56,80 @@ struct Message {
   std::vector<std::pair<ObjectKey, Record>> kvs;
 };
 
-/// Unbounded MPSC blocking queue — the "network" between machines. A
-/// LocalCluster wires one Channel per machine; Send() is the only way
-/// machines affect each other.
-class Channel {
+/// Field-wise equality (wire round-trip tests, transport verification).
+bool operator==(const Message& a, const Message& b);
+
+/// MPSC blocking queue — the "network" between machines for the direct
+/// in-memory transport, and the byte-packet conveyor inside the
+/// serialized in-process transport (net/packet_network.h). A capacity of
+/// 0 means unbounded; a bounded queue blocks senders when full, which is
+/// how the transports exert backpressure.
+template <typename T>
+class BlockingQueue {
  public:
-  void Send(Message msg);
+  explicit BlockingQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Enqueues `msg`; blocks while a bounded queue is at capacity.
+  /// Returns true when the send had to wait (a backpressure event).
+  bool Send(T msg) {
+    bool waited = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (capacity_ > 0 && queue_.size() >= capacity_) {
+        waited = true;
+        space_cv_.wait(lock, [&] { return queue_.size() < capacity_; });
+      }
+      queue_.push_back(std::move(msg));
+      if (queue_.size() > high_water_) high_water_ = queue_.size();
+    }
+    cv_.notify_one();
+    return waited;
+  }
 
   /// Blocks for the next message.
-  Message Receive();
+  T Receive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return msg;
+  }
 
   /// Non-blocking variant.
-  std::optional<Message> TryReceive();
+  std::optional<T> TryReceive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.empty()) return std::nullopt;
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return msg;
+  }
 
-  std::size_t size() const;
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// Largest queue depth ever observed.
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
 
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  std::condition_variable space_cv_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+  std::size_t high_water_ = 0;
 };
+
+/// The machine-facing message queue (unbounded, as before).
+using Channel = BlockingQueue<Message>;
 
 }  // namespace tpart
 

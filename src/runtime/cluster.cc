@@ -18,6 +18,7 @@ LocalCluster::~LocalCluster() { StopAll(); }
 void LocalCluster::Reset() {
   StopAll();
   machines_.clear();
+  transport_ = MakeTransport(options_.transport);
   store_ = std::make_unique<PartitionedStore>(
       workload_->num_machines, workload_->partition_map,
       /*maintain_ordered_index=*/true);
@@ -27,17 +28,27 @@ void LocalCluster::Reset() {
         static_cast<MachineId>(m), workload_->num_machines,
         &store_->store(static_cast<MachineId>(m)),
         workload_->procedures.get(),
-        [this](MachineId to, Message msg) {
-          machines_.at(to)->Deliver(std::move(msg));
+        [this, m](MachineId to, Message msg) {
+          transport_->Send(static_cast<MachineId>(m), to, std::move(msg));
         },
         options_.sticky_ttl, options_.executor_workers));
     const DataPartitionMap* map = workload_->partition_map.get();
     machines_.back()->set_locator(
         [map](ObjectKey key) { return map->Locate(key); });
   }
+  std::vector<Transport::DeliverFn> sinks;
+  sinks.reserve(machines_.size());
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    sinks.push_back([this, m](Message msg) {
+      machines_[m]->Deliver(std::move(msg));
+    });
+  }
+  transport_->Start(std::move(sinks));
 }
 
 void LocalCluster::StopAll() {
+  // Transport first: once it stops, no delivery can race machine teardown.
+  if (transport_) transport_->Stop();
   for (auto& m : machines_) {
     if (m) m->Stop();
   }
@@ -83,7 +94,12 @@ ClusterRunOutcome LocalCluster::RunTPart() {
   for (auto& m : machines_) m->StartTPart();
   for (auto& m : machines_) m->FinishEnqueue();
   for (auto& m : machines_) m->JoinExecutor();
+  // Executors fire-and-forget their final write-backs; wait until the
+  // transport has delivered (and, under faults, acked) every message
+  // before reading final store state.
+  transport_->Flush();
   ClusterRunOutcome outcome = CollectResults(/*dedup_participants=*/false);
+  outcome.transport = transport_->stats();
   StopAll();
   return outcome;
 }
@@ -107,7 +123,9 @@ ClusterRunOutcome LocalCluster::RunCalvin() {
   for (auto& m : machines_) m->StartCalvin();
   for (auto& m : machines_) m->FinishEnqueue();
   for (auto& m : machines_) m->JoinExecutor();
+  transport_->Flush();
   ClusterRunOutcome outcome = CollectResults(/*dedup_participants=*/true);
+  outcome.transport = transport_->stats();
   StopAll();
   return outcome;
 }

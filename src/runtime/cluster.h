@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "metrics/run_stats.h"
+#include "net/transport.h"
 #include "runtime/machine.h"
 #include "scheduler/tpart_scheduler.h"
 #include "storage/partitioned_store.h"
@@ -19,6 +20,12 @@ struct LocalClusterOptions {
   /// Executor worker threads per machine in T-Part mode (the version CC
   /// makes >1 safe; results are interleaving-independent).
   int executor_workers = 1;
+  /// Which wire substrate carries inter-machine messages: the direct
+  /// in-memory path (default), serialized in-process queues, or loopback
+  /// TCP — optionally with seeded fault injection (net/transport.h).
+  /// Results must be identical over every transport; the transport tests
+  /// assert exactly this.
+  TransportOptions transport;
 
   LocalClusterOptions() {
     // Procedures in the runtime can abort, so transactions must read the
@@ -28,11 +35,12 @@ struct LocalClusterOptions {
 };
 
 /// Outcome of a cluster run: per-transaction results in total order, plus
-/// commit/abort counts.
+/// commit/abort counts and the transport's traffic counters.
 struct ClusterRunOutcome {
   std::vector<TxnResult> results;
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
+  TransportStats transport;
 };
 
 /// A multi-machine deterministic database in one process: N Machines
@@ -70,6 +78,7 @@ class LocalCluster {
   LocalClusterOptions options_;
   bool used_ = false;
   std::unique_ptr<PartitionedStore> store_;
+  std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::vector<SinkPlan> last_plans_;
 };

@@ -87,10 +87,11 @@ void Machine::JoinExecutor() {
 }
 
 void Machine::Stop() {
-  // Drain first: every peer executor has joined by the time a machine is
-  // stopped, so all in-flight messages already sit in the inbound queue;
-  // processing up to the shutdown sentinel applies any remaining
-  // write-backs before the storage front-end closes.
+  // Drain first: by the time a machine is stopped, every peer executor
+  // has joined and the cluster has Flush()ed the transport, so all
+  // in-flight messages already sit in the inbound queue; processing up
+  // to the shutdown sentinel applies any remaining write-backs before
+  // the storage front-end closes.
   if (service_.joinable()) {
     Message stop;
     stop.type = Message::Type::kShutdown;

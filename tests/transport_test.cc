@@ -1,0 +1,218 @@
+// Transport-layer tests: every wire substrate (serialized in-process
+// queues, loopback TCP, and both under seeded fault injection) must
+// produce exactly the results and final state of the serial reference
+// and of the direct in-memory path — the version CC makes outcomes
+// interleaving-independent, so any divergence is a transport bug.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exec/serial_executor.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "runtime/cluster.h"
+#include "workload/micro.h"
+#include "workload/tpcc.h"
+
+namespace tpart {
+namespace {
+
+std::pair<std::vector<TxnResult>, std::vector<std::pair<ObjectKey, Record>>>
+SerialReference(const Workload& w) {
+  auto map = std::make_shared<HashPartitionMap>(1);
+  PartitionedStore store(1, map);
+  PartitionedStore scratch(w.num_machines, w.partition_map);
+  w.loader(scratch);
+  for (auto& [k, rec] : scratch.Snapshot()) store.Upsert(k, rec);
+  auto result = RunSerial(*w.procedures, w.SequencedRequests(),
+                          store.store(0));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return {std::move(result->results), store.Snapshot()};
+}
+
+void ExpectSameResults(const std::vector<TxnResult>& a,
+                       const std::vector<TxnResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].committed, b[i].committed) << "T" << a[i].id;
+    EXPECT_EQ(a[i].output, b[i].output) << "T" << a[i].id;
+  }
+}
+
+MicroOptions SmallMicro() {
+  MicroOptions o;
+  o.num_machines = 3;
+  o.records_per_machine = 200;
+  o.hot_set_size = 25;
+  o.num_txns = 400;
+  return o;
+}
+
+LocalClusterOptions OptsFor(TransportKind kind) {
+  LocalClusterOptions opts;
+  opts.scheduler.sink_size = 20;
+  opts.transport.kind = kind;
+  return opts;
+}
+
+// Run both engines over `opts.transport` and check them against the
+// serial reference. Returns the T-Part run's transport stats.
+TransportStats CheckTransportMatchesSerial(const Workload& w,
+                                           LocalClusterOptions opts) {
+  const auto [serial_results, serial_state] = SerialReference(w);
+
+  LocalCluster cluster(&w, opts);
+  const ClusterRunOutcome tpart = cluster.RunTPart();
+  ExpectSameResults(serial_results, tpart.results);
+  EXPECT_EQ(cluster.store().Snapshot(), serial_state)
+      << "T-Part final state diverged from serial";
+  EXPECT_EQ(tpart.committed + tpart.aborted, serial_results.size());
+
+  const ClusterRunOutcome calvin = cluster.RunCalvin();
+  ExpectSameResults(serial_results, calvin.results);
+  EXPECT_EQ(cluster.store().Snapshot(), serial_state)
+      << "Calvin final state diverged from serial";
+  return tpart.transport;
+}
+
+TEST(TransportTest, SerializedInProcessMatchesSerial) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const TransportStats stats =
+      CheckTransportMatchesSerial(w, OptsFor(TransportKind::kInProcess));
+  // The wire path really ran: messages were serialized into packets.
+  EXPECT_GT(stats.messages_sent, 0u);
+  EXPECT_GT(stats.packets_out, 0u);
+  EXPECT_GT(stats.bytes_out, 0u);
+  EXPECT_EQ(stats.messages_delivered, stats.messages_sent);
+}
+
+TEST(TransportTest, TcpLoopbackMatchesSerial) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const TransportStats stats =
+      CheckTransportMatchesSerial(w, OptsFor(TransportKind::kTcp));
+  EXPECT_GT(stats.packets_out, 0u);
+  EXPECT_EQ(stats.messages_delivered, stats.messages_sent);
+}
+
+TEST(TransportTest, TcpTpccWithAbortsMatchesSerial) {
+  TpccOptions o;
+  o.num_machines = 3;
+  o.warehouses_per_machine = 1;
+  o.customers_per_district = 20;
+  o.num_items = 100;
+  o.num_txns = 300;
+  o.abort_prob = 0.05;
+  CheckTransportMatchesSerial(MakeTpccWorkload(o),
+                              OptsFor(TransportKind::kTcp));
+}
+
+TEST(TransportTest, AllTransportsByteIdenticalOutcomes) {
+  // Direct, serialized in-process, and TCP must agree result-for-result
+  // and byte-for-byte on final state.
+  const Workload w = MakeMicroWorkload(SmallMicro());
+
+  LocalCluster direct(&w, OptsFor(TransportKind::kDirect));
+  const ClusterRunOutcome ref = direct.RunTPart();
+  const auto ref_state = direct.store().Snapshot();
+
+  for (TransportKind kind :
+       {TransportKind::kInProcess, TransportKind::kTcp}) {
+    LocalCluster cluster(&w, OptsFor(kind));
+    const ClusterRunOutcome got = cluster.RunTPart();
+    ExpectSameResults(ref.results, got.results);
+    EXPECT_EQ(cluster.store().Snapshot(), ref_state)
+        << "transport kind " << static_cast<int>(kind);
+  }
+}
+
+TEST(TransportTest, FaultyInProcessCommitsEverything) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  LocalClusterOptions opts = OptsFor(TransportKind::kInProcess);
+  opts.transport.faults.seed = 0xBADBEE;
+  opts.transport.faults.drop_prob = 0.05;
+  opts.transport.faults.duplicate_prob = 0.05;
+  opts.transport.faults.delay_prob = 0.10;
+  opts.transport.faults.max_delay_us = 1500;
+  opts.transport.retry_timeout_us = 1000;
+
+  const TransportStats stats = CheckTransportMatchesSerial(w, opts);
+  // The faults really fired and the reliability layer really worked.
+  EXPECT_GT(stats.faults_dropped, 0u);
+  EXPECT_GT(stats.faults_duplicated, 0u);
+  EXPECT_GT(stats.faults_delayed, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.duplicates_dropped, 0u);
+  EXPECT_EQ(stats.messages_delivered, stats.messages_sent);
+}
+
+TEST(TransportTest, FaultyTcpCommitsEverything) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  LocalClusterOptions opts = OptsFor(TransportKind::kTcp);
+  opts.transport.faults.seed = 0x7C9;
+  opts.transport.faults.drop_prob = 0.03;
+  opts.transport.faults.duplicate_prob = 0.03;
+  opts.transport.faults.delay_prob = 0.05;
+  opts.transport.retry_timeout_us = 1000;
+
+  const TransportStats stats = CheckTransportMatchesSerial(w, opts);
+  EXPECT_GT(stats.faults_dropped, 0u);
+  EXPECT_GT(stats.retries, 0u);
+}
+
+TEST(TransportTest, FaultsUpgradeDirectToSerialized) {
+  // kDirect cannot inject packet faults; MakeTransport upgrades it.
+  TransportOptions options;
+  options.kind = TransportKind::kDirect;
+  options.faults.drop_prob = 0.1;
+  auto transport = MakeTransport(options);
+  std::vector<int> seen(2, 0);
+  std::vector<Transport::DeliverFn> sinks;
+  for (int m = 0; m < 2; ++m) {
+    sinks.push_back([&seen, m](Message) { ++seen[m]; });
+  }
+  transport->Start(std::move(sinks));
+  Message msg;
+  msg.type = Message::Type::kPushVersion;
+  msg.key = 1;
+  for (int i = 0; i < 50; ++i) transport->Send(0, 1, msg);
+  transport->Flush();
+  EXPECT_EQ(seen[1], 50);
+  const TransportStats stats = transport->stats();
+  EXPECT_GT(stats.packets_out, 0u);  // serialized, not direct
+  EXPECT_GT(stats.faults_dropped, 0u);
+  transport->Stop();
+}
+
+TEST(TransportTest, BackpressureCountersSurface) {
+  // A tiny queue forces senders to wait; the event must be counted.
+  TransportOptions options;
+  options.kind = TransportKind::kInProcess;
+  options.queue_capacity = 1;
+  auto transport = MakeTransport(options);
+  std::vector<Transport::DeliverFn> sinks(2, [](Message) {});
+  transport->Start(std::move(sinks));
+  Message msg;
+  msg.type = Message::Type::kPushVersion;
+  msg.value = Record({1, 2, 3});
+  for (int i = 0; i < 200; ++i) transport->Send(0, 1, msg);
+  transport->Flush();
+  const TransportStats stats = transport->stats();
+  EXPECT_GE(stats.queue_high_water, 1u);
+  EXPECT_EQ(stats.messages_delivered, 200u);
+  transport->Stop();
+}
+
+TEST(TransportTest, StatsSummaryMentionsTransport) {
+  TransportStats stats;
+  stats.messages_sent = 3;
+  stats.retries = 1;
+  const std::string s = stats.Summary();
+  EXPECT_NE(s.find("msgs="), std::string::npos);
+  EXPECT_NE(s.find("retries="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpart

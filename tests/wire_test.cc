@@ -1,0 +1,333 @@
+// Wire-format tests: every message and plan type must survive an
+// encode/decode round trip bit-for-bit, and the decoder must reject —
+// never crash on or misread — truncated, corrupted, and random input.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "net/wire.h"
+
+namespace tpart {
+namespace {
+
+// -------------------------------------------------------------------
+// Primitives
+// -------------------------------------------------------------------
+
+TEST(WirePrimitivesTest, VarintRoundTrip) {
+  const std::uint64_t cases[] = {0,     1,        127,        128,
+                                 16383, 16384,    0xFFFFFFFF, 1ULL << 40,
+                                 ~0ULL, ~0ULL - 1};
+  for (std::uint64_t v : cases) {
+    std::string buf;
+    WireWriter w(&buf);
+    w.PutVarint(v);
+    WireReader r(buf);
+    std::uint64_t got = 0;
+    ASSERT_TRUE(r.GetVarint(&got));
+    EXPECT_EQ(got, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(WirePrimitivesTest, ZigzagRoundTrip) {
+  const std::int64_t cases[] = {0,  -1, 1,       -2,      2,
+                                63, 64, INT64_MIN, INT64_MAX, -123456789};
+  for (std::int64_t v : cases) {
+    std::string buf;
+    WireWriter w(&buf);
+    w.PutZigzag(v);
+    WireReader r(buf);
+    std::int64_t got = 0;
+    ASSERT_TRUE(r.GetZigzag(&got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(WirePrimitivesTest, SmallNegativeStaysSmall) {
+  // Zigzag's point: -1 must not blow up into 10 bytes.
+  std::string buf;
+  WireWriter w(&buf);
+  w.PutZigzag(-1);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(WirePrimitivesTest, TruncatedVarintRejected) {
+  std::string buf;
+  WireWriter w(&buf);
+  w.PutVarint(1ULL << 40);
+  for (std::size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    WireReader r(std::string_view(buf.data(), cut));
+    std::uint64_t got;
+    EXPECT_FALSE(r.GetVarint(&got)) << "cut at " << cut;
+  }
+}
+
+TEST(WirePrimitivesTest, OverlongVarintRejected) {
+  // 11 continuation bytes: no valid varint is that long.
+  std::string buf(11, static_cast<char>(0x80));
+  buf.push_back(0x01);
+  WireReader r(buf);
+  std::uint64_t got;
+  EXPECT_FALSE(r.GetVarint(&got));
+}
+
+// -------------------------------------------------------------------
+// Message round trip
+// -------------------------------------------------------------------
+
+Message FullMessage() {
+  Message m;
+  m.type = Message::Type::kCacheReadResp;
+  m.key = 0xDEADBEEFCAFEULL;
+  m.version = 42;
+  m.replaces = 41;
+  m.dst_txn = 77;
+  m.value = Record({1, -2, 300000000000LL}, /*padding_bytes=*/164);
+  m.invalidate = true;
+  m.total_reads = 3;
+  m.awaits = 2;
+  m.sticky = true;
+  m.epoch = 9;
+  m.reply_to = 2;
+  m.req_id = 123456;
+  m.txn = 88;
+  m.kvs = {{5, Record({7})}, {6, Record::Absent()}};
+  return m;
+}
+
+TEST(WireMessageTest, FullMessageRoundTrip) {
+  const Message m = FullMessage();
+  Result<Message> got = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(*got == m);
+}
+
+TEST(WireMessageTest, EveryTypeRoundTrips) {
+  for (int t = 0; t <= static_cast<int>(Message::Type::kShutdown); ++t) {
+    Message m;
+    m.type = static_cast<Message::Type>(t);
+    m.key = 100 + t;
+    Result<Message> got = DecodeMessage(EncodeMessage(m));
+    ASSERT_TRUE(got.ok()) << "type " << t << ": " << got.status().ToString();
+    EXPECT_TRUE(*got == m) << "type " << t;
+  }
+}
+
+TEST(WireMessageTest, AbsentRecordRoundTrips) {
+  Message m;
+  m.type = Message::Type::kWriteBackApply;
+  m.value = Record::Absent();
+  Result<Message> got = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->value.is_absent());
+  EXPECT_TRUE(*got == m);
+}
+
+TEST(WireMessageTest, EveryTruncationRejected) {
+  const std::string bytes = EncodeMessage(FullMessage());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<Message> got =
+        DecodeMessage(std::string_view(bytes.data(), cut));
+    EXPECT_FALSE(got.ok()) << "truncation to " << cut << " bytes accepted";
+  }
+}
+
+TEST(WireMessageTest, TrailingGarbageRejected) {
+  std::string bytes = EncodeMessage(FullMessage());
+  bytes.push_back('\x00');
+  EXPECT_FALSE(DecodeMessage(bytes).ok());
+}
+
+TEST(WireMessageTest, BadVersionAndTypeRejected) {
+  std::string bytes = EncodeMessage(FullMessage());
+  std::string bad_version = bytes;
+  bad_version[0] = static_cast<char>(kWireFormatVersion + 1);
+  EXPECT_FALSE(DecodeMessage(bad_version).ok());
+
+  std::string bad_type = bytes;
+  bad_type[1] = static_cast<char>(
+      static_cast<int>(Message::Type::kShutdown) + 1);
+  EXPECT_FALSE(DecodeMessage(bad_type).ok());
+}
+
+TEST(WireMessageTest, SingleByteCorruptionNeverRoundTrips) {
+  // Flip each byte in turn: decoding must either fail or produce a
+  // *different* message — silent acceptance of a corrupt payload as the
+  // original would mean two encodings map to one byte string.
+  const Message m = FullMessage();
+  const std::string bytes = EncodeMessage(m);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x55);
+    Result<Message> got = DecodeMessage(corrupt);
+    if (got.ok()) {
+      EXPECT_FALSE(*got == m) << "flip at byte " << i << " undetected";
+    }
+  }
+}
+
+TEST(WireMessageTest, RandomFuzzDoesNotCrash) {
+  // Random byte strings must never crash the decoder, and anything it
+  // does accept must itself round-trip (decode∘encode is identity on
+  // accepted values).
+  Rng rng(0xF022);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string bytes(rng.NextBelow(64), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.Next());
+    Result<Message> got = DecodeMessage(bytes);
+    if (got.ok()) {
+      Result<Message> again = DecodeMessage(EncodeMessage(*got));
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(*again == *got);
+    }
+  }
+}
+
+TEST(WireMessageTest, MutationFuzzRoundTripsOrRejects) {
+  // Start from valid encodings and mutate: decode must never crash, and
+  // whatever it accepts must survive a fresh round trip.
+  Rng rng(0xF0223);
+  const std::string base = EncodeMessage(FullMessage());
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string bytes = base;
+    const int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int k = 0; k < mutations; ++k) {
+      const auto pos = rng.NextBelow(bytes.size());
+      bytes[pos] = static_cast<char>(rng.Next());
+    }
+    if (rng.NextBool(0.3)) bytes.resize(rng.NextBelow(bytes.size() + 1));
+    Result<Message> got = DecodeMessage(bytes);
+    if (got.ok()) {
+      Result<Message> again = DecodeMessage(EncodeMessage(*got));
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(*again == *got);
+    }
+  }
+}
+
+// -------------------------------------------------------------------
+// SinkPlan round trip
+// -------------------------------------------------------------------
+
+SinkPlan FullSinkPlan() {
+  SinkPlan plan;
+  plan.epoch = 7;
+  TxnPlan t;
+  t.txn = 31;
+  t.machine = 1;
+  t.num_reads = 2;
+  t.num_writes = 1;
+  t.reads.push_back(ReadStep{/*key=*/10, ReadSourceKind::kPush,
+                             /*src_txn=*/30, /*src_machine=*/0,
+                             /*cache_epoch=*/0, /*storage_min_epoch=*/0,
+                             /*invalidate_entry=*/true, /*sticky_hint=*/false,
+                             /*provider_txn=*/30, /*entry_total_reads=*/2});
+  t.reads.push_back(ReadStep{/*key=*/11, ReadSourceKind::kCacheRemote,
+                             /*src_txn=*/kInvalidTxnId, /*src_machine=*/2,
+                             /*cache_epoch=*/6, /*storage_min_epoch=*/5,
+                             /*invalidate_entry=*/false, /*sticky_hint=*/true,
+                             /*provider_txn=*/kInvalidTxnId,
+                             /*entry_total_reads=*/0});
+  t.pushes.push_back(PushStep{/*key=*/10, /*dst_txn=*/33, /*dst_machine=*/2,
+                              /*version_txn=*/31});
+  t.local_versions.push_back(
+      LocalVersionStep{/*key=*/10, /*dst_txn=*/34, /*version_txn=*/31});
+  t.cache_publishes.push_back(CachePublishStep{/*key=*/10, /*epoch=*/8});
+  t.write_backs.push_back(WriteBackStep{/*key=*/10, /*home=*/0,
+                                        /*version_txn=*/31,
+                                        /*make_sticky=*/true,
+                                        /*readers_to_await=*/1,
+                                        /*replaces_version=*/29});
+  plan.txns.push_back(t);
+  TxnPlan empty;
+  empty.txn = 32;
+  empty.machine = 0;
+  plan.txns.push_back(empty);
+  return plan;
+}
+
+TEST(WireSinkPlanTest, FullPlanRoundTrip) {
+  const SinkPlan plan = FullSinkPlan();
+  Result<SinkPlan> got = DecodeSinkPlan(EncodeSinkPlan(plan));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(*got == plan);
+}
+
+TEST(WireSinkPlanTest, EveryTruncationRejected) {
+  const std::string bytes = EncodeSinkPlan(FullSinkPlan());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeSinkPlan(std::string_view(bytes.data(), cut)).ok())
+        << "truncation to " << cut << " bytes accepted";
+  }
+}
+
+TEST(WireSinkPlanTest, RandomFuzzDoesNotCrash) {
+  Rng rng(0x51CC);
+  const std::string base = EncodeSinkPlan(FullSinkPlan());
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string bytes = base;
+    const auto pos = rng.NextBelow(bytes.size());
+    bytes[pos] = static_cast<char>(rng.Next());
+    if (rng.NextBool(0.3)) bytes.resize(rng.NextBelow(bytes.size() + 1));
+    Result<SinkPlan> got = DecodeSinkPlan(bytes);
+    if (got.ok()) {
+      Result<SinkPlan> again = DecodeSinkPlan(EncodeSinkPlan(*got));
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(*again == *got);
+    }
+  }
+}
+
+// -------------------------------------------------------------------
+// Framing
+// -------------------------------------------------------------------
+
+TEST(WireFramingTest, FramesReassembleAcrossArbitraryChunking) {
+  const std::vector<std::string> payloads = {"", "a", "hello",
+                                             std::string(3000, 'x')};
+  std::string stream;
+  for (const auto& p : payloads) AppendFrame(p, &stream);
+
+  // Feed the stream in every chunk size; all frames must come back.
+  for (std::size_t chunk = 1; chunk <= 7; ++chunk) {
+    FrameBuffer fb;
+    std::vector<std::string> got;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      fb.Append(std::string_view(stream).substr(
+          off, std::min(chunk, stream.size() - off)));
+      while (true) {
+        Result<std::optional<std::string>> next = fb.Next();
+        ASSERT_TRUE(next.ok()) << next.status().ToString();
+        if (!next->has_value()) break;
+        got.push_back(std::move(**next));
+      }
+    }
+    EXPECT_EQ(got, payloads) << "chunk size " << chunk;
+    EXPECT_EQ(fb.buffered_bytes(), 0u);
+  }
+}
+
+TEST(WireFramingTest, ChecksumCatchesPayloadCorruption) {
+  std::string stream;
+  AppendFrame("payload-bytes", &stream);
+  stream[kFrameHeaderBytes + 3] ^= 0x01;  // flip a payload bit
+  FrameBuffer fb;
+  fb.Append(stream);
+  EXPECT_FALSE(fb.Next().ok());
+  // Sticky: the stream cannot be resynced after corruption.
+  EXPECT_FALSE(fb.Next().ok());
+}
+
+TEST(WireFramingTest, InsaneLengthRejectedBeforeAllocation) {
+  const std::string stream("\xFF\xFF\xFF\xFF\x00\x00\x00\x00", 8);
+  FrameBuffer fb;
+  fb.Append(stream);
+  EXPECT_FALSE(fb.Next().ok());
+}
+
+}  // namespace
+}  // namespace tpart
