@@ -63,15 +63,20 @@ ClusterRunOutcome LocalCluster::RunTPart() {
   sched_opts.graph.num_machines = workload_->num_machines;
   TPartScheduler scheduler(sched_opts, workload_->partition_map);
 
-  const std::vector<TxnSpec> txns = workload_->SequencedRequests();
-  std::unordered_map<TxnId, const TxnSpec*> spec_of;
-  spec_of.reserve(txns.size());
-  for (const auto& t : txns) spec_of[t.id] = &t;
-
+  // Specs are owned here and handed to exactly one machine per
+  // transaction; plan items carry their spec by value so nothing in the
+  // pipeline ever points back into a caller-scoped container.
+  std::unordered_map<TxnId, TxnSpec> spec_of;
   last_plans_.clear();
-  for (const TxnSpec& spec : txns) {
-    for (SinkPlan& plan : scheduler.OnTxn(spec)) {
-      last_plans_.push_back(std::move(plan));
+  {
+    std::vector<TxnSpec> txns = workload_->SequencedRequests();
+    spec_of.reserve(txns.size());
+    for (TxnSpec& spec : txns) {
+      for (SinkPlan& plan : scheduler.OnTxn(spec)) {
+        last_plans_.push_back(std::move(plan));
+      }
+      const TxnId id = spec.id;
+      spec_of.emplace(id, std::move(spec));
     }
   }
   for (SinkPlan& plan : scheduler.Drain()) {
@@ -83,8 +88,10 @@ ClusterRunOutcome LocalCluster::RunTPart() {
   for (const SinkPlan& plan : last_plans_) {
     std::vector<std::vector<Machine::PlanItem>> slices(machines_.size());
     for (const TxnPlan& p : plan.txns) {
+      auto node = spec_of.extract(p.txn);
+      TPART_CHECK(!node.empty()) << "no spec for planned T" << p.txn;
       slices[p.machine].push_back(
-          Machine::PlanItem{p, *spec_of.at(p.txn)});
+          Machine::PlanItem{p, std::move(node.mapped())});
     }
     for (std::size_t m = 0; m < machines_.size(); ++m) {
       machines_[m]->EnqueueTPartEpoch(plan.epoch, std::move(slices[m]));
