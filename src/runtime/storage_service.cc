@@ -90,11 +90,12 @@ Record StorageService::BlockingRead(ObjectKey key, TxnId expected_version) {
   bool done = false;
   Record out;
   AsyncRead(key, expected_version, [&](Record value) {
-    {
-      std::lock_guard<std::mutex> lock(m);
-      out = std::move(value);
-      done = true;
-    }
+    // Notify while holding the lock: the waiter owns cv on its stack, and
+    // notifying after unlocking would race with cv's destruction once the
+    // waiter observes `done` and returns.
+    std::lock_guard<std::mutex> lock(m);
+    out = std::move(value);
+    done = true;
     cv.notify_one();
   });
   std::unique_lock<std::mutex> lock(m);
