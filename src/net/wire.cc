@@ -1,5 +1,7 @@
 #include "net/wire.h"
 
+#include <bit>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -72,6 +74,66 @@ bool DecodeRecord(WireReader& r, Record* record) {
 }
 
 // ---------------------------------------------------------------------
+// TxnSpec
+// ---------------------------------------------------------------------
+
+namespace {
+
+void EncodeKeySet(const std::vector<ObjectKey>& keys, WireWriter& w) {
+  w.PutVarint(keys.size());
+  for (const ObjectKey k : keys) w.PutVarint(k);
+}
+
+bool DecodeKeySet(WireReader& r, std::vector<ObjectKey>* keys) {
+  std::uint64_t n;
+  if (!r.GetVarint(&n) || n > r.remaining()) return false;
+  keys->resize(static_cast<std::size_t>(n));
+  for (auto& k : *keys) {
+    std::uint64_t u;
+    if (!r.GetVarint(&u)) return false;
+    k = u;
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeTxnSpec(const TxnSpec& spec, WireWriter& w) {
+  w.PutVarint(spec.id);
+  w.PutVarint(spec.proc);
+  w.PutVarint(spec.params.size());
+  for (const std::int64_t p : spec.params) w.PutZigzag(p);
+  EncodeKeySet(spec.rw.reads, w);
+  EncodeKeySet(spec.rw.writes, w);
+  w.PutU8(spec.is_dummy ? 1 : 0);
+  w.PutVarint(std::bit_cast<std::uint64_t>(spec.node_weight));
+}
+
+bool DecodeTxnSpec(WireReader& r, TxnSpec* spec) {
+  std::uint64_t u, n;
+  if (!r.GetVarint(&u)) return false;
+  spec->id = u;
+  if (!r.GetVarint(&u)) return false;
+  spec->proc = static_cast<ProcId>(u);
+  if (!r.GetVarint(&n) || n > r.remaining()) return false;
+  spec->params.resize(static_cast<std::size_t>(n));
+  for (auto& p : spec->params) {
+    if (!r.GetZigzag(&p)) return false;
+  }
+  if (!DecodeKeySet(r, &spec->rw.reads)) return false;
+  if (!DecodeKeySet(r, &spec->rw.writes)) return false;
+  std::uint8_t b;
+  if (!r.GetU8(&b) || b > 1) return false;
+  spec->is_dummy = b != 0;
+  if (!r.GetVarint(&u)) return false;
+  spec->node_weight = std::bit_cast<double>(u);
+  // NaN would break round-trip identity (NaN != NaN) and no scheduler
+  // emits one; infinities would poison partition balance sums.
+  if (!std::isfinite(spec->node_weight)) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------
 // Message
 // ---------------------------------------------------------------------
 
@@ -98,6 +160,10 @@ std::string EncodeMessage(const Message& msg) {
     w.PutVarint(key);
     EncodeRecord(value, w);
   }
+  w.PutVarint(msg.plan_bytes.size());
+  out.append(msg.plan_bytes);
+  w.PutVarint(msg.specs.size());
+  for (const TxnSpec& spec : msg.specs) EncodeTxnSpec(spec, w);
   return out;
 }
 
@@ -156,6 +222,23 @@ Result<Message> DecodeMessage(std::string_view bytes) {
     Record value;
     if (!DecodeRecord(r, &value)) return Truncated("kv record");
     msg.kvs.emplace_back(key, std::move(value));
+  }
+  std::uint64_t plan_len;
+  if (!r.GetVarint(&plan_len)) return Truncated("plan length");
+  if (plan_len > r.remaining()) {
+    return Status::InvalidArgument("plan length exceeds payload");
+  }
+  if (!r.GetBytes(static_cast<std::size_t>(plan_len), &msg.plan_bytes)) {
+    return Truncated("plan bytes");
+  }
+  std::uint64_t num_specs;
+  if (!r.GetVarint(&num_specs)) return Truncated("spec count");
+  if (num_specs > r.remaining()) {
+    return Status::InvalidArgument("spec count exceeds payload");
+  }
+  msg.specs.resize(static_cast<std::size_t>(num_specs));
+  for (auto& spec : msg.specs) {
+    if (!DecodeTxnSpec(r, &spec)) return Truncated("txn spec");
   }
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after message");

@@ -83,6 +83,13 @@ class WireReader {
     return true;
   }
 
+  bool GetBytes(std::size_t n, std::string* out) {
+    if (n > remaining()) return false;
+    out->assign(data_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+
   std::size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
 
@@ -97,6 +104,12 @@ class WireReader {
 
 void EncodeRecord(const Record& record, WireWriter& w);
 bool DecodeRecord(WireReader& r, Record* record);
+
+/// Transaction request on the wire (plan dissemination ships the specs of
+/// each sunk round alongside the plan). node_weight travels as its IEEE
+/// bit pattern; non-finite weights are rejected on decode.
+void EncodeTxnSpec(const TxnSpec& spec, WireWriter& w);
+bool DecodeTxnSpec(WireReader& r, TxnSpec* spec);
 
 /// Serializes `msg` (without framing).
 std::string EncodeMessage(const Message& msg);

@@ -9,7 +9,8 @@ bool operator==(const Message& a, const Message& b) {
          a.total_reads == b.total_reads && a.awaits == b.awaits &&
          a.sticky == b.sticky && a.epoch == b.epoch &&
          a.reply_to == b.reply_to && a.req_id == b.req_id &&
-         a.txn == b.txn && a.kvs == b.kvs;
+         a.txn == b.txn && a.kvs == b.kvs &&
+         a.plan_bytes == b.plan_bytes && a.specs == b.specs;
 }
 
 }  // namespace tpart

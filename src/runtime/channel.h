@@ -9,8 +9,11 @@
 #include <utility>
 #include <vector>
 
+#include <string>
+
 #include "common/types.h"
 #include "storage/record.h"
+#include "txn/txn.h"
 
 namespace tpart {
 
@@ -34,6 +37,14 @@ struct Message {
     /// Self-notification: the local executor published an epoch entry;
     /// parked remote pulls may now be served.
     kLocalPublish,
+    /// Streaming dissemination (§3.3/§5.2): one sinking round's full push
+    /// plan (`plan_bytes` = EncodeSinkPlan output) plus the specs of its
+    /// transactions; every machine receives every round and executes only
+    /// its own slice.
+    kSinkPlan,
+    /// Streaming dissemination: no more plans will arrive; `epoch` carries
+    /// the last emitted sinking round (0 when the stream was empty).
+    kPlanStreamEnd,
     /// Stop the service loop.
     kShutdown,
   };
@@ -54,6 +65,11 @@ struct Message {
   std::uint64_t req_id = 0;
   TxnId txn = kInvalidTxnId;
   std::vector<std::pair<ObjectKey, Record>> kvs;
+  /// kSinkPlan: the round's plan, already wire-encoded (EncodeSinkPlan) so
+  /// the scheduler serializes once per round, not once per destination.
+  std::string plan_bytes;
+  /// kSinkPlan: specs of the plan's (non-dummy) transactions, in plan order.
+  std::vector<TxnSpec> specs;
 };
 
 /// Field-wise equality (wire round-trip tests, transport verification).

@@ -105,8 +105,10 @@ bool operator==(const WriteBackStep& a, const WriteBackStep& b) {
 }
 
 bool operator==(const TxnPlan& a, const TxnPlan& b) {
-  return a.txn == b.txn && a.machine == b.machine && a.reads == b.reads &&
-         a.pushes == b.pushes && a.local_versions == b.local_versions &&
+  return a.txn == b.txn && a.machine == b.machine &&
+         a.num_reads == b.num_reads && a.num_writes == b.num_writes &&
+         a.reads == b.reads && a.pushes == b.pushes &&
+         a.local_versions == b.local_versions &&
          a.cache_publishes == b.cache_publishes &&
          a.write_backs == b.write_backs;
 }

@@ -21,6 +21,12 @@ std::string TxnSpec::ToString() const {
   return out.str();
 }
 
+bool operator==(const TxnSpec& a, const TxnSpec& b) {
+  return a.id == b.id && a.proc == b.proc && a.params == b.params &&
+         a.rw == b.rw && a.is_dummy == b.is_dummy &&
+         a.node_weight == b.node_weight;
+}
+
 TxnSpec MakeDummyTxn() {
   TxnSpec spec;
   spec.is_dummy = true;

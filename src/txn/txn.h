@@ -46,6 +46,9 @@ struct TxnSpec {
   std::string ToString() const;
 };
 
+/// Field-wise equality (wire round-trip tests, plan dissemination).
+bool operator==(const TxnSpec& a, const TxnSpec& b);
+
 /// A dummy padding request (see TxnSpec::is_dummy).
 TxnSpec MakeDummyTxn();
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,51 @@ TEST(WirePrimitivesTest, OverlongVarintRejected) {
 }
 
 // -------------------------------------------------------------------
+// TxnSpec round trip
+// -------------------------------------------------------------------
+
+TxnSpec FullTxnSpec() {
+  TxnSpec s;
+  s.id = 91;
+  s.proc = 4;
+  s.params = {-7, 0, 1LL << 40};
+  s.rw.reads = {3, 14, 15};
+  s.rw.writes = {14};
+  s.node_weight = 2.5;
+  return s;
+}
+
+TEST(WireTxnSpecTest, RoundTripsBitForBit) {
+  for (const TxnSpec& s : {FullTxnSpec(), MakeDummyTxn(), TxnSpec{}}) {
+    std::string bytes;
+    WireWriter w(&bytes);
+    EncodeTxnSpec(s, w);
+    WireReader r(bytes);
+    TxnSpec got;
+    ASSERT_TRUE(DecodeTxnSpec(r, &got));
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_TRUE(got == s);
+  }
+}
+
+TEST(WireTxnSpecTest, NonFiniteWeightRejected) {
+  // NaN breaks round-trip identity (NaN != NaN); infinities would poison
+  // partition balance sums. Neither may cross the wire.
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    TxnSpec s = FullTxnSpec();
+    s.node_weight = bad;
+    std::string bytes;
+    WireWriter w(&bytes);
+    EncodeTxnSpec(s, w);
+    WireReader r(bytes);
+    TxnSpec got;
+    EXPECT_FALSE(DecodeTxnSpec(r, &got));
+  }
+}
+
+// -------------------------------------------------------------------
 // Message round trip
 // -------------------------------------------------------------------
 
@@ -96,6 +142,10 @@ Message FullMessage() {
   m.req_id = 123456;
   m.txn = 88;
   m.kvs = {{5, Record({7})}, {6, Record::Absent()}};
+  // plan_bytes is opaque at the Message layer: arbitrary (non-UTF-8,
+  // NUL-bearing) bytes must survive.
+  m.plan_bytes = std::string("\x01\x00\xFF\x7F", 4);
+  m.specs = {FullTxnSpec(), MakeDummyTxn()};
   return m;
 }
 
@@ -265,13 +315,62 @@ TEST(WireSinkPlanTest, EveryTruncationRejected) {
   }
 }
 
-TEST(WireSinkPlanTest, RandomFuzzDoesNotCrash) {
+TEST(WireSinkPlanTest, TrailingGarbageRejected) {
+  std::string bytes = EncodeSinkPlan(FullSinkPlan());
+  bytes.push_back('\x00');
+  EXPECT_FALSE(DecodeSinkPlan(bytes).ok());
+}
+
+TEST(WireSinkPlanTest, BadVersionRejected) {
+  std::string bytes = EncodeSinkPlan(FullSinkPlan());
+  bytes[0] = static_cast<char>(kWireFormatVersion + 1);
+  EXPECT_FALSE(DecodeSinkPlan(bytes).ok());
+}
+
+TEST(WireSinkPlanTest, SingleByteCorruptionNeverRoundTrips) {
+  // Plans drive dissemination in streaming mode, so the decoder gets the
+  // same treatment as Message: flip each byte in turn; decoding must fail
+  // or produce a *different* plan — never silently accept the original.
+  const SinkPlan plan = FullSinkPlan();
+  const std::string bytes = EncodeSinkPlan(plan);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x55);
+    Result<SinkPlan> got = DecodeSinkPlan(corrupt);
+    if (got.ok()) {
+      EXPECT_FALSE(*got == plan) << "flip at byte " << i << " undetected";
+    }
+  }
+}
+
+TEST(WireSinkPlanTest, RandomBytesDoNotCrash) {
+  // Pure random byte strings: never crash, and anything accepted must
+  // itself round-trip (decode∘encode is identity on accepted values).
+  Rng rng(0x51CD);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string bytes(rng.NextBelow(96), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.Next());
+    Result<SinkPlan> got = DecodeSinkPlan(bytes);
+    if (got.ok()) {
+      Result<SinkPlan> again = DecodeSinkPlan(EncodeSinkPlan(*got));
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(*again == *got);
+    }
+  }
+}
+
+TEST(WireSinkPlanTest, MutationFuzzRoundTripsOrRejects) {
+  // Start from a valid encoding and apply several mutations plus
+  // occasional truncation — the same coverage Message gets.
   Rng rng(0x51CC);
   const std::string base = EncodeSinkPlan(FullSinkPlan());
-  for (int iter = 0; iter < 3000; ++iter) {
+  for (int iter = 0; iter < 5000; ++iter) {
     std::string bytes = base;
-    const auto pos = rng.NextBelow(bytes.size());
-    bytes[pos] = static_cast<char>(rng.Next());
+    const int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int k = 0; k < mutations; ++k) {
+      const auto pos = rng.NextBelow(bytes.size());
+      bytes[pos] = static_cast<char>(rng.Next());
+    }
     if (rng.NextBool(0.3)) bytes.resize(rng.NextBelow(bytes.size() + 1));
     Result<SinkPlan> got = DecodeSinkPlan(bytes);
     if (got.ok()) {
