@@ -38,6 +38,21 @@ std::string TransportStats::Summary() const {
   return out.str();
 }
 
+std::string PipelineStats::Summary() const {
+  std::ostringstream out;
+  out << "admitted=" << admitted << " dummies=" << dummies
+      << " batches=" << batches << " plans=" << plans
+      << " admission_rate=" << AdmissionRate()
+      << " backpressure=" << backpressure_waits
+      << " queue_hw(batch/plan/epoch)=" << batch_queue_high_water << "/"
+      << plan_queue_high_water << "/" << epoch_queue_high_water;
+  if (admit_to_commit_us.count() > 0) {
+    out << " admit_to_commit_us(p50/p99)=" << admit_to_commit_us.Quantile(0.5)
+        << "/" << admit_to_commit_us.Quantile(0.99);
+  }
+  return out.str();
+}
+
 std::string RunStats::Summary() const {
   std::ostringstream out;
   out << "txns=" << txns << " committed=" << committed
@@ -50,6 +65,9 @@ std::string RunStats::Summary() const {
       << " distributed=" << distributed_txns;
   if (transport.messages_sent > 0) {
     out << " | transport: " << transport.Summary();
+  }
+  if (pipeline.admitted > 0) {
+    out << " | pipeline: " << pipeline.Summary();
   }
   return out.str();
 }

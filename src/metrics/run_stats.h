@@ -46,6 +46,38 @@ struct TransportStats {
   std::string Summary() const;
 };
 
+/// Counters for the streaming execution pipeline (admission → scheduler →
+/// dissemination → execution as concurrent bounded stages). Zero/absent
+/// for batch-mode and simulator runs.
+struct PipelineStats {
+  /// Real client requests admitted (dummy padding counted separately).
+  std::uint64_t admitted = 0;
+  std::uint64_t dummies = 0;
+  /// Sequencer batches forwarded to the scheduler stage.
+  std::uint64_t batches = 0;
+  /// Sink plans emitted/disseminated.
+  std::uint64_t plans = 0;
+  /// Sends that blocked on a full stage queue or exhausted epoch credits.
+  std::uint64_t backpressure_waits = 0;
+  /// Deepest each bounded stage queue ever got — a streaming run never
+  /// exceeds the configured capacities (the memory-bound claim).
+  std::uint64_t batch_queue_high_water = 0;
+  std::uint64_t plan_queue_high_water = 0;
+  std::uint64_t epoch_queue_high_water = 0;
+  /// Wall-clock seconds the admission stage spent end to end.
+  double admission_seconds = 0.0;
+  /// Admitted transactions per wall-clock second.
+  double AdmissionRate() const {
+    return admission_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(admitted) / admission_seconds;
+  }
+  /// Wall-clock latency from admission to commit, microseconds.
+  Histogram admit_to_commit_us;
+
+  std::string Summary() const;
+};
+
 /// Aggregate outcome of one simulated (or real) engine run. Produced by
 /// CalvinSim / TPartSim and by the threaded runtime; consumed by every
 /// benchmark.
@@ -93,6 +125,9 @@ struct RunStats {
 
   /// Wire transport counters (threaded runtime over a real transport).
   TransportStats transport;
+
+  /// Streaming pipeline counters (threaded runtime, streaming mode only).
+  PipelineStats pipeline;
 
   std::string Summary() const;
 };

@@ -1,9 +1,15 @@
 #include "runtime/cluster.h"
 
 #include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
+#include "net/wire.h"
 
 namespace tpart {
 
@@ -55,6 +61,10 @@ void LocalCluster::StopAll() {
 }
 
 ClusterRunOutcome LocalCluster::RunTPart() {
+  return options_.streaming ? RunTPartStreaming() : RunTPartBatch();
+}
+
+ClusterRunOutcome LocalCluster::RunTPartBatch() {
   if (used_) Reset();
   used_ = true;
   // One scheduler suffices: every scheduler in a real deployment computes
@@ -107,6 +117,196 @@ ClusterRunOutcome LocalCluster::RunTPart() {
   transport_->Flush();
   ClusterRunOutcome outcome = CollectResults(/*dedup_participants=*/false);
   outcome.transport = transport_->stats();
+  StopAll();
+  return outcome;
+}
+
+namespace {
+
+/// One sunk round in flight between the scheduler and dissemination
+/// stages: the plan plus the owned specs of its transactions, in plan
+/// order. Ownership moves with the stream; nothing points back into a
+/// caller-scoped container.
+struct PlanEnvelope {
+  SinkPlan plan;
+  std::vector<TxnSpec> specs;
+};
+
+}  // namespace
+
+ClusterRunOutcome LocalCluster::RunTPartStreaming() {
+  if (used_) Reset();
+  used_ = true;
+  last_plans_.clear();  // streaming never materializes the plan list
+
+  // Admission-to-result latency: the admission stage stamps each real
+  // transaction at batch formation; the executor's commit hook closes the
+  // pair and erases it, so the map holds only in-flight transactions.
+  struct LatencyTracker {
+    std::mutex mu;
+    std::unordered_map<TxnId, std::chrono::steady_clock::time_point> admitted;
+    Histogram us;
+  } latency;
+
+  for (auto& m : machines_) {
+    m->set_epoch_queue_capacity(options_.pipeline.epoch_queue_capacity);
+    m->set_commit_hook([&latency](TxnId id) {
+      const auto now = std::chrono::steady_clock::now();
+      std::lock_guard<std::mutex> lock(latency.mu);
+      auto it = latency.admitted.find(id);
+      if (it == latency.admitted.end()) return;
+      latency.us.Add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - it->second)
+              .count()));
+      latency.admitted.erase(it);
+    });
+  }
+  for (auto& m : machines_) m->StartTPart();
+
+  // Stage channels. An empty batch / nullopt envelope is the
+  // end-of-stream sentinel (real batches are never empty).
+  BlockingQueue<TxnBatch> batch_queue(options_.pipeline.batch_queue_capacity);
+  BlockingQueue<std::optional<PlanEnvelope>> plan_queue(
+      options_.pipeline.plan_queue_capacity);
+
+  // ---- Stage 1: admission. Pulls requests incrementally — the full
+  // workload is never materialized — and batches them through the
+  // Sequencer (ids assigned, short tail dummy-padded, §3.3).
+  std::uint64_t admitted = 0, dummies = 0, batches = 0;
+  std::uint64_t admission_waits = 0;
+  double admission_seconds = 0.0;
+  std::thread admission([&] {
+    const auto t0 = std::chrono::steady_clock::now();
+    Sequencer sequencer(options_.pipeline.sequencer);
+    std::unique_ptr<RequestSource> source = workload_->MakeRequestSource();
+    auto emit = [&](TxnBatch batch) {
+      const auto now = std::chrono::steady_clock::now();
+      {
+        std::lock_guard<std::mutex> lock(latency.mu);
+        for (const TxnSpec& spec : batch.txns) {
+          if (!spec.is_dummy) latency.admitted.emplace(spec.id, now);
+        }
+      }
+      if (batch_queue.Send(std::move(batch))) ++admission_waits;
+      ++batches;
+    };
+    while (std::optional<TxnSpec> spec = source->Next()) {
+      sequencer.Submit(std::move(*spec));
+      ++admitted;
+      while (std::optional<TxnBatch> batch = sequencer.NextBatch()) {
+        emit(std::move(*batch));
+      }
+    }
+    // Only a non-empty tail is flushed: padding an empty tail would
+    // append a round of pure dummies for nothing.
+    if (sequencer.pending() > 0) {
+      if (std::optional<TxnBatch> batch = sequencer.Flush()) {
+        emit(std::move(*batch));
+      }
+    }
+    dummies = sequencer.num_dummies_issued();
+    admission_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    batch_queue.Send(TxnBatch{});
+  });
+
+  // ---- Stage 2: scheduler. Consumes ordered batches, maintains the
+  // T-graph, and emits each sunk round the moment it exists. Specs are
+  // parked here between arrival and sinking — the T-graph's unsunk bound
+  // caps that parking, so this stage is bounded too.
+  std::uint64_t scheduler_waits = 0;
+  std::thread scheduling([&] {
+    TPartScheduler::Options sched_opts = options_.scheduler;
+    sched_opts.graph.num_machines = workload_->num_machines;
+    TPartScheduler scheduler(sched_opts, workload_->partition_map);
+    std::unordered_map<TxnId, TxnSpec> parked;
+    auto emit = [&](SinkPlan plan) {
+      PlanEnvelope env;
+      env.specs.reserve(plan.txns.size());
+      for (const TxnPlan& p : plan.txns) {
+        auto node = parked.extract(p.txn);
+        TPART_CHECK(!node.empty())
+            << "round " << plan.epoch << " sank T" << p.txn
+            << " with no parked spec";
+        env.specs.push_back(std::move(node.mapped()));
+      }
+      env.plan = std::move(plan);
+      if (plan_queue.Send(std::move(env))) ++scheduler_waits;
+    };
+    while (true) {
+      TxnBatch batch = batch_queue.Receive();
+      if (batch.txns.empty()) break;
+      for (TxnSpec& spec : batch.txns) {
+        std::vector<SinkPlan> plans = scheduler.OnTxn(spec);
+        // Dummies are discarded at plan generation (§3.3); only real
+        // specs ever travel to a machine.
+        if (!spec.is_dummy) parked.emplace(spec.id, std::move(spec));
+        for (SinkPlan& plan : plans) emit(std::move(plan));
+      }
+    }
+    for (SinkPlan& plan : scheduler.Drain()) emit(std::move(plan));
+    TPART_CHECK(parked.empty()) << parked.size() << " specs never sank";
+    plan_queue.Send(std::nullopt);
+  });
+
+  // ---- Stage 3: dissemination (this thread). Each round is serialized
+  // once and shipped to every machine as a kSinkPlan wire message; epoch
+  // credits bound how far dissemination may run ahead of execution.
+  // Round r reaches every machine before r+1 reaches any, which the
+  // FIFO executors rely on.
+  std::uint64_t plans = 0, credit_waits = 0;
+  SinkEpoch last_epoch = 0;
+  while (true) {
+    std::optional<PlanEnvelope> env = plan_queue.Receive();
+    if (!env.has_value()) break;
+    ++plans;
+    last_epoch = env->plan.epoch;
+    Message msg;
+    msg.type = Message::Type::kSinkPlan;
+    msg.epoch = env->plan.epoch;
+    msg.plan_bytes = EncodeSinkPlan(env->plan);
+    msg.specs = std::move(env->specs);
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      if (machines_[m]->AcquireEpochCredit()) ++credit_waits;
+      transport_->Send(0, static_cast<MachineId>(m), msg);
+    }
+  }
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    Message end;
+    end.type = Message::Type::kPlanStreamEnd;
+    end.epoch = last_epoch;
+    transport_->Send(0, static_cast<MachineId>(m), std::move(end));
+  }
+
+  admission.join();
+  scheduling.join();
+  // Executors exit once the stream end reaches them (via the transport's
+  // reliable delivery) and their queues drain.
+  for (auto& m : machines_) m->JoinExecutor();
+  // The hooks capture this frame's LatencyTracker; no executor can call
+  // them now, and the machines outlive this frame.
+  for (auto& m : machines_) m->set_commit_hook(nullptr);
+  transport_->Flush();
+
+  ClusterRunOutcome outcome = CollectResults(/*dedup_participants=*/false);
+  outcome.transport = transport_->stats();
+  outcome.pipeline.admitted = admitted;
+  outcome.pipeline.dummies = dummies;
+  outcome.pipeline.batches = batches;
+  outcome.pipeline.plans = plans;
+  outcome.pipeline.backpressure_waits =
+      admission_waits + scheduler_waits + credit_waits;
+  outcome.pipeline.batch_queue_high_water = batch_queue.high_water();
+  outcome.pipeline.plan_queue_high_water = plan_queue.high_water();
+  for (const auto& m : machines_) {
+    outcome.pipeline.epoch_queue_high_water =
+        std::max<std::uint64_t>(outcome.pipeline.epoch_queue_high_water,
+                                m->epoch_queue_high_water());
+  }
+  outcome.pipeline.admission_seconds = admission_seconds;
+  outcome.pipeline.admit_to_commit_us = latency.us;
   StopAll();
   return outcome;
 }

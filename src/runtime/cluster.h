@@ -8,10 +8,28 @@
 #include "net/transport.h"
 #include "runtime/machine.h"
 #include "scheduler/tpart_scheduler.h"
+#include "sequencer/sequencer.h"
 #include "storage/partitioned_store.h"
 #include "workload/workload.h"
 
 namespace tpart {
+
+/// Stage bounds for the streaming pipeline (RunTPart with streaming=true):
+/// admission → scheduler → dissemination → execution run as concurrent
+/// stages connected by bounded queues, so a full stage backpressures its
+/// upstream instead of buffering without limit.
+struct PipelineOptions {
+  /// Admission-stage batching (batch size, dummy padding §3.3).
+  Sequencer::Options sequencer;
+  /// Ordered batches buffered between admission and the scheduler.
+  std::size_t batch_queue_capacity = 4;
+  /// Sunk plans buffered between the scheduler and dissemination.
+  std::size_t plan_queue_capacity = 4;
+  /// Sinking rounds in flight per machine: disseminated but not fully
+  /// executed. Dissemination blocks past this, which is how slow
+  /// executors throttle the scheduler. 0 = unbounded.
+  std::size_t epoch_queue_capacity = 4;
+};
 
 /// Options for a threaded in-process cluster run.
 struct LocalClusterOptions {
@@ -26,6 +44,16 @@ struct LocalClusterOptions {
   /// Results must be identical over every transport; the transport tests
   /// assert exactly this.
   TransportOptions transport;
+  /// RunTPart engine selection. Batch mode (default, the seed behaviour)
+  /// materializes the workload, schedules it to completion, and
+  /// pre-enqueues every plan before starting executors. Streaming mode
+  /// runs the paper's §3.1 layering for real: requests are admitted
+  /// incrementally through a Sequencer, scheduled on a dedicated thread,
+  /// and each sunk plan ships to the machines as a wire message the
+  /// moment it exists — memory stays bounded by the `pipeline` caps.
+  /// Both modes produce identical results for the same workload.
+  bool streaming = false;
+  PipelineOptions pipeline;
 
   LocalClusterOptions() {
     // Procedures in the runtime can abort, so transactions must read the
@@ -41,6 +69,8 @@ struct ClusterRunOutcome {
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
   TransportStats transport;
+  /// Streaming-mode stage counters (zero in batch mode).
+  PipelineStats pipeline;
 };
 
 /// A multi-machine deterministic database in one process: N Machines
@@ -67,10 +97,14 @@ class LocalCluster {
   Machine& machine(MachineId m) { return *machines_.at(m); }
   std::size_t num_machines() const { return machines_.size(); }
 
-  /// Plans of the last RunTPart (for inspection / recovery tests).
+  /// Plans of the last batch-mode RunTPart (for inspection / recovery
+  /// tests). Streaming mode deliberately retains nothing here: plans are
+  /// shipped and dropped, keeping memory bounded by the stage caps.
   const std::vector<SinkPlan>& last_plans() const { return last_plans_; }
 
  private:
+  ClusterRunOutcome RunTPartBatch();
+  ClusterRunOutcome RunTPartStreaming();
   void StopAll();
   ClusterRunOutcome CollectResults(bool dedup_participants);
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <unordered_map>
+
 #include "common/logging.h"
 #include "exec/serial_executor.h"
+#include "net/wire.h"
 #include "txn/rw_set.h"
 
 namespace tpart {
@@ -110,6 +113,11 @@ void Machine::Stop() {
     peer_shutdown_ = true;
   }
   peer_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(credit_mu_);
+    credit_shutdown_ = true;
+  }
+  credit_cv_.notify_all();
   service_running_ = false;
 }
 
@@ -211,8 +219,116 @@ void Machine::ServiceLoop() {
         peer_cv_.notify_all();
         break;
       }
+      // Streaming dissemination. Not network-logged: §5.4 replay re-runs
+      // from the request log, which ExecutePlan populates either way.
+      case Message::Type::kSinkPlan:
+        HandleSinkPlan(std::move(msg));
+        break;
+      case Message::Type::kPlanStreamEnd:
+        stream_end_seen_ = true;
+        stream_final_epoch_ = msg.epoch;
+        // The end marker can overtake delayed rounds on an unordered
+        // transport; only finish once every round up to it is enqueued.
+        if (next_stream_epoch_ > stream_final_epoch_) FinishEnqueue();
+        break;
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Streaming intake
+// ---------------------------------------------------------------------
+
+void Machine::HandleSinkPlan(Message msg) {
+  Result<SinkPlan> plan = DecodeSinkPlan(msg.plan_bytes);
+  TPART_CHECK(plan.ok()) << "bad sink plan on the wire: "
+                         << plan.status().ToString();
+  std::unordered_map<TxnId, TxnSpec> spec_of;
+  spec_of.reserve(msg.specs.size());
+  for (TxnSpec& spec : msg.specs) spec_of.emplace(spec.id, std::move(spec));
+
+  std::vector<PlanItem> slice;
+  for (TxnPlan& p : plan->txns) {
+    if (p.machine != id_) continue;
+    auto node = spec_of.extract(p.txn);
+    TPART_CHECK(!node.empty()) << "round " << plan->epoch
+                               << " plan for T" << p.txn << " has no spec";
+    slice.push_back(PlanItem{std::move(p), std::move(node.mapped())});
+  }
+
+  TPART_CHECK(plan->epoch >= next_stream_epoch_ &&
+              pending_stream_plans_.count(plan->epoch) == 0)
+      << "duplicate streaming round " << plan->epoch;
+  pending_stream_plans_.emplace(plan->epoch, std::move(slice));
+  // Deliver in order; a reliable-but-unordered transport may have handed
+  // us later rounds first.
+  for (auto it = pending_stream_plans_.begin();
+       it != pending_stream_plans_.end() && it->first == next_stream_epoch_;
+       it = pending_stream_plans_.erase(it), ++next_stream_epoch_) {
+    EnqueueStreamEpoch(it->first, std::move(it->second));
+  }
+  if (stream_end_seen_ && next_stream_epoch_ > stream_final_epoch_) {
+    FinishEnqueue();
+  }
+}
+
+void Machine::EnqueueStreamEpoch(SinkEpoch epoch,
+                                 std::vector<PlanItem> items) {
+  const bool empty = items.empty();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    if (!empty) epoch_outstanding_[epoch] = items.size();
+    for (auto& item : items) {
+      tpart_work_.emplace_back(epoch, std::move(item));
+    }
+  }
+  work_cv_.notify_all();
+  // A round with no local slice holds its credit for no reason.
+  if (empty) ReleaseEpochCredit();
+}
+
+void Machine::OnPlanItemDone(SinkEpoch epoch) {
+  bool release = false;
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    auto it = epoch_outstanding_.find(epoch);
+    if (it != epoch_outstanding_.end() && --it->second == 0) {
+      epoch_outstanding_.erase(it);
+      release = true;
+    }
+  }
+  if (release) ReleaseEpochCredit();
+}
+
+bool Machine::AcquireEpochCredit() {
+  if (epoch_queue_capacity_ == 0) return false;  // unbounded
+  std::unique_lock<std::mutex> lock(credit_mu_);
+  bool waited = false;
+  if (epochs_in_flight_ >= epoch_queue_capacity_ && !credit_shutdown_) {
+    waited = true;
+    credit_cv_.wait(lock, [&] {
+      return epochs_in_flight_ < epoch_queue_capacity_ || credit_shutdown_;
+    });
+  }
+  ++epochs_in_flight_;
+  if (epochs_in_flight_ > epoch_high_water_) {
+    epoch_high_water_ = epochs_in_flight_;
+  }
+  return waited;
+}
+
+void Machine::ReleaseEpochCredit() {
+  if (epoch_queue_capacity_ == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(credit_mu_);
+    if (epochs_in_flight_ > 0) --epochs_in_flight_;
+  }
+  credit_cv_.notify_one();
+}
+
+std::size_t Machine::epoch_queue_high_water() const {
+  std::lock_guard<std::mutex> lock(credit_mu_);
+  return epoch_high_water_;
 }
 
 // ---------------------------------------------------------------------
@@ -381,6 +497,8 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item) {
     std::lock_guard<std::mutex> lock(results_mu_);
     results_.push_back(std::move(*result));
   }
+  if (commit_hook_) commit_hook_(p.txn);
+  OnPlanItemDone(epoch);
 }
 
 Record Machine::AwaitResponse(std::uint64_t req_id) {

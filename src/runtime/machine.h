@@ -59,6 +59,27 @@ class Machine {
   /// No more work will arrive; the executor drains and exits.
   void FinishEnqueue();
 
+  // ---- Streaming intake (kSinkPlan/kPlanStreamEnd over the transport) --
+  /// Bounds the number of sinking rounds in flight at this machine
+  /// (disseminated but not fully executed). 0 = unbounded. Must be set
+  /// before StartTPart().
+  void set_epoch_queue_capacity(std::size_t capacity) {
+    epoch_queue_capacity_ = capacity;
+  }
+  /// Called by the dissemination stage before shipping a round here;
+  /// blocks while `capacity` rounds are in flight — this is how execution
+  /// backpressures the scheduler. Returns true when the call had to wait.
+  bool AcquireEpochCredit();
+  /// Deepest the in-flight-round window ever got.
+  std::size_t epoch_queue_high_water() const;
+
+  /// Invoked (from an executor thread) with each transaction's id as its
+  /// result is recorded — admission-to-commit latency tracking. Set before
+  /// StartTPart(); clear (nullptr) after JoinExecutor().
+  void set_commit_hook(std::function<void(TxnId)> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
   void StartTPart();
   void StartCalvin();
   /// Joins the executor thread (service keeps running until Stop()).
@@ -109,6 +130,13 @@ class Machine {
   void ExecuteCalvin(const TxnSpec& spec);
   void SendOut(MachineId to, Message msg);
 
+  // Streaming intake internals (service thread only, except credit
+  // release which executors trigger).
+  void HandleSinkPlan(Message msg);
+  void EnqueueStreamEpoch(SinkEpoch epoch, std::vector<PlanItem> items);
+  void OnPlanItemDone(SinkEpoch epoch);
+  void ReleaseEpochCredit();
+
   // Awaits a response delivered by the service thread for `req_id`.
   Record AwaitResponse(std::uint64_t req_id);
 
@@ -136,6 +164,30 @@ class Machine {
   int executor_workers_ = 1;
   std::vector<std::thread> worker_pool_;
   std::mutex log_mu_;
+
+  // Streaming intake: reliable transports may deliver rounds out of
+  // order, but single-worker executors rely on FIFO epoch order (a popped
+  // plan may only await versions produced by already-popped or remote
+  // plans), so rounds are reordered and enqueued strictly from 1. Service
+  // thread only.
+  std::map<SinkEpoch, std::vector<PlanItem>> pending_stream_plans_;
+  SinkEpoch next_stream_epoch_ = 1;
+  SinkEpoch stream_final_epoch_ = 0;
+  bool stream_end_seen_ = false;
+
+  // Epoch flow-control credits: rounds disseminated but not fully
+  // executed here. epoch_outstanding_ (under work_mu_) counts each
+  // in-flight round's unfinished plans; the credit window is its own
+  // lock so executors releasing never contend with intake.
+  std::unordered_map<SinkEpoch, std::size_t> epoch_outstanding_;
+  std::size_t epoch_queue_capacity_ = 0;
+  mutable std::mutex credit_mu_;
+  std::condition_variable credit_cv_;
+  std::size_t epochs_in_flight_ = 0;
+  std::size_t epoch_high_water_ = 0;
+  bool credit_shutdown_ = false;
+
+  std::function<void(TxnId)> commit_hook_;
 
   // Request/response plumbing for remote pulls & storage reads.
   std::mutex resp_mu_;

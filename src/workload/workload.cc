@@ -11,6 +11,29 @@ std::vector<TxnSpec> Workload::SequencedRequests() const {
   return out;
 }
 
+namespace {
+
+class VectorRequestSource final : public RequestSource {
+ public:
+  explicit VectorRequestSource(const std::vector<TxnSpec>* requests)
+      : requests_(requests) {}
+
+  std::optional<TxnSpec> Next() override {
+    if (next_ >= requests_->size()) return std::nullopt;
+    return (*requests_)[next_++];
+  }
+
+ private:
+  const std::vector<TxnSpec>* requests_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RequestSource> Workload::MakeRequestSource() const {
+  return std::make_unique<VectorRequestSource>(&requests);
+}
+
 double MeasureDistributedRate(const std::vector<TxnSpec>& requests,
                               const DataPartitionMap& map) {
   if (requests.empty()) return 0.0;

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,16 @@
 #include "txn/txn.h"
 
 namespace tpart {
+
+/// Incremental source of client requests — what a streaming admission
+/// stage pulls from instead of materializing the whole trace up front.
+/// Next() yields requests in arrival order (ids unassigned; the
+/// Sequencer assigns them) and nullopt once the source is exhausted.
+class RequestSource {
+ public:
+  virtual ~RequestSource() = default;
+  virtual std::optional<TxnSpec> Next() = 0;
+};
 
 /// A generated workload: schema, initial data loader, stored procedures,
 /// data-partition map, and a totally ordered transaction trace. All four
@@ -34,6 +45,11 @@ struct Workload {
   /// Requests with consecutive ids assigned starting at 1 — convenience
   /// for feeding engines directly without a Sequencer.
   std::vector<TxnSpec> SequencedRequests() const;
+
+  /// One-at-a-time view over `requests` for the streaming pipeline. The
+  /// source copies each spec on demand; it borrows this Workload, which
+  /// must outlive it.
+  std::unique_ptr<RequestSource> MakeRequestSource() const;
 };
 
 /// Fraction of `requests` whose footprint spans more than one machine
