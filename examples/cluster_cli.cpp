@@ -16,6 +16,11 @@
 //   --gstore                        G-Store emulation (sink 1, write-back)
 //   --transport=direct|inproc|tcp   runtime wire substrate (default direct)
 //   --drop=P --dup=P --delay=P      runtime fault injection probabilities
+//   --stream                        streaming pipeline (runtime T-Part):
+//                                   admit -> schedule -> disseminate ->
+//                                   execute as concurrent bounded stages;
+//                                   prints stage stats and p50/p99
+//                                   admission-to-commit latency
 
 #include <cstdio>
 #include <cstdlib>
@@ -92,6 +97,7 @@ int main(int argc, char** argv) {
   const auto txns = static_cast<std::size_t>(IntFlag(argc, argv, "txns", 5000));
   const auto sink = static_cast<std::size_t>(IntFlag(argc, argv, "sink", 100));
   const bool use_runtime = BoolFlag(argc, argv, "runtime");
+  const bool stream = BoolFlag(argc, argv, "stream");
   const bool gstore = BoolFlag(argc, argv, "gstore");
   const std::string transport_name =
       StrFlag(argc, argv, "transport", "direct");
@@ -121,6 +127,7 @@ int main(int argc, char** argv) {
     opts.transport.faults.drop_prob = drop;
     opts.transport.faults.duplicate_prob = dup;
     opts.transport.faults.delay_prob = delay;
+    opts.streaming = stream;
     LocalCluster cluster(&w, opts);
     if (engine == "calvin" || engine == "both") {
       const ClusterRunOutcome out = cluster.RunCalvin();
@@ -133,11 +140,23 @@ int main(int argc, char** argv) {
     }
     if (engine == "tpart" || engine == "both") {
       const ClusterRunOutcome out = cluster.RunTPart();
-      std::printf("tpart  (runtime): committed=%llu aborted=%llu\n",
+      std::printf("tpart  (runtime%s): committed=%llu aborted=%llu\n",
+                  stream ? ", streaming" : "",
                   static_cast<unsigned long long>(out.committed),
                   static_cast<unsigned long long>(out.aborted));
       if (out.transport.messages_sent > 0) {
         std::printf("  transport: %s\n", out.transport.Summary().c_str());
+      }
+      if (stream) {
+        const PipelineStats& p = out.pipeline;
+        std::printf("  pipeline: %s\n", p.Summary().c_str());
+        std::printf("  admission->commit latency: p50=%llu us p99=%llu us "
+                    "(%zu samples)\n",
+                    static_cast<unsigned long long>(
+                        p.admit_to_commit_us.Quantile(0.5)),
+                    static_cast<unsigned long long>(
+                        p.admit_to_commit_us.Quantile(0.99)),
+                    p.admit_to_commit_us.count());
       }
     }
     return 0;
