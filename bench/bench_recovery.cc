@@ -1,0 +1,94 @@
+// Recovery benchmark (§5.4): what crash-fault tolerance costs.
+//
+// Row set 1 — logging overhead: the same streaming run with recovery
+// logs (request log + network log) on and off. The logs are what make
+// §5.4 local replay possible; their cost is the steady-state tax.
+//
+// Row set 2 — downtime vs replay length: crash one machine at
+// successively later sink epochs and report the detector latency,
+// replayed-transaction count, and total downtime reported by
+// RecoveryStats. Later crashes replay longer suffixes of the request
+// log, so downtime should grow roughly linearly with the crash epoch.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "runtime/cluster.h"
+
+namespace tpart::bench {
+namespace {
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+LocalClusterOptions StreamingOpts() {
+  LocalClusterOptions opts;
+  opts.streaming = true;
+  opts.scheduler.sink_size = 50;
+  return opts;
+}
+
+void BenchLoggingOverhead(std::size_t machines, std::size_t txns) {
+  Header("Recovery-log overhead: streaming Microbenchmark, logs on/off");
+  const Workload w = MakeMicroWorkload(DefaultMicro(machines, txns));
+  std::printf("%12s %12s %12s\n", "logs", "tps", "committed");
+  for (const bool logs : {false, true}) {
+    LocalClusterOptions opts = StreamingOpts();
+    opts.record_recovery_logs = logs;
+    LocalCluster cluster(&w, opts);
+    const auto start = std::chrono::steady_clock::now();
+    const ClusterRunOutcome out = cluster.RunTPart();
+    const double secs = Seconds(std::chrono::steady_clock::now() - start);
+    std::printf("%12s %12.0f %12llu\n", logs ? "on" : "off",
+                static_cast<double>(txns) / secs,
+                static_cast<unsigned long long>(out.committed));
+  }
+}
+
+void BenchDowntimeVsCrashEpoch(std::size_t machines, std::size_t txns) {
+  Header("Downtime vs replay length: crash machine 1 at epoch E");
+  const Workload w = MakeMicroWorkload(DefaultMicro(machines, txns));
+  std::printf("%8s %14s %10s %14s %12s %12s\n", "epoch", "detect_us",
+              "replayed", "resent_rounds", "downtime_us", "committed");
+  for (const SinkEpoch epoch : {2, 4, 8, 16, 32}) {
+    LocalClusterOptions opts = StreamingOpts();
+    opts.crash.machine = 1;
+    opts.crash.at_epoch = epoch;
+    opts.detector.enabled = true;
+    LocalCluster cluster(&w, opts);
+    const ClusterRunOutcome out = cluster.RunTPart();
+    if (!out.fault.ok()) {
+      std::printf("%8llu  run failed: %s\n",
+                  static_cast<unsigned long long>(epoch),
+                  out.fault.ToString().c_str());
+      continue;
+    }
+    const RecoveryStats& r = out.recovery;
+    std::printf("%8llu %14llu %10llu %14llu %12llu %12llu\n",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(r.detection_latency_us),
+                static_cast<unsigned long long>(r.replayed_txns),
+                static_cast<unsigned long long>(r.resent_rounds),
+                static_cast<unsigned long long>(r.downtime_us),
+                static_cast<unsigned long long>(out.committed));
+  }
+  std::printf("(replayed/downtime grow with the crash epoch: §5.4 replays "
+              "the machine's whole request log from the load-time "
+              "checkpoint)\n");
+}
+
+void Run(int argc, char** argv) {
+  const auto txns =
+      static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
+  const auto machines =
+      static_cast<std::size_t>(IntFlag(argc, argv, "machines", 3));
+  BenchLoggingOverhead(machines, txns);
+  BenchDowntimeVsCrashEpoch(machines, txns);
+}
+
+}  // namespace
+}  // namespace tpart::bench
+
+int main(int argc, char** argv) { tpart::bench::Run(argc, argv); }

@@ -21,6 +21,12 @@
 //                                   execute as concurrent bounded stages;
 //                                   prints stage stats and p50/p99
 //                                   admission-to-commit latency
+//   --crash=M@E                     (streaming only) crash-stop machine M
+//                                   at sink epoch E, detect it via
+//                                   heartbeats, and recover it in-run;
+//                                   prints the recovery statistics
+//   --no-recover                    with --crash: detect only, surface
+//                                   the failure as a fault status
 
 #include <cstdio>
 #include <cstdlib>
@@ -104,6 +110,8 @@ int main(int argc, char** argv) {
   const double drop = std::atof(StrFlag(argc, argv, "drop", "0").c_str());
   const double dup = std::atof(StrFlag(argc, argv, "dup", "0").c_str());
   const double delay = std::atof(StrFlag(argc, argv, "delay", "0").c_str());
+  const std::string crash = StrFlag(argc, argv, "crash", "");
+  const bool no_recover = BoolFlag(argc, argv, "no-recover");
 
   const Workload w = MakeWorkload(workload_name, machines, txns);
   std::printf("%s: %zu machines, %zu txns, %.0f%% distributed\n",
@@ -128,6 +136,20 @@ int main(int argc, char** argv) {
     opts.transport.faults.duplicate_prob = dup;
     opts.transport.faults.delay_prob = delay;
     opts.streaming = stream;
+    if (!crash.empty()) {
+      const auto at = crash.find('@');
+      if (!stream || at == std::string::npos) {
+        std::fprintf(stderr,
+                     "--crash requires --stream and the form M@EPOCH\n");
+        return 2;
+      }
+      opts.crash.machine =
+          static_cast<MachineId>(std::atoll(crash.substr(0, at).c_str()));
+      opts.crash.at_epoch =
+          static_cast<SinkEpoch>(std::atoll(crash.substr(at + 1).c_str()));
+      opts.crash.recover = !no_recover;
+      opts.detector.enabled = true;
+    }
     LocalCluster cluster(&w, opts);
     if (engine == "calvin" || engine == "both") {
       const ClusterRunOutcome out = cluster.RunCalvin();
@@ -157,6 +179,13 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(
                         p.admit_to_commit_us.Quantile(0.99)),
                     p.admit_to_commit_us.count());
+      }
+      if (!out.fault.ok()) {
+        std::printf("  fault: %s\n", out.fault.ToString().c_str());
+        return 1;
+      }
+      if (out.recovery.crashes_injected > 0) {
+        std::printf("  recovery: %s\n", out.recovery.Summary().c_str());
       }
     }
     return 0;

@@ -1,7 +1,16 @@
-// §5.4 failure handling demo: run a T-Part cluster, "crash" one machine,
-// and rebuild its partition purely from its own logs — the request log
-// (its slice of each push plan) and the network log (PUSH-log plus other
-// inbound traffic) — with all outbound communication suppressed.
+// §5.4 failure handling demo, two ways.
+//
+// 1. In-run recovery: stream a workload with a seeded crash schedule —
+//    one machine crash-stops at a chosen sink epoch, the heartbeat
+//    watchdog detects the stall, and the machine is rebuilt in place
+//    from its zig-zag checkpoint plus its own request and network logs
+//    while the run completes. The result must be byte-identical to a
+//    crash-free run.
+//
+// 2. Offline replay: after a clean run, rebuild one machine's partition
+//    from its logs alone with all outbound communication suppressed
+//    (the original ReplayMachine path, now generalized by
+//    Machine::Recover()).
 //
 //   ./build/examples/recovery_demo
 
@@ -13,44 +22,82 @@
 
 using namespace tpart;
 
-int main() {
+namespace {
+
+MicroOptions DemoWorkload() {
   MicroOptions wopts;
   wopts.num_machines = 3;
   wopts.records_per_machine = 500;
   wopts.hot_set_size = 50;
   wopts.num_txns = 1'500;
-  const Workload workload = MakeMicroWorkload(wopts);
+  return wopts;
+}
 
-  LocalClusterOptions copts;
-  copts.scheduler.sink_size = 50;
-  LocalCluster cluster(&workload, copts);
-  const ClusterRunOutcome live = cluster.RunTPart();
-  std::printf("live run: %llu committed across %zu machines\n",
-              static_cast<unsigned long long>(live.committed),
-              cluster.num_machines());
+std::vector<std::pair<ObjectKey, Record>> Dump(KvStore& store) {
+  std::vector<std::pair<ObjectKey, Record>> out;
+  store.Scan(0, ~ObjectKey{0},
+             [&](ObjectKey k, const Record& r) { out.emplace_back(k, r); });
+  return out;
+}
 
-  const MachineId victim = 1;
+}  // namespace
+
+int main() {
+  const Workload workload = MakeMicroWorkload(DemoWorkload());
+
+  // ---- 1. Crash-free streaming run: the reference results and state.
+  LocalClusterOptions base;
+  base.streaming = true;
+  base.scheduler.sink_size = 50;
+  ClusterRunOutcome clean;
+  std::vector<std::vector<std::pair<ObjectKey, Record>>> clean_state;
+  {
+    LocalCluster cluster(&workload, base);
+    clean = cluster.RunTPart();
+    for (MachineId m = 0; m < cluster.num_machines(); ++m)
+      clean_state.push_back(Dump(cluster.store().store(m)));
+    std::printf("crash-free run: %llu committed\n",
+                static_cast<unsigned long long>(clean.committed));
+  }
+
+  // ---- 2. Same run with a crash injected: machine 1 dies at epoch 5,
+  // the watchdog detects it and rebuilds it mid-run.
+  LocalClusterOptions faulty = base;
+  faulty.crash.machine = 1;
+  faulty.crash.at_epoch = 5;
+  faulty.detector.enabled = true;
+  LocalCluster cluster(&workload, faulty);
+  const ClusterRunOutcome out = cluster.RunTPart();
+  if (!out.fault.ok()) {
+    std::printf("run failed: %s\n", out.fault.ToString().c_str());
+    return 1;
+  }
+  std::printf("crashed run:    %llu committed\n",
+              static_cast<unsigned long long>(out.committed));
+  std::printf("recovery: %s\n", out.recovery.Summary().c_str());
+
+  bool identical = out.results.size() == clean.results.size();
+  for (std::size_t i = 0; identical && i < out.results.size(); ++i)
+    identical = out.results[i].id == clean.results[i].id &&
+                out.results[i].committed == clean.results[i].committed &&
+                out.results[i].output == clean.results[i].output;
+  for (MachineId m = 0; m < cluster.num_machines(); ++m)
+    identical = identical && Dump(cluster.store().store(m)) == clean_state[m];
+  std::printf("crashed run %s the crash-free run\n",
+              identical ? "MATCHES" : "DIVERGES from");
+
+  // ---- 3. Offline replay of one machine's logs (the pre-streaming
+  // formulation of §5.4: no cluster, outbound suppressed).
+  const MachineId victim = 2;
   Machine& failed = cluster.machine(victim);
-  std::printf("crashing machine %u  (request log: %zu plans, network "
-              "log: %zu messages)\n",
-              victim, failed.request_log().size(),
-              failed.network_log().size());
-
   const ReplayResult replay =
       ReplayMachine(workload, victim, failed.request_log(),
-                    failed.network_log(), copts.sticky_ttl);
+                    failed.network_log(), faulty.sticky_ttl);
+  const bool replay_ok =
+      Dump(replay.store->store(victim)) == Dump(cluster.store().store(victim));
+  std::printf("offline replay of machine %u: %zu txns, partition %s\n",
+              victim, replay.results.size(),
+              replay_ok ? "MATCHES" : "DIVERGES");
 
-  // Compare the replayed partition with the pre-crash one.
-  auto dump = [&](KvStore& store) {
-    std::vector<std::pair<ObjectKey, Record>> out;
-    store.Scan(0, ~ObjectKey{0},
-               [&](ObjectKey k, const Record& r) { out.emplace_back(k, r); });
-    return out;
-  };
-  const bool identical =
-      dump(replay.store->store(victim)) == dump(cluster.store().store(victim));
-  std::printf("replayed %zu transactions locally; partition %s the "
-              "pre-crash state\n",
-              replay.results.size(), identical ? "MATCHES" : "DIVERGES from");
-  return identical ? 0 : 1;
+  return identical && replay_ok ? 0 : 1;
 }

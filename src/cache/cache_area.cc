@@ -117,6 +117,17 @@ void CacheArea::Shutdown() {
   cv_.notify_all();
 }
 
+void CacheArea::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    versions_.clear();
+    epochs_.clear();
+    sticky_.clear();
+    shutdown_ = false;
+  }
+  cv_.notify_all();
+}
+
 std::size_t CacheArea::num_version_entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return versions_.size();

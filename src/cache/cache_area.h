@@ -81,6 +81,11 @@ class CacheArea {
   /// machine shutdown / simulated failure.
   void Shutdown();
 
+  /// Crash-recovery wipe: drops all entries (a crash loses the volatile
+  /// cache area) and re-opens the cache after a Shutdown(). Cumulative
+  /// counters (sticky hits, peak) are deliberately kept.
+  void Reset();
+
   // --- Introspection ---------------------------------------------------
   std::size_t num_version_entries() const;
   std::size_t num_epoch_entries() const;

@@ -53,6 +53,19 @@ std::string PipelineStats::Summary() const {
   return out.str();
 }
 
+std::string RecoveryStats::Summary() const {
+  std::ostringstream out;
+  out << "crashes=" << crashes_injected;
+  if (crashes_injected > 0) {
+    out << " machine=" << crashed_machine << " crash_epoch=" << crash_epoch
+        << " detection_us=" << detection_latency_us
+        << " replayed=" << replayed_txns << " resent_rounds=" << resent_rounds
+        << " checkpoint_records=" << checkpoint_records
+        << " downtime_us=" << downtime_us;
+  }
+  return out.str();
+}
+
 std::string RunStats::Summary() const {
   std::ostringstream out;
   out << "txns=" << txns << " committed=" << committed
@@ -68,6 +81,9 @@ std::string RunStats::Summary() const {
   }
   if (pipeline.admitted > 0) {
     out << " | pipeline: " << pipeline.Summary();
+  }
+  if (recovery.crashes_injected > 0) {
+    out << " | recovery: " << recovery.Summary();
   }
   return out.str();
 }

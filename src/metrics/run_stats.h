@@ -78,6 +78,33 @@ struct PipelineStats {
   std::string Summary() const;
 };
 
+/// Counters for the crash-fault-tolerance subsystem (heartbeat failure
+/// detection + §5.4 local replay). Zero/absent unless a crash was
+/// injected (LocalClusterOptions::crash) or the failure detector fired.
+struct RecoveryStats {
+  /// Machines crash-stopped during the run (0 or 1 per run today).
+  std::uint64_t crashes_injected = 0;
+  MachineId crashed_machine = kInvalidMachine;
+  /// Last sinking round the crashed machine fully executed before dying.
+  SinkEpoch crash_epoch = 0;
+  /// Crash-stop to watchdog declaring the machine failed (heartbeat
+  /// sequence stalled past the deadline).
+  std::uint64_t detection_latency_us = 0;
+  /// Request-log entries re-executed by the §5.4 local replay.
+  std::uint64_t replayed_txns = 0;
+  /// Sinking rounds the dissemination stage re-shipped after recovery
+  /// (lost in flight or queued-but-unexecuted at the crash).
+  std::uint64_t resent_rounds = 0;
+  /// Records restored from the Zig-Zag checkpoint of the crashed
+  /// partition.
+  std::uint64_t checkpoint_records = 0;
+  /// Crash-stop until the rebuilt machine finished re-executing its
+  /// request log and rejoined the stream (detection + restore + replay).
+  std::uint64_t downtime_us = 0;
+
+  std::string Summary() const;
+};
+
 /// Aggregate outcome of one simulated (or real) engine run. Produced by
 /// CalvinSim / TPartSim and by the threaded runtime; consumed by every
 /// benchmark.
@@ -128,6 +155,9 @@ struct RunStats {
 
   /// Streaming pipeline counters (threaded runtime, streaming mode only).
   PipelineStats pipeline;
+
+  /// Crash-fault-tolerance counters (crash-injection runs only).
+  RecoveryStats recovery;
 
   std::string Summary() const;
 };

@@ -1,6 +1,7 @@
 #ifndef TPART_RUNTIME_CHANNEL_H_
 #define TPART_RUNTIME_CHANNEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -11,6 +12,7 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "storage/record.h"
 #include "txn/txn.h"
@@ -45,7 +47,14 @@ struct Message {
     /// Streaming dissemination: no more plans will arrive; `epoch` carries
     /// the last emitted sinking round (0 when the stream was empty).
     kPlanStreamEnd,
-    /// Stop the service loop.
+    /// Failure-detector probe: the watchdog stamps a monotonically
+    /// increasing sequence number in `req_id`; a live machine's service
+    /// thread records it (Machine::heartbeat_seen). A crashed machine
+    /// drops probes, so its recorded sequence stalls — that stall, held
+    /// past the deadline, is the failure signal.
+    kHeartbeat,
+    /// Stop the service loop. Must stay the last enumerator: the wire
+    /// decoder rejects any type byte beyond it (net/wire.cc).
     kShutdown,
   };
 
@@ -106,6 +115,25 @@ class BlockingQueue {
   T Receive() {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [&] { return !queue_.empty(); });
+    T msg = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return msg;
+  }
+
+  /// Deadline-aware variant: waits at most `timeout` for a message and
+  /// returns kUnavailable on expiry, so a dead producer surfaces as a
+  /// reported error instead of a hang. A timeout of zero waits forever
+  /// (identical to Receive()).
+  Result<T> ReceiveFor(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto ready = [&] { return !queue_.empty(); };
+    if (timeout.count() <= 0) {
+      cv_.wait(lock, ready);
+    } else if (!cv_.wait_for(lock, timeout, ready)) {
+      return Status::Unavailable("channel receive timed out");
+    }
     T msg = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();

@@ -1,9 +1,14 @@
 #include "runtime/cluster.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <limits>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -41,6 +46,23 @@ void LocalCluster::Reset() {
     const DataPartitionMap* map = workload_->partition_map.get();
     machines_.back()->set_locator(
         [map](ObjectKey key) { return map->Locate(key); });
+    machines_.back()->set_log_recording(options_.record_recovery_logs);
+    machines_.back()->set_stall_timeout(
+        std::chrono::microseconds(options_.stall_timeout_us));
+  }
+  // Crash runs keep a per-partition Zig-Zag checkpoint of the loaded
+  // state: the recovery baseline each crashed partition is rebuilt from.
+  checkpoints_.clear();
+  if (options_.crash.enabled()) {
+    for (std::size_t m = 0; m < workload_->num_machines; ++m) {
+      auto cp = std::make_unique<ZigZagCheckpointStore>();
+      store_->store(static_cast<MachineId>(m))
+          .Scan(0, std::numeric_limits<ObjectKey>::max(),
+                [&](ObjectKey key, const Record& value) {
+                  cp->Put(key, value);
+                });
+      checkpoints_.push_back(std::move(cp));
+    }
   }
   std::vector<Transport::DeliverFn> sinks;
   sinks.reserve(machines_.size());
@@ -50,6 +72,19 @@ void LocalCluster::Reset() {
     });
   }
   transport_->Start(std::move(sinks));
+}
+
+std::size_t LocalCluster::RestorePartition(MachineId m) {
+  KvStore& store = store_->store(m);
+  std::vector<ObjectKey> keys;
+  keys.reserve(store.size());
+  store.Scan(0, std::numeric_limits<ObjectKey>::max(),
+             [&](ObjectKey key, const Record&) { keys.push_back(key); });
+  for (const ObjectKey key : keys) {
+    (void)store.Delete(key);
+  }
+  return checkpoints_.at(m)->Checkpoint(
+      [&](ObjectKey key, const Record& value) { store.Upsert(key, value); });
 }
 
 void LocalCluster::StopAll() {
@@ -65,6 +100,9 @@ ClusterRunOutcome LocalCluster::RunTPart() {
 }
 
 ClusterRunOutcome LocalCluster::RunTPartBatch() {
+  TPART_CHECK(!options_.crash.enabled())
+      << "crash injection requires streaming mode (batch pre-enqueues "
+         "every plan, so there is no dissemination stream to rejoin)";
   if (used_) Reset();
   used_ = true;
   // One scheduler suffices: every scheduler in a real deployment computes
@@ -139,6 +177,20 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   used_ = true;
   last_plans_.clear();  // streaming never materializes the plan list
 
+  const std::chrono::microseconds stall_timeout(options_.stall_timeout_us);
+  const LocalClusterOptions::CrashSchedule& crash = options_.crash;
+  if (crash.enabled()) {
+    TPART_CHECK(static_cast<std::size_t>(crash.machine) < machines_.size())
+        << "crash schedule names machine " << crash.machine << " of "
+        << machines_.size();
+    TPART_CHECK(options_.record_recovery_logs)
+        << "crash recovery replays the §5.4 logs; keep them recorded";
+    Machine::CrashPoint point;
+    point.at_epoch = crash.at_epoch;
+    point.after_txns = crash.after_txns;
+    machines_[crash.machine]->ArmCrash(point);
+  }
+
   // Admission-to-result latency: the admission stage stamps each real
   // transaction at batch formation; the executor's commit hook closes the
   // pair and erases it, so the map holds only in-flight transactions.
@@ -163,6 +215,131 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     });
   }
   for (auto& m : machines_) m->StartTPart();
+
+  // ---- Failure detection & in-run recovery (watchdog thread). ----------
+  // Dissemination keeps every disseminated round (crash runs only) so
+  // recovery can re-ship what the crashed machine lost. The window cannot
+  // be pruned by the epoch-credit bound: a round with no slice for the
+  // victim releases its credit immediately, so dissemination may run
+  // arbitrarily far ahead of the victim's resume round. Crash-injection
+  // runs therefore pay one retained Message per round — the same order of
+  // memory as the §5.4 request logs they already require.
+  std::mutex resend_mu;
+  std::deque<Message> resend_window;
+  bool end_sent = false;
+  SinkEpoch end_epoch = 0;
+
+  std::mutex fault_mu;
+  Status fault;
+  auto declare_fault = [&](const std::string& message) {
+    {
+      std::lock_guard<std::mutex> lock(fault_mu);
+      if (fault.ok()) fault = Status::Unavailable(message);
+    }
+    // Release every blocked wait (reads, credits, parked storage) so the
+    // doomed run drains and reports instead of hanging.
+    for (auto& m : machines_) m->AbortPendingWaits();
+  };
+
+  RecoveryStats recovery;
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool failure_handled = false;
+  std::atomic<bool> watchdog_stop{false};
+  const bool detector_on = options_.detector.enabled || crash.enabled();
+  std::thread watchdog;
+  if (detector_on) {
+    watchdog = std::thread([&] {
+      const auto interval = std::chrono::microseconds(std::max<std::uint64_t>(
+          options_.detector.heartbeat_interval_us, 50));
+      const auto deadline =
+          std::chrono::microseconds(options_.detector.deadline_us);
+      std::uint64_t seq = 0;
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::uint64_t> last_seen(machines_.size(), 0);
+      std::vector<std::chrono::steady_clock::time_point> last_alive(
+          machines_.size(), start);
+      std::vector<bool> declared(machines_.size(), false);
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(interval);
+        ++seq;
+        for (std::size_t m = 0; m < machines_.size(); ++m) {
+          Message hb;
+          hb.type = Message::Type::kHeartbeat;
+          hb.req_id = seq;
+          transport_->Send(0, static_cast<MachineId>(m), std::move(hb));
+        }
+        const auto now = std::chrono::steady_clock::now();
+        for (std::size_t m = 0; m < machines_.size(); ++m) {
+          if (declared[m]) continue;
+          const std::uint64_t seen = machines_[m]->heartbeat_seen();
+          if (seen > last_seen[m]) {
+            last_seen[m] = seen;
+            last_alive[m] = now;
+            continue;
+          }
+          if (now - last_alive[m] < deadline) continue;
+          // Heartbeat sequence stalled past the deadline: declare failed.
+          declared[m] = true;
+          const std::string diag = machines_[m]->StallDiagnostic();
+          const bool recoverable =
+              crash.enabled() &&
+              m == static_cast<std::size_t>(crash.machine) && crash.recover &&
+              machines_[m]->crashed();
+          if (!recoverable) {
+            std::ostringstream out;
+            out << "machine " << m << " failed: no heartbeat progress for "
+                << options_.detector.deadline_us << "us; " << diag;
+            declare_fault(out.str());
+            std::lock_guard<std::mutex> lock(wd_mu);
+            failure_handled = true;
+            wd_cv.notify_all();
+            return;
+          }
+          // In-run recovery: checkpoint restore + §5.4 local replay,
+          // then re-ship the rounds the crash lost.
+          recovery.crashes_injected = 1;
+          recovery.crashed_machine = static_cast<MachineId>(m);
+          const SinkEpoch resume = machines_[m]->resume_epoch();
+          recovery.crash_epoch = resume > 0 ? resume - 1 : 0;
+          recovery.detection_latency_us = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - machines_[m]->crash_time())
+                  .count());
+          recovery.replayed_txns = machines_[m]->Recover([&] {
+            recovery.checkpoint_records =
+                RestorePartition(static_cast<MachineId>(m));
+          });
+          // Intake is idempotent, so over-shipping is harmless; the
+          // front-of-window check guarantees we never under-ship.
+          {
+            std::lock_guard<std::mutex> lock(resend_mu);
+            TPART_CHECK(resend_window.empty() ||
+                        resend_window.front().epoch <= resume)
+                << "resend window pruned past resume round " << resume;
+            for (const Message& round : resend_window) {
+              if (round.epoch < resume) continue;
+              transport_->Send(0, static_cast<MachineId>(m), round);
+              ++recovery.resent_rounds;
+            }
+            if (end_sent) {
+              Message end;
+              end.type = Message::Type::kPlanStreamEnd;
+              end.epoch = end_epoch;
+              transport_->Send(0, static_cast<MachineId>(m), std::move(end));
+            }
+          }
+          recovery.downtime_us = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - machines_[m]->crash_time())
+                  .count());
+          std::lock_guard<std::mutex> lock(wd_mu);
+          failure_handled = true;
+          wd_cv.notify_all();
+        }
+      }
+    });
+  }
 
   // Stage channels. An empty batch / nullopt envelope is the
   // end-of-stream sentinel (real batches are never empty).
@@ -236,9 +413,12 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       if (plan_queue.Send(std::move(env))) ++scheduler_waits;
     };
     while (true) {
-      TxnBatch batch = batch_queue.Receive();
-      if (batch.txns.empty()) break;
-      for (TxnSpec& spec : batch.txns) {
+      Result<TxnBatch> batch = batch_queue.ReceiveFor(stall_timeout);
+      TPART_CHECK(batch.ok())
+          << "scheduler stalled awaiting the admission stage: "
+          << batch.status().message();
+      if (batch->txns.empty()) break;
+      for (TxnSpec& spec : batch->txns) {
         std::vector<SinkPlan> plans = scheduler.OnTxn(spec);
         // Dummies are discarded at plan generation (§3.3); only real
         // specs ever travel to a machine.
@@ -259,19 +439,51 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   std::uint64_t plans = 0, credit_waits = 0;
   SinkEpoch last_epoch = 0;
   while (true) {
-    std::optional<PlanEnvelope> env = plan_queue.Receive();
-    if (!env.has_value()) break;
+    Result<std::optional<PlanEnvelope>> env =
+        plan_queue.ReceiveFor(stall_timeout);
+    TPART_CHECK(env.ok())
+        << "dissemination stalled awaiting the scheduler stage: "
+        << env.status().message();
+    if (!env->has_value()) break;
     ++plans;
-    last_epoch = env->plan.epoch;
+    last_epoch = (*env)->plan.epoch;
     Message msg;
     msg.type = Message::Type::kSinkPlan;
-    msg.epoch = env->plan.epoch;
-    msg.plan_bytes = EncodeSinkPlan(env->plan);
-    msg.specs = std::move(env->specs);
+    msg.epoch = (*env)->plan.epoch;
+    msg.plan_bytes = EncodeSinkPlan((*env)->plan);
+    msg.specs = std::move((*env)->specs);
+    if (crash.enabled()) {
+      std::lock_guard<std::mutex> lock(resend_mu);
+      resend_window.push_back(msg);
+    }
     for (std::size_t m = 0; m < machines_.size(); ++m) {
-      if (machines_[m]->AcquireEpochCredit()) ++credit_waits;
+      switch (machines_[m]->AcquireEpochCreditFor(stall_timeout)) {
+        case Machine::CreditGrant::kGranted:
+          break;
+        case Machine::CreditGrant::kGrantedAfterWait:
+          ++credit_waits;
+          break;
+        case Machine::CreditGrant::kTimedOut: {
+          std::ostringstream out;
+          out << "dissemination stalled acquiring an epoch credit for "
+                 "machine "
+              << m << ": " << machines_[m]->StallDiagnostic();
+          // Credits are non-blocking after this (shutdown flag), so the
+          // remaining stream still drains.
+          declare_fault(out.str());
+          break;
+        }
+      }
       transport_->Send(0, static_cast<MachineId>(m), msg);
     }
+  }
+  if (crash.enabled()) {
+    // Flag before sending: a recovery racing this must resend the end
+    // marker whenever the original may already have been consumed (and
+    // its flags wiped) by the pre-crash machine.
+    std::lock_guard<std::mutex> lock(resend_mu);
+    end_sent = true;
+    end_epoch = last_epoch;
   }
   for (std::size_t m = 0; m < machines_.size(); ++m) {
     Message end;
@@ -285,6 +497,18 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   // Executors exit once the stream end reaches them (via the transport's
   // reliable delivery) and their queues drain.
   for (auto& m : machines_) m->JoinExecutor();
+  if (detector_on) {
+    // The joins above cover only the original executors. If the victim is
+    // still down, wait for the watchdog to detect and handle it (recovery
+    // or declared fault) before tearing the stream down.
+    if (crash.enabled() && machines_[crash.machine]->crashed()) {
+      std::unique_lock<std::mutex> lock(wd_mu);
+      wd_cv.wait(lock, [&] { return failure_handled; });
+    }
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
+    for (auto& m : machines_) m->JoinRecoveredExecutor();
+  }
   // The hooks capture this frame's LatencyTracker; no executor can call
   // them now, and the machines outlive this frame.
   for (auto& m : machines_) m->set_commit_hook(nullptr);
@@ -307,6 +531,11 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   }
   outcome.pipeline.admission_seconds = admission_seconds;
   outcome.pipeline.admit_to_commit_us = latency.us;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu);
+    outcome.fault = fault;
+  }
+  outcome.recovery = recovery;  // watchdog joined; no concurrent writer
   StopAll();
   return outcome;
 }

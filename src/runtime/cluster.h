@@ -1,15 +1,18 @@
 #ifndef TPART_RUNTIME_CLUSTER_H_
 #define TPART_RUNTIME_CLUSTER_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "metrics/run_stats.h"
 #include "net/transport.h"
 #include "runtime/machine.h"
 #include "scheduler/tpart_scheduler.h"
 #include "sequencer/sequencer.h"
 #include "storage/partitioned_store.h"
+#include "storage/zigzag_checkpoint.h"
 #include "workload/workload.h"
 
 namespace tpart {
@@ -55,6 +58,51 @@ struct LocalClusterOptions {
   bool streaming = false;
   PipelineOptions pipeline;
 
+  /// Deterministic crash injection (streaming runs only): the chosen
+  /// machine crash-stops — no goodbyes, in-flight traffic dropped — at a
+  /// chosen point, and the run either recovers it in place (§5.4 local
+  /// replay from checkpoint + request/network logs) or merely detects the
+  /// failure and reports it. Same seed + same schedule reproduces the
+  /// same crash, replay, and final state.
+  struct CrashSchedule {
+    MachineId machine = kInvalidMachine;
+    /// Crash once sinking round `at_epoch` fully executes at `machine`
+    /// (the first round it drains at or past this number).
+    SinkEpoch at_epoch = 0;
+    /// Alternative trigger: crash after this many executed plans,
+    /// possibly mid-round. At most one of the two per run.
+    std::uint64_t after_txns = 0;
+    /// Recover in-run when true; detect-and-report only when false.
+    bool recover = true;
+    bool enabled() const { return machine != kInvalidMachine; }
+  };
+  CrashSchedule crash;
+
+  /// Transport-level heartbeat failure detection. Enabled implicitly by
+  /// an armed crash schedule; enable explicitly to watchdog healthy runs.
+  struct FailureDetectorOptions {
+    bool enabled = false;
+    /// Probe period; the watchdog stamps each kHeartbeat with a rising
+    /// sequence number.
+    std::uint64_t heartbeat_interval_us = 1000;
+    /// A machine whose recorded heartbeat sequence stalls longer than
+    /// this is declared failed.
+    std::uint64_t deadline_us = 100000;
+  };
+  FailureDetectorOptions detector;
+
+  /// Record the §5.4 per-machine request/network logs during streaming
+  /// runs (required for crash recovery; disable to keep long runs'
+  /// memory strictly bounded).
+  bool record_recovery_logs = true;
+
+  /// Bounds every blocking wait in the run — executor response/credit/
+  /// storage waits and the dissemination stage's queue receives. A wait
+  /// that expires aborts the run with a stall diagnostic (executor
+  /// paths) or surfaces as ClusterRunOutcome::fault (dissemination).
+  /// 0 = wait forever (the seed behaviour).
+  std::uint64_t stall_timeout_us = 120'000'000;
+
   LocalClusterOptions() {
     // Procedures in the runtime can abort, so transactions must read the
     // objects they write (§5.3).
@@ -71,6 +119,12 @@ struct ClusterRunOutcome {
   TransportStats transport;
   /// Streaming-mode stage counters (zero in batch mode).
   PipelineStats pipeline;
+  /// Non-OK when the failure detector declared a machine dead with no
+  /// recovery configured, or a dissemination wait timed out; the run
+  /// still drains (results are then meaningless).
+  Status fault;
+  /// Crash-injection counters (crashes_injected stays 0 otherwise).
+  RecoveryStats recovery;
 };
 
 /// A multi-machine deterministic database in one process: N Machines
@@ -107,6 +161,12 @@ class LocalCluster {
   ClusterRunOutcome RunTPartStreaming();
   void StopAll();
   ClusterRunOutcome CollectResults(bool dedup_participants);
+  /// Rebuilds exactly partition `m` from its Zig-Zag checkpoint (wipes
+  /// the partition's store, streams the checkpoint back in). Unlike
+  /// Reset(), no other partition is touched — recovery cost stays
+  /// proportional to the crashed machine's data. Returns the number of
+  /// records restored.
+  std::size_t RestorePartition(MachineId m);
 
   const Workload* workload_;
   LocalClusterOptions options_;
@@ -114,6 +174,9 @@ class LocalCluster {
   std::unique_ptr<PartitionedStore> store_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
+  /// Per-partition Zig-Zag checkpoints captured at load time (crash runs
+  /// only); the recovery baseline for RestorePartition().
+  std::vector<std::unique_ptr<ZigZagCheckpointStore>> checkpoints_;
   std::vector<SinkPlan> last_plans_;
 };
 

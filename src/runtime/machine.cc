@@ -1,6 +1,7 @@
 #include "runtime/machine.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include <unordered_map>
 
@@ -28,6 +29,7 @@ Machine::~Machine() {
   for (auto& t : worker_pool_) {
     if (t.joinable()) t.join();
   }
+  if (recovery_executor_.joinable()) recovery_executor_.join();
   if (service_.joinable()) {
     Deliver(Message{});  // kShutdown default
     service_.join();
@@ -44,7 +46,7 @@ void Machine::EnqueueTPartEpoch(SinkEpoch epoch,
   {
     std::lock_guard<std::mutex> lock(work_mu_);
     for (auto& item : items) {
-      tpart_work_.emplace_back(epoch, std::move(item));
+      tpart_work_.push_back(WorkUnit{epoch, std::move(item), false});
     }
   }
   work_cv_.notify_all();
@@ -87,6 +89,10 @@ void Machine::JoinExecutor() {
     if (t.joinable()) t.join();
   }
   worker_pool_.clear();
+}
+
+void Machine::JoinRecoveredExecutor() {
+  if (recovery_executor_.joinable()) recovery_executor_.join();
 }
 
 void Machine::Stop() {
@@ -133,104 +139,174 @@ std::vector<TxnResult> Machine::TakeResults() {
 void Machine::ServiceLoop() {
   while (true) {
     Message msg = inbound_.Receive();
-    switch (msg.type) {
-      case Message::Type::kShutdown:
-        return;
-      case Message::Type::kPushVersion:
-        // The PUSH-log (§5.4): remember pushed values for local replay.
-        if (!replay_) network_log_.push_back(msg);
-        cache_.PutVersion(msg.key, msg.version, msg.dst_txn,
-                          std::move(msg.value));
-        break;
-      case Message::Type::kCacheReadReq: {
-        // Logged so replay re-serves the same reads and entry/version
-        // refcounts line up (§5.4 local replay).
-        if (!replay_) network_log_.push_back(msg);
-        auto v = cache_.TryEpochEntry(msg.key, msg.version, msg.invalidate,
-                                      msg.total_reads);
-        if (v.has_value()) {
-          Message resp;
-          resp.type = Message::Type::kCacheReadResp;
-          resp.req_id = msg.req_id;
-          resp.value = std::move(*v);
-          SendOut(msg.reply_to, std::move(resp));
-        } else {
-          parked_pulls_[{msg.key, msg.version}].push_back(std::move(msg));
+    if (msg.type == Message::Type::kShutdown) return;
+    if (run_state_.load(std::memory_order_acquire) == RunState::kDown) {
+      // Crash-stop: the machine is gone. Heartbeats are dropped so the
+      // failure detector sees the stall; everything else is stashed —
+      // the reliability layer already acked it on delivery into our
+      // inbound queue, so dropping it would lose it forever. Re-injecting
+      // the stash at recovery models the peers' transport retransmitting
+      // to the rebuilt machine.
+      if (msg.type != Message::Type::kHeartbeat) {
+        std::lock_guard<std::mutex> lock(crash_mu_);
+        if (run_state_.load(std::memory_order_relaxed) == RunState::kDown) {
+          down_stash_.push_back(std::move(msg));
+          continue;
         }
-        break;
+        // Recovery flipped the state (under crash_mu_) since the fast
+        // check; fall through and process normally.
+      } else {
+        continue;
       }
-      case Message::Type::kLocalPublish: {
+    }
+    Dispatch(std::move(msg));
+  }
+}
+
+void Machine::Dispatch(Message msg) {
+  // The §5.4 network log records inbound value-bearing traffic of the
+  // *live* run only: offline replay (replay_) and in-run recovery
+  // (kRecovering, which re-delivers the log itself) must not re-log.
+  const bool log =
+      log_recording_ && !replay_ &&
+      run_state_.load(std::memory_order_relaxed) == RunState::kLive;
+  switch (msg.type) {
+    case Message::Type::kShutdown:
+      return;  // handled by ServiceLoop; unreachable here
+    case Message::Type::kHeartbeat:
+      // Never logged: replaying stale probes would confuse a detector.
+      heartbeat_seen_.store(msg.req_id, std::memory_order_release);
+      break;
+    case Message::Type::kPushVersion:
+      // The PUSH-log (§5.4): remember pushed values for local replay.
+      if (log) {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        network_log_.push_back(msg);
+      }
+      cache_.PutVersion(msg.key, msg.version, msg.dst_txn,
+                        std::move(msg.value));
+      break;
+    case Message::Type::kCacheReadReq: {
+      // Logged so replay re-serves the same reads and entry/version
+      // refcounts line up (§5.4 local replay).
+      if (log) {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        network_log_.push_back(msg);
+      }
+      auto v = cache_.TryEpochEntry(msg.key, msg.version, msg.invalidate,
+                                    msg.total_reads);
+      if (v.has_value()) {
+        Message resp;
+        resp.type = Message::Type::kCacheReadResp;
+        resp.req_id = msg.req_id;
+        resp.value = std::move(*v);
+        SendOut(msg.reply_to, std::move(resp));
+      } else {
+        std::lock_guard<std::mutex> lock(stream_mu_);
+        parked_pulls_[{msg.key, msg.version}].push_back(std::move(msg));
+      }
+      break;
+    }
+    case Message::Type::kLocalPublish: {
+      std::vector<Message> reqs;
+      {
+        std::lock_guard<std::mutex> lock(stream_mu_);
         auto it = parked_pulls_.find({msg.key, msg.version});
         if (it != parked_pulls_.end()) {
-          for (Message& req : it->second) {
-            auto v = cache_.TryEpochEntry(req.key, req.version,
-                                          req.invalidate, req.total_reads);
-            TPART_CHECK(v.has_value())
-                << "parked pull found no entry after publish";
-            Message resp;
-            resp.type = Message::Type::kCacheReadResp;
-            resp.req_id = req.req_id;
-            resp.value = std::move(*v);
-            SendOut(req.reply_to, std::move(resp));
-          }
+          reqs = std::move(it->second);
           parked_pulls_.erase(it);
         }
-        break;
       }
-      case Message::Type::kCacheReadResp:
-      case Message::Type::kStorageReadResp: {
-        if (!replay_) network_log_.push_back(msg);
-        {
-          std::lock_guard<std::mutex> lock(resp_mu_);
-          responses_[msg.req_id] = std::move(msg.value);
+      for (Message& req : reqs) {
+        auto v = cache_.TryEpochEntry(req.key, req.version, req.invalidate,
+                                      req.total_reads);
+        if (!v.has_value()) {
+          // A stale publish note re-injected from the crash stash can
+          // precede the replay's re-publication of the entry; re-park
+          // and let the genuine note serve it.
+          std::lock_guard<std::mutex> lock(stream_mu_);
+          parked_pulls_[{req.key, req.version}].push_back(std::move(req));
+          continue;
         }
-        resp_cv_.notify_all();
-        break;
+        Message resp;
+        resp.type = Message::Type::kCacheReadResp;
+        resp.req_id = req.req_id;
+        resp.value = std::move(*v);
+        SendOut(req.reply_to, std::move(resp));
       }
-      case Message::Type::kStorageReadReq: {
-        if (!replay_) network_log_.push_back(msg);
-        const MachineId reply_to = msg.reply_to;
-        const std::uint64_t req_id = msg.req_id;
-        storage_.AsyncRead(msg.key, msg.version,
-                           [this, reply_to, req_id](Record value) {
-                             Message resp;
-                             resp.type = Message::Type::kStorageReadResp;
-                             resp.req_id = req_id;
-                             resp.value = std::move(value);
-                             SendOut(reply_to, std::move(resp));
-                           });
-        break;
+      break;
+    }
+    case Message::Type::kCacheReadResp:
+    case Message::Type::kStorageReadResp: {
+      if (log) {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        network_log_.push_back(msg);
       }
-      case Message::Type::kWriteBackApply:
-        if (!replay_) network_log_.push_back(msg);
-        storage_.ApplyWriteBack(msg.key, msg.version, msg.replaces,
-                                std::move(msg.value), msg.awaits, msg.sticky,
-                                msg.epoch);
-        break;
-      case Message::Type::kPeerReads: {
-        if (!replay_) network_log_.push_back(msg);
-        {
-          std::lock_guard<std::mutex> lock(peer_mu_);
-          auto& bucket = peer_reads_[msg.txn];
-          for (auto& [key, value] : msg.kvs) {
-            bucket[key] = std::move(value);
-          }
+      {
+        std::lock_guard<std::mutex> lock(resp_mu_);
+        responses_[msg.req_id] = std::move(msg.value);
+      }
+      resp_cv_.notify_all();
+      break;
+    }
+    case Message::Type::kStorageReadReq: {
+      if (log) {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        network_log_.push_back(msg);
+      }
+      const MachineId reply_to = msg.reply_to;
+      const std::uint64_t req_id = msg.req_id;
+      storage_.AsyncRead(msg.key, msg.version,
+                         [this, reply_to, req_id](Record value) {
+                           Message resp;
+                           resp.type = Message::Type::kStorageReadResp;
+                           resp.req_id = req_id;
+                           resp.value = std::move(value);
+                           SendOut(reply_to, std::move(resp));
+                         });
+      break;
+    }
+    case Message::Type::kWriteBackApply:
+      if (log) {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        network_log_.push_back(msg);
+      }
+      storage_.ApplyWriteBack(msg.key, msg.version, msg.replaces,
+                              std::move(msg.value), msg.awaits, msg.sticky,
+                              msg.epoch);
+      break;
+    case Message::Type::kPeerReads: {
+      if (log) {
+        std::lock_guard<std::mutex> lock(log_mu_);
+        network_log_.push_back(msg);
+      }
+      {
+        std::lock_guard<std::mutex> lock(peer_mu_);
+        auto& bucket = peer_reads_[msg.txn];
+        for (auto& [key, value] : msg.kvs) {
+          bucket[key] = std::move(value);
         }
-        peer_cv_.notify_all();
-        break;
       }
-      // Streaming dissemination. Not network-logged: §5.4 replay re-runs
-      // from the request log, which ExecutePlan populates either way.
-      case Message::Type::kSinkPlan:
-        HandleSinkPlan(std::move(msg));
-        break;
-      case Message::Type::kPlanStreamEnd:
+      peer_cv_.notify_all();
+      break;
+    }
+    // Streaming dissemination. Not network-logged: §5.4 replay re-runs
+    // from the request log, which ExecutePlan populates either way.
+    case Message::Type::kSinkPlan:
+      HandleSinkPlan(std::move(msg));
+      break;
+    case Message::Type::kPlanStreamEnd: {
+      bool finish = false;
+      {
+        std::lock_guard<std::mutex> lock(stream_mu_);
         stream_end_seen_ = true;
         stream_final_epoch_ = msg.epoch;
         // The end marker can overtake delayed rounds on an unordered
         // transport; only finish once every round up to it is enqueued.
-        if (next_stream_epoch_ > stream_final_epoch_) FinishEnqueue();
-        break;
+        finish = next_stream_epoch_ > stream_final_epoch_;
+      }
+      if (finish) FinishEnqueue();
+      break;
     }
   }
 }
@@ -256,20 +332,43 @@ void Machine::HandleSinkPlan(Message msg) {
     slice.push_back(PlanItem{std::move(p), std::move(node.mapped())});
   }
 
-  TPART_CHECK(plan->epoch >= next_stream_epoch_ &&
-              pending_stream_plans_.count(plan->epoch) == 0)
-      << "duplicate streaming round " << plan->epoch;
-  pending_stream_plans_.emplace(plan->epoch, std::move(slice));
-  // Deliver in order; a reliable-but-unordered transport may have handed
-  // us later rounds first.
-  for (auto it = pending_stream_plans_.begin();
-       it != pending_stream_plans_.end() && it->first == next_stream_epoch_;
-       it = pending_stream_plans_.erase(it), ++next_stream_epoch_) {
-    EnqueueStreamEpoch(it->first, std::move(it->second));
+  std::vector<std::pair<SinkEpoch, std::vector<PlanItem>>> ready;
+  bool finish = false;
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    if (plan->epoch < next_stream_epoch_ ||
+        pending_stream_plans_.count(plan->epoch) != 0) {
+      // Duplicate round: recovery re-ships a window of recent rounds and
+      // cannot know how far this machine got, so intake is idempotent.
+      ++duplicate_rounds_dropped_;
+      return;
+    }
+    if (plan->epoch == recovered_partial_epoch_ &&
+        !recovered_partial_txns_.empty()) {
+      // The machine crashed mid-round; the §5.4 replay already re-ran the
+      // round's logged prefix, so only the remainder executes live.
+      slice.erase(std::remove_if(slice.begin(), slice.end(),
+                                 [&](const PlanItem& item) {
+                                   return recovered_partial_txns_.count(
+                                              item.plan.txn) != 0;
+                                 }),
+                  slice.end());
+    }
+    pending_stream_plans_.emplace(plan->epoch, std::move(slice));
+    // Deliver in order; a reliable-but-unordered transport may have
+    // handed us later rounds first.
+    for (auto it = pending_stream_plans_.begin();
+         it != pending_stream_plans_.end() &&
+         it->first == next_stream_epoch_;
+         it = pending_stream_plans_.erase(it), ++next_stream_epoch_) {
+      ready.emplace_back(it->first, std::move(it->second));
+    }
+    finish = stream_end_seen_ && next_stream_epoch_ > stream_final_epoch_;
   }
-  if (stream_end_seen_ && next_stream_epoch_ > stream_final_epoch_) {
-    FinishEnqueue();
+  for (auto& [epoch, items] : ready) {
+    EnqueueStreamEpoch(epoch, std::move(items));
   }
+  if (finish) FinishEnqueue();
 }
 
 void Machine::EnqueueStreamEpoch(SinkEpoch epoch,
@@ -279,7 +378,7 @@ void Machine::EnqueueStreamEpoch(SinkEpoch epoch,
     std::lock_guard<std::mutex> lock(work_mu_);
     if (!empty) epoch_outstanding_[epoch] = items.size();
     for (auto& item : items) {
-      tpart_work_.emplace_back(epoch, std::move(item));
+      tpart_work_.push_back(WorkUnit{epoch, std::move(item), false});
     }
   }
   work_cv_.notify_all();
@@ -287,7 +386,7 @@ void Machine::EnqueueStreamEpoch(SinkEpoch epoch,
   if (empty) ReleaseEpochCredit();
 }
 
-void Machine::OnPlanItemDone(SinkEpoch epoch) {
+bool Machine::OnPlanItemDone(SinkEpoch epoch) {
   bool release = false;
   {
     std::lock_guard<std::mutex> lock(work_mu_);
@@ -298,23 +397,35 @@ void Machine::OnPlanItemDone(SinkEpoch epoch) {
     }
   }
   if (release) ReleaseEpochCredit();
+  return release;
 }
 
 bool Machine::AcquireEpochCredit() {
-  if (epoch_queue_capacity_ == 0) return false;  // unbounded
+  return AcquireEpochCreditFor(std::chrono::microseconds{0}) ==
+         CreditGrant::kGrantedAfterWait;
+}
+
+Machine::CreditGrant Machine::AcquireEpochCreditFor(
+    std::chrono::microseconds timeout) {
+  if (epoch_queue_capacity_ == 0) return CreditGrant::kGranted;  // unbounded
   std::unique_lock<std::mutex> lock(credit_mu_);
   bool waited = false;
-  if (epochs_in_flight_ >= epoch_queue_capacity_ && !credit_shutdown_) {
+  const auto open = [&] {
+    return epochs_in_flight_ < epoch_queue_capacity_ || credit_shutdown_;
+  };
+  if (!open()) {
     waited = true;
-    credit_cv_.wait(lock, [&] {
-      return epochs_in_flight_ < epoch_queue_capacity_ || credit_shutdown_;
-    });
+    if (timeout.count() <= 0) {
+      credit_cv_.wait(lock, open);
+    } else if (!credit_cv_.wait_for(lock, timeout, open)) {
+      return CreditGrant::kTimedOut;
+    }
   }
   ++epochs_in_flight_;
   if (epochs_in_flight_ > epoch_high_water_) {
     epoch_high_water_ = epochs_in_flight_;
   }
-  return waited;
+  return waited ? CreditGrant::kGrantedAfterWait : CreditGrant::kGranted;
 }
 
 void Machine::ReleaseEpochCredit() {
@@ -341,43 +452,60 @@ void Machine::TPartWorkerLoop() {
   // until its named version exists, produced by an earlier — hence
   // already-popped — transaction or a remote machine).
   while (true) {
-    SinkEpoch epoch;
-    PlanItem item;
+    WorkUnit unit;
     bool evict = false;
     {
       std::unique_lock<std::mutex> lock(work_mu_);
       work_cv_.wait(lock, [&] {
-        return !tpart_work_.empty() || finished_enqueue_;
+        return !tpart_work_.empty() || finished_enqueue_ ||
+               run_state_.load(std::memory_order_relaxed) ==
+                   RunState::kDown;
       });
+      // Crash-stop: abandon queued work mid-stream. Only the crashing
+      // worker itself observes this (crash injection requires a single
+      // worker), re-evaluating the predicate right after its own
+      // CrashStop() call.
+      if (run_state_.load(std::memory_order_relaxed) == RunState::kDown) {
+        return;
+      }
       if (tpart_work_.empty()) return;
-      epoch = tpart_work_.front().first;
-      item = std::move(tpart_work_.front().second);
+      unit = std::move(tpart_work_.front());
       tpart_work_.pop_front();
-      if (epoch > evicted_upto_) {
-        evicted_upto_ = epoch;
+      if (unit.epoch > evicted_upto_) {
+        evicted_upto_ = unit.epoch;
         evict = true;
       }
     }
     if (evict) {
-      cache_.EvictExpiredSticky(epoch > sticky_ttl_ ? epoch - sticky_ttl_
-                                                    : 0);
+      cache_.EvictExpiredSticky(
+          unit.epoch > sticky_ttl_ ? unit.epoch - sticky_ttl_ : 0);
     }
-    ExecutePlan(epoch, item);
+    ExecutePlan(unit.epoch, unit.item, unit.replay);
   }
 }
 
-void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item) {
+void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
+                          bool is_replay) {
   const TxnPlan& p = item.plan;
   const TxnSpec& spec = item.spec;
   TPART_CHECK(p.machine == id_);
   // Request log: "the transaction requests are logged only after they are
   // partitioned, and each machine logs only those requests that are
   // assigned to itself" (§5.4). Entries may interleave across workers;
-  // replay re-sorts by txn id.
-  if (!replay_) {
+  // replay re-sorts by txn id. Replayed plans are already in the log.
+  if (log_recording_ && !replay_ && !is_replay) {
     std::lock_guard<std::mutex> lock(log_mu_);
     request_log_.push_back(RequestLogEntry{epoch, item});
   }
+
+  // In-run recovery re-executes logged plans with outbound traffic
+  // suppressed, exactly like offline replay (§5.4): peers already
+  // received these pushes/requests/write-backs before the crash, and
+  // version/epoch entries are consume-once, so re-sending would corrupt
+  // their refcounts.
+  const auto send_out = [&](MachineId to, Message m) {
+    if (!is_replay) SendOut(to, std::move(m));
+  };
 
   // ---- Gather every planned read (the version-based deterministic CC:
   // each read waits for its exact version, §5.2).
@@ -417,13 +545,22 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item) {
         req.total_reads = r.entry_total_reads;
         req.reply_to = id_;
         req.req_id = req_id;
-        SendOut(r.src_machine, std::move(req));
+        send_out(r.src_machine, std::move(req));
         pending.push_back(PendingResp{r.key, req_id});
         break;
       }
       case ReadSourceKind::kStorage: {
         if (r.src_machine == id_) {
-          values[r.key] = storage_.BlockingRead(r.key, r.src_txn);
+          if (stall_timeout_.count() > 0) {
+            Result<Record> v =
+                storage_.BlockingReadFor(r.key, r.src_txn, stall_timeout_);
+            TPART_CHECK(v.ok())
+                << "T" << p.txn << " stalled on local storage read of key "
+                << r.key << " v" << r.src_txn << ": " << StallDiagnostic();
+            values[r.key] = std::move(*v);
+          } else {
+            values[r.key] = storage_.BlockingRead(r.key, r.src_txn);
+          }
         } else {
           Message req;
           req.type = Message::Type::kStorageReadReq;
@@ -431,7 +568,7 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item) {
           req.version = r.src_txn;
           req.reply_to = id_;
           req.req_id = req_id;
-          SendOut(r.src_machine, std::move(req));
+          send_out(r.src_machine, std::move(req));
           pending.push_back(PendingResp{r.key, req_id});
         }
         break;
@@ -440,6 +577,27 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item) {
   }
   for (auto& pr : pending) {
     values[pr.key] = AwaitResponse(pr.req_id);
+  }
+
+  // A failed run (AbortPendingWaits) drains without executing: the
+  // gathered values are shutdown placeholders, and procedures are
+  // entitled to assume real records.
+  if (draining_.load(std::memory_order_acquire)) {
+    TxnResult res;
+    res.id = p.txn;
+    {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      results_.push_back(std::move(res));
+    }
+    OnPlanItemDone(epoch);
+    executed_plans_.fetch_add(1, std::memory_order_relaxed);
+    if (is_replay &&
+        replay_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(crash_mu_);
+      run_state_.store(RunState::kLive, std::memory_order_release);
+      crash_cv_.notify_all();
+    }
+    return;
   }
 
   // ---- Execute the stored procedure.
@@ -458,7 +616,7 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item) {
     m.version = s.version_txn;
     m.dst_txn = s.dst_txn;
     m.value = ctx.OutgoingValue(s.key, committed);
-    SendOut(s.dst_machine, std::move(m));
+    send_out(s.dst_machine, std::move(m));
   }
   for (const LocalVersionStep& s : p.local_versions) {
     cache_.PutVersion(s.key, s.version_txn, s.dst_txn,
@@ -489,7 +647,7 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item) {
       m.awaits = s.readers_to_await;
       m.sticky = s.make_sticky;
       m.epoch = epoch;
-      SendOut(s.home, std::move(m));
+      send_out(s.home, std::move(m));
     }
   }
 
@@ -497,20 +655,278 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item) {
     std::lock_guard<std::mutex> lock(results_mu_);
     results_.push_back(std::move(*result));
   }
-  if (commit_hook_) commit_hook_(p.txn);
-  OnPlanItemDone(epoch);
+  // Replayed plans already fired their commit hook pre-crash; firing
+  // again would double-count latency samples.
+  if (commit_hook_ && !is_replay) commit_hook_(p.txn);
+  const bool drained = OnPlanItemDone(epoch);
+  const std::uint64_t executed =
+      executed_plans_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (is_replay &&
+      replay_remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Replay complete: the machine rejoins the stream. Recover() is
+    // blocked on this flip; the cluster re-ships lost rounds only after
+    // it returns, so live rounds never race the replay.
+    std::lock_guard<std::mutex> lock(crash_mu_);
+    run_state_.store(RunState::kLive, std::memory_order_release);
+    crash_cv_.notify_all();
+  }
+
+  if (!is_replay && crash_armed_.load(std::memory_order_relaxed)) {
+    // >= so a round with no local slice (which never drains here) cannot
+    // disarm the trigger: the first drained round at or past the target
+    // fires it.
+    const bool epoch_hit = crash_point_.at_epoch != 0 &&
+                           epoch >= crash_point_.at_epoch && drained;
+    const bool txn_hit = crash_point_.after_txns != 0 &&
+                         executed == crash_point_.after_txns;
+    if (epoch_hit || txn_hit) {
+      // Single-worker FIFO execution means rounds complete in order: if
+      // the current round drained, everything lost starts at the next
+      // round; otherwise this round itself is partially lost.
+      CrashStop(drained ? epoch + 1 : epoch);
+    }
+  }
 }
 
 Record Machine::AwaitResponse(std::uint64_t req_id) {
   std::unique_lock<std::mutex> lock(resp_mu_);
-  resp_cv_.wait(lock, [&] {
+  const auto ready = [&] {
     return resp_shutdown_ || responses_.count(req_id) > 0;
-  });
+  };
+  if (stall_timeout_.count() > 0) {
+    // StallDiagnostic never touches resp_mu_, so reporting under the
+    // lock is safe.
+    TPART_CHECK(resp_cv_.wait_for(lock, stall_timeout_, ready))
+        << "stalled awaiting response " << req_id << ": "
+        << StallDiagnostic();
+  } else {
+    resp_cv_.wait(lock, ready);
+  }
   auto it = responses_.find(req_id);
   if (it == responses_.end()) return Record::Absent();
   Record v = std::move(it->second);
   responses_.erase(it);
   return v;
+}
+
+// ---------------------------------------------------------------------
+// Crash injection & in-run recovery (§5.4 made live)
+// ---------------------------------------------------------------------
+
+void Machine::ArmCrash(CrashPoint point) {
+  TPART_CHECK(point.armed()) << "empty crash point";
+  TPART_CHECK(executor_workers_ == 1)
+      << "crash injection needs a single FIFO worker: the crash point and "
+         "hence the replayed suffix must be deterministic";
+  TPART_CHECK(log_recording_)
+      << "crash recovery replays the §5.4 logs; enable log recording";
+  crash_point_ = point;
+  crash_armed_.store(true, std::memory_order_release);
+}
+
+void Machine::CrashStop(SinkEpoch resume) {
+  std::lock_guard<std::mutex> lock(crash_mu_);
+  if (run_state_.load(std::memory_order_relaxed) != RunState::kLive) return;
+  crash_armed_.store(false, std::memory_order_relaxed);
+  crash_time_ = std::chrono::steady_clock::now();
+  resume_epoch_ = resume;
+  run_state_.store(RunState::kDown, std::memory_order_release);
+}
+
+bool Machine::crashed() const {
+  return run_state_.load(std::memory_order_acquire) != RunState::kLive;
+}
+
+std::chrono::steady_clock::time_point Machine::crash_time() const {
+  std::lock_guard<std::mutex> lock(crash_mu_);
+  return crash_time_;
+}
+
+SinkEpoch Machine::resume_epoch() const {
+  std::lock_guard<std::mutex> lock(crash_mu_);
+  return resume_epoch_;
+}
+
+std::size_t Machine::Recover(const std::function<void()>& restore_partition) {
+  TPART_CHECK(run_state_.load(std::memory_order_acquire) == RunState::kDown)
+      << "Recover() on a machine that did not crash";
+  SinkEpoch resume;
+  {
+    std::lock_guard<std::mutex> lock(crash_mu_);
+    resume = resume_epoch_;
+  }
+
+  // 1. The crash lost all volatile state. The dead executor has exited
+  //    its loop (it observes kDown under work_mu_) and the service thread
+  //    only stashes while kDown, so every structure below is quiescent.
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    tpart_work_.clear();
+    epoch_outstanding_.clear();
+    finished_enqueue_ = false;
+    evicted_upto_ = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    pending_stream_plans_.clear();
+    parked_pulls_.clear();
+    stream_end_seen_ = false;
+    stream_final_epoch_ = 0;
+    next_stream_epoch_ = resume;
+    recovered_partial_epoch_ = resume;
+    recovered_partial_txns_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(resp_mu_);
+    responses_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(peer_mu_);
+    peer_reads_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    results_.clear();
+  }
+  cache_.Reset();
+  storage_.Reset();
+
+  // 2. Restore the partition from its checkpoint (cost proportional to
+  //    this partition only).
+  restore_partition();
+
+  // 3. §5.4 local replay: re-enqueue the request log grouped by sinking
+  //    round in txn order, tagged as replay (outbound suppressed, not
+  //    re-logged). Plans logged for the resume round itself are the
+  //    partially-executed prefix of a mid-round crash; the re-shipped
+  //    round skips them (recovered_partial_txns_).
+  std::map<SinkEpoch, std::vector<PlanItem>> rounds;
+  std::size_t replayed = 0;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    replayed = request_log_.size();
+    for (const auto& entry : request_log_) {
+      rounds[entry.epoch].push_back(entry.item);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    auto it = rounds.find(resume);
+    if (it != rounds.end()) {
+      for (const auto& item : it->second) {
+        recovered_partial_txns_.insert(item.plan.txn);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    for (auto& [epoch, items] : rounds) {
+      std::sort(items.begin(), items.end(),
+                [](const PlanItem& a, const PlanItem& b) {
+                  return a.plan.txn < b.plan.txn;
+                });
+      for (auto& item : items) {
+        tpart_work_.push_back(WorkUnit{epoch, std::move(item), true});
+      }
+    }
+  }
+  replay_remaining_.store(replayed, std::memory_order_release);
+
+  // 4. Reopen the service and re-deliver the inbound past: first the
+  //    network log (the §5.4 PUSH-log generalised), then the traffic
+  //    that arrived while down. Parking in the cache and the storage
+  //    service makes processing order irrelevant. The state flip happens
+  //    under crash_mu_, so no concurrent message can be stranded in the
+  //    stash afterwards.
+  std::vector<Message> stash;
+  {
+    std::lock_guard<std::mutex> lock(crash_mu_);
+    run_state_.store(replayed == 0 ? RunState::kLive : RunState::kRecovering,
+                     std::memory_order_release);
+    stash.swap(down_stash_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    for (const Message& m : network_log_) inbound_.Send(m);
+  }
+  for (Message& m : stash) inbound_.Send(std::move(m));
+
+  // 5. A fresh executor re-runs the replay, then keeps serving live
+  //    rounds until the (re-shipped) stream end. Block until the replay
+  //    drains: the caller re-ships lost rounds only after that, so live
+  //    work never interleaves with the replayed suffix.
+  TPART_CHECK(!recovery_executor_.joinable())
+      << "machine " << id_ << " crashed twice in one run";
+  recovery_executor_ = std::thread([this] { TPartWorkerLoop(); });
+  {
+    std::unique_lock<std::mutex> lock(crash_mu_);
+    crash_cv_.wait(lock, [&] {
+      return run_state_.load(std::memory_order_relaxed) == RunState::kLive;
+    });
+  }
+  return replayed;
+}
+
+std::string Machine::StallDiagnostic() const {
+  std::ostringstream out;
+  out << "machine " << id_;
+  switch (run_state_.load(std::memory_order_acquire)) {
+    case RunState::kLive:
+      out << " state=live";
+      break;
+    case RunState::kDown:
+      out << " state=down";
+      break;
+    case RunState::kRecovering:
+      out << " state=recovering";
+      break;
+  }
+  out << " inbound=" << inbound_.size();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    out << " work=" << tpart_work_.size()
+        << " rounds_in_progress=" << epoch_outstanding_.size()
+        << " finished_enqueue=" << (finished_enqueue_ ? 1 : 0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    out << " pending_rounds=" << pending_stream_plans_.size()
+        << " next_epoch=" << next_stream_epoch_
+        << " dup_rounds_dropped=" << duplicate_rounds_dropped_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(credit_mu_);
+    out << " credits_in_flight=" << epochs_in_flight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(crash_mu_);
+    out << " stashed=" << down_stash_.size();
+  }
+  out << " executed=" << executed_plans_.load(std::memory_order_relaxed)
+      << " heartbeat_seen=" << heartbeat_seen();
+  return out.str();
+}
+
+void Machine::AbortPendingWaits() {
+  draining_.store(true, std::memory_order_release);
+  cache_.Shutdown();
+  storage_.Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(resp_mu_);
+    resp_shutdown_ = true;
+  }
+  resp_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(peer_mu_);
+    peer_shutdown_ = true;
+  }
+  peer_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(credit_mu_);
+    credit_shutdown_ = true;
+  }
+  credit_cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------
@@ -568,7 +984,7 @@ void Machine::ExecuteCalvin(const TxnSpec& spec) {
 
   if (!remote_keys.empty()) {
     std::unique_lock<std::mutex> lock(peer_mu_);
-    peer_cv_.wait(lock, [&] {
+    const auto ready = [&] {
       if (peer_shutdown_) return true;
       auto it = peer_reads_.find(spec.id);
       if (it == peer_reads_.end()) return false;
@@ -576,7 +992,15 @@ void Machine::ExecuteCalvin(const TxnSpec& spec) {
         if (it->second.count(k) == 0) return false;
       }
       return true;
-    });
+    };
+    if (stall_timeout_.count() > 0) {
+      // StallDiagnostic never touches peer_mu_.
+      TPART_CHECK(peer_cv_.wait_for(lock, stall_timeout_, ready))
+          << "stalled awaiting peer reads for T" << spec.id << ": "
+          << StallDiagnostic();
+    } else {
+      peer_cv_.wait(lock, ready);
+    }
     auto it = peer_reads_.find(spec.id);
     if (it != peer_reads_.end()) {
       for (auto& [key, value] : it->second) {

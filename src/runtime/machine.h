@@ -2,14 +2,17 @@
 #define TPART_RUNTIME_MACHINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/cache_area.h"
@@ -70,6 +73,11 @@ class Machine {
   /// blocks while `capacity` rounds are in flight — this is how execution
   /// backpressures the scheduler. Returns true when the call had to wait.
   bool AcquireEpochCredit();
+  /// Deadline-aware variant: a credit that never frees (the machine died
+  /// and nobody recovers it) surfaces as kTimedOut instead of hanging
+  /// dissemination forever. Zero timeout waits forever.
+  enum class CreditGrant { kGranted, kGrantedAfterWait, kTimedOut };
+  CreditGrant AcquireEpochCreditFor(std::chrono::microseconds timeout);
   /// Deepest the in-flight-round window ever got.
   std::size_t epoch_queue_high_water() const;
 
@@ -93,6 +101,70 @@ class Machine {
   /// Replay mode (§5.4): outbound messages are suppressed and the logged
   /// inbound messages must be re-Delivered by the caller.
   void set_replay(bool replay) { replay_ = replay; }
+
+  /// Disables the §5.4 request/network logs (recovery becomes impossible
+  /// but long streaming runs keep memory bounded). Default on.
+  void set_log_recording(bool on) { log_recording_ = on; }
+
+  /// Bounds every executor-side wait (response, credit, peer reads,
+  /// local storage read). On expiry the machine aborts with a stall
+  /// diagnostic instead of hanging. Zero waits forever. Must be set
+  /// before Start*().
+  void set_stall_timeout(std::chrono::microseconds timeout) {
+    stall_timeout_ = timeout;
+  }
+
+  // ---- Crash injection & in-run recovery (§5.4 made live) -------------
+  /// Deterministic crash-stop trigger; at most one of the two fields is
+  /// honoured per run. Requires a single executor worker (FIFO execution
+  /// makes the crash point, and hence the replay, deterministic).
+  struct CrashPoint {
+    /// Crash once sinking round `at_epoch` has fully executed here.
+    SinkEpoch at_epoch = 0;
+    /// Crash once this many plans have executed (may be mid-round).
+    std::uint64_t after_txns = 0;
+    bool armed() const { return at_epoch != 0 || after_txns != 0; }
+  };
+  /// Arms the crash trigger. Call before StartTPart().
+  void ArmCrash(CrashPoint point);
+  /// True from the crash-stop until recovery completes.
+  bool crashed() const;
+  std::chrono::steady_clock::time_point crash_time() const;
+  /// First sinking round whose execution was lost; the cluster re-ships
+  /// rounds from here after Recover().
+  SinkEpoch resume_epoch() const;
+
+  /// Rebuilds this machine in-run after a crash-stop: wipes all volatile
+  /// state, restores the partition via `restore_partition` (checkpoint),
+  /// re-enqueues the request log, re-delivers the network log plus any
+  /// traffic that arrived while down, and re-executes on a fresh executor
+  /// thread with outbound traffic suppressed for replayed plans. Blocks
+  /// until the replayed suffix has re-executed (the caller then re-ships
+  /// lost rounds — never before, or live rounds would race the replay's
+  /// credit accounting). Returns the number of replayed plans. Watchdog
+  /// thread only.
+  std::size_t Recover(const std::function<void()>& restore_partition);
+  /// Joins the executor spawned by Recover() (no-op if none). Call after
+  /// the run's normal JoinExecutor() round.
+  void JoinRecoveredExecutor();
+
+  /// Sequence number of the latest kHeartbeat processed (0 before any);
+  /// stalls while the machine is down — the failure detector's signal.
+  std::uint64_t heartbeat_seen() const {
+    return heartbeat_seen_.load(std::memory_order_acquire);
+  }
+  /// Plans executed so far (live + replayed).
+  std::uint64_t executed_plans() const {
+    return executed_plans_.load(std::memory_order_relaxed);
+  }
+  /// One-line snapshot of queue depths, stream progress and credit state
+  /// for stall reports.
+  std::string StallDiagnostic() const;
+  /// Releases every blocked wait with its shutdown value so a doomed run
+  /// (detected failure, no recovery) drains instead of hanging. The
+  /// machine keeps running; results are garbage and the caller reports
+  /// the failure Status.
+  void AbortPendingWaits();
 
   /// Key -> home machine, required by Calvin mode (peer sets and local
   /// writes are derived from data placement).
@@ -123,18 +195,27 @@ class Machine {
     std::vector<PlanItem> items;
   };
 
+  /// Machine lifecycle for crash injection. kDown: the service thread
+  /// stashes (does not process) inbound traffic and the executor has
+  /// exited. kRecovering: processing resumed, but the network log is not
+  /// appended to (one crash per run; logging resumes at kLive).
+  enum class RunState { kLive, kDown, kRecovering };
+
   void TPartWorkerLoop();
   void CalvinExecutorLoop();
   void ServiceLoop();
-  void ExecutePlan(SinkEpoch epoch, const PlanItem& item);
+  void Dispatch(Message msg);
+  void ExecutePlan(SinkEpoch epoch, const PlanItem& item, bool is_replay);
   void ExecuteCalvin(const TxnSpec& spec);
   void SendOut(MachineId to, Message msg);
+  void CrashStop(SinkEpoch resume);
 
   // Streaming intake internals (service thread only, except credit
   // release which executors trigger).
   void HandleSinkPlan(Message msg);
   void EnqueueStreamEpoch(SinkEpoch epoch, std::vector<PlanItem> items);
-  void OnPlanItemDone(SinkEpoch epoch);
+  /// Returns true when the round fully drained (its credit was released).
+  bool OnPlanItemDone(SinkEpoch epoch);
   void ReleaseEpochCredit();
 
   // Awaits a response delivered by the service thread for `req_id`.
@@ -153,11 +234,17 @@ class Machine {
   StorageService storage_;
   Channel inbound_;
 
-  // Executor work queue. T-Part work is flattened to (epoch, item) pairs
-  // consumed in total order by the worker pool.
-  std::mutex work_mu_;
+  // Executor work queue. T-Part work is flattened to per-plan units
+  // consumed in total order by the worker pool; `replay` marks §5.4
+  // recovery re-execution (outbound suppressed, not re-logged).
+  struct WorkUnit {
+    SinkEpoch epoch = 0;
+    PlanItem item;
+    bool replay = false;
+  };
+  mutable std::mutex work_mu_;
   std::condition_variable work_cv_;
-  std::deque<std::pair<SinkEpoch, PlanItem>> tpart_work_;
+  std::deque<WorkUnit> tpart_work_;
   std::deque<TxnSpec> calvin_work_;
   bool finished_enqueue_ = false;
   SinkEpoch evicted_upto_ = 0;
@@ -168,12 +255,21 @@ class Machine {
   // Streaming intake: reliable transports may deliver rounds out of
   // order, but single-worker executors rely on FIFO epoch order (a popped
   // plan may only await versions produced by already-popped or remote
-  // plans), so rounds are reordered and enqueued strictly from 1. Service
-  // thread only.
+  // plans), so rounds are reordered and enqueued strictly from 1.
+  // Guarded by stream_mu_: written by the service thread, wiped and read
+  // by the recovery path on the watchdog thread.
+  mutable std::mutex stream_mu_;
   std::map<SinkEpoch, std::vector<PlanItem>> pending_stream_plans_;
   SinkEpoch next_stream_epoch_ = 1;
   SinkEpoch stream_final_epoch_ = 0;
   bool stream_end_seen_ = false;
+  /// Rounds dropped as duplicates (re-shipments the machine had already
+  /// executed or buffered).
+  std::uint64_t duplicate_rounds_dropped_ = 0;
+  /// After a mid-round crash, the resume round is re-shipped whole; the
+  /// plans in it that were already logged (hence replayed) are skipped.
+  SinkEpoch recovered_partial_epoch_ = 0;
+  std::unordered_set<TxnId> recovered_partial_txns_;
 
   // Epoch flow-control credits: rounds disseminated but not fully
   // executed here. epoch_outstanding_ (under work_mu_) counts each
@@ -202,13 +298,47 @@ class Machine {
   bool peer_shutdown_ = false;
 
   // Parked remote cache pulls: (key, version) -> pending requests.
+  // Guarded by stream_mu_ (service thread + recovery wipe).
   std::map<std::pair<ObjectKey, TxnId>, std::vector<Message>> parked_pulls_;
 
   std::vector<TxnResult> results_;
   std::mutex results_mu_;
 
+  // §5.4 logs; log_mu_ guards both (executor appends request entries,
+  // the service thread appends network entries, recovery reads both).
   std::vector<RequestLogEntry> request_log_;
   std::vector<Message> network_log_;
+  bool log_recording_ = true;
+
+  // ---- Crash / recovery state -----------------------------------------
+  // run_state_ is an atomic for lock-free reads on hot paths but is only
+  // *written* under crash_mu_, so the service thread's stash-or-dispatch
+  // decision (taken under crash_mu_) can never race a state flip — no
+  // message is ever stranded in the stash after recovery reopens the
+  // machine.
+  std::atomic<RunState> run_state_{RunState::kLive};
+  mutable std::mutex crash_mu_;
+  std::condition_variable crash_cv_;
+  CrashPoint crash_point_;
+  std::atomic<bool> crash_armed_{false};
+  std::chrono::steady_clock::time_point crash_time_{};
+  SinkEpoch resume_epoch_ = 0;
+  /// Traffic received while down; crash-stop semantics say these were
+  /// never received — re-injecting them at recovery models the peers'
+  /// reliable transport retransmitting. Guarded by crash_mu_.
+  std::vector<Message> down_stash_;
+  /// Replayed plans not yet re-executed; recovery completes (state back
+  /// to kLive) when it hits zero.
+  std::atomic<std::size_t> replay_remaining_{0};
+  std::thread recovery_executor_;
+
+  std::atomic<std::uint64_t> heartbeat_seen_{0};
+  std::atomic<std::uint64_t> executed_plans_{0};
+  std::chrono::microseconds stall_timeout_{0};
+  /// Set by AbortPendingWaits(): the run was declared failed. Executors
+  /// drain their queues without running procedures (gathered values are
+  /// shutdown placeholders, not real records).
+  std::atomic<bool> draining_{false};
 
   std::thread executor_;
   std::thread service_;

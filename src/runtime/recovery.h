@@ -28,6 +28,14 @@ struct ReplayResult {
 /// inbound message, so storage-read/cache-pull refcounts line up), with
 /// all outbound traffic suppressed. The caller compares the rebuilt
 /// partition against the pre-crash store.
+///
+/// This is the *offline* formulation: a fresh store, no peers, no
+/// cluster. The in-run path — crash-stop a live machine mid-stream,
+/// detect it via heartbeats, rebuild it in place and let the run
+/// complete — is Machine::Recover() driven by LocalCluster's watchdog
+/// (LocalClusterOptions::crash / ::detector). Both replay the same two
+/// logs; Recover() additionally restores the partition from the
+/// load-time zig-zag checkpoint and rejoins the live epoch stream.
 ReplayResult ReplayMachine(
     const Workload& workload, MachineId id,
     const std::vector<Machine::RequestLogEntry>& request_log,

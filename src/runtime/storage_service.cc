@@ -1,6 +1,7 @@
 #include "runtime/storage_service.h"
 
 #include <condition_variable>
+#include <memory>
 
 namespace tpart {
 
@@ -103,6 +104,32 @@ Record StorageService::BlockingRead(ObjectKey key, TxnId expected_version) {
   return out;
 }
 
+Result<Record> StorageService::BlockingReadFor(
+    ObjectKey key, TxnId expected_version, std::chrono::microseconds timeout) {
+  if (timeout.count() <= 0) return BlockingRead(key, expected_version);
+  // The wait state is shared with the callback: on timeout this frame
+  // returns while the read stays parked, and the late callback must not
+  // touch a dead stack frame.
+  struct WaitState {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Record out;
+  };
+  auto st = std::make_shared<WaitState>();
+  AsyncRead(key, expected_version, [st](Record value) {
+    std::lock_guard<std::mutex> lock(st->m);
+    st->out = std::move(value);
+    st->done = true;
+    st->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(st->m);
+  if (!st->cv.wait_for(lock, timeout, [&] { return st->done; })) {
+    return Status::Unavailable("storage read timed out awaiting version");
+  }
+  return std::move(st->out);
+}
+
 void StorageService::ApplyWriteBack(ObjectKey key, TxnId version,
                                     TxnId replaces, Record value,
                                     std::uint32_t awaits, bool sticky,
@@ -134,6 +161,15 @@ void StorageService::Shutdown() {
     }
   }
   for (auto& [cb, v] : ready) cb(std::move(v));
+}
+
+void StorageService::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A crash-stop drops parked reads and write-backs on the floor: the
+  // log replay re-issues them. ReadDone callbacks still parked here only
+  // capture shared or machine-owned state, so dropping them is safe.
+  keys_.clear();
+  shutdown_ = false;
 }
 
 std::uint64_t StorageService::sticky_hits() const {

@@ -1,6 +1,7 @@
 #ifndef TPART_RUNTIME_STORAGE_SERVICE_H_
 #define TPART_RUNTIME_STORAGE_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -9,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "storage/kv_store.h"
 #include "storage/write_back_log.h"
@@ -42,6 +44,14 @@ class StorageService {
   /// Blocking wrapper for the local executor.
   Record BlockingRead(ObjectKey key, TxnId expected_version);
 
+  /// Deadline-aware blocking read: kUnavailable when `expected_version`
+  /// does not materialise within `timeout` (e.g. the producing machine
+  /// crashed), instead of hanging forever. A timeout of zero waits
+  /// forever. The parked read may still be served later; its value is
+  /// discarded.
+  Result<Record> BlockingReadFor(ObjectKey key, TxnId expected_version,
+                                 std::chrono::microseconds timeout);
+
   /// Applies (or parks) the write-back of `version` of `key`, which
   /// replaces storage version `replaces` (strict replacement order).
   void ApplyWriteBack(ObjectKey key, TxnId version, TxnId replaces,
@@ -51,6 +61,14 @@ class StorageService {
   /// Releases blocked readers (machine shutdown); they observe
   /// Record::Absent().
   void Shutdown();
+
+  /// Crash-recovery wipe: forgets every version gate, parked read and
+  /// parked write-back and re-opens a previously Shutdown() service. The
+  /// underlying KvStore is restored separately (checkpoint); replaying
+  /// the request/network logs rebuilds the version discipline from the
+  /// initial state, exactly like a fresh machine. Cumulative counters
+  /// (reads served, write-backs applied) are deliberately kept.
+  void Reset();
 
   const WriteBackLog& write_back_log() const { return wb_log_; }
   std::uint64_t sticky_hits() const;

@@ -167,6 +167,40 @@ TEST(WireMessageTest, EveryTypeRoundTrips) {
   }
 }
 
+TEST(WireMessageTest, HeartbeatRoundTripsWithSequence) {
+  // Failure-detector probes carry their rising sequence number in
+  // req_id; a codec that dropped or reordered it would break deadline
+  // accounting silently.
+  Message hb;
+  hb.type = Message::Type::kHeartbeat;
+  hb.reply_to = 0;
+  hb.req_id = 0xDEADBEEFCAFEull;
+  Result<Message> got = DecodeMessage(EncodeMessage(hb));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->type, Message::Type::kHeartbeat);
+  EXPECT_EQ(got->req_id, 0xDEADBEEFCAFEull);
+  EXPECT_TRUE(*got == hb);
+}
+
+TEST(WireMessageTest, HeartbeatMutationFuzzRoundTripsOrRejects) {
+  Rng rng(0xB42);
+  Message hb;
+  hb.type = Message::Type::kHeartbeat;
+  hb.req_id = 42;
+  const std::string base = EncodeMessage(hb);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bytes = base;
+    const auto pos = rng.NextBelow(bytes.size());
+    bytes[pos] = static_cast<char>(rng.Next());
+    Result<Message> got = DecodeMessage(bytes);
+    if (got.ok()) {
+      Result<Message> again = DecodeMessage(EncodeMessage(*got));
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(*again == *got);
+    }
+  }
+}
+
 TEST(WireMessageTest, AbsentRecordRoundTrips) {
   Message m;
   m.type = Message::Type::kWriteBackApply;
