@@ -30,6 +30,8 @@ LocalClusterOptions StreamingOpts() {
   return opts;
 }
 
+bool g_json = false;
+
 void BenchLoggingOverhead(std::size_t machines, std::size_t txns) {
   Header("Recovery-log overhead: streaming Microbenchmark, logs on/off");
   const Workload w = MakeMicroWorkload(DefaultMicro(machines, txns));
@@ -44,6 +46,13 @@ void BenchLoggingOverhead(std::size_t machines, std::size_t txns) {
     std::printf("%12s %12.0f %12llu\n", logs ? "on" : "off",
                 static_cast<double>(txns) / secs,
                 static_cast<unsigned long long>(out.committed));
+    if (g_json) {
+      JsonRow("recovery_log_overhead")
+          .Add("logs", std::string(logs ? "on" : "off"))
+          .Add("tps", static_cast<double>(txns) / secs)
+          .Add("committed", out.committed)
+          .Print();
+    }
   }
 }
 
@@ -73,6 +82,16 @@ void BenchDowntimeVsCrashEpoch(std::size_t machines, std::size_t txns) {
                 static_cast<unsigned long long>(r.resent_rounds),
                 static_cast<unsigned long long>(r.downtime_us),
                 static_cast<unsigned long long>(out.committed));
+    if (g_json) {
+      JsonRow("recovery_downtime")
+          .Add("crash_epoch", epoch)
+          .Add("detection_us", r.detection_latency_us)
+          .Add("replayed", r.replayed_txns)
+          .Add("resent_rounds", r.resent_rounds)
+          .Add("downtime_us", r.downtime_us)
+          .Add("committed", out.committed)
+          .Print();
+    }
   }
   std::printf("(replayed/downtime grow with the crash epoch: §5.4 replays "
               "the machine's whole request log from the load-time "
@@ -84,6 +103,7 @@ void Run(int argc, char** argv) {
       static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
   const auto machines =
       static_cast<std::size_t>(IntFlag(argc, argv, "machines", 3));
+  g_json = BoolFlag(argc, argv, "json");
   BenchLoggingOverhead(machines, txns);
   BenchDowntimeVsCrashEpoch(machines, txns);
 }

@@ -15,6 +15,7 @@ void Run(int argc, char** argv) {
       static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
   const auto max_machines =
       static_cast<std::size_t>(IntFlag(argc, argv, "max-machines", 30));
+  const bool json = BoolFlag(argc, argv, "json");
   Header("Figure 5(a): TPC-C New-Order throughput vs machines");
   std::printf("%9s %16s %16s %9s\n", "machines", "Calvin NO-tps",
               "Calvin+TP NO-tps", "TP/Calvin");
@@ -38,6 +39,14 @@ void Run(int argc, char** argv) {
                 r.calvin.Throughput() * no_share,
                 r.tpart.Throughput() * no_share,
                 r.tpart.Throughput() / r.calvin.Throughput());
+    if (json) {
+      JsonRow("scalability_tpcc")
+          .Add("machines", m)
+          .Add("calvin_no_tps", r.calvin.Throughput() * no_share)
+          .Add("tpart_no_tps", r.tpart.Throughput() * no_share)
+          .Add("ratio", r.tpart.Throughput() / r.calvin.Throughput())
+          .Print();
+    }
   }
   std::printf("(paper: both scale out to 30 machines; ratio stays near "
               "1.0)\n");

@@ -41,12 +41,24 @@ Row RunOver(const Workload& w, std::size_t txns, TransportOptions transport,
   return row;
 }
 
+bool g_json = false;
+
 void PrintRow(const char* name, const Row& row) {
   std::printf("%12s %12.0f %10llu %12llu %10llu %8llu\n", name, row.tps,
               static_cast<unsigned long long>(row.stats.messages_sent),
               static_cast<unsigned long long>(row.stats.bytes_out),
               static_cast<unsigned long long>(row.stats.packets_out),
               static_cast<unsigned long long>(row.stats.retries));
+  if (g_json) {
+    JsonRow("transport")
+        .Add("transport", std::string(name))
+        .Add("tps", row.tps)
+        .Add("messages_sent", row.stats.messages_sent)
+        .Add("bytes_out", row.stats.bytes_out)
+        .Add("packets_out", row.stats.packets_out)
+        .Add("retries", row.stats.retries)
+        .Print();
+  }
 }
 
 void BenchClusterTransports(std::size_t machines, std::size_t txns) {
@@ -118,6 +130,7 @@ void Run(int argc, char** argv) {
       static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
   const auto machines =
       static_cast<std::size_t>(IntFlag(argc, argv, "machines", 4));
+  g_json = BoolFlag(argc, argv, "json");
   BenchClusterTransports(machines, txns);
   BenchRawWire();
 }

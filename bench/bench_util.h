@@ -6,9 +6,11 @@
 // experiment index) and prints the corresponding rows; EXPERIMENTS.md
 // records paper-vs-measured.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,18 @@
 #include "workload/tpce.h"
 
 namespace tpart::bench {
+
+/// Flag parsing: --name=value strings.
+inline std::string StringFlag(int argc, char** argv, const char* name,
+                              const std::string& def) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return def;
+}
 
 /// Flag parsing: --name=value integers for scaling experiments up/down.
 inline std::int64_t IntFlag(int argc, char** argv, const char* name,
@@ -33,10 +47,79 @@ inline std::int64_t IntFlag(int argc, char** argv, const char* name,
   return def;
 }
 
+/// Flag parsing: --name=value doubles (probabilities, ratios).
+inline double DoubleFlag(int argc, char** argv, const char* name,
+                         double def) {
+  const std::string s = StringFlag(argc, argv, name, "");
+  return s.empty() ? def : std::atof(s.c_str());
+}
+
+/// Flag parsing: bare --name presence.
+inline bool BoolFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 /// Prints a header line: "== Figure 5(b): ... ==".
 inline void Header(const std::string& title) {
   std::printf("\n== %s ==\n", title.c_str());
 }
+
+/// One machine-readable result row, printed as a single JSON object per
+/// line (JSONL) so downstream tooling can concatenate rows across bench
+/// binaries. Enabled by the shared --json flag; the human-readable table
+/// still prints either way.
+///
+///   JsonRow("scalability_tpcc").Add("machines", m)
+///       .Add("tpart_tps", tps).Print();
+class JsonRow {
+ public:
+  explicit JsonRow(const std::string& bench) {
+    out_ << "{\"bench\":\"" << bench << "\"";
+  }
+
+  JsonRow& Add(const std::string& key, double value) {
+    out_ << ",\"" << key << "\":";
+    if (std::isfinite(value)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      out_ << buf;
+    } else {
+      out_ << "null";  // JSON has no Inf/NaN
+    }
+    return *this;
+  }
+
+  JsonRow& Add(const std::string& key, std::uint64_t value) {
+    out_ << ",\"" << key << "\":" << value;
+    return *this;
+  }
+
+  JsonRow& Add(const std::string& key, std::int64_t value) {
+    out_ << ",\"" << key << "\":" << value;
+    return *this;
+  }
+
+  JsonRow& Add(const std::string& key, int value) {
+    return Add(key, static_cast<std::int64_t>(value));
+  }
+
+  JsonRow& Add(const std::string& key, const std::string& value) {
+    out_ << ",\"" << key << "\":\"" << value << "\"";
+    return *this;
+  }
+
+  void Print() {
+    std::printf("%s}\n", out_.str().c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  std::ostringstream out_;
+};
 
 /// Default simulated-cluster cost model for all experiments, including
 /// the paper's instance heterogeneity ("not all EC2 instances yield

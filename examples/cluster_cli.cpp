@@ -27,13 +27,25 @@
 //                                   prints the recovery statistics
 //   --no-recover                    with --crash: detect only, surface
 //                                   the failure as a fault status
+//   --trace=out.json                record a Chrome trace-event JSON of
+//                                   the run (open in Perfetto or
+//                                   chrome://tracing). Simulator traces
+//                                   use virtual time and are byte-
+//                                   identical across same-seed runs.
+//   --metrics=out.prom              write the run's metrics snapshot:
+//                                   Prometheus text exposition format,
+//                                   or one JSON object if the path ends
+//                                   in .json
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "baselines/gstore.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/cluster.h"
 #include "sim/calvin_sim.h"
 #include "sim/tpart_sim.h"
@@ -112,6 +124,52 @@ int main(int argc, char** argv) {
   const double delay = std::atof(StrFlag(argc, argv, "delay", "0").c_str());
   const std::string crash = StrFlag(argc, argv, "crash", "");
   const bool no_recover = BoolFlag(argc, argv, "no-recover");
+  const std::string trace_path = StrFlag(argc, argv, "trace", "");
+  const std::string metrics_path = StrFlag(argc, argv, "metrics", "");
+
+  // The simulator's recorder runs on virtual time (deterministic,
+  // diffable traces); the threaded runtime's on the steady clock.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>(
+        use_runtime ? obs::TraceRecorder::ClockDomain::kSteady
+                    : obs::TraceRecorder::ClockDomain::kManual);
+    obs::InstallGlobalTrace(recorder.get());
+  }
+  obs::MetricsRegistry registry;
+
+  // Writes the trace/metrics artifacts; every exit path past flag
+  // parsing funnels through here.
+  const auto finish = [&](int rc) {
+    if (recorder != nullptr) {
+      obs::InstallGlobalTrace(nullptr);
+      const Status s = recorder->WriteJson(trace_path);
+      if (s.ok()) {
+        std::printf("trace: %s (%zu events)\n", trace_path.c_str(),
+                    recorder->event_count());
+      } else {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     s.ToString().c_str());
+        if (rc == 0) rc = 1;
+      }
+    }
+    if (!metrics_path.empty()) {
+      const bool as_json =
+          metrics_path.size() >= 5 &&
+          metrics_path.compare(metrics_path.size() - 5, 5, ".json") == 0;
+      const Status s = registry.WriteFile(
+          metrics_path, as_json ? registry.Json() : registry.PrometheusText());
+      if (s.ok()) {
+        std::printf("metrics: %s (%zu series)\n", metrics_path.c_str(),
+                    registry.size());
+      } else {
+        std::fprintf(stderr, "metrics write failed: %s\n",
+                     s.ToString().c_str());
+        if (rc == 0) rc = 1;
+      }
+    }
+    return rc;
+  };
 
   const Workload w = MakeWorkload(workload_name, machines, txns);
   std::printf("%s: %zu machines, %zu txns, %.0f%% distributed\n",
@@ -162,6 +220,17 @@ int main(int argc, char** argv) {
     }
     if (engine == "tpart" || engine == "both") {
       const ClusterRunOutcome out = cluster.RunTPart();
+      registry.SetCounter("tpart_committed_total",
+                          static_cast<double>(out.committed),
+                          "Transactions committed");
+      registry.SetCounter("tpart_aborted_total",
+                          static_cast<double>(out.aborted),
+                          "Transactions aborted");
+      if (out.transport.messages_sent > 0) out.transport.PublishTo(registry);
+      if (stream) out.pipeline.PublishTo(registry);
+      if (out.recovery.crashes_injected > 0) {
+        out.recovery.PublishTo(registry);
+      }
       std::printf("tpart  (runtime%s): committed=%llu aborted=%llu\n",
                   stream ? ", streaming" : "",
                   static_cast<unsigned long long>(out.committed),
@@ -182,13 +251,13 @@ int main(int argc, char** argv) {
       }
       if (!out.fault.ok()) {
         std::printf("  fault: %s\n", out.fault.ToString().c_str());
-        return 1;
+        return finish(1);
       }
       if (out.recovery.crashes_injected > 0) {
         std::printf("  recovery: %s\n", out.recovery.Summary().c_str());
       }
     }
-    return 0;
+    return finish(0);
   }
 
   const auto seq = w.SequencedRequests();
@@ -204,6 +273,7 @@ int main(int argc, char** argv) {
     o.scheduler.sink_size = sink;
     if (gstore) o = MakeGStoreSimOptions(o);
     const RunStats stats = RunTPartSim(o, w.partition_map, seq);
+    stats.PublishTo(registry);
     std::printf("tpart  (sim): %s\n", stats.Summary().c_str());
     std::printf("  scheduling: %.2f ms total, %llu pushes eliminated, "
                 "peak T-graph %zu\n",
@@ -211,5 +281,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.pushes_eliminated),
                 stats.max_tgraph_size);
   }
-  return 0;
+  return finish(0);
 }

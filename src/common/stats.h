@@ -45,10 +45,22 @@ class Histogram {
   void Add(std::uint64_t value);
   std::size_t count() const { return count_; }
   double mean() const;
+  double sum() const { return sum_; }
   std::uint64_t max_value() const { return max_; }
 
   /// Value at quantile q in [0,1], approximated by the bucket upper bound.
   std::uint64_t Quantile(double q) const;
+
+  /// Bucket introspection, for exporters (Prometheus cumulative buckets).
+  /// Bucket 0 holds {0}; bucket i>0 holds [2^(i-1), 2^i - 1]; the last
+  /// bucket is the overflow.
+  static constexpr int num_buckets() { return kNumBuckets; }
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+  static std::uint64_t BucketUpperBound(int i) {
+    return i == 0 ? 0 : (std::uint64_t{1} << i) - 1;
+  }
 
   /// Merges another histogram into this one.
   void Merge(const Histogram& other);

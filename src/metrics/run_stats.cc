@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace tpart {
 
 void TransportStats::MergeFrom(const TransportStats& other) {
@@ -64,6 +66,122 @@ std::string RecoveryStats::Summary() const {
         << " downtime_us=" << downtime_us;
   }
   return out.str();
+}
+
+void TransportStats::PublishTo(obs::MetricsRegistry& registry) const {
+  const auto c = [&](const char* name, std::uint64_t v, const char* help) {
+    registry.SetCounter(std::string("tpart_transport_") + name,
+                        static_cast<double>(v), help);
+  };
+  c("messages_sent_total", messages_sent, "Messages handed to the transport");
+  c("messages_delivered_total", messages_delivered,
+    "Messages delivered to their destination machine");
+  c("bytes_out_total", bytes_out, "Serialized bytes entering the network");
+  c("bytes_in_total", bytes_in, "Serialized bytes leaving the network");
+  c("packets_out_total", packets_out, "Packets sent (data + acks + retries)");
+  c("packets_in_total", packets_in, "Packets received");
+  c("acks_sent_total", acks_sent, "Reliability-layer acknowledgements");
+  c("retries_total", retries, "Retransmitted data packets");
+  c("duplicates_dropped_total", duplicates_dropped,
+    "Receiver-side duplicate suppressions");
+  c("faults_dropped_total", faults_dropped, "Injected packet drops");
+  c("faults_duplicated_total", faults_duplicated, "Injected duplications");
+  c("faults_delayed_total", faults_delayed, "Injected delays");
+  c("backpressure_waits_total", backpressure_waits,
+    "Sends that blocked on a full queue");
+  registry.SetGauge("tpart_transport_queue_high_water",
+                    static_cast<double>(queue_high_water),
+                    "Deepest any transport queue ever got");
+}
+
+void PipelineStats::PublishTo(obs::MetricsRegistry& registry) const {
+  const auto c = [&](const char* name, double v, const char* help) {
+    registry.SetCounter(std::string("tpart_pipeline_") + name, v, help);
+  };
+  c("admitted_total", static_cast<double>(admitted),
+    "Real client requests admitted");
+  c("dummies_total", static_cast<double>(dummies),
+    "Dummy padding requests issued (section 3.3)");
+  c("batches_total", static_cast<double>(batches),
+    "Sequencer batches forwarded to the scheduler stage");
+  c("plans_total", static_cast<double>(plans),
+    "Sink plans disseminated");
+  c("backpressure_waits_total", static_cast<double>(backpressure_waits),
+    "Stage sends that blocked on a full queue or exhausted credits");
+  registry.SetGauge("tpart_pipeline_batch_queue_high_water",
+                    static_cast<double>(batch_queue_high_water),
+                    "Deepest the admission->scheduler queue ever got");
+  registry.SetGauge("tpart_pipeline_plan_queue_high_water",
+                    static_cast<double>(plan_queue_high_water),
+                    "Deepest the scheduler->dissemination queue ever got");
+  registry.SetGauge("tpart_pipeline_epoch_queue_high_water",
+                    static_cast<double>(epoch_queue_high_water),
+                    "Most sinking rounds in flight at any machine");
+  registry.SetGauge("tpart_pipeline_admission_seconds", admission_seconds,
+                    "Wall-clock span of the admission stage");
+  registry.SetGauge("tpart_pipeline_admission_rate", AdmissionRate(),
+                    "Admitted transactions per wall-clock second");
+  registry.ObserveHistogram("tpart_pipeline_admit_to_commit_us",
+                            admit_to_commit_us,
+                            "Admission-to-commit latency, microseconds");
+}
+
+void RecoveryStats::PublishTo(obs::MetricsRegistry& registry) const {
+  registry.SetCounter("tpart_recovery_crashes_injected_total",
+                      static_cast<double>(crashes_injected),
+                      "Machines crash-stopped during the run");
+  if (crashes_injected == 0) return;
+  registry.SetGauge("tpart_recovery_detection_latency_us",
+                    static_cast<double>(detection_latency_us),
+                    "Crash-stop to failure declaration");
+  registry.SetCounter("tpart_recovery_replayed_txns_total",
+                      static_cast<double>(replayed_txns),
+                      "Request-log entries re-executed (section 5.4)");
+  registry.SetCounter("tpart_recovery_resent_rounds_total",
+                      static_cast<double>(resent_rounds),
+                      "Sinking rounds re-shipped after recovery");
+  registry.SetCounter("tpart_recovery_checkpoint_records_total",
+                      static_cast<double>(checkpoint_records),
+                      "Records restored from the Zig-Zag checkpoint");
+  registry.SetGauge("tpart_recovery_downtime_us",
+                    static_cast<double>(downtime_us),
+                    "Crash-stop until the machine rejoined the stream");
+}
+
+void RunStats::PublishTo(obs::MetricsRegistry& registry) const {
+  registry.SetCounter("tpart_txns_total", static_cast<double>(txns),
+                      "Transactions executed");
+  registry.SetCounter("tpart_committed_total", static_cast<double>(committed),
+                      "Transactions committed");
+  registry.SetCounter("tpart_aborted_total", static_cast<double>(aborted),
+                      "Transactions aborted");
+  registry.SetGauge("tpart_throughput_tps", Throughput(),
+                    "Committed transactions per (simulated) second");
+  registry.ObserveHistogram("tpart_latency_us", latency_us,
+                            "Dispatch-to-commit latency, microseconds");
+  registry.SetCounter("tpart_network_stalled_txns_total",
+                      static_cast<double>(network_stalled_txns),
+                      "Transactions that waited for remote records");
+  registry.SetGauge("tpart_network_stalled_fraction",
+                    NetworkStalledFraction(),
+                    "Fraction of transactions network-stalled");
+  registry.SetCounter("tpart_distributed_txns_total",
+                      static_cast<double>(distributed_txns),
+                      "Transactions touching more than one machine");
+  registry.SetGauge("tpart_scheduling_seconds", scheduling_seconds,
+                    "Wall-clock seconds spent partitioning + sinking");
+  registry.SetCounter("tpart_pushes_eliminated_total",
+                      static_cast<double>(pushes_eliminated),
+                      "Forward-pushes removed by the section 4.3 optimizer");
+  registry.SetGauge("tpart_max_tgraph_size",
+                    static_cast<double>(max_tgraph_size),
+                    "Peak unsunk T-graph size (Fig. 4c)");
+  registry.SetCounter("tpart_sticky_hits_total",
+                      static_cast<double>(sticky_hits),
+                      "Storage reads served from sticky cache entries");
+  if (transport.messages_sent > 0) transport.PublishTo(registry);
+  if (pipeline.admitted > 0) pipeline.PublishTo(registry);
+  if (recovery.crashes_injected > 0) recovery.PublishTo(registry);
 }
 
 std::string RunStats::Summary() const {

@@ -10,6 +10,10 @@
 
 namespace tpart {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Counters for the wire transport subsystem (src/net): all inter-machine
 /// traffic of a threaded-runtime run, including the reliability layer's
 /// retransmissions and the fault injector's activity. Produced by
@@ -44,6 +48,9 @@ struct TransportStats {
   void MergeFrom(const TransportStats& other);
 
   std::string Summary() const;
+
+  /// Publishes as tpart_transport_* counters/gauges.
+  void PublishTo(obs::MetricsRegistry& registry) const;
 };
 
 /// Counters for the streaming execution pipeline (admission → scheduler →
@@ -76,6 +83,10 @@ struct PipelineStats {
   Histogram admit_to_commit_us;
 
   std::string Summary() const;
+
+  /// Publishes as tpart_pipeline_* metrics (admit_to_commit as a
+  /// histogram).
+  void PublishTo(obs::MetricsRegistry& registry) const;
 };
 
 /// Counters for the crash-fault-tolerance subsystem (heartbeat failure
@@ -103,6 +114,9 @@ struct RecoveryStats {
   std::uint64_t downtime_us = 0;
 
   std::string Summary() const;
+
+  /// Publishes as tpart_recovery_* metrics.
+  void PublishTo(obs::MetricsRegistry& registry) const;
 };
 
 /// Aggregate outcome of one simulated (or real) engine run. Produced by
@@ -160,6 +174,10 @@ struct RunStats {
   RecoveryStats recovery;
 
   std::string Summary() const;
+
+  /// Publishes the whole run — core counters, latency histograms, and
+  /// every nested stats struct — as tpart_* metrics.
+  void PublishTo(obs::MetricsRegistry& registry) const;
 };
 
 }  // namespace tpart

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "net/tcp_network.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 
 namespace tpart {
 
@@ -75,6 +76,8 @@ void SerializedTransport::Send(MachineId from, MachineId to, Message msg) {
   TPART_CHECK(started_ && from < n_ && to < n_)
       << "bad send " << from << "->" << to;
   std::string payload = EncodeMessage(msg);
+  TPART_TRACE_SPAN("net_send", "net",
+                   {{"from", from}, {"to", to}, {"bytes", payload.size()}});
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.messages_sent;
@@ -147,9 +150,13 @@ void SerializedTransport::OnPacket(MachineId dst, std::string packet) {
     }
   }
   if (duplicate) {
+    TPART_TRACE(Instant("dup_dropped", "net",
+                        {{"src", src}, {"dst", dst}, {"seq", seq}}));
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.duplicates_dropped;
   } else {
+    TPART_TRACE_SPAN("net_recv", "net",
+                     {{"src", src}, {"dst", dst}, {"bytes", payload.size()}});
     Result<Message> msg = DecodeMessage(payload);
     TPART_CHECK(msg.ok()) << "wire decode failed for packet " << src << "->"
                           << dst << " seq " << seq << ": "
@@ -195,6 +202,7 @@ void SerializedTransport::RetryLoop() {
     }
     for (auto& [from, to, packet] : resend) {
       if (shutdown_.load()) return;
+      TPART_TRACE(Instant("retry", "net", {{"from", from}, {"to", to}}));
       network_->Send(from, to, std::move(packet));
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.retries;

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace tpart::obs {
+
+namespace {
+
+/// Prometheus sample values: plain decimal, no exponent, trailing zeros
+/// trimmed — deterministic and human-readable.
+std::string FormatValue(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v < 1e15 && v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(v));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::Upsert(const std::string& name,
+                                                Kind kind,
+                                                const std::string& help) {
+  Entry& e = metrics_[name];
+  e.kind = kind;
+  if (!help.empty()) e.help = help;
+  return e;
+}
+
+void MetricsRegistry::SetCounter(const std::string& name, double value,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Upsert(name, Kind::kCounter, help).value = value;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, double delta,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Upsert(name, Kind::kCounter, help).value += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value,
+                               const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Upsert(name, Kind::kGauge, help).value = value;
+}
+
+void MetricsRegistry::ObserveHistogram(const std::string& name,
+                                       const Histogram& h,
+                                       const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Upsert(name, Kind::kHistogram, help).hist.Merge(h);
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+double MetricsRegistry::Value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) return 0.0;
+  if (it->second.kind == Kind::kHistogram) {
+    return static_cast<double>(it->second.hist.count());
+  }
+  return it->second.value;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[96];
+  for (const auto& [name, e] : metrics_) {
+    if (!e.help.empty()) {
+      out.append("# HELP ").append(name).append(" ").append(e.help);
+      out.push_back('\n');
+    }
+    out.append("# TYPE ").append(name).append(" ");
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.append("counter\n");
+        out.append(name).append(" ").append(FormatValue(e.value));
+        out.push_back('\n');
+        break;
+      case Kind::kGauge:
+        out.append("gauge\n");
+        out.append(name).append(" ").append(FormatValue(e.value));
+        out.push_back('\n');
+        break;
+      case Kind::kHistogram: {
+        out.append("histogram\n");
+        // Cumulative le-buckets; empty power-of-two buckets are skipped
+        // (the cumulative count is unchanged by them) to keep the
+        // exposition readable across 64 buckets.
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::num_buckets(); ++i) {
+          const std::uint64_t c = e.hist.bucket_count(i);
+          if (c == 0) continue;
+          cumulative += c;
+          std::snprintf(buf, sizeof(buf), "{le=\"%" PRIu64 "\"} %" PRIu64
+                        "\n",
+                        Histogram::BucketUpperBound(i), cumulative);
+          out.append(name).append("_bucket").append(buf);
+        }
+        std::snprintf(buf, sizeof(buf), "{le=\"+Inf\"} %zu\n",
+                      e.hist.count());
+        out.append(name).append("_bucket").append(buf);
+        out.append(name).append("_sum ").append(FormatValue(e.hist.sum()));
+        out.push_back('\n');
+        std::snprintf(buf, sizeof(buf), "_count %zu\n", e.hist.count());
+        out.append(name).append(buf);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  char buf[96];
+  for (const auto& [name, e] : metrics_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("\n  \"");
+    AppendJsonEscaped(&out, name);
+    out.append("\": ");
+    if (e.kind == Kind::kHistogram) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"count\": %zu, \"mean\": %.3f, \"p50\": %" PRIu64
+                    ", \"p99\": %" PRIu64 ", \"max\": %" PRIu64 "}",
+                    e.hist.count(), e.hist.mean(), e.hist.Quantile(0.5),
+                    e.hist.Quantile(0.99), e.hist.max_value());
+      out.append(buf);
+    } else {
+      out.append(FormatValue(e.value));
+    }
+  }
+  out.append("\n}\n");
+  return out;
+}
+
+Status MetricsRegistry::WriteFile(const std::string& path,
+                                  const std::string& text) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status(StatusCode::kInternal, "cannot open metrics file " + path);
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    return Status(StatusCode::kInternal,
+                  "short write to metrics file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tpart::obs

@@ -1,0 +1,428 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace tpart::obs {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_trace{nullptr};
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+/// Thread-local binding of this thread to the recorder it last emitted
+/// into. Keyed by recorder id, not pointer: a new recorder allocated at a
+/// dead one's address must not inherit its logs.
+struct CachedLog {
+  std::uint64_t recorder_id = 0;
+  void* log = nullptr;
+};
+thread_local CachedLog t_cached_log;
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// Chrome trace "ts" is in microseconds; keep ns resolution as a fixed
+/// three-decimal fraction (deterministic formatting, no float rounding).
+void AppendTimestamp(std::string* out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  out->append(buf);
+}
+
+}  // namespace
+
+TraceRecorder* GlobalTrace() {
+  return g_trace.load(std::memory_order_acquire);
+}
+
+TraceRecorder* InstallGlobalTrace(TraceRecorder* recorder) {
+  return g_trace.exchange(recorder, std::memory_order_acq_rel);
+}
+
+TraceRecorder::TraceRecorder(ClockDomain domain)
+    : domain_(domain),
+      recorder_id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      t0_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  // Never die while installed: a racing emitter would use freed memory.
+  if (GlobalTrace() == this) InstallGlobalTrace(nullptr);
+}
+
+void TraceRecorder::AdvanceTo(std::uint64_t ns) {
+  std::uint64_t cur = manual_ns_.load(std::memory_order_relaxed);
+  while (ns > cur && !manual_ns_.compare_exchange_weak(
+                         cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t TraceRecorder::NowNs() const {
+  if (domain_ == ClockDomain::kManual) {
+    return manual_ns_.load(std::memory_order_relaxed);
+  }
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+TraceRecorder::ThreadLog* TraceRecorder::Log() {
+  if (t_cached_log.recorder_id == recorder_id_) {
+    return static_cast<ThreadLog*>(t_cached_log.log);
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto log = std::make_unique<ThreadLog>();
+  log->tid = next_tid_++;
+  ThreadLog* raw = log.get();
+  logs_.push_back(std::move(log));
+  t_cached_log = CachedLog{recorder_id_, raw};
+  return raw;
+}
+
+void TraceRecorder::Append(ThreadLog* log, Event e) {
+  {
+    std::lock_guard<std::mutex> lock(log->mu);
+    log->events.push_back(std::move(e));
+  }
+  event_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::AppendHere(Event e) {
+  ThreadLog* log = Log();
+  e.pid = log->pid;
+  e.tid = log->tid;
+  Append(log, std::move(e));
+}
+
+void TraceRecorder::SetProcessName(int pid, const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  process_names_[pid] = name;
+}
+
+void TraceRecorder::SetThreadInfo(int pid, const char* name) {
+  ThreadLog* log = Log();
+  std::lock_guard<std::mutex> lock(log->mu);
+  log->pid = pid;
+  log->name = name;
+}
+
+void TraceRecorder::Begin(const char* name, const char* cat,
+                          std::initializer_list<TraceArg> args) {
+  ThreadLog* log = Log();
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'B';
+  e.ts_ns = NowNs();
+  e.pid = log->pid;
+  e.tid = log->tid;
+  for (const TraceArg& a : args) {
+    if (e.nargs < 3) e.args[e.nargs++] = a;
+  }
+  {
+    std::lock_guard<std::mutex> lock(log->mu);
+    log->open_spans.emplace_back(name, cat);
+    log->events.push_back(std::move(e));
+  }
+  event_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::End() {
+  ThreadLog* log = Log();
+  Event e;
+  e.ph = 'E';
+  e.ts_ns = NowNs();
+  e.pid = log->pid;
+  e.tid = log->tid;
+  {
+    std::lock_guard<std::mutex> lock(log->mu);
+    if (log->open_spans.empty()) return;  // unbalanced End: drop
+    e.name = log->open_spans.back().first;
+    e.cat = log->open_spans.back().second;
+    log->open_spans.pop_back();
+    log->events.push_back(std::move(e));
+  }
+  event_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Instant(const char* name, const char* cat,
+                            std::initializer_list<TraceArg> args,
+                            std::string detail) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts_ns = NowNs();
+  for (const TraceArg& a : args) {
+    if (e.nargs < 3) e.args[e.nargs++] = a;
+  }
+  e.detail = std::move(detail);
+  AppendHere(std::move(e));
+}
+
+void TraceRecorder::Counter(const char* name, std::uint64_t value) {
+  Event e;
+  e.name = name;
+  e.cat = "counter";
+  e.ph = 'C';
+  e.ts_ns = NowNs();
+  e.id = value;
+  AppendHere(std::move(e));
+}
+
+void TraceRecorder::FlowStart(const char* name, std::uint64_t id) {
+  Event e;
+  e.name = name;
+  e.cat = "flow";
+  e.ph = 's';
+  e.ts_ns = NowNs();
+  e.id = id;
+  AppendHere(std::move(e));
+}
+
+void TraceRecorder::FlowEnd(const char* name, std::uint64_t id) {
+  Event e;
+  e.name = name;
+  e.cat = "flow";
+  e.ph = 'f';
+  e.ts_ns = NowNs();
+  e.id = id;
+  AppendHere(std::move(e));
+}
+
+void TraceRecorder::AsyncBegin(const char* name, const char* cat,
+                               std::uint64_t id) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'b';
+  e.ts_ns = NowNs();
+  e.id = id;
+  AppendHere(std::move(e));
+}
+
+void TraceRecorder::AsyncEnd(const char* name, const char* cat,
+                             std::uint64_t id) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'e';
+  e.ts_ns = NowNs();
+  e.id = id;
+  AppendHere(std::move(e));
+}
+
+void TraceRecorder::CompleteAt(int pid, int tid, const char* name,
+                               const char* cat, std::uint64_t ts_ns,
+                               std::uint64_t dur_ns,
+                               std::initializer_list<TraceArg> args) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.pid = pid;
+  e.tid = tid;
+  for (const TraceArg& a : args) {
+    if (e.nargs < 3) e.args[e.nargs++] = a;
+  }
+  Append(Log(), std::move(e));
+}
+
+void TraceRecorder::InstantAt(int pid, int tid, const char* name,
+                              const char* cat, std::uint64_t ts_ns,
+                              std::initializer_list<TraceArg> args) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.ts_ns = ts_ns;
+  e.pid = pid;
+  e.tid = tid;
+  for (const TraceArg& a : args) {
+    if (e.nargs < 3) e.args[e.nargs++] = a;
+  }
+  Append(Log(), std::move(e));
+}
+
+void TraceRecorder::CounterAt(int pid, const char* name, std::uint64_t ts_ns,
+                              std::uint64_t value) {
+  Event e;
+  e.name = name;
+  e.cat = "counter";
+  e.ph = 'C';
+  e.ts_ns = ts_ns;
+  e.pid = pid;
+  e.tid = 0;
+  e.id = value;
+  Append(Log(), std::move(e));
+}
+
+void TraceRecorder::FlowStartAt(int pid, int tid, const char* name,
+                                std::uint64_t ts_ns, std::uint64_t id) {
+  Event e;
+  e.name = name;
+  e.cat = "flow";
+  e.ph = 's';
+  e.ts_ns = ts_ns;
+  e.pid = pid;
+  e.tid = tid;
+  e.id = id;
+  Append(Log(), std::move(e));
+}
+
+void TraceRecorder::FlowEndAt(int pid, int tid, const char* name,
+                              std::uint64_t ts_ns, std::uint64_t id) {
+  Event e;
+  e.name = name;
+  e.cat = "flow";
+  e.ph = 'f';
+  e.ts_ns = ts_ns;
+  e.pid = pid;
+  e.tid = tid;
+  e.id = id;
+  Append(Log(), std::move(e));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  return event_count_.load(std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::lock_guard<std::mutex> registry_lock(registry_mu_);
+  std::string out;
+  out.reserve(1024 + 128 * event_count());
+  out.append("{\"traceEvents\":[\n");
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out.append(",\n");
+    first = false;
+  };
+
+  char buf[96];
+  // Metadata first: process names (sorted by pid), then thread names in
+  // registration order — a deterministic prefix.
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":0,\"args\":{\"name\":\"",
+                  pid);
+    out.append(buf);
+    AppendEscaped(&out, name);
+    out.append("\"}}");
+  }
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    if (log->name.empty()) continue;
+    sep();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  log->pid, log->tid);
+    out.append(buf);
+    AppendEscaped(&out, log->name);
+    out.append("\"}}");
+  }
+
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> lock(log->mu);
+    for (const Event& e : log->events) {
+      sep();
+      out.append("{\"name\":\"");
+      AppendEscaped(&out, e.name != nullptr ? e.name : "");
+      out.append("\",\"cat\":\"");
+      AppendEscaped(&out, e.cat != nullptr ? e.cat : "");
+      out.append("\",\"ph\":\"");
+      out.push_back(e.ph);
+      out.append("\",\"ts\":");
+      AppendTimestamp(&out, e.ts_ns);
+      if (e.ph == 'X') {
+        out.append(",\"dur\":");
+        AppendTimestamp(&out, e.dur_ns);
+      }
+      std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d", e.pid,
+                    e.tid);
+      out.append(buf);
+      if (e.ph == 's' || e.ph == 'f' || e.ph == 'b' || e.ph == 'e') {
+        std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%" PRIx64 "\"", e.id);
+        out.append(buf);
+        // Flow ends bind to the enclosing slice.
+        if (e.ph == 'f') out.append(",\"bp\":\"e\"");
+      }
+      if (e.ph == 'C') {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%" PRIu64 "}",
+                      e.id);
+        out.append(buf);
+      } else if (e.nargs > 0 || !e.detail.empty()) {
+        out.append(",\"args\":{");
+        for (int i = 0; i < e.nargs; ++i) {
+          if (i > 0) out.push_back(',');
+          out.append("\"");
+          AppendEscaped(&out, e.args[i].key);
+          std::snprintf(buf, sizeof(buf), "\":%" PRIu64, e.args[i].value);
+          out.append(buf);
+        }
+        if (!e.detail.empty()) {
+          if (e.nargs > 0) out.push_back(',');
+          out.append("\"detail\":\"");
+          AppendEscaped(&out, e.detail);
+          out.append("\"");
+        }
+        out.push_back('}');
+      }
+      out.push_back('}');
+    }
+  }
+  out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status(StatusCode::kInternal, "cannot open trace file " + path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status(StatusCode::kInternal, "short write to trace file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace tpart::obs

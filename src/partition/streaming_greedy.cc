@@ -2,9 +2,13 @@
 
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace tpart {
 
 void StreamingGreedyPartitioner::Partition(TGraph& graph) {
+  TPART_TRACE_SPAN("streaming_greedy", "scheduler",
+                   {{"unsunk", graph.num_unsunk()}});
   const std::size_t k = graph.num_machines();
   std::vector<double> load(k);
   for (std::size_t m = 0; m < k; ++m) {

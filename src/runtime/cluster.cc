@@ -15,8 +15,29 @@
 
 #include "common/logging.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 
 namespace tpart {
+
+namespace {
+
+/// Names the trace tracks: pid 0 is the control plane, pid 1 + m is
+/// machine m. Idempotent; called at the top of every Run*.
+void NameTraceTracks(std::size_t num_machines) {
+#if !defined(TPART_TRACING_DISABLED)
+  obs::TraceRecorder* rec = obs::GlobalTrace();
+  if (rec == nullptr) return;
+  rec->SetProcessName(0, "control");
+  for (std::size_t m = 0; m < num_machines; ++m) {
+    rec->SetProcessName(static_cast<int>(1 + m),
+                        "machine-" + std::to_string(m));
+  }
+#else
+  (void)num_machines;
+#endif
+}
+
+}  // namespace
 
 LocalCluster::LocalCluster(const Workload* workload,
                            LocalClusterOptions options)
@@ -105,6 +126,8 @@ ClusterRunOutcome LocalCluster::RunTPartBatch() {
          "every plan, so there is no dissemination stream to rejoin)";
   if (used_) Reset();
   used_ = true;
+  NameTraceTracks(machines_.size());
+  TPART_TRACE(SetThreadInfo(0, "driver"));
   // One scheduler suffices: every scheduler in a real deployment computes
   // the identical plan stream (verified by the determinism tests).
   TPartScheduler::Options sched_opts = options_.scheduler;
@@ -176,6 +199,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   if (used_) Reset();
   used_ = true;
   last_plans_.clear();  // streaming never materializes the plan list
+  NameTraceTracks(machines_.size());
+  TPART_TRACE(SetThreadInfo(0, "dissemination"));
 
   const std::chrono::microseconds stall_timeout(options_.stall_timeout_us);
   const LocalClusterOptions::CrashSchedule& crash = options_.crash;
@@ -204,6 +229,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     m->set_epoch_queue_capacity(options_.pipeline.epoch_queue_capacity);
     m->set_commit_hook([&latency](TxnId id) {
       const auto now = std::chrono::steady_clock::now();
+      // Closes the admit->commit lifecycle span opened by admission.
+      TPART_TRACE(AsyncEnd("txn", "lifecycle", id));
       std::lock_guard<std::mutex> lock(latency.mu);
       auto it = latency.admitted.find(id);
       if (it == latency.admitted.end()) return;
@@ -250,6 +277,7 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   std::thread watchdog;
   if (detector_on) {
     watchdog = std::thread([&] {
+      TPART_TRACE(SetThreadInfo(0, "watchdog"));
       const auto interval = std::chrono::microseconds(std::max<std::uint64_t>(
           options_.detector.heartbeat_interval_us, 50));
       const auto deadline =
@@ -281,6 +309,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           if (now - last_alive[m] < deadline) continue;
           // Heartbeat sequence stalled past the deadline: declare failed.
           declared[m] = true;
+          TPART_TRACE(Instant("failure_declared", "fault",
+                              {{"machine", m}, {"last_seen", last_seen[m]}}));
           const std::string diag = machines_[m]->StallDiagnostic();
           const bool recoverable =
               crash.enabled() &&
@@ -354,15 +384,23 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   std::uint64_t admission_waits = 0;
   double admission_seconds = 0.0;
   std::thread admission([&] {
+    TPART_TRACE(SetThreadInfo(0, "admission"));
     const auto t0 = std::chrono::steady_clock::now();
     Sequencer sequencer(options_.pipeline.sequencer);
     std::unique_ptr<RequestSource> source = workload_->MakeRequestSource();
     auto emit = [&](TxnBatch batch) {
+      TPART_TRACE_SPAN("admit_batch", "pipeline",
+                       {{"txns", batch.txns.size()}});
       const auto now = std::chrono::steady_clock::now();
       {
         std::lock_guard<std::mutex> lock(latency.mu);
         for (const TxnSpec& spec : batch.txns) {
-          if (!spec.is_dummy) latency.admitted.emplace(spec.id, now);
+          if (!spec.is_dummy) {
+            latency.admitted.emplace(spec.id, now);
+            // Opens the per-transaction admit->commit lifecycle span,
+            // closed by the executor's commit hook.
+            TPART_TRACE(AsyncBegin("txn", "lifecycle", spec.id));
+          }
         }
       }
       if (batch_queue.Send(std::move(batch))) ++admission_waits;
@@ -395,6 +433,7 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   // caps that parking, so this stage is bounded too.
   std::uint64_t scheduler_waits = 0;
   std::thread scheduling([&] {
+    TPART_TRACE(SetThreadInfo(0, "scheduler"));
     TPartScheduler::Options sched_opts = options_.scheduler;
     sched_opts.graph.num_machines = workload_->num_machines;
     TPartScheduler scheduler(sched_opts, workload_->partition_map);
@@ -418,6 +457,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           << "scheduler stalled awaiting the admission stage: "
           << batch.status().message();
       if (batch->txns.empty()) break;
+      TPART_TRACE_SPAN("schedule_batch", "pipeline",
+                       {{"txns", batch->txns.size()}});
       for (TxnSpec& spec : batch->txns) {
         std::vector<SinkPlan> plans = scheduler.OnTxn(spec);
         // Dummies are discarded at plan generation (§3.3); only real
@@ -447,6 +488,9 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     if (!env->has_value()) break;
     ++plans;
     last_epoch = (*env)->plan.epoch;
+    TPART_TRACE_SPAN("disseminate", "pipeline",
+                     {{"epoch", (*env)->plan.epoch},
+                      {"txns", (*env)->plan.txns.size()}});
     Message msg;
     msg.type = Message::Type::kSinkPlan;
     msg.epoch = (*env)->plan.epoch;
@@ -462,6 +506,7 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           break;
         case Machine::CreditGrant::kGrantedAfterWait:
           ++credit_waits;
+          TPART_TRACE(Instant("credit_wait", "pipeline", {{"machine", m}}));
           break;
         case Machine::CreditGrant::kTimedOut: {
           std::ostringstream out;
@@ -543,6 +588,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
 ClusterRunOutcome LocalCluster::RunCalvin() {
   if (used_) Reset();
   used_ = true;
+  NameTraceTracks(machines_.size());
+  TPART_TRACE(SetThreadInfo(0, "driver"));
   const std::vector<TxnSpec> txns = workload_->SequencedRequests();
   for (const TxnSpec& spec : txns) {
     if (spec.is_dummy) continue;

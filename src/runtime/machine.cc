@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "exec/serial_executor.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "txn/rw_set.h"
 
 namespace tpart {
@@ -137,6 +138,7 @@ std::vector<TxnResult> Machine::TakeResults() {
 // ---------------------------------------------------------------------
 
 void Machine::ServiceLoop() {
+  TPART_TRACE(SetThreadInfo(static_cast<int>(1 + id_), "service"));
   while (true) {
     Message msg = inbound_.Receive();
     if (msg.type == Message::Type::kShutdown) return;
@@ -341,6 +343,8 @@ void Machine::HandleSinkPlan(Message msg) {
       // Duplicate round: recovery re-ships a window of recent rounds and
       // cannot know how far this machine got, so intake is idempotent.
       ++duplicate_rounds_dropped_;
+      TPART_TRACE(Instant("dup_round_dropped", "stream",
+                          {{"epoch", plan->epoch}}));
       return;
     }
     if (plan->epoch == recovered_partial_epoch_ &&
@@ -447,6 +451,7 @@ std::size_t Machine::epoch_queue_high_water() const {
 // ---------------------------------------------------------------------
 
 void Machine::TPartWorkerLoop() {
+  TPART_TRACE(SetThreadInfo(static_cast<int>(1 + id_), "executor"));
   // Workers pop plans in total order; the version-based CC makes the
   // outcome independent of which worker runs which plan (a read blocks
   // until its named version exists, produced by an earlier — hence
@@ -507,8 +512,12 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
     if (!is_replay) SendOut(to, std::move(m));
   };
 
+  TPART_TRACE_SPAN("txn", is_replay ? "replay" : "exec",
+                   {{"txn", p.txn}, {"epoch", epoch}});
+
   // ---- Gather every planned read (the version-based deterministic CC:
   // each read waits for its exact version, §5.2).
+  TPART_TRACE(Begin("gather", "exec", {{"reads", p.reads.size()}}));
   std::unordered_map<ObjectKey, Record> values;
   struct PendingResp {
     ObjectKey key;
@@ -527,6 +536,12 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
       case ReadSourceKind::kPush: {
         auto v = cache_.AwaitVersion(r.key, r.src_txn, p.txn);
         values[r.key] = v.has_value() ? std::move(*v) : Record::Absent();
+        // The consumer end of the forward-push arrow: the producing
+        // transaction's span holds the matching FlowStart.
+        if (r.kind == ReadSourceKind::kPush && !is_replay) {
+          TPART_TRACE(FlowEnd("push", obs::PushFlowId(r.key, r.src_txn,
+                                                      p.txn)));
+        }
         break;
       }
       case ReadSourceKind::kCacheLocal: {
@@ -534,6 +549,8 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
                                         r.invalidate_entry,
                                         r.entry_total_reads);
         values[r.key] = v.has_value() ? std::move(*v) : Record::Absent();
+        TPART_TRACE(Instant("cache_hit", "cache",
+                            {{"key", r.key}, {"txn", p.txn}}));
         break;
       }
       case ReadSourceKind::kCacheRemote: {
@@ -578,6 +595,7 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
   for (auto& pr : pending) {
     values[pr.key] = AwaitResponse(pr.req_id);
   }
+  TPART_TRACE(End());  // gather
 
   // A failed run (AbortPendingWaits) drains without executing: the
   // gathered values are shutdown placeholders, and procedures are
@@ -601,15 +619,24 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
   }
 
   // ---- Execute the stored procedure.
+  TPART_TRACE(Begin("procedure", "exec"));
   GatheredTxnContext ctx(&spec, std::move(values));
   Result<TxnResult> result = RunProcedure(*registry_, spec, ctx);
   TPART_CHECK(result.ok()) << "engine failure executing T" << p.txn << ": "
                            << result.status().ToString();
   const bool committed = result->committed;
+  TPART_TRACE(End());  // procedure
 
   // ---- Outbound plan steps. An aborted transaction forwards the values
   // it read (§5.3), which OutgoingValue() encapsulates.
+  TPART_TRACE(Begin("publish", "exec", {{"pushes", p.pushes.size()}}));
   for (const PushStep& s : p.pushes) {
+    // The producer end of the forward-push arrow; the consumer's gather
+    // span holds the matching FlowEnd.
+    if (!is_replay) {
+      TPART_TRACE(FlowStart("push", obs::PushFlowId(s.key, s.version_txn,
+                                                    s.dst_txn)));
+    }
     Message m;
     m.type = Message::Type::kPushVersion;
     m.key = s.key;
@@ -650,6 +677,7 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
       send_out(s.home, std::move(m));
     }
   }
+  TPART_TRACE(End());  // publish
 
   {
     std::lock_guard<std::mutex> lock(results_mu_);
@@ -732,6 +760,8 @@ void Machine::CrashStop(SinkEpoch resume) {
   crash_time_ = std::chrono::steady_clock::now();
   resume_epoch_ = resume;
   run_state_.store(RunState::kDown, std::memory_order_release);
+  TPART_TRACE(Instant("crash_stop", "fault",
+                      {{"machine", id_}, {"resume_epoch", resume}}));
 }
 
 bool Machine::crashed() const {
@@ -751,6 +781,7 @@ SinkEpoch Machine::resume_epoch() const {
 std::size_t Machine::Recover(const std::function<void()>& restore_partition) {
   TPART_CHECK(run_state_.load(std::memory_order_acquire) == RunState::kDown)
       << "Recover() on a machine that did not crash";
+  TPART_TRACE_SPAN("recover", "fault", {{"machine", id_}});
   SinkEpoch resume;
   {
     std::lock_guard<std::mutex> lock(crash_mu_);
@@ -865,6 +896,8 @@ std::size_t Machine::Recover(const std::function<void()>& restore_partition) {
       return run_state_.load(std::memory_order_relaxed) == RunState::kLive;
     });
   }
+  TPART_TRACE(Instant("replay_done", "fault",
+                      {{"machine", id_}, {"replayed", replayed}}));
   return replayed;
 }
 
@@ -905,7 +938,10 @@ std::string Machine::StallDiagnostic() const {
   }
   out << " executed=" << executed_plans_.load(std::memory_order_relaxed)
       << " heartbeat_seen=" << heartbeat_seen();
-  return out.str();
+  std::string text = out.str();
+  TPART_TRACE(Instant("stall_diagnostic", "fault", {{"machine", id_}},
+                      text));
+  return text;
 }
 
 void Machine::AbortPendingWaits() {
@@ -934,6 +970,7 @@ void Machine::AbortPendingWaits() {
 // ---------------------------------------------------------------------
 
 void Machine::CalvinExecutorLoop() {
+  TPART_TRACE(SetThreadInfo(static_cast<int>(1 + id_), "executor"));
   while (true) {
     TxnSpec spec;
     {
@@ -950,6 +987,7 @@ void Machine::CalvinExecutorLoop() {
 }
 
 void Machine::ExecuteCalvin(const TxnSpec& spec) {
+  TPART_TRACE_SPAN("txn", "exec", {{"txn", spec.id}});
   // Calvin (§2.1): read local footprint, push to peers, wait for peers'
   // reads, execute the full procedure, write local keys.
   const std::vector<ObjectKey> all_keys = spec.rw.AllKeys();

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
 #include "partition/streaming_greedy.h"
 #include "scheduler/plan_optimizer.h"
 
@@ -17,8 +18,12 @@ TPartScheduler::TPartScheduler(
                        : std::make_shared<StreamingGreedyPartitioner>()) {}
 
 std::vector<SinkPlan> TPartScheduler::OnTxn(const TxnSpec& spec) {
-  graph_.AddTxn(spec);
+  {
+    TPART_TRACE_SPAN("tgraph_insert", "scheduler", {{"txn", spec.id}});
+    graph_.AddTxn(spec);
+  }
   max_tgraph_size_ = std::max(max_tgraph_size_, graph_.num_unsunk());
+  TPART_TRACE(Counter("tgraph_unsunk", graph_.num_unsunk()));
   return MaybeSink();
 }
 
@@ -51,8 +56,14 @@ std::vector<SinkPlan> TPartScheduler::Drain() {
 }
 
 SinkPlan TPartScheduler::SinkRound(std::size_t count) {
+  TPART_TRACE_SPAN("sink_round", "scheduler",
+                   {{"epoch", next_epoch_}, {"count", count}});
   const auto start = std::chrono::steady_clock::now();
-  partitioner_->Partition(graph_);
+  {
+    TPART_TRACE_SPAN("partition", "scheduler",
+                     {{"unsunk", graph_.num_unsunk()}});
+    partitioner_->Partition(graph_);
+  }
   SinkPlan plan = graph_.Sink(count, next_epoch_++);
   if (options_.optimize_plans) {
     pushes_eliminated_ += OptimizeSinkPlan(plan);

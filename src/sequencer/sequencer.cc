@@ -1,5 +1,7 @@
 #include "sequencer/sequencer.h"
 
+#include "obs/trace.h"
+
 namespace tpart {
 
 void Sequencer::Submit(TxnSpec spec) {
@@ -24,6 +26,10 @@ TxnBatch Sequencer::FormBatch(std::size_t take, std::size_t pad) {
     batch.txns.push_back(std::move(dummy));
     ++num_dummies_;
   }
+  TPART_TRACE(Instant("batch_formed", "sequencer",
+                      {{"batch", batch.batch_id},
+                       {"take", take},
+                       {"pad", pad}}));
   return batch;
 }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "sim/sim_cluster.h"
 
 namespace tpart {
@@ -30,6 +31,26 @@ RunStats RunTPartSim(const TPartSimOptions& options,
   SimCluster cluster(options.num_machines, options.cost);
   const CostModel& cost = options.cost;
   RunStats stats;
+
+  // Simulated transactions trace onto virtual per-machine tracks via the
+  // explicit-timestamp emitters; a kManual recorder makes the resulting
+  // JSON a deterministic function of the run (same seed → same bytes).
+#if !defined(TPART_TRACING_DISABLED)
+  const bool tracing = obs::GlobalTrace() != nullptr;
+  if (tracing) {
+    obs::TraceRecorder* rec = obs::GlobalTrace();
+    rec->SetProcessName(0, "scheduler");
+    for (std::size_t m = 0; m < options.num_machines; ++m) {
+      rec->SetProcessName(static_cast<int>(1 + m),
+                          "machine-" + std::to_string(m));
+    }
+    rec->SetThreadInfo(0, "sim");
+  }
+#else
+  constexpr bool tracing = false;
+#endif
+  // Simulated track of each committed transaction, for flow arrows.
+  std::unordered_map<TxnId, std::pair<int, int>> sim_track;
 
   std::unordered_map<TxnId, SimTime> commit_time;
   // Storage version availability: (key, version txn) -> write-back info.
@@ -80,6 +101,12 @@ RunStats RunTPartSim(const TPartSimOptions& options,
         SimTime avail;
       };
       std::vector<DepSample> deps;
+      struct PushFlow {
+        ObjectKey key;
+        TxnId version;
+        TxnId provider;
+      };
+      std::vector<PushFlow> push_flows;
 
       for (const ReadStep& r : p.reads) {
         switch (r.kind) {
@@ -102,6 +129,9 @@ RunStats RunTPartSim(const TPartSimOptions& options,
             cache_mgmt += cost.Scaled(cost.cache_op, m);
             local_cost += cost.Scaled(cost.cache_op, m);
             deps.push_back({r.provider_txn, avail});
+            if (tracing) {
+              push_flows.push_back({r.key, r.src_txn, r.provider_txn});
+            }
             break;
           }
           case ReadSourceKind::kCacheLocal: {
@@ -243,6 +273,35 @@ RunStats RunTPartSim(const TPartSimOptions& options,
       mach.workers.set_free_at(w, worker_done);
       backlog[m].push_back(commit);
 
+      if (tracing) {
+        const int pid = static_cast<int>(1 + m);
+        const int tid = static_cast<int>(w);
+        sim_track[p.txn] = {pid, tid};
+        TPART_TRACE(CompleteAt(
+            pid, tid, "txn", "exec", static_cast<std::uint64_t>(dispatch),
+            static_cast<std::uint64_t>(worker_done - dispatch),
+            {{"txn", p.txn}, {"epoch", plan.epoch}}));
+        if (remote_stall > 0) {
+          TPART_TRACE(InstantAt(pid, tid, "net_stall", "exec",
+                                static_cast<std::uint64_t>(t_local),
+                                {{"txn", p.txn},
+                                 {"stall_ns",
+                                  static_cast<std::uint64_t>(remote_stall)}}));
+        }
+        for (const auto& f : push_flows) {
+          // Arrow from the producer's committed span to this one; ids
+          // match the runtime emitters so both render identically.
+          const auto src = sim_track.find(f.provider);
+          if (src == sim_track.end()) continue;
+          const std::uint64_t id = obs::PushFlowId(f.key, f.version, p.txn);
+          TPART_TRACE(FlowStartAt(
+              src->second.first, src->second.second, "push",
+              static_cast<std::uint64_t>(commit_of(f.provider)), id));
+          TPART_TRACE(FlowEndAt(pid, tid, "push",
+                                static_cast<std::uint64_t>(ready), id));
+        }
+      }
+
       // Statistics.
       ++stats.txns;
       ++stats.committed;
@@ -269,6 +328,10 @@ RunStats RunTPartSim(const TPartSimOptions& options,
     // Refresh sink-node weights from the simulated backlog: txns sunk to a
     // machine and not yet committed at the cluster's current frontier.
     const SimTime now = cluster.ClusterNow();
+    // Clocked scheduler events (sink rounds, T-graph counters) land at
+    // the simulated frontier: manual-domain recorders never read a real
+    // clock, so the trace is deterministic.
+    TPART_TRACE(AdvanceTo(static_cast<std::uint64_t>(std::max<SimTime>(now, 0))));
     for (std::size_t m = 0; m < options.num_machines; ++m) {
       auto& b = backlog[m];
       b.erase(std::remove_if(b.begin(), b.end(),
