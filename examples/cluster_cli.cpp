@@ -27,6 +27,17 @@
 //                                   prints the recovery statistics
 //   --no-recover                    with --crash: detect only, surface
 //                                   the failure as a fault status
+//   --checkpoint-every=N            (streaming only) capture a per-machine
+//                                   incremental checkpoint every N sink
+//                                   epochs and truncate the recovery logs
+//                                   and resend window; prints the
+//                                   checkpoint statistics
+//   --chaos=SEED                    (streaming only) seeded chaos matrix:
+//                                   two sequential crashes of distinct
+//                                   machines, a repeat crash of the first
+//                                   victim, and a straggler — all
+//                                   recovered in-run; incompatible with
+//                                   --crash
 //   --trace=out.json                record a Chrome trace-event JSON of
 //                                   the run (open in Perfetto or
 //                                   chrome://tracing). Simulator traces
@@ -37,6 +48,8 @@
 //                                   or one JSON object if the path ends
 //                                   in .json
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -124,6 +137,9 @@ int main(int argc, char** argv) {
   const double delay = std::atof(StrFlag(argc, argv, "delay", "0").c_str());
   const std::string crash = StrFlag(argc, argv, "crash", "");
   const bool no_recover = BoolFlag(argc, argv, "no-recover");
+  const auto checkpoint_every = static_cast<SinkEpoch>(
+      IntFlag(argc, argv, "checkpoint-every", 0));
+  const std::string chaos = StrFlag(argc, argv, "chaos", "");
   const std::string trace_path = StrFlag(argc, argv, "trace", "");
   const std::string metrics_path = StrFlag(argc, argv, "metrics", "");
 
@@ -208,6 +224,27 @@ int main(int argc, char** argv) {
       opts.crash.recover = !no_recover;
       opts.detector.enabled = true;
     }
+    if (!chaos.empty()) {
+      if (!stream || !crash.empty()) {
+        std::fprintf(stderr,
+                     "--chaos requires --stream and excludes --crash\n");
+        return 2;
+      }
+      // Spread the crashes over roughly the run's sinking rounds.
+      const SinkEpoch span =
+          std::max<SinkEpoch>(static_cast<SinkEpoch>(txns / sink), 12);
+      const std::string schedule = ApplySeededChaos(
+          static_cast<std::uint64_t>(std::atoll(chaos.c_str())), machines,
+          span, opts);
+      std::printf("%s\n", schedule.c_str());
+    }
+    if (checkpoint_every > 0) {
+      if (!stream) {
+        std::fprintf(stderr, "--checkpoint-every requires --stream\n");
+        return 2;
+      }
+      opts.checkpoint_every = checkpoint_every;
+    }
     LocalCluster cluster(&w, opts);
     if (engine == "calvin" || engine == "both") {
       const ClusterRunOutcome out = cluster.RunCalvin();
@@ -230,6 +267,9 @@ int main(int argc, char** argv) {
       if (stream) out.pipeline.PublishTo(registry);
       if (out.recovery.crashes_injected > 0) {
         out.recovery.PublishTo(registry);
+      }
+      if (out.checkpoint.checkpoints_taken > 0) {
+        out.checkpoint.PublishTo(registry);
       }
       std::printf("tpart  (runtime%s): committed=%llu aborted=%llu\n",
                   stream ? ", streaming" : "",
@@ -255,6 +295,9 @@ int main(int argc, char** argv) {
       }
       if (out.recovery.crashes_injected > 0) {
         std::printf("  recovery: %s\n", out.recovery.Summary().c_str());
+      }
+      if (out.checkpoint.checkpoints_taken > 0) {
+        std::printf("  checkpoint: %s\n", out.checkpoint.Summary().c_str());
       }
     }
     return finish(0);

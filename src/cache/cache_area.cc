@@ -128,6 +128,52 @@ void CacheArea::Reset() {
   cv_.notify_all();
 }
 
+CacheArea::Image CacheArea::Capture() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Image image;
+  image.versions.reserve(versions_.size());
+  for (const auto& [k, value] : versions_) {
+    image.versions.push_back(Image::VersionEntryImage{
+        std::get<0>(k), std::get<1>(k), std::get<2>(k), value});
+  }
+  image.epochs.reserve(epochs_.size());
+  for (const auto& [k, e] : epochs_) {
+    image.epochs.push_back(Image::EpochEntryImage{
+        k.first, k.second, e.value, e.epoch, e.reads_served, e.total_reads});
+  }
+  image.sticky.reserve(sticky_.size());
+  for (const auto& [key, e] : sticky_) {
+    image.sticky.push_back(
+        Image::StickyImage{key, e.value, e.version, e.expire_epoch});
+  }
+  return image;
+}
+
+void CacheArea::Restore(const Image& image) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    versions_.clear();
+    epochs_.clear();
+    sticky_.clear();
+    for (const auto& v : image.versions) {
+      versions_[{v.key, v.version, v.dst}] = v.value;
+    }
+    for (const auto& e : image.epochs) {
+      EpochEntry& entry = epochs_[{e.key, e.version}];
+      entry.value = e.value;
+      entry.epoch = e.epoch;
+      entry.reads_served = e.reads_served;
+      entry.total_reads = e.total_reads;
+    }
+    for (const auto& s : image.sticky) {
+      sticky_[s.key] = StickyEntry{s.value, s.version, s.expire_epoch};
+    }
+    shutdown_ = false;
+    NotePeakLocked();
+  }
+  cv_.notify_all();
+}
+
 std::size_t CacheArea::num_version_entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return versions_.size();

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <tuple>
+#include <vector>
 
 #include "common/types.h"
 #include "storage/record.h"
@@ -85,6 +86,45 @@ class CacheArea {
   /// cache area) and re-opens the cache after a Shutdown(). Cumulative
   /// counters (sticky hits, peak) are deliberately kept.
   void Reset();
+
+  /// Checkpoint image of the cache: every live version, epoch, and sticky
+  /// entry, in deterministic (ordered-map) order. Captured at a quiescent
+  /// epoch boundary so a truncated-log replay can resume with exactly the
+  /// entries the suffix expects to find.
+  struct Image {
+    struct VersionEntryImage {
+      ObjectKey key;
+      TxnId version;
+      TxnId dst;
+      Record value;
+    };
+    struct EpochEntryImage {
+      ObjectKey key;
+      TxnId version;
+      Record value;
+      SinkEpoch epoch;
+      std::uint32_t reads_served;
+      std::uint32_t total_reads;
+    };
+    struct StickyImage {
+      ObjectKey key;
+      Record value;
+      TxnId version;
+      SinkEpoch expire_epoch;
+    };
+    std::vector<VersionEntryImage> versions;
+    std::vector<EpochEntryImage> epochs;
+    std::vector<StickyImage> sticky;
+  };
+
+  /// Copies the full live state into an Image (caller must ensure no
+  /// concurrent blocked readers are relying on entries being consumed —
+  /// i.e. capture only at a drained epoch boundary).
+  Image Capture() const;
+
+  /// Replaces the cache contents with `image` and re-opens the cache.
+  /// Cumulative counters are kept, mirroring Reset().
+  void Restore(const Image& image);
 
   // --- Introspection ---------------------------------------------------
   std::size_t num_version_entries() const;

@@ -68,6 +68,52 @@ std::string RecoveryStats::Summary() const {
   return out.str();
 }
 
+std::string CheckpointStats::Summary() const {
+  std::ostringstream out;
+  out << "checkpoints=" << checkpoints_taken << " last_epoch=" << last_epoch
+      << " records=" << records_captured
+      << " truncated(req/net)=" << truncated_request_entries << "/"
+      << truncated_network_messages
+      << " pruned_rounds=" << pruned_resend_rounds
+      << " capture_us=" << capture_us
+      << " bytes_peak(req/net/window)=" << request_log_bytes_peak << "/"
+      << network_log_bytes_peak << "/" << resend_window_bytes_peak;
+  return out.str();
+}
+
+void CheckpointStats::PublishTo(obs::MetricsRegistry& registry) const {
+  registry.SetCounter("tpart_checkpoint_captures_total",
+                      static_cast<double>(checkpoints_taken),
+                      "Periodic checkpoint captures completed");
+  registry.SetGauge("tpart_checkpoint_last_epoch",
+                    static_cast<double>(last_epoch),
+                    "Highest epoch any machine has checkpointed");
+  registry.SetCounter("tpart_checkpoint_records_captured_total",
+                      static_cast<double>(records_captured),
+                      "Records folded into checkpoint images");
+  registry.SetCounter("tpart_checkpoint_truncated_request_entries_total",
+                      static_cast<double>(truncated_request_entries),
+                      "Request-log entries freed by truncation");
+  registry.SetCounter("tpart_checkpoint_truncated_network_messages_total",
+                      static_cast<double>(truncated_network_messages),
+                      "Network-log messages freed by truncation");
+  registry.SetCounter("tpart_checkpoint_pruned_resend_rounds_total",
+                      static_cast<double>(pruned_resend_rounds),
+                      "Resend-window rounds freed by pruning");
+  registry.SetGauge("tpart_checkpoint_capture_us",
+                    static_cast<double>(capture_us),
+                    "Wall-clock microseconds spent inside captures");
+  registry.SetGauge("tpart_request_log_bytes_peak",
+                    static_cast<double>(request_log_bytes_peak),
+                    "High-water byte footprint of any request log");
+  registry.SetGauge("tpart_network_log_bytes_peak",
+                    static_cast<double>(network_log_bytes_peak),
+                    "High-water byte footprint of any network log");
+  registry.SetGauge("tpart_resend_window_bytes_peak",
+                    static_cast<double>(resend_window_bytes_peak),
+                    "High-water byte footprint of the resend window");
+}
+
 void TransportStats::PublishTo(obs::MetricsRegistry& registry) const {
   const auto c = [&](const char* name, std::uint64_t v, const char* help) {
     registry.SetCounter(std::string("tpart_transport_") + name,
@@ -182,6 +228,7 @@ void RunStats::PublishTo(obs::MetricsRegistry& registry) const {
   if (transport.messages_sent > 0) transport.PublishTo(registry);
   if (pipeline.admitted > 0) pipeline.PublishTo(registry);
   if (recovery.crashes_injected > 0) recovery.PublishTo(registry);
+  if (checkpoint.checkpoints_taken > 0) checkpoint.PublishTo(registry);
 }
 
 std::string RunStats::Summary() const {
@@ -202,6 +249,9 @@ std::string RunStats::Summary() const {
   }
   if (recovery.crashes_injected > 0) {
     out << " | recovery: " << recovery.Summary();
+  }
+  if (checkpoint.checkpoints_taken > 0) {
+    out << " | checkpoint: " << checkpoint.Summary();
   }
   return out.str();
 }

@@ -92,8 +92,10 @@ struct PipelineStats {
 /// Counters for the crash-fault-tolerance subsystem (heartbeat failure
 /// detection + §5.4 local replay). Zero/absent unless a crash was
 /// injected (LocalClusterOptions::crash) or the failure detector fired.
+/// With a multi-crash chaos schedule, count fields accumulate across
+/// crashes while machine/epoch/detection reflect the last one handled.
 struct RecoveryStats {
-  /// Machines crash-stopped during the run (0 or 1 per run today).
+  /// Machines crash-stopped during the run.
   std::uint64_t crashes_injected = 0;
   MachineId crashed_machine = kInvalidMachine;
   /// Last sinking round the crashed machine fully executed before dying.
@@ -116,6 +118,37 @@ struct RecoveryStats {
   std::string Summary() const;
 
   /// Publishes as tpart_recovery_* metrics.
+  void PublishTo(obs::MetricsRegistry& registry) const;
+};
+
+/// Counters for the periodic checkpointing / log-truncation subsystem.
+/// Zero/absent unless LocalClusterOptions::checkpoint_every is set.
+/// Aggregated across machines; byte peaks are maxima over machines.
+struct CheckpointStats {
+  /// Captures completed (across all machines).
+  std::uint64_t checkpoints_taken = 0;
+  /// Highest epoch any machine has checkpointed.
+  SinkEpoch last_epoch = 0;
+  /// Records folded into checkpoint images (incremental dirty passes).
+  std::uint64_t records_captured = 0;
+  /// Log entries freed by truncation.
+  std::uint64_t truncated_request_entries = 0;
+  std::uint64_t truncated_network_messages = 0;
+  /// Resend-window rounds freed by pruning.
+  std::uint64_t pruned_resend_rounds = 0;
+  /// Total wall-clock microseconds spent inside captures.
+  std::uint64_t capture_us = 0;
+  /// Log-growth visibility: the high-water byte footprint of the §5.4
+  /// logs and the resend window. With checkpointing on, these plateau
+  /// instead of growing with run length.
+  std::uint64_t request_log_bytes_peak = 0;
+  std::uint64_t network_log_bytes_peak = 0;
+  std::uint64_t resend_window_bytes_peak = 0;
+
+  std::string Summary() const;
+
+  /// Publishes as tpart_checkpoint_* counters plus the
+  /// tpart_*_bytes_peak log-size gauges.
   void PublishTo(obs::MetricsRegistry& registry) const;
 };
 
@@ -172,6 +205,9 @@ struct RunStats {
 
   /// Crash-fault-tolerance counters (crash-injection runs only).
   RecoveryStats recovery;
+
+  /// Periodic checkpointing counters (checkpoint_every runs only).
+  CheckpointStats checkpoint;
 
   std::string Summary() const;
 

@@ -1,0 +1,66 @@
+#include "net/resend_window.h"
+
+namespace tpart {
+
+void ResendWindow::Append(Message msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_ += ApproxMessageBytes(msg);
+  if (bytes_ > bytes_peak_) bytes_peak_ = bytes_;
+  window_.push_back(std::move(msg));
+}
+
+std::size_t ResendWindow::PruneThrough(SinkEpoch through) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  while (!window_.empty() && window_.front().epoch <= through) {
+    bytes_ -= ApproxMessageBytes(window_.front());
+    window_.pop_front();
+    ++dropped;
+  }
+  pruned_rounds_ += dropped;
+  return dropped;
+}
+
+std::size_t ResendWindow::ForEachFrom(
+    SinkEpoch resume, const std::function<void(const Message&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t replayed = 0;
+  for (const Message& msg : window_) {
+    if (msg.epoch < resume) continue;
+    fn(msg);
+    ++replayed;
+  }
+  return replayed;
+}
+
+SinkEpoch ResendWindow::front_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_.empty() ? 0 : window_.front().epoch;
+}
+
+bool ResendWindow::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_.empty();
+}
+
+std::size_t ResendWindow::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return window_.size();
+}
+
+std::size_t ResendWindow::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t ResendWindow::bytes_peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_peak_;
+}
+
+std::uint64_t ResendWindow::pruned_rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pruned_rounds_;
+}
+
+}  // namespace tpart

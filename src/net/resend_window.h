@@ -1,0 +1,59 @@
+#ifndef TPART_NET_RESEND_WINDOW_H_
+#define TPART_NET_RESEND_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "common/types.h"
+#include "runtime/channel.h"
+
+namespace tpart {
+
+/// The dissemination stage's retained history of sink-plan rounds, kept
+/// so a recovered machine can be re-sent every round it missed while
+/// down (the end-of-stream marker is tracked separately by the cluster).
+///
+/// Without pruning this window grows with run length — exactly the
+/// resident-memory failure mode periodic checkpointing exists to bound.
+/// Once every machine holds a checkpoint at epoch >= E, no recovery can
+/// ever need rounds <= E again (a machine resumes strictly after its own
+/// checkpoint epoch), so PruneThrough(E) drops them.
+///
+/// Internally synchronized: the dissemination stage appends while the
+/// watchdog thread replays from it during a recovery.
+class ResendWindow {
+ public:
+  /// Appends one disseminated round (or the end marker).
+  void Append(Message msg);
+
+  /// Drops every retained round with epoch <= `through`. Returns the
+  /// number of rounds dropped by this call.
+  std::size_t PruneThrough(SinkEpoch through);
+
+  /// Replays every retained round with epoch >= `resume`, in order.
+  /// Returns the number of rounds passed to `fn`.
+  std::size_t ForEachFrom(SinkEpoch resume,
+                          const std::function<void(const Message&)>& fn) const;
+
+  /// Epoch of the oldest retained round; 0 when empty.
+  SinkEpoch front_epoch() const;
+
+  bool empty() const;
+  std::size_t size() const;
+  std::size_t bytes() const;
+  std::size_t bytes_peak() const;
+  std::uint64_t pruned_rounds() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Message> window_;
+  std::size_t bytes_ = 0;
+  std::size_t bytes_peak_ = 0;
+  std::uint64_t pruned_rounds_ = 0;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_NET_RESEND_WINDOW_H_

@@ -13,4 +13,18 @@ bool operator==(const Message& a, const Message& b) {
          a.plan_bytes == b.plan_bytes && a.specs == b.specs;
 }
 
+std::size_t ApproxMessageBytes(const Message& m) {
+  std::size_t bytes = sizeof(Message);
+  bytes += m.value.SizeBytes();
+  for (const auto& [key, rec] : m.kvs) {
+    (void)key;
+    bytes += sizeof(ObjectKey) + rec.SizeBytes();
+  }
+  bytes += m.plan_bytes.size();
+  for (const TxnSpec& spec : m.specs) {
+    bytes += sizeof(TxnSpec) + spec.params.size() * sizeof(spec.params[0]);
+  }
+  return bytes;
+}
+
 }  // namespace tpart

@@ -53,6 +53,12 @@ struct Message {
     /// drops probes, so its recorded sequence stalls — that stall, held
     /// past the deadline, is the failure signal.
     kHeartbeat,
+    /// Internal checkpoint fence: the executor posts it through its own
+    /// inbound queue at a quiescent epoch boundary; when the service
+    /// thread dispatches it, every earlier logged message has been fully
+    /// applied, so the machine captures its checkpoint there. Never
+    /// crosses the wire.
+    kCheckpointBarrier,
     /// Stop the service loop. Must stay the last enumerator: the wire
     /// decoder rejects any type byte beyond it (net/wire.cc).
     kShutdown,
@@ -79,10 +85,19 @@ struct Message {
   std::string plan_bytes;
   /// kSinkPlan: specs of the plan's (non-dummy) transactions, in plan order.
   std::vector<TxnSpec> specs;
+  /// Recovery re-delivery marker: set on messages re-injected from the
+  /// network log or a checkpoint image during Machine::Recover(), so they
+  /// are not logged a second time. Local-only (never wire-encoded, not
+  /// part of equality).
+  bool redelivery = false;
 };
 
 /// Field-wise equality (wire round-trip tests, transport verification).
 bool operator==(const Message& a, const Message& b);
+
+/// Rough in-memory footprint of a message, for log/window byte
+/// accounting (not the wire size).
+std::size_t ApproxMessageBytes(const Message& m);
 
 /// MPSC blocking queue — the "network" between machines for the direct
 /// in-memory transport, and the byte-packet conveyor inside the
@@ -126,7 +141,7 @@ class BlockingQueue {
   /// returns kUnavailable on expiry, so a dead producer surfaces as a
   /// reported error instead of a hang. A timeout of zero waits forever
   /// (identical to Receive()).
-  Result<T> ReceiveFor(std::chrono::microseconds timeout) {
+  [[nodiscard]] Result<T> ReceiveFor(std::chrono::microseconds timeout) {
     std::unique_lock<std::mutex> lock(mu_);
     const auto ready = [&] { return !queue_.empty(); };
     if (timeout.count() <= 0) {

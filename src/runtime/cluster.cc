@@ -14,6 +14,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/random.h"
+#include "net/resend_window.h"
 #include "net/wire.h"
 #include "obs/trace.h"
 
@@ -71,17 +73,20 @@ void LocalCluster::Reset() {
     machines_.back()->set_stall_timeout(
         std::chrono::microseconds(options_.stall_timeout_us));
   }
-  // Crash runs keep a per-partition Zig-Zag checkpoint of the loaded
-  // state: the recovery baseline each crashed partition is rebuilt from.
+  // Crash and periodic-checkpointing runs keep a per-machine checkpoint
+  // seeded with the loaded state: the recovery baseline each crashed
+  // partition is rebuilt from. With checkpoint_every set, each machine
+  // folds its dirty keys and volatile state in at every cadence boundary.
   checkpoints_.clear();
-  if (options_.crash.enabled()) {
+  if (options_.crash.enabled() || options_.checkpoint_every > 0) {
     for (std::size_t m = 0; m < workload_->num_machines; ++m) {
-      auto cp = std::make_unique<ZigZagCheckpointStore>();
+      auto cp = std::make_unique<MachineCheckpoint>();
       store_->store(static_cast<MachineId>(m))
           .Scan(0, std::numeric_limits<ObjectKey>::max(),
                 [&](ObjectKey key, const Record& value) {
-                  cp->Put(key, value);
+                  cp->records.Put(key, value);
                 });
+      machines_[m]->ConfigureCheckpoint(cp.get(), options_.checkpoint_every);
       checkpoints_.push_back(std::move(cp));
     }
   }
@@ -104,7 +109,7 @@ std::size_t LocalCluster::RestorePartition(MachineId m) {
   for (const ObjectKey key : keys) {
     (void)store.Delete(key);
   }
-  return checkpoints_.at(m)->Checkpoint(
+  return checkpoints_.at(m)->records.Checkpoint(
       [&](ObjectKey key, const Record& value) { store.Upsert(key, value); });
 }
 
@@ -124,6 +129,9 @@ ClusterRunOutcome LocalCluster::RunTPartBatch() {
   TPART_CHECK(!options_.crash.enabled())
       << "crash injection requires streaming mode (batch pre-enqueues "
          "every plan, so there is no dissemination stream to rejoin)";
+  TPART_CHECK(options_.checkpoint_every == 0)
+      << "periodic checkpointing requires streaming mode (batch has no "
+         "quiescent epoch boundaries while plans pre-enqueue)";
   if (used_) Reset();
   used_ = true;
   NameTraceTracks(machines_.size());
@@ -204,16 +212,33 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
 
   const std::chrono::microseconds stall_timeout(options_.stall_timeout_us);
   const LocalClusterOptions::CrashSchedule& crash = options_.crash;
+  const std::vector<LocalClusterOptions::CrashEvent> crash_events =
+      crash.Events();
+  // Which machines carry at least one scheduled crash (the machines the
+  // end-of-run quiesce loop must see recovered before teardown).
+  std::vector<bool> crash_scheduled(machines_.size(), false);
   if (crash.enabled()) {
-    TPART_CHECK(static_cast<std::size_t>(crash.machine) < machines_.size())
-        << "crash schedule names machine " << crash.machine << " of "
-        << machines_.size();
     TPART_CHECK(options_.record_recovery_logs)
         << "crash recovery replays the §5.4 logs; keep them recorded";
-    Machine::CrashPoint point;
-    point.at_epoch = crash.at_epoch;
-    point.after_txns = crash.after_txns;
-    machines_[crash.machine]->ArmCrash(point);
+    for (const LocalClusterOptions::CrashEvent& event : crash_events) {
+      TPART_CHECK(static_cast<std::size_t>(event.machine) < machines_.size())
+          << "crash schedule names machine " << event.machine << " of "
+          << machines_.size();
+      crash_scheduled[event.machine] = true;
+      Machine::CrashPoint point;
+      point.at_epoch = event.at_epoch;
+      point.after_txns = event.after_txns;
+      point.at_start = event.at_start;
+      machines_[event.machine]->ArmCrash(point);
+    }
+  }
+  if (options_.straggler.enabled()) {
+    TPART_CHECK(static_cast<std::size_t>(options_.straggler.machine) <
+                machines_.size())
+        << "straggler schedule names machine " << options_.straggler.machine
+        << " of " << machines_.size();
+    machines_[options_.straggler.machine]->ArmStraggler(
+        options_.straggler.delay_us, options_.straggler.period_us);
   }
 
   // Admission-to-result latency: the admission stage stamps each real
@@ -244,15 +269,20 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   for (auto& m : machines_) m->StartTPart();
 
   // ---- Failure detection & in-run recovery (watchdog thread). ----------
-  // Dissemination keeps every disseminated round (crash runs only) so
-  // recovery can re-ship what the crashed machine lost. The window cannot
-  // be pruned by the epoch-credit bound: a round with no slice for the
-  // victim releases its credit immediately, so dissemination may run
-  // arbitrarily far ahead of the victim's resume round. Crash-injection
-  // runs therefore pay one retained Message per round — the same order of
-  // memory as the §5.4 request logs they already require.
-  std::mutex resend_mu;
-  std::deque<Message> resend_window;
+  // Dissemination keeps every disseminated round (crash and checkpoint
+  // runs) so recovery can re-ship what a crashed machine lost. The window
+  // cannot be pruned by the epoch-credit bound: a round with no slice for
+  // the victim releases its credit immediately, so dissemination may run
+  // arbitrarily far ahead of the victim's resume round. Without periodic
+  // checkpointing the run pays one retained Message per round — the same
+  // order of memory as the §5.4 request logs it already requires; with
+  // checkpoint_every set, rounds at or below the minimum checkpointed
+  // epoch across machines are pruned (no recovery can need them: a
+  // machine resumes strictly after its own checkpoint epoch).
+  const bool keep_resend_window =
+      crash.enabled() || options_.checkpoint_every > 0;
+  ResendWindow resend_window;
+  std::mutex end_mu;
   bool end_sent = false;
   SinkEpoch end_epoch = 0;
 
@@ -271,7 +301,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   RecoveryStats recovery;
   std::mutex wd_mu;
   std::condition_variable wd_cv;
-  bool failure_handled = false;
+  bool fatal_declared = false;
+  std::uint64_t recoveries_handled = 0;
   std::atomic<bool> watchdog_stop{false};
   const bool detector_on = options_.detector.enabled || crash.enabled();
   std::thread watchdog;
@@ -312,23 +343,23 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           TPART_TRACE(Instant("failure_declared", "fault",
                               {{"machine", m}, {"last_seen", last_seen[m]}}));
           const std::string diag = machines_[m]->StallDiagnostic();
-          const bool recoverable =
-              crash.enabled() &&
-              m == static_cast<std::size_t>(crash.machine) && crash.recover &&
-              machines_[m]->crashed();
+          const bool recoverable = crash.enabled() && crash_scheduled[m] &&
+                                   crash.recover && machines_[m]->crashed();
           if (!recoverable) {
             std::ostringstream out;
             out << "machine " << m << " failed: no heartbeat progress for "
                 << options_.detector.deadline_us << "us; " << diag;
             declare_fault(out.str());
             std::lock_guard<std::mutex> lock(wd_mu);
-            failure_handled = true;
+            fatal_declared = true;
             wd_cv.notify_all();
             return;
           }
           // In-run recovery: checkpoint restore + §5.4 local replay,
-          // then re-ship the rounds the crash lost.
-          recovery.crashes_injected = 1;
+          // then re-ship the rounds the crash lost. Count fields
+          // accumulate across a multi-crash schedule; machine / epoch /
+          // detection reflect this (the most recent) crash.
+          ++recovery.crashes_injected;
           recovery.crashed_machine = static_cast<MachineId>(m);
           const SinkEpoch resume = machines_[m]->resume_epoch();
           recovery.crash_epoch = resume > 0 ? resume - 1 : 0;
@@ -336,22 +367,22 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
               std::chrono::duration_cast<std::chrono::microseconds>(
                   now - machines_[m]->crash_time())
                   .count());
-          recovery.replayed_txns = machines_[m]->Recover([&] {
-            recovery.checkpoint_records =
+          recovery.replayed_txns += machines_[m]->Recover([&] {
+            recovery.checkpoint_records +=
                 RestorePartition(static_cast<MachineId>(m));
           });
           // Intake is idempotent, so over-shipping is harmless; the
-          // front-of-window check guarantees we never under-ship.
+          // front-of-window check guarantees we never under-ship (pruning
+          // stops strictly below every machine's resume round).
           {
-            std::lock_guard<std::mutex> lock(resend_mu);
             TPART_CHECK(resend_window.empty() ||
-                        resend_window.front().epoch <= resume)
+                        resend_window.front_epoch() <= resume)
                 << "resend window pruned past resume round " << resume;
-            for (const Message& round : resend_window) {
-              if (round.epoch < resume) continue;
-              transport_->Send(0, static_cast<MachineId>(m), round);
-              ++recovery.resent_rounds;
-            }
+            recovery.resent_rounds += resend_window.ForEachFrom(
+                resume, [&](const Message& round) {
+                  transport_->Send(0, static_cast<MachineId>(m), round);
+                });
+            std::lock_guard<std::mutex> lock(end_mu);
             if (end_sent) {
               Message end;
               end.type = Message::Type::kPlanStreamEnd;
@@ -359,12 +390,22 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
               transport_->Send(0, static_cast<MachineId>(m), std::move(end));
             }
           }
-          recovery.downtime_us = static_cast<std::uint64_t>(
+          recovery.downtime_us += static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - machines_[m]->crash_time())
                   .count());
+          // The blocking recovery stalled this loop: every other
+          // machine's liveness stamp is stale by the full recovery span.
+          // Restart the clocks (and re-admit the victim) or the next
+          // scan would mass-declare healthy machines.
+          const auto after_recovery = std::chrono::steady_clock::now();
+          for (std::size_t k = 0; k < machines_.size(); ++k) {
+            last_alive[k] = after_recovery;
+          }
+          declared[m] = false;
+          last_seen[m] = machines_[m]->heartbeat_seen();
           std::lock_guard<std::mutex> lock(wd_mu);
-          failure_handled = true;
+          ++recoveries_handled;
           wd_cv.notify_all();
         }
       }
@@ -496,9 +537,18 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     msg.epoch = (*env)->plan.epoch;
     msg.plan_bytes = EncodeSinkPlan((*env)->plan);
     msg.specs = std::move((*env)->specs);
-    if (crash.enabled()) {
-      std::lock_guard<std::mutex> lock(resend_mu);
-      resend_window.push_back(msg);
+    if (keep_resend_window) {
+      resend_window.Append(msg);
+      if (options_.checkpoint_every > 0 && !checkpoints_.empty()) {
+        // No recovery can ever need a round at or below the minimum
+        // checkpointed epoch across machines: each machine resumes
+        // strictly after its own checkpoint epoch.
+        SinkEpoch prune_through = checkpoints_.front()->epoch();
+        for (const auto& cp : checkpoints_) {
+          prune_through = std::min(prune_through, cp->epoch());
+        }
+        if (prune_through > 0) resend_window.PruneThrough(prune_through);
+      }
     }
     for (std::size_t m = 0; m < machines_.size(); ++m) {
       switch (machines_[m]->AcquireEpochCreditFor(stall_timeout)) {
@@ -526,7 +576,7 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     // Flag before sending: a recovery racing this must resend the end
     // marker whenever the original may already have been consumed (and
     // its flags wiped) by the pre-crash machine.
-    std::lock_guard<std::mutex> lock(resend_mu);
+    std::lock_guard<std::mutex> lock(end_mu);
     end_sent = true;
     end_epoch = last_epoch;
   }
@@ -543,12 +593,32 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   // reliable delivery) and their queues drain.
   for (auto& m : machines_) m->JoinExecutor();
   if (detector_on) {
-    // The joins above cover only the original executors. If the victim is
-    // still down, wait for the watchdog to detect and handle it (recovery
-    // or declared fault) before tearing the stream down.
-    if (crash.enabled() && machines_[crash.machine]->crashed()) {
-      std::unique_lock<std::mutex> lock(wd_mu);
-      wd_cv.wait(lock, [&] { return failure_handled; });
+    // The joins above cover only the original executors. Quiesce the
+    // crash schedule before tearing the stream down: wait for the
+    // watchdog to recover any machine that is still down, join the
+    // recovered executors (a later scheduled crash can fire on one of
+    // those), and repeat until every scheduled machine ends up alive —
+    // or the watchdog declared an unrecoverable fault.
+    bool fatal = false;
+    while (!fatal) {
+      {
+        std::unique_lock<std::mutex> lock(wd_mu);
+        wd_cv.wait(lock, [&] {
+          if (fatal_declared) return true;
+          for (std::size_t m = 0; m < machines_.size(); ++m) {
+            if (crash_scheduled[m] && machines_[m]->crashed()) return false;
+          }
+          return true;
+        });
+        fatal = fatal_declared;
+      }
+      if (fatal) break;
+      for (auto& m : machines_) m->JoinRecoveredExecutor();
+      bool any_down = false;
+      for (std::size_t m = 0; m < machines_.size(); ++m) {
+        if (crash_scheduled[m] && machines_[m]->crashed()) any_down = true;
+      }
+      if (!any_down) break;
     }
     watchdog_stop.store(true, std::memory_order_release);
     watchdog.join();
@@ -581,8 +651,86 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     outcome.fault = fault;
   }
   outcome.recovery = recovery;  // watchdog joined; no concurrent writer
+  // Checkpoint / log-footprint accounting: counters sum over machines,
+  // byte peaks are maxima (the footprint claim is per-machine).
+  for (std::size_t m = 0; m < checkpoints_.size(); ++m) {
+    const MachineCheckpoint& cp = *checkpoints_[m];
+    outcome.checkpoint.checkpoints_taken += cp.captures_taken;
+    outcome.checkpoint.last_epoch =
+        std::max(outcome.checkpoint.last_epoch, cp.epoch());
+    outcome.checkpoint.records_captured += cp.records_captured;
+    outcome.checkpoint.truncated_request_entries +=
+        cp.truncated_request_entries;
+    outcome.checkpoint.truncated_network_messages +=
+        cp.truncated_network_messages;
+    outcome.checkpoint.capture_us += cp.capture_us;
+  }
+  for (const auto& m : machines_) {
+    outcome.checkpoint.request_log_bytes_peak =
+        std::max(outcome.checkpoint.request_log_bytes_peak,
+                 static_cast<std::uint64_t>(m->request_log_bytes_peak()));
+    outcome.checkpoint.network_log_bytes_peak =
+        std::max(outcome.checkpoint.network_log_bytes_peak,
+                 static_cast<std::uint64_t>(m->network_log_bytes_peak()));
+  }
+  outcome.checkpoint.resend_window_bytes_peak = resend_window.bytes_peak();
+  outcome.checkpoint.pruned_resend_rounds = resend_window.pruned_rounds();
   StopAll();
   return outcome;
+}
+
+std::string ApplySeededChaos(std::uint64_t seed, std::size_t num_machines,
+                             SinkEpoch span_epochs,
+                             LocalClusterOptions& options) {
+  TPART_CHECK(num_machines >= 2)
+      << "the chaos matrix crashes two distinct machines";
+  TPART_CHECK(span_epochs >= 12)
+      << "the chaos matrix spreads three crashes over the run; give it at "
+         "least a dozen sinking rounds";
+  Rng rng(seed);
+  // Two distinct victims; the second crash hits a different machine than
+  // the first, the third re-crashes the first victim after its recovery.
+  const MachineId a = static_cast<MachineId>(rng.NextBelow(num_machines));
+  MachineId b = static_cast<MachineId>(rng.NextBelow(num_machines - 1));
+  if (b >= a) ++b;
+  // Strictly increasing epochs with slack between them so each recovery
+  // completes (epoch-wise) before the next crash arms its trigger. The
+  // quarter-span stride keeps the last epoch strictly inside the run
+  // (e3 <= 2 + 3 * span/4 < span for span >= 12) so every scheduled
+  // crash actually fires.
+  const SinkEpoch third = std::max<SinkEpoch>(span_epochs / 4, 2);
+  const SinkEpoch e1 = 2 + static_cast<SinkEpoch>(rng.NextBelow(third));
+  const SinkEpoch e2 = e1 + 1 + static_cast<SinkEpoch>(rng.NextBelow(third));
+  const SinkEpoch e3 = e2 + 1 + static_cast<SinkEpoch>(rng.NextBelow(third));
+
+  options.crash.machine = a;
+  options.crash.at_epoch = e1;
+  options.crash.after_txns = 0;
+  options.crash.at_start = false;
+  options.crash.recover = true;
+  options.crash.more.clear();
+  options.crash.more.push_back({b, e2, 0, false});
+  options.crash.more.push_back({a, e3, 0, false});
+  options.detector.enabled = true;
+
+  std::ostringstream out;
+  out << "chaos(seed=" << seed << "): crash m" << a << "@e" << e1 << ", m"
+      << b << "@e" << e2 << ", m" << a << "@e" << e3 << " (repeat)";
+  // With a third machine to spare, make it a straggler: heartbeat
+  // handling stalls for half the detector deadline once per two deadline
+  // periods — slow enough to show up, never slow enough to be declared.
+  if (num_machines >= 3) {
+    MachineId s = static_cast<MachineId>(rng.NextBelow(num_machines - 2));
+    const MachineId lo = std::min(a, b), hi = std::max(a, b);
+    if (s >= lo) ++s;
+    if (s >= hi) ++s;
+    options.straggler.machine = s;
+    options.straggler.delay_us = options.detector.deadline_us / 2;
+    options.straggler.period_us = 2 * options.detector.deadline_us;
+    out << ", straggler m" << s << " (delay="
+        << options.straggler.delay_us << "us)";
+  }
+  return out.str();
 }
 
 ClusterRunOutcome LocalCluster::RunCalvin() {

@@ -3,16 +3,17 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "metrics/run_stats.h"
 #include "net/transport.h"
 #include "runtime/machine.h"
+#include "runtime/machine_checkpoint.h"
 #include "scheduler/tpart_scheduler.h"
 #include "sequencer/sequencer.h"
 #include "storage/partitioned_store.h"
-#include "storage/zigzag_checkpoint.h"
 #include "workload/workload.h"
 
 namespace tpart {
@@ -58,25 +59,75 @@ struct LocalClusterOptions {
   bool streaming = false;
   PipelineOptions pipeline;
 
-  /// Deterministic crash injection (streaming runs only): the chosen
-  /// machine crash-stops — no goodbyes, in-flight traffic dropped — at a
-  /// chosen point, and the run either recovers it in place (§5.4 local
-  /// replay from checkpoint + request/network logs) or merely detects the
-  /// failure and reports it. Same seed + same schedule reproduces the
-  /// same crash, replay, and final state.
-  struct CrashSchedule {
+  /// One deterministic crash-stop: which machine dies and when. A
+  /// schedule may carry several of these (the chaos matrix); each fires
+  /// after the previous victim has recovered, so at most one machine is
+  /// down at a time.
+  struct CrashEvent {
     MachineId machine = kInvalidMachine;
     /// Crash once sinking round `at_epoch` fully executes at `machine`
     /// (the first round it drains at or past this number).
     SinkEpoch at_epoch = 0;
     /// Alternative trigger: crash after this many executed plans,
-    /// possibly mid-round. At most one of the two per run.
+    /// possibly mid-round. At most one trigger per event.
     std::uint64_t after_txns = 0;
+    /// Third trigger: crash before the executor handles anything at all
+    /// (the epoch-0 edge — no sinking round has drained yet).
+    bool at_start = false;
+  };
+
+  /// Deterministic crash injection (streaming runs only): each scheduled
+  /// machine crash-stops — no goodbyes, in-flight traffic dropped — at
+  /// its chosen point, and the run either recovers it in place (§5.4
+  /// local replay from checkpoint + request/network logs) or merely
+  /// detects the failure and reports it. Same seed + same schedule
+  /// reproduces the same crashes, replays, and final state.
+  struct CrashSchedule {
+    MachineId machine = kInvalidMachine;
+    SinkEpoch at_epoch = 0;
+    std::uint64_t after_txns = 0;
+    bool at_start = false;
+    /// Additional crashes after the first (in firing order). The same
+    /// machine may appear again — a repeat crash after its own recovery.
+    std::vector<CrashEvent> more;
     /// Recover in-run when true; detect-and-report only when false.
+    /// Applies to every event in the schedule.
     bool recover = true;
     bool enabled() const { return machine != kInvalidMachine; }
+    /// The full schedule in firing order (the legacy single-crash fields
+    /// are event zero).
+    std::vector<CrashEvent> Events() const {
+      std::vector<CrashEvent> events;
+      if (enabled()) {
+        events.push_back(CrashEvent{machine, at_epoch, after_txns, at_start});
+        events.insert(events.end(), more.begin(), more.end());
+      }
+      return events;
+    }
   };
   CrashSchedule crash;
+
+  /// Deterministic slowness injection: the chosen machine delays its
+  /// heartbeat handling by `delay_us` once per `period_us`. A straggler
+  /// is slow, not dead — the failure detector must NOT declare it failed
+  /// (the delay stays under the deadline).
+  struct StragglerSchedule {
+    MachineId machine = kInvalidMachine;
+    std::uint64_t delay_us = 0;
+    std::uint64_t period_us = 0;
+    bool enabled() const { return machine != kInvalidMachine && delay_us > 0; }
+  };
+  StragglerSchedule straggler;
+
+  /// Periodic incremental checkpointing (streaming runs only): every
+  /// machine captures a MachineCheckpoint at the first drained epoch
+  /// boundary at or past each multiple of this, then truncates its §5.4
+  /// logs; the cluster prunes the resend window up to the minimum
+  /// checkpointed epoch across machines. Recovery then replays only the
+  /// suffix since the victim's last checkpoint, and log memory plateaus
+  /// instead of growing with run length. 0 = load-time checkpoint only
+  /// (the seed behaviour).
+  SinkEpoch checkpoint_every = 0;
 
   /// Transport-level heartbeat failure detection. Enabled implicitly by
   /// an armed crash schedule; enable explicitly to watchdog healthy runs.
@@ -124,8 +175,25 @@ struct ClusterRunOutcome {
   /// still drains (results are then meaningless).
   Status fault;
   /// Crash-injection counters (crashes_injected stays 0 otherwise).
+  /// With a multi-crash schedule the count fields accumulate across
+  /// crashes; machine/epoch/detection reflect the last one handled.
   RecoveryStats recovery;
+  /// Periodic-checkpointing counters (checkpoints_taken stays 0 unless
+  /// checkpoint_every was set).
+  CheckpointStats checkpoint;
 };
+
+/// Fills `options` with a seeded chaos schedule over `num_machines`
+/// machines and roughly `span_epochs` sinking rounds: two sequential
+/// crashes of distinct machines, a repeat crash of the first victim
+/// after its own recovery, and (with >= 3 machines) a straggler that
+/// delays heartbeat handling without ever breaching the detector
+/// deadline. All crashes recover in place. Returns a human-readable
+/// description of the schedule; the same seed always produces the same
+/// schedule.
+std::string ApplySeededChaos(std::uint64_t seed, std::size_t num_machines,
+                             SinkEpoch span_epochs,
+                             LocalClusterOptions& options);
 
 /// A multi-machine deterministic database in one process: N Machines
 /// (each a partition-owning executor + service thread) wired by in-memory
@@ -156,6 +224,16 @@ class LocalCluster {
   /// shipped and dropped, keeping memory bounded by the stage caps.
   const std::vector<SinkPlan>& last_plans() const { return last_plans_; }
 
+  /// Machine m's checkpoint image (records + volatile state + logs
+  /// truncation point), or nullptr when the run keeps none (no crash
+  /// schedule and no checkpoint_every). For recovery inspection and the
+  /// offline checkpoint-suffix replay tests.
+  MachineCheckpoint* checkpoint(MachineId m) {
+    return static_cast<std::size_t>(m) < checkpoints_.size()
+               ? checkpoints_[m].get()
+               : nullptr;
+  }
+
  private:
   ClusterRunOutcome RunTPartBatch();
   ClusterRunOutcome RunTPartStreaming();
@@ -174,9 +252,11 @@ class LocalCluster {
   std::unique_ptr<PartitionedStore> store_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
-  /// Per-partition Zig-Zag checkpoints captured at load time (crash runs
-  /// only); the recovery baseline for RestorePartition().
-  std::vector<std::unique_ptr<ZigZagCheckpointStore>> checkpoints_;
+  /// Per-machine checkpoints (crash and/or checkpoint_every runs only).
+  /// Seeded with the loaded partition state; with checkpoint_every set,
+  /// each machine folds its dirty keys and volatile state in at every
+  /// cadence boundary. The recovery baseline for RestorePartition().
+  std::vector<std::unique_ptr<MachineCheckpoint>> checkpoints_;
   std::vector<SinkPlan> last_plans_;
 };
 

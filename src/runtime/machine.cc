@@ -72,9 +72,9 @@ void Machine::FinishEnqueue() {
 void Machine::StartTPart() {
   service_running_ = true;
   service_ = std::thread([this] { ServiceLoop(); });
-  executor_ = std::thread([this] { TPartWorkerLoop(); });
+  executor_ = std::thread([this] { TPartWorkerLoop(/*initial=*/true); });
   for (int wkr = 1; wkr < executor_workers_; ++wkr) {
-    worker_pool_.emplace_back([this] { TPartWorkerLoop(); });
+    worker_pool_.emplace_back([this] { TPartWorkerLoop(/*initial=*/false); });
   }
 }
 
@@ -144,12 +144,14 @@ void Machine::ServiceLoop() {
     if (msg.type == Message::Type::kShutdown) return;
     if (run_state_.load(std::memory_order_acquire) == RunState::kDown) {
       // Crash-stop: the machine is gone. Heartbeats are dropped so the
-      // failure detector sees the stall; everything else is stashed —
-      // the reliability layer already acked it on delivery into our
-      // inbound queue, so dropping it would lose it forever. Re-injecting
-      // the stash at recovery models the peers' transport retransmitting
-      // to the rebuilt machine.
-      if (msg.type != Message::Type::kHeartbeat) {
+      // failure detector sees the stall (and a stale checkpoint barrier
+      // died with the executor that posted it); everything else is
+      // stashed — the reliability layer already acked it on delivery into
+      // our inbound queue, so dropping it would lose it forever.
+      // Re-injecting the stash at recovery models the peers' transport
+      // retransmitting to the rebuilt machine.
+      if (msg.type != Message::Type::kHeartbeat &&
+          msg.type != Message::Type::kCheckpointBarrier) {
         std::lock_guard<std::mutex> lock(crash_mu_);
         if (run_state_.load(std::memory_order_relaxed) == RunState::kDown) {
           down_stash_.push_back(std::move(msg));
@@ -166,35 +168,49 @@ void Machine::ServiceLoop() {
 }
 
 void Machine::Dispatch(Message msg) {
-  // The §5.4 network log records inbound value-bearing traffic of the
-  // *live* run only: offline replay (replay_) and in-run recovery
-  // (kRecovering, which re-delivers the log itself) must not re-log.
-  const bool log =
-      log_recording_ && !replay_ &&
-      run_state_.load(std::memory_order_relaxed) == RunState::kLive;
+  // The §5.4 network log records every inbound value-bearing message the
+  // machine actually processes, except re-deliveries of already-logged
+  // traffic (offline replay, and recovery's redelivery-marked
+  // re-injections). Genuinely new traffic arriving while kRecovering IS
+  // logged — a later crash must be able to replay it too.
+  const bool log = log_recording_ && !replay_ && !msg.redelivery &&
+                   run_state_.load(std::memory_order_relaxed) !=
+                       RunState::kDown;
   switch (msg.type) {
     case Message::Type::kShutdown:
       return;  // handled by ServiceLoop; unreachable here
     case Message::Type::kHeartbeat:
+      // Straggler fault mode: delay at most one heartbeat per period so
+      // responses skirt the detector deadline without ever fully
+      // stalling. A correct detector must ride this out.
+      if (straggle_delay_us_ > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_straggle_ >=
+            std::chrono::microseconds(straggle_period_us_)) {
+          last_straggle_ = now;
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(straggle_delay_us_));
+        }
+      }
       // Never logged: replaying stale probes would confuse a detector.
       heartbeat_seen_.store(msg.req_id, std::memory_order_release);
       break;
+    case Message::Type::kCheckpointBarrier:
+      // The executor fenced at a drained epoch boundary: every earlier
+      // message in this FIFO queue has been fully applied, so capture
+      // here and truncate the logs.
+      CaptureCheckpoint(msg.epoch);
+      break;
     case Message::Type::kPushVersion:
       // The PUSH-log (§5.4): remember pushed values for local replay.
-      if (log) {
-        std::lock_guard<std::mutex> lock(log_mu_);
-        network_log_.push_back(msg);
-      }
+      if (log) LogNetworkMessage(msg);
       cache_.PutVersion(msg.key, msg.version, msg.dst_txn,
                         std::move(msg.value));
       break;
     case Message::Type::kCacheReadReq: {
       // Logged so replay re-serves the same reads and entry/version
       // refcounts line up (§5.4 local replay).
-      if (log) {
-        std::lock_guard<std::mutex> lock(log_mu_);
-        network_log_.push_back(msg);
-      }
+      if (log) LogNetworkMessage(msg);
       auto v = cache_.TryEpochEntry(msg.key, msg.version, msg.invalidate,
                                     msg.total_reads);
       if (v.has_value()) {
@@ -240,10 +256,7 @@ void Machine::Dispatch(Message msg) {
     }
     case Message::Type::kCacheReadResp:
     case Message::Type::kStorageReadResp: {
-      if (log) {
-        std::lock_guard<std::mutex> lock(log_mu_);
-        network_log_.push_back(msg);
-      }
+      if (log) LogNetworkMessage(msg);
       {
         std::lock_guard<std::mutex> lock(resp_mu_);
         responses_[msg.req_id] = std::move(msg.value);
@@ -252,12 +265,11 @@ void Machine::Dispatch(Message msg) {
       break;
     }
     case Message::Type::kStorageReadReq: {
-      if (log) {
-        std::lock_guard<std::mutex> lock(log_mu_);
-        network_log_.push_back(msg);
-      }
+      if (log) LogNetworkMessage(msg);
       const MachineId reply_to = msg.reply_to;
       const std::uint64_t req_id = msg.req_id;
+      // The tag lets a checkpoint capture a still-parked remote read and
+      // a recovery rebuild this reply callback from it.
       storage_.AsyncRead(msg.key, msg.version,
                          [this, reply_to, req_id](Record value) {
                            Message resp;
@@ -265,23 +277,18 @@ void Machine::Dispatch(Message msg) {
                            resp.req_id = req_id;
                            resp.value = std::move(value);
                            SendOut(reply_to, std::move(resp));
-                         });
+                         },
+                         StorageService::RemoteReadTag{reply_to, req_id});
       break;
     }
     case Message::Type::kWriteBackApply:
-      if (log) {
-        std::lock_guard<std::mutex> lock(log_mu_);
-        network_log_.push_back(msg);
-      }
+      if (log) LogNetworkMessage(msg);
       storage_.ApplyWriteBack(msg.key, msg.version, msg.replaces,
                               std::move(msg.value), msg.awaits, msg.sticky,
                               msg.epoch);
       break;
     case Message::Type::kPeerReads: {
-      if (log) {
-        std::lock_guard<std::mutex> lock(log_mu_);
-        network_log_.push_back(msg);
-      }
+      if (log) LogNetworkMessage(msg);
       {
         std::lock_guard<std::mutex> lock(peer_mu_);
         auto& bucket = peer_reads_[msg.txn];
@@ -450,8 +457,22 @@ std::size_t Machine::epoch_queue_high_water() const {
 // T-Part executor
 // ---------------------------------------------------------------------
 
-void Machine::TPartWorkerLoop() {
+void Machine::TPartWorkerLoop(bool initial) {
   TPART_TRACE(SetThreadInfo(static_cast<int>(1 + id_), "executor"));
+  // The epoch-0 edge of the chaos matrix: the machine dies before any
+  // plan runs. Only the StartTPart() executor honours it — a recovery
+  // executor must not re-fire the same point.
+  if (initial && crash_armed_.load(std::memory_order_acquire)) {
+    bool fire = false;
+    {
+      std::lock_guard<std::mutex> lock(crash_mu_);
+      fire = !crash_points_.empty() && crash_points_.front().at_start;
+    }
+    if (fire) {
+      CrashStop(/*resume=*/1);
+      return;
+    }
+  }
   // Workers pop plans in total order; the version-based CC makes the
   // outcome independent of which worker runs which plan (a read blocks
   // until its named version exists, produced by an earlier — hence
@@ -501,6 +522,12 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
   if (log_recording_ && !replay_ && !is_replay) {
     std::lock_guard<std::mutex> lock(log_mu_);
     request_log_.push_back(RequestLogEntry{epoch, item});
+    request_log_bytes_ +=
+        sizeof(RequestLogEntry) +
+        item.spec.params.size() * sizeof(item.spec.params[0]);
+    if (request_log_bytes_ > request_log_bytes_peak_) {
+      request_log_bytes_peak_ = request_log_bytes_;
+    }
   }
 
   // In-run recovery re-executes logged plans with outbound traffic
@@ -700,14 +727,32 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
     crash_cv_.notify_all();
   }
 
+  // Periodic checkpoint: the executor fences at the first drained epoch
+  // boundary at or past the cadence point, before any crash trigger at
+  // the same boundary — a crash at epoch E then recovers from the fresh
+  // checkpoint at E with an empty replay suffix.
+  if (!is_replay && drained && checkpoint_ != nullptr &&
+      checkpoint_every_ > 0 &&
+      !draining_.load(std::memory_order_acquire) &&
+      run_state_.load(std::memory_order_relaxed) == RunState::kLive &&
+      epoch >= next_checkpoint_epoch_) {
+    RunCheckpointBarrier(epoch);
+    next_checkpoint_epoch_ = epoch + checkpoint_every_;
+  }
+
   if (!is_replay && crash_armed_.load(std::memory_order_relaxed)) {
+    CrashPoint point;
+    {
+      std::lock_guard<std::mutex> lock(crash_mu_);
+      if (!crash_points_.empty()) point = crash_points_.front();
+    }
     // >= so a round with no local slice (which never drains here) cannot
     // disarm the trigger: the first drained round at or past the target
     // fires it.
-    const bool epoch_hit = crash_point_.at_epoch != 0 &&
-                           epoch >= crash_point_.at_epoch && drained;
-    const bool txn_hit = crash_point_.after_txns != 0 &&
-                         executed == crash_point_.after_txns;
+    const bool epoch_hit =
+        point.at_epoch != 0 && epoch >= point.at_epoch && drained;
+    const bool txn_hit =
+        point.after_txns != 0 && executed == point.after_txns;
     if (epoch_hit || txn_hit) {
       // Single-worker FIFO execution means rounds complete in order: if
       // the current round drained, everything lost starts at the next
@@ -749,14 +794,26 @@ void Machine::ArmCrash(CrashPoint point) {
          "hence the replayed suffix must be deterministic";
   TPART_CHECK(log_recording_)
       << "crash recovery replays the §5.4 logs; enable log recording";
-  crash_point_ = point;
+  std::lock_guard<std::mutex> lock(crash_mu_);
+  TPART_CHECK(!point.at_start || crash_points_.empty())
+      << "an at_start crash point must be the first queued";
+  crash_points_.push_back(point);
   crash_armed_.store(true, std::memory_order_release);
+}
+
+void Machine::ArmStraggler(std::uint64_t delay_us, std::uint64_t period_us) {
+  TPART_CHECK(delay_us > 0 && period_us > 0) << "empty straggler schedule";
+  straggle_delay_us_ = delay_us;
+  straggle_period_us_ = period_us;
 }
 
 void Machine::CrashStop(SinkEpoch resume) {
   std::lock_guard<std::mutex> lock(crash_mu_);
   if (run_state_.load(std::memory_order_relaxed) != RunState::kLive) return;
-  crash_armed_.store(false, std::memory_order_relaxed);
+  // Pop the fired point; more queued points (the chaos matrix's repeat
+  // crashes) keep the trigger armed for the recovered machine.
+  if (!crash_points_.empty()) crash_points_.pop_front();
+  crash_armed_.store(!crash_points_.empty(), std::memory_order_relaxed);
   crash_time_ = std::chrono::steady_clock::now();
   resume_epoch_ = resume;
   run_state_.store(RunState::kDown, std::memory_order_release);
@@ -824,8 +881,40 @@ std::size_t Machine::Recover(const std::function<void()>& restore_partition) {
   storage_.Reset();
 
   // 2. Restore the partition from its checkpoint (cost proportional to
-  //    this partition only).
+  //    this partition only), then — when a periodic capture has run —
+  //    the volatile images it saved: the truncated request log is only
+  //    replayable on top of the cache entries and storage version gates
+  //    that existed at the capture boundary.
   restore_partition();
+  SinkEpoch cp_epoch = 0;
+  if (checkpoint_ != nullptr) {
+    cp_epoch = checkpoint_->epoch();
+    if (cp_epoch > 0) {
+      // A capture happens at a drained boundary E, so any later crash
+      // resumes strictly past it; an inverted pair would mean the resend
+      // window was pruned past rounds we still need.
+      TPART_CHECK(cp_epoch < resume)
+          << "machine " << id_ << " checkpoint at epoch " << cp_epoch
+          << " does not precede resume epoch " << resume;
+      {
+        // The truncated prefix's results only exist in the capture.
+        std::lock_guard<std::mutex> results_lock(results_mu_);
+        results_ = checkpoint_->results;
+      }
+      cache_.Restore(checkpoint_->cache);
+      storage_.Restore(
+          checkpoint_->storage,
+          [this](const StorageService::RemoteReadTag& tag) {
+            return [this, tag](Record value) {
+              Message resp;
+              resp.type = Message::Type::kStorageReadResp;
+              resp.req_id = tag.req_id;
+              resp.value = std::move(value);
+              SendOut(tag.reply_to, std::move(resp));
+            };
+          });
+    }
+  }
 
   // 3. §5.4 local replay: re-enqueue the request log grouped by sinking
   //    round in txn order, tagged as replay (outbound suppressed, not
@@ -864,12 +953,16 @@ std::size_t Machine::Recover(const std::function<void()>& restore_partition) {
   }
   replay_remaining_.store(replayed, std::memory_order_release);
 
-  // 4. Reopen the service and re-deliver the inbound past: first the
-  //    network log (the §5.4 PUSH-log generalised), then the traffic
-  //    that arrived while down. Parking in the cache and the storage
-  //    service makes processing order irrelevant. The state flip happens
-  //    under crash_mu_, so no concurrent message can be stranded in the
-  //    stash afterwards.
+  // 4. Reopen the service and re-deliver the inbound past: the parked
+  //    remote pulls the checkpoint saved, then the network log (the §5.4
+  //    PUSH-log generalised, now just the post-checkpoint suffix), then
+  //    the traffic that arrived while down. Parking in the cache and the
+  //    storage service makes processing order irrelevant. The state flip
+  //    happens under crash_mu_, so no concurrent message can be stranded
+  //    in the stash afterwards. Log/checkpoint re-injections carry the
+  //    redelivery mark (already logged once); the stash does not — those
+  //    messages were never processed, and a second crash must be able to
+  //    replay them.
   std::vector<Message> stash;
   {
     std::lock_guard<std::mutex> lock(crash_mu_);
@@ -877,19 +970,31 @@ std::size_t Machine::Recover(const std::function<void()>& restore_partition) {
                      std::memory_order_release);
     stash.swap(down_stash_);
   }
+  if (cp_epoch > 0) {
+    for (Message m : checkpoint_->parked_pulls) {
+      m.redelivery = true;
+      inbound_.Send(std::move(m));
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(log_mu_);
-    for (const Message& m : network_log_) inbound_.Send(m);
+    for (const Message& m : network_log_) {
+      Message copy = m;
+      copy.redelivery = true;
+      inbound_.Send(std::move(copy));
+    }
   }
   for (Message& m : stash) inbound_.Send(std::move(m));
 
   // 5. A fresh executor re-runs the replay, then keeps serving live
   //    rounds until the (re-shipped) stream end. Block until the replay
   //    drains: the caller re-ships lost rounds only after that, so live
-  //    work never interleaves with the replayed suffix.
-  TPART_CHECK(!recovery_executor_.joinable())
-      << "machine " << id_ << " crashed twice in one run";
-  recovery_executor_ = std::thread([this] { TPartWorkerLoop(); });
+  //    work never interleaves with the replayed suffix. A repeat crash
+  //    fires on the previous recovery executor itself, which then exits —
+  //    join it before spawning its replacement.
+  if (recovery_executor_.joinable()) recovery_executor_.join();
+  recovery_executor_ =
+      std::thread([this] { TPartWorkerLoop(/*initial=*/false); });
   {
     std::unique_lock<std::mutex> lock(crash_mu_);
     crash_cv_.wait(lock, [&] {
@@ -899,6 +1004,153 @@ std::size_t Machine::Recover(const std::function<void()>& restore_partition) {
   TPART_TRACE(Instant("replay_done", "fault",
                       {{"machine", id_}, {"replayed", replayed}}));
   return replayed;
+}
+
+// ---------------------------------------------------------------------
+// Periodic checkpointing & log truncation
+// ---------------------------------------------------------------------
+
+void Machine::ConfigureCheckpoint(MachineCheckpoint* image, SinkEpoch every) {
+  TPART_CHECK(every == 0 || executor_workers_ == 1)
+      << "periodic checkpointing needs a single FIFO worker: the barrier "
+         "fences one executor at a drained epoch boundary";
+  TPART_CHECK(every == 0 || log_recording_)
+      << "checkpoint truncation is pointless without the §5.4 logs";
+  checkpoint_ = image;
+  checkpoint_every_ = every;
+  next_checkpoint_epoch_ = every;
+}
+
+void Machine::RunCheckpointBarrier(SinkEpoch epoch) {
+  TPART_TRACE_SPAN("checkpoint_barrier", "checkpoint",
+                   {{"machine", id_}, {"epoch", epoch}});
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_waiting_ = true;
+    ckpt_done_ = false;
+    ckpt_epoch_ = epoch;
+  }
+  Message barrier;
+  barrier.type = Message::Type::kCheckpointBarrier;
+  barrier.epoch = epoch;
+  inbound_.Send(std::move(barrier));
+  // Wait for the service thread to capture. This pause is local: other
+  // machines keep executing; only this machine's epoch pipeline stalls
+  // for the (incremental, O(dirty)) capture.
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  ckpt_cv_.wait(lock, [&] { return ckpt_done_; });
+}
+
+void Machine::CaptureCheckpoint(SinkEpoch epoch) {
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (!ckpt_waiting_ || ckpt_epoch_ != epoch) return;  // stale barrier
+    ckpt_waiting_ = false;
+  }
+  if (checkpoint_ == nullptr) return;
+  TPART_TRACE_SPAN("checkpoint_capture", "checkpoint",
+                   {{"machine", id_}, {"epoch", epoch}});
+  const auto start = std::chrono::steady_clock::now();
+  MachineCheckpoint& cp = *checkpoint_;
+
+  // Every message that preceded the barrier in the inbound FIFO has been
+  // fully applied, and the executor (blocked in RunCheckpointBarrier)
+  // has executed every request-log entry — so the images below cover
+  // exactly the effects of rounds <= epoch, and both §5.4 logs truncate
+  // to empty: later traffic forms the replay suffix.
+  cp.records_captured +=
+      cp.records.ApplyDirty(*store_, storage_.TakeDirtyKeys());
+  cp.cache = cache_.Capture();
+  cp.storage = storage_.Capture();
+  {
+    // Suffix replay cannot regenerate the truncated prefix's results, so
+    // the capture carries everything accumulated up to the boundary.
+    std::lock_guard<std::mutex> lock(results_mu_);
+    cp.results = results_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    cp.parked_pulls.clear();
+    for (const auto& [key_version, reqs] : parked_pulls_) {
+      (void)key_version;
+      cp.parked_pulls.insert(cp.parked_pulls.end(), reqs.begin(), reqs.end());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    cp.truncated_request_entries += request_log_.size();
+    cp.truncated_network_messages += network_log_.size();
+    request_log_.clear();
+    network_log_.clear();
+    request_log_bytes_ = 0;
+    network_log_bytes_ = 0;
+  }
+  ++cp.captures_taken;
+  cp.capture_us += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  // Publish the epoch last: once visible, the cluster may prune resend
+  // rounds <= epoch, which is only safe after the images are complete.
+  cp.set_epoch(epoch);
+
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_done_ = true;
+  }
+  ckpt_cv_.notify_all();
+}
+
+void Machine::InstallCheckpoint(MachineCheckpoint& cp) {
+  if (cp.epoch() == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    results_ = cp.results;
+  }
+  cache_.Restore(cp.cache);
+  storage_.Restore(cp.storage,
+                   [this](const StorageService::RemoteReadTag& tag) {
+                     return [this, tag](Record value) {
+                       Message resp;
+                       resp.type = Message::Type::kStorageReadResp;
+                       resp.req_id = tag.req_id;
+                       resp.value = std::move(value);
+                       SendOut(tag.reply_to, std::move(resp));
+                     };
+                   });
+  for (Message m : cp.parked_pulls) {
+    m.redelivery = true;
+    inbound_.Send(std::move(m));
+  }
+}
+
+void Machine::LogNetworkMessage(const Message& msg) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  network_log_.push_back(msg);
+  network_log_bytes_ += ApproxMessageBytes(msg);
+  if (network_log_bytes_ > network_log_bytes_peak_) {
+    network_log_bytes_peak_ = network_log_bytes_;
+  }
+}
+
+std::size_t Machine::request_log_bytes() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return request_log_bytes_;
+}
+
+std::size_t Machine::network_log_bytes() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return network_log_bytes_;
+}
+
+std::size_t Machine::request_log_bytes_peak() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return request_log_bytes_peak_;
+}
+
+std::size_t Machine::network_log_bytes_peak() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return network_log_bytes_peak_;
 }
 
 std::string Machine::StallDiagnostic() const {

@@ -17,6 +17,7 @@
 
 #include "cache/cache_area.h"
 #include "runtime/channel.h"
+#include "runtime/machine_checkpoint.h"
 #include "runtime/storage_service.h"
 #include "scheduler/push_plan.h"
 #include "storage/kv_store.h"
@@ -115,18 +116,34 @@ class Machine {
   }
 
   // ---- Crash injection & in-run recovery (§5.4 made live) -------------
-  /// Deterministic crash-stop trigger; at most one of the two fields is
-  /// honoured per run. Requires a single executor worker (FIFO execution
-  /// makes the crash point, and hence the replay, deterministic).
+  /// Deterministic crash-stop trigger; at most one of the fields is
+  /// honoured per point. Requires a single executor worker (FIFO
+  /// execution makes the crash point, and hence the replay,
+  /// deterministic).
   struct CrashPoint {
     /// Crash once sinking round `at_epoch` has fully executed here.
     SinkEpoch at_epoch = 0;
     /// Crash once this many plans have executed (may be mid-round).
     std::uint64_t after_txns = 0;
-    bool armed() const { return at_epoch != 0 || after_txns != 0; }
+    /// Crash the executor at startup, before any plan runs (the epoch-0
+    /// edge: the machine dies before the first sink round ships).
+    bool at_start = false;
+    bool armed() const {
+      return at_epoch != 0 || after_txns != 0 || at_start;
+    }
   };
-  /// Arms the crash trigger. Call before StartTPart().
+  /// Arms the next crash trigger. May be called repeatedly before
+  /// StartTPart() to queue a sequence of crash points (the chaos matrix:
+  /// each fires after the previous crash's recovery); an `at_start`
+  /// point must be the first queued.
   void ArmCrash(CrashPoint point);
+
+  /// Arms straggler mode: the service thread sleeps `delay_us` before
+  /// processing a heartbeat, at most once per `period_us` — responses
+  /// arrive near the detector deadline without ever fully stalling, so a
+  /// correct detector must NOT declare this machine failed. Call before
+  /// StartTPart().
+  void ArmStraggler(std::uint64_t delay_us, std::uint64_t period_us);
   /// True from the crash-stop until recovery completes.
   bool crashed() const;
   std::chrono::steady_clock::time_point crash_time() const;
@@ -189,6 +206,32 @@ class Machine {
   }
   const std::vector<Message>& network_log() const { return network_log_; }
 
+  // ---- Periodic checkpointing & log truncation ------------------------
+  /// Attaches the machine's durable checkpoint image and the capture
+  /// cadence: every `every` sink epochs the executor pauses at a drained
+  /// epoch boundary, posts a kCheckpointBarrier through its own inbound
+  /// queue, and the service thread captures `image` when it dispatches
+  /// the barrier — at that point every earlier logged message is fully
+  /// applied, so both §5.4 logs truncate to empty and subsequent traffic
+  /// forms the replay suffix. `every` = 0 disables periodic captures
+  /// (the image still serves as the load-time checkpoint). Streaming
+  /// T-Part only; requires a single executor worker. Call before
+  /// StartTPart().
+  void ConfigureCheckpoint(MachineCheckpoint* image, SinkEpoch every);
+
+  /// Restores the volatile images (cache area, storage version
+  /// discipline, parked pulls) from `cp` into a fresh machine — the
+  /// offline ReplayMachine() counterpart of the in-run restore inside
+  /// Recover(). The partition data (cp.records) is the caller's job.
+  void InstallCheckpoint(MachineCheckpoint& cp);
+
+  /// Byte sizes of the §5.4 logs (current and high-water) — the
+  /// log-growth signal checkpoint truncation exists to bound.
+  std::size_t request_log_bytes() const;
+  std::size_t network_log_bytes() const;
+  std::size_t request_log_bytes_peak() const;
+  std::size_t network_log_bytes_peak() const;
+
  private:
   struct EpochWork {
     SinkEpoch epoch = 0;
@@ -197,11 +240,15 @@ class Machine {
 
   /// Machine lifecycle for crash injection. kDown: the service thread
   /// stashes (does not process) inbound traffic and the executor has
-  /// exited. kRecovering: processing resumed, but the network log is not
-  /// appended to (one crash per run; logging resumes at kLive).
+  /// exited. kRecovering: processing resumed; genuinely new traffic is
+  /// logged again (a later crash must be able to replay it), while
+  /// messages re-injected from the logs carry Message::redelivery and
+  /// are not logged twice.
   enum class RunState { kLive, kDown, kRecovering };
 
-  void TPartWorkerLoop();
+  /// `initial` is true only for the StartTPart() executor; an `at_start`
+  /// crash point fires there, never in a recovery executor.
+  void TPartWorkerLoop(bool initial);
   void CalvinExecutorLoop();
   void ServiceLoop();
   void Dispatch(Message msg);
@@ -209,6 +256,15 @@ class Machine {
   void ExecuteCalvin(const TxnSpec& spec);
   void SendOut(MachineId to, Message msg);
   void CrashStop(SinkEpoch resume);
+
+  // Checkpoint internals: the executor fences (RunCheckpointBarrier,
+  // blocking until the capture finished), the service thread captures
+  // (CaptureCheckpoint, on dispatching the barrier message).
+  void RunCheckpointBarrier(SinkEpoch epoch);
+  void CaptureCheckpoint(SinkEpoch epoch);
+
+  /// Appends one inbound message to the §5.4 network log (byte-counted).
+  void LogNetworkMessage(const Message& msg);
 
   // Streaming intake internals (service thread only, except credit
   // release which executors trigger).
@@ -250,7 +306,7 @@ class Machine {
   SinkEpoch evicted_upto_ = 0;
   int executor_workers_ = 1;
   std::vector<std::thread> worker_pool_;
-  std::mutex log_mu_;
+  mutable std::mutex log_mu_;
 
   // Streaming intake: reliable transports may deliver rounds out of
   // order, but single-worker executors rely on FIFO epoch order (a popped
@@ -305,10 +361,28 @@ class Machine {
   std::mutex results_mu_;
 
   // §5.4 logs; log_mu_ guards both (executor appends request entries,
-  // the service thread appends network entries, recovery reads both).
+  // the service thread appends network entries, recovery reads both,
+  // checkpoint capture truncates both). Byte counters track the live
+  // footprint; peaks survive truncation.
   std::vector<RequestLogEntry> request_log_;
   std::vector<Message> network_log_;
   bool log_recording_ = true;
+  std::size_t request_log_bytes_ = 0;
+  std::size_t network_log_bytes_ = 0;
+  std::size_t request_log_bytes_peak_ = 0;
+  std::size_t network_log_bytes_peak_ = 0;
+
+  // ---- Periodic checkpointing -----------------------------------------
+  MachineCheckpoint* checkpoint_ = nullptr;
+  SinkEpoch checkpoint_every_ = 0;
+  SinkEpoch next_checkpoint_epoch_ = 0;
+  // Barrier handshake between the executor (waits) and the service
+  // thread (captures, then signals).
+  std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_waiting_ = false;
+  bool ckpt_done_ = false;
+  SinkEpoch ckpt_epoch_ = 0;
 
   // ---- Crash / recovery state -----------------------------------------
   // run_state_ is an atomic for lock-free reads on hot paths but is only
@@ -319,7 +393,9 @@ class Machine {
   std::atomic<RunState> run_state_{RunState::kLive};
   mutable std::mutex crash_mu_;
   std::condition_variable crash_cv_;
-  CrashPoint crash_point_;
+  /// Queued crash points, fired front-to-back (CrashStop pops the front
+  /// and re-arms when more remain — the chaos matrix's repeat crashes).
+  std::deque<CrashPoint> crash_points_;
   std::atomic<bool> crash_armed_{false};
   std::chrono::steady_clock::time_point crash_time_{};
   SinkEpoch resume_epoch_ = 0;
@@ -331,6 +407,12 @@ class Machine {
   /// to kLive) when it hits zero.
   std::atomic<std::size_t> replay_remaining_{0};
   std::thread recovery_executor_;
+
+  // Straggler mode (service thread only): sleep before a heartbeat, at
+  // most once per period, so responses skirt the detector deadline.
+  std::uint64_t straggle_delay_us_ = 0;
+  std::uint64_t straggle_period_us_ = 0;
+  std::chrono::steady_clock::time_point last_straggle_{};
 
   std::atomic<std::uint64_t> heartbeat_seen_{0};
   std::atomic<std::uint64_t> executed_plans_{0};

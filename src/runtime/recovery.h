@@ -41,6 +41,20 @@ ReplayResult ReplayMachine(
     const std::vector<Machine::RequestLogEntry>& request_log,
     const std::vector<Message>& network_log, SinkEpoch sticky_ttl = 2);
 
+/// Checkpoint-accelerated offline replay: reconstructs machine `id` from
+/// a mid-run MachineCheckpoint (partition records + volatile cache /
+/// storage-service state captured at a quiescent epoch boundary) plus
+/// only the log *suffix* recorded after that capture. Must produce
+/// byte-identical results and final partition state to the full-log
+/// overload above — replay work is O(epochs since the checkpoint)
+/// instead of O(run length). A never-captured checkpoint (epoch() == 0)
+/// degrades to the full-log formulation: the seeded records are the
+/// loaded database and the suffix is the whole log.
+ReplayResult ReplayMachine(
+    const Workload& workload, MachineId id, MachineCheckpoint& checkpoint,
+    const std::vector<Machine::RequestLogEntry>& request_log_suffix,
+    const std::vector<Message>& network_log_suffix, SinkEpoch sticky_ttl = 2);
+
 }  // namespace tpart
 
 #endif  // TPART_RUNTIME_RECOVERY_H_

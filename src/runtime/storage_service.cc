@@ -1,7 +1,10 @@
 #include "runtime/storage_service.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <memory>
+
+#include "common/logging.h"
 
 namespace tpart {
 
@@ -50,6 +53,7 @@ void StorageService::DrainKeyLocked(
         }
         wb_log_.CommitBatch();
         ++write_backs_applied_;
+        dirty_keys_.insert(key);
         st.current = wb.version;
         st.reads_served_since_wb = 0;
         st.has_sticky = wb.sticky;
@@ -62,7 +66,8 @@ void StorageService::DrainKeyLocked(
 }
 
 void StorageService::AsyncRead(ObjectKey key, TxnId expected_version,
-                               ReadDone done) {
+                               ReadDone done,
+                               std::optional<RemoteReadTag> remote) {
   std::vector<std::pair<ReadDone, Record>> ready;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -78,7 +83,8 @@ void StorageService::AsyncRead(ObjectKey key, TxnId expected_version,
         DrainKeyLocked(key, st, ready);
       } else {
         st.parked_reads.push_back(ParkedRead{expected_version,
-                                             std::move(done)});
+                                             std::move(done),
+                                             std::move(remote)});
       }
     }
   }
@@ -170,6 +176,77 @@ void StorageService::Reset() {
   // capture shared or machine-owned state, so dropping them is safe.
   keys_.clear();
   shutdown_ = false;
+}
+
+StorageService::Image StorageService::Capture() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Image image;
+  // Deterministic key order so same-seed captures are byte-identical.
+  std::vector<ObjectKey> order;
+  order.reserve(keys_.size());
+  for (const auto& [key, st] : keys_) {
+    (void)st;
+    order.push_back(key);
+  }
+  std::sort(order.begin(), order.end());
+  image.keys.reserve(order.size());
+  for (const ObjectKey key : order) {
+    const KeyState& st = keys_.at(key);
+    Image::KeyImage ki;
+    ki.key = key;
+    ki.current = st.current;
+    ki.reads_served_since_wb = st.reads_served_since_wb;
+    ki.has_sticky = st.has_sticky;
+    ki.sticky_expire = st.sticky_expire;
+    for (const auto& [replaces, wb] : st.parked_wbs) {
+      (void)replaces;
+      ki.parked_wbs.push_back(Image::ParkedWbImage{
+          wb.version, wb.replaces, wb.value, wb.awaits, wb.sticky, wb.epoch});
+    }
+    for (const ParkedRead& pr : st.parked_reads) {
+      // The executor is quiescent at capture, so every parked read must be
+      // a remote pull; a local wait here would be lost by the checkpoint.
+      TPART_CHECK(pr.remote.has_value())
+          << "untagged parked storage read at checkpoint capture (key="
+          << key << ")";
+      ki.parked_remote_reads.push_back(
+          Image::ParkedRemoteRead{pr.expected, *pr.remote});
+    }
+    image.keys.push_back(std::move(ki));
+  }
+  return image;
+}
+
+void StorageService::Restore(const Image& image,
+                             const MakeRemoteDone& make_done) {
+  std::lock_guard<std::mutex> lock(mu_);
+  keys_.clear();
+  dirty_keys_.clear();
+  for (const auto& ki : image.keys) {
+    KeyState& st = keys_[ki.key];
+    st.current = ki.current;
+    st.reads_served_since_wb = ki.reads_served_since_wb;
+    st.has_sticky = ki.has_sticky;
+    st.sticky_expire = ki.sticky_expire;
+    for (const auto& wb : ki.parked_wbs) {
+      st.parked_wbs.emplace(
+          wb.replaces, ParkedWb{wb.version, wb.replaces, wb.value, wb.awaits,
+                                wb.sticky, wb.epoch});
+    }
+    for (const auto& prr : ki.parked_remote_reads) {
+      st.parked_reads.push_back(
+          ParkedRead{prr.expected, make_done(prr.tag), prr.tag});
+    }
+  }
+  shutdown_ = false;
+}
+
+std::vector<ObjectKey> StorageService::TakeDirtyKeys() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectKey> out(dirty_keys_.begin(), dirty_keys_.end());
+  dirty_keys_.clear();
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::uint64_t StorageService::sticky_hits() const {

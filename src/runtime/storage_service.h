@@ -7,7 +7,9 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -36,10 +38,21 @@ class StorageService {
 
   using ReadDone = std::function<void(Record)>;
 
+  /// Identity of the remote requester behind a parked read. A read that
+  /// carries a tag can be reconstructed after a crash (the reply callback
+  /// is rebuilt from the tag); untagged reads are local-executor waits and
+  /// never survive a checkpoint (the executor is quiescent at capture).
+  struct RemoteReadTag {
+    MachineId reply_to = kInvalidMachine;
+    std::uint64_t req_id = 0;
+  };
+
   /// Serves (possibly later) the version of `key` tagged
   /// `expected_version`. `done` may run inline or from a later
   /// ApplyWriteBack call on another thread; it must be lightweight.
-  void AsyncRead(ObjectKey key, TxnId expected_version, ReadDone done);
+  /// `remote` identifies a remote requester (see RemoteReadTag).
+  void AsyncRead(ObjectKey key, TxnId expected_version, ReadDone done,
+                 std::optional<RemoteReadTag> remote = std::nullopt);
 
   /// Blocking wrapper for the local executor.
   Record BlockingRead(ObjectKey key, TxnId expected_version);
@@ -49,8 +62,9 @@ class StorageService {
   /// crashed), instead of hanging forever. A timeout of zero waits
   /// forever. The parked read may still be served later; its value is
   /// discarded.
-  Result<Record> BlockingReadFor(ObjectKey key, TxnId expected_version,
-                                 std::chrono::microseconds timeout);
+  [[nodiscard]] Result<Record> BlockingReadFor(
+      ObjectKey key, TxnId expected_version,
+      std::chrono::microseconds timeout);
 
   /// Applies (or parks) the write-back of `version` of `key`, which
   /// replaces storage version `replaces` (strict replacement order).
@@ -70,6 +84,50 @@ class StorageService {
   /// (reads served, write-backs applied) are deliberately kept.
   void Reset();
 
+  /// Checkpoint image of the version discipline: per-key current tag,
+  /// read counts, sticky state, parked write-backs (as plain data), and
+  /// parked *remote* reads (as reconstruction tags). Captured at a
+  /// quiescent epoch boundary; any untagged (local-executor) parked read
+  /// at capture time is a bug and CHECK-fails.
+  struct Image {
+    struct ParkedWbImage {
+      TxnId version;
+      TxnId replaces;
+      Record value;
+      std::uint32_t awaits;
+      bool sticky;
+      SinkEpoch epoch;
+    };
+    struct ParkedRemoteRead {
+      TxnId expected;
+      RemoteReadTag tag;
+    };
+    struct KeyImage {
+      ObjectKey key;
+      TxnId current;
+      std::uint32_t reads_served_since_wb;
+      bool has_sticky;
+      SinkEpoch sticky_expire;
+      std::vector<ParkedWbImage> parked_wbs;
+      std::vector<ParkedRemoteRead> parked_remote_reads;
+    };
+    std::vector<KeyImage> keys;
+  };
+
+  Image Capture() const;
+
+  /// Rebuilds a ReadDone reply callback from a RemoteReadTag at restore.
+  using MakeRemoteDone = std::function<ReadDone(const RemoteReadTag&)>;
+
+  /// Replaces the version-discipline state with `image` and re-opens the
+  /// service; parked remote reads get fresh callbacks via `make_done`.
+  /// Cumulative counters are kept, mirroring Reset().
+  void Restore(const Image& image, const MakeRemoteDone& make_done);
+
+  /// Drains the set of keys written back since the last call (the dirty
+  /// set for an incremental checkpoint pass).
+  std::vector<ObjectKey> TakeDirtyKeys();
+
   const WriteBackLog& write_back_log() const { return wb_log_; }
   std::uint64_t sticky_hits() const;
   std::uint64_t reads_served() const;
@@ -79,6 +137,7 @@ class StorageService {
   struct ParkedRead {
     TxnId expected;
     ReadDone done;
+    std::optional<RemoteReadTag> remote;
   };
   struct ParkedWb {
     TxnId version;
@@ -110,6 +169,9 @@ class StorageService {
   KvStore* store_;
   SinkEpoch sticky_ttl_;
   std::unordered_map<ObjectKey, KeyState> keys_;
+  // Keys written back since the last TakeDirtyKeys() (write-backs are the
+  // only storage writes, so this is the full dirty set).
+  std::unordered_set<ObjectKey> dirty_keys_;
   WriteBackLog wb_log_;
   SinkEpoch next_log_batch_ = 0;
   std::uint64_t sticky_hits_ = 0;

@@ -75,6 +75,21 @@ std::size_t ZigZagCheckpointStore::Checkpoint(
   return captured;
 }
 
+std::size_t ZigZagCheckpointStore::ApplyDirty(
+    const KvStore& source, const std::vector<ObjectKey>& dirty_keys) {
+  std::size_t folded = 0;
+  for (const ObjectKey key : dirty_keys) {
+    Result<Record> r = source.Read(key);
+    if (r.ok()) {
+      Put(key, std::move(r).value());
+    } else {
+      Delete(key);
+    }
+    ++folded;
+  }
+  return folded;
+}
+
 std::uint64_t ZigZagCheckpointStore::rounds() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return rounds_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "storage/kv_store.h"
 #include "storage/record.h"
 
 namespace tpart {
@@ -47,6 +48,15 @@ class ZigZagCheckpointStore {
 
   /// Number of completed checkpoint rounds.
   std::uint64_t rounds() const;
+
+  /// Incremental refresh: folds only `dirty_keys` from `source` into this
+  /// checkpoint image (Put when present, Delete when absent), leaving all
+  /// other keys untouched. With write-backs as the only storage writes,
+  /// passing the keys written back since the previous refresh makes this
+  /// image equal to a full copy of `source` at O(dirty) cost. Returns the
+  /// number of keys folded in.
+  std::size_t ApplyDirty(const KvStore& source,
+                         const std::vector<ObjectKey>& dirty_keys);
 
  private:
   struct Slot {

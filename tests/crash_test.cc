@@ -199,6 +199,140 @@ TEST(CrashTest, CrashedRunIsDeterministicAcrossRuns) {
 }
 
 // ---------------------------------------------------------------------
+// Edge epochs: crash before any sink round, and after the last one.
+// ---------------------------------------------------------------------
+
+TEST(CrashTest, CrashAtStartBeforeAnySinkRoundRecovers) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  LocalClusterOptions opts = CrashOpts(TransportKind::kDirect, 1, 0);
+  opts.crash.at_start = true;  // dies before executing anything at all
+  const RunSnapshot got = RunOnce(w, opts);
+  EXPECT_TRUE(got.out.fault.ok()) << got.out.fault.ToString();
+  ExpectSameResults(ref.out.results, got.out.results);
+  EXPECT_EQ(got.state, ref.state);
+  EXPECT_EQ(got.out.recovery.crashes_injected, 1u);
+  EXPECT_EQ(got.out.recovery.crashed_machine, 1);
+  // Nothing executed before the crash: the replayed prefix is empty and
+  // the whole stream is re-shipped.
+  EXPECT_EQ(got.out.recovery.crash_epoch, 0u);
+  EXPECT_GE(got.out.recovery.resent_rounds, 1u);
+}
+
+TEST(CrashTest, CrashAtFinalEpochAfterLastPlanRecovers) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+  const SinkEpoch final_epoch =
+      static_cast<SinkEpoch>(ref.out.pipeline.plans);
+  ASSERT_GT(final_epoch, 0u);
+
+  // Dies the moment the last sinking round drains — after every plan was
+  // executed, before the stream-end drain completes. Recovery must
+  // replay the full log and re-consume the end marker, never hang.
+  const RunSnapshot got =
+      RunOnce(w, CrashOpts(TransportKind::kDirect, 2, final_epoch));
+  EXPECT_TRUE(got.out.fault.ok()) << got.out.fault.ToString();
+  ExpectSameResults(ref.out.results, got.out.results);
+  EXPECT_EQ(got.state, ref.state);
+  EXPECT_EQ(got.out.recovery.crashes_injected, 1u);
+  EXPECT_EQ(got.out.recovery.crash_epoch, final_epoch);
+  EXPECT_GT(got.out.recovery.replayed_txns, 0u);
+}
+
+// ---------------------------------------------------------------------
+// The seeded chaos matrix: sequential crashes of distinct machines, a
+// repeat crash of a recovered machine, and a straggler that must never
+// be declared failed — byte-identical on every transport.
+// ---------------------------------------------------------------------
+
+TEST(CrashTest, SeededChaosMatrixMatchesFaultFreeRunOnEveryTransport) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+  const SinkEpoch span = static_cast<SinkEpoch>(ref.out.pipeline.plans);
+  ASSERT_GE(span, 12u);
+
+  struct Case {
+    TransportKind kind;
+    std::uint64_t seed;
+    bool network_faults;
+  };
+  const Case cases[] = {
+      {TransportKind::kDirect, 7, false},
+      {TransportKind::kInProcess, 21, false},
+      {TransportKind::kTcp, 7, false},
+      {TransportKind::kInProcess, 7, true},
+  };
+  for (const Case& c : cases) {
+    LocalClusterOptions opts = StreamingOpts(c.kind);
+    opts.detector.heartbeat_interval_us = 2000;
+    opts.detector.deadline_us = 100000;
+    const std::string schedule =
+        ApplySeededChaos(c.seed, w.num_machines, span, opts);
+    if (c.network_faults) {
+      opts.transport.faults.seed = 0xC0FFEE;
+      opts.transport.faults.drop_prob = 0.05;
+      opts.transport.faults.duplicate_prob = 0.05;
+      opts.transport.faults.delay_prob = 0.10;
+      opts.transport.faults.max_delay_us = 1500;
+      opts.transport.retry_timeout_us = 1000;
+    }
+    const std::string label = schedule + " on transport " +
+                              std::to_string(static_cast<int>(c.kind));
+    const RunSnapshot got = RunOnce(w, opts);
+    EXPECT_TRUE(got.out.fault.ok())
+        << label << ": " << got.out.fault.ToString();
+    ExpectSameResults(ref.out.results, got.out.results);
+    EXPECT_EQ(got.state, ref.state) << label;
+    // All three scheduled crashes fired and recovered (two distinct
+    // victims plus the repeat of the first).
+    EXPECT_EQ(got.out.recovery.crashes_injected, 3u) << label;
+    EXPECT_GT(got.out.recovery.replayed_txns, 0u) << label;
+  }
+}
+
+TEST(CrashTest, SeededChaosIsDeterministicForAFixedSeed) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  LocalClusterOptions a = StreamingOpts(TransportKind::kDirect);
+  LocalClusterOptions b = StreamingOpts(TransportKind::kDirect);
+  const std::string sa = ApplySeededChaos(42, 3, 20, a);
+  const std::string sb = ApplySeededChaos(42, 3, 20, b);
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(a.crash.machine, b.crash.machine);
+  EXPECT_EQ(a.crash.at_epoch, b.crash.at_epoch);
+  ASSERT_EQ(a.crash.more.size(), 2u);
+  ASSERT_EQ(b.crash.more.size(), 2u);
+  EXPECT_EQ(a.crash.more[1].machine, a.crash.machine)
+      << "third crash repeats the first victim";
+  EXPECT_NE(a.crash.more[0].machine, a.crash.machine)
+      << "second crash hits a different machine";
+  EXPECT_LT(a.crash.at_epoch, a.crash.more[0].at_epoch);
+  EXPECT_LT(a.crash.more[0].at_epoch, a.crash.more[1].at_epoch);
+  EXPECT_TRUE(a.straggler.enabled());
+  EXPECT_NE(a.straggler.machine, a.crash.machine);
+  EXPECT_NE(a.straggler.machine, a.crash.more[0].machine);
+}
+
+TEST(CrashTest, StragglerDelaysHeartbeatsWithoutFalseFailure) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  LocalClusterOptions opts = StreamingOpts(TransportKind::kDirect);
+  opts.detector.enabled = true;  // watchdog on, no crash scheduled
+  opts.detector.heartbeat_interval_us = 2000;
+  opts.detector.deadline_us = 100000;
+  opts.straggler.machine = 1;
+  opts.straggler.delay_us = opts.detector.deadline_us / 2;
+  opts.straggler.period_us = 2 * opts.detector.deadline_us;
+  const RunSnapshot got = RunOnce(w, opts);
+  // Slow is not dead: no fault, no crash, byte-identical results.
+  EXPECT_TRUE(got.out.fault.ok()) << got.out.fault.ToString();
+  EXPECT_EQ(got.out.recovery.crashes_injected, 0u);
+  ExpectSameResults(ref.out.results, got.out.results);
+  EXPECT_EQ(got.state, ref.state);
+}
+
+// ---------------------------------------------------------------------
 // Detection without recovery: fail loudly, never hang.
 // ---------------------------------------------------------------------
 

@@ -5,11 +5,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <string>
 #include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "exec/serial_executor.h"
 #include "runtime/cluster.h"
+#include "runtime/recovery.h"
 #include "scheduler/tpart_scheduler.h"
 #include "workload/micro.h"
 
@@ -158,6 +164,88 @@ TEST_P(GraphInvariantProperty, HoldAcrossSinkRounds) {
   sched.Drain();
   ASSERT_TRUE(sched.graph().CheckInvariants(&why)) << why;
 }
+
+// Checkpoint-replay equivalence property: for any seeded workload, the
+// checkpoint-plus-truncated-suffix offline replay must reconstruct every
+// machine byte-identically to the full-log replay — same final partition
+// state, and matching results for every transaction the suffix covers.
+class CheckpointReplayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointReplayProperty, SuffixReplayMatchesFullLogReplay) {
+  MicroOptions o;
+  o.num_machines = 3;
+  o.records_per_machine = 150;
+  o.hot_set_size = 15;
+  o.num_txns = 300;
+  o.seed = static_cast<std::uint64_t>(GetParam());
+  const Workload w = MakeMicroWorkload(o);
+
+  auto partition_state = [](PartitionedStore& store, MachineId m) {
+    std::vector<std::pair<ObjectKey, Record>> state;
+    store.store(m).Scan(
+        0, std::numeric_limits<ObjectKey>::max(),
+        [&](ObjectKey k, const Record& v) { state.emplace_back(k, v); });
+    std::sort(state.begin(), state.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return state;
+  };
+
+  LocalClusterOptions streaming;
+  streaming.scheduler.sink_size = 20;
+  streaming.streaming = true;
+
+  // Full-log run: nothing truncated, logs cover the whole stream.
+  LocalCluster full(&w, streaming);
+  ASSERT_TRUE(full.RunTPart().fault.ok());
+
+  // Checkpointed run: logs hold only the suffix since each machine's
+  // last capture; the checkpoint image holds everything before it.
+  LocalClusterOptions checkpointed = streaming;
+  checkpointed.checkpoint_every = 4;
+  LocalCluster incr(&w, checkpointed);
+  ASSERT_TRUE(incr.RunTPart().fault.ok());
+
+  for (std::size_t m = 0; m < w.num_machines; ++m) {
+    const MachineId id = static_cast<MachineId>(m);
+    ReplayResult via_full =
+        ReplayMachine(w, id, full.machine(id).request_log(),
+                      full.machine(id).network_log());
+    ASSERT_NE(incr.checkpoint(id), nullptr);
+    ASSERT_GT(incr.checkpoint(id)->epoch(), 0u)
+        << "machine " << m << " never captured";
+    ASSERT_LT(incr.machine(id).request_log().size(),
+              full.machine(id).request_log().size())
+        << "machine " << m << " log was not truncated";
+    ReplayResult via_suffix =
+        ReplayMachine(w, id, *incr.checkpoint(id),
+                      incr.machine(id).request_log(),
+                      incr.machine(id).network_log());
+
+    EXPECT_EQ(partition_state(*via_suffix.store, id),
+              partition_state(*via_full.store, id))
+        << "machine " << m << " partition diverged";
+
+    // Both replays carry a result for every transaction of the machine:
+    // the full replay re-executes them all, the suffix replay re-executes
+    // only the post-capture tail but restores the prefix's results from
+    // the checkpoint image. They must agree pairwise.
+    std::unordered_map<TxnId, const TxnResult*> by_id;
+    for (const TxnResult& r : via_full.results) by_id.emplace(r.id, &r);
+    EXPECT_EQ(via_suffix.results.size(), via_full.results.size())
+        << "machine " << m;
+    for (const TxnResult& r : via_suffix.results) {
+      auto it = by_id.find(r.id);
+      ASSERT_NE(it, by_id.end()) << "machine " << m << " T" << r.id;
+      EXPECT_EQ(r.committed, it->second->committed)
+          << "machine " << m << " T" << r.id;
+      EXPECT_EQ(r.output, it->second->output)
+          << "machine " << m << " T" << r.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointReplayProperty,
+                         ::testing::Values(101, 202, 303, 404));
 
 INSTANTIATE_TEST_SUITE_P(
     Grid, GraphInvariantProperty,
