@@ -32,6 +32,19 @@
 //                                   epochs and truncate the recovery logs
 //                                   and resend window; prints the
 //                                   checkpoint statistics
+//   --resize=+K@E[,±K@E...]         (streaming only) grow (+K) or shrink
+//                                   (-K) the machine set by K machines at
+//                                   sink epoch E: quiesce at the epoch
+//                                   barrier, migrate the re-homed
+//                                   partitions over the wire, and resume;
+//                                   results stay byte-identical to a
+//                                   fixed-membership run. Repeatable as a
+//                                   comma list with increasing epochs.
+//   --resize-policy=rehash|hotkey   route selection for --resize: rehash
+//                                   moves the minimal consistent-hash
+//                                   slice; hotkey additionally pins the
+//                                   hottest keys onto the new machines
+//                                   (default rehash)
 //   --chaos=SEED                    (streaming only) seeded chaos matrix:
 //                                   two sequential crashes of distinct
 //                                   machines, a repeat crash of the first
@@ -140,6 +153,9 @@ int main(int argc, char** argv) {
   const auto checkpoint_every = static_cast<SinkEpoch>(
       IntFlag(argc, argv, "checkpoint-every", 0));
   const std::string chaos = StrFlag(argc, argv, "chaos", "");
+  const std::string resize = StrFlag(argc, argv, "resize", "");
+  const std::string resize_policy =
+      StrFlag(argc, argv, "resize-policy", "rehash");
   const std::string trace_path = StrFlag(argc, argv, "trace", "");
   const std::string metrics_path = StrFlag(argc, argv, "metrics", "");
 
@@ -238,6 +254,40 @@ int main(int argc, char** argv) {
           span, opts);
       std::printf("%s\n", schedule.c_str());
     }
+    if (!resize.empty()) {
+      if (!stream) {
+        std::fprintf(stderr, "--resize requires --stream\n");
+        return 2;
+      }
+      // Comma list of signed deltas pinned to cut epochs: +1@40,-1@80.
+      for (std::size_t pos = 0; pos < resize.size();) {
+        std::size_t comma = resize.find(',', pos);
+        if (comma == std::string::npos) comma = resize.size();
+        const std::string item = resize.substr(pos, comma - pos);
+        const auto at = item.find('@');
+        const int delta =
+            at == std::string::npos ? 0 : std::atoi(item.substr(0, at).c_str());
+        if (delta == 0) {
+          std::fprintf(stderr,
+                       "--resize items must look like +K@EPOCH or -K@EPOCH "
+                       "(got '%s')\n",
+                       item.c_str());
+          return 2;
+        }
+        LocalClusterOptions::ResizeEvent event;
+        event.at_epoch =
+            static_cast<SinkEpoch>(std::atoll(item.substr(at + 1).c_str()));
+        event.delta = delta;
+        opts.resize.events.push_back(event);
+        pos = comma + 1;
+      }
+      if (resize_policy == "hotkey") {
+        opts.resize.policy = MigrationPolicy::kHotKey;
+      } else if (resize_policy != "rehash") {
+        std::fprintf(stderr, "--resize-policy must be rehash or hotkey\n");
+        return 2;
+      }
+    }
     if (checkpoint_every > 0) {
       if (!stream) {
         std::fprintf(stderr, "--checkpoint-every requires --stream\n");
@@ -271,6 +321,9 @@ int main(int argc, char** argv) {
       if (out.checkpoint.checkpoints_taken > 0) {
         out.checkpoint.PublishTo(registry);
       }
+      if (out.migration.membership_steps > 0) {
+        out.migration.PublishTo(registry);
+      }
       std::printf("tpart  (runtime%s): committed=%llu aborted=%llu\n",
                   stream ? ", streaming" : "",
                   static_cast<unsigned long long>(out.committed),
@@ -298,6 +351,9 @@ int main(int argc, char** argv) {
       }
       if (out.checkpoint.checkpoints_taken > 0) {
         std::printf("  checkpoint: %s\n", out.checkpoint.Summary().c_str());
+      }
+      if (out.migration.membership_steps > 0) {
+        std::printf("  migration: %s\n", out.migration.Summary().c_str());
       }
     }
     return finish(0);

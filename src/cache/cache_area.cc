@@ -174,6 +174,23 @@ void CacheArea::Restore(const Image& image) {
   cv_.notify_all();
 }
 
+std::optional<CacheArea::Image::StickyImage> CacheArea::ExtractSticky(
+    ObjectKey key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sticky_.find(key);
+  if (it == sticky_.end()) return std::nullopt;
+  Image::StickyImage out{key, it->second.value, it->second.version,
+                         it->second.expire_epoch};
+  sticky_.erase(it);
+  return out;
+}
+
+void CacheArea::InstallSticky(const Image::StickyImage& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sticky_[entry.key] = StickyEntry{entry.value, entry.version,
+                                   entry.expire_epoch};
+}
+
 std::size_t CacheArea::num_version_entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return versions_.size();

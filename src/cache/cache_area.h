@@ -126,6 +126,14 @@ class CacheArea {
   /// Cumulative counters are kept, mirroring Reset().
   void Restore(const Image& image);
 
+  /// Removes and returns the sticky entry for `key`, if any (elastic
+  /// migration source side: the sticky copy follows the record to its new
+  /// home so post-cut immediate-reads-after-write still hit).
+  std::optional<Image::StickyImage> ExtractSticky(ObjectKey key);
+
+  /// Installs a migrated sticky entry (elastic migration target side).
+  void InstallSticky(const Image::StickyImage& entry);
+
   // --- Introspection ---------------------------------------------------
   std::size_t num_version_entries() const;
   std::size_t num_epoch_entries() const;

@@ -1,0 +1,59 @@
+#include "elastic/elastic_map.h"
+
+#include "common/logging.h"
+
+namespace tpart {
+
+namespace {
+
+// splitmix64 finalizer — decorrelated from HashPartitionMap's Fibonacci
+// hash so rehash movement doesn't systematically chase the base layout.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MachineId ElasticPartitionMap::ApplyStep(const MembershipStep& step,
+                                         std::size_t step_idx, ObjectKey key,
+                                         MachineId home) {
+  auto it = step.overrides.find(key);
+  if (it != step.overrides.end()) return it->second;
+  if (step.n_after > step.n_before) {
+    // Grow: a key moves iff its rendezvous slot lands on a new machine.
+    // Exactly a (n_after - n_before)/n_after fraction of the keyspace
+    // moves — the minimal-movement property.
+    const auto slot = static_cast<MachineId>(Mix(key) % step.n_after);
+    return slot >= static_cast<MachineId>(step.n_before) ? slot : home;
+  }
+  // Shrink: only keys homed on a removed machine move; they rendezvous
+  // into the surviving set (salted by the step index so repeated shrinks
+  // don't correlate).
+  if (home >= static_cast<MachineId>(step.n_after)) {
+    return static_cast<MachineId>(Mix(key ^ (0xE1A5u + step_idx)) %
+                                  step.n_after);
+  }
+  return home;
+}
+
+MachineId ElasticPartitionMap::LocateAt(std::size_t version,
+                                        ObjectKey key) const {
+  TPART_CHECK(version <= steps_.size())
+      << "elastic map version " << version << " past " << steps_.size()
+      << " steps";
+  MachineId home = base_->Locate(key);
+  for (std::size_t i = 0; i < version; ++i) {
+    home = ApplyStep(steps_[i], i, key, home);
+  }
+  return home;
+}
+
+std::size_t ElasticPartitionMap::membership_at(std::size_t version) const {
+  TPART_CHECK(version <= steps_.size());
+  return version == 0 ? base_->num_partitions() : steps_[version - 1].n_after;
+}
+
+}  // namespace tpart

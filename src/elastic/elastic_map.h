@@ -1,0 +1,109 @@
+#ifndef TPART_ELASTIC_ELASTIC_MAP_H_
+#define TPART_ELASTIC_ELASTIC_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/data_partition.h"
+
+namespace tpart {
+
+/// How a membership step picks the keys that move (ISSUE: key-range /
+/// hot-key driven, Lion-style adaptive provision).
+enum class MigrationPolicy : std::uint8_t {
+  /// Closed-form minimal movement: on a grow n -> n', key moves iff its
+  /// rendezvous hash lands in [n, n'); on a shrink, only keys homed on a
+  /// removed machine move. No per-key state needed.
+  kRehash = 0,
+  /// Lion-style: the scheduler picks the hottest keys (by observed access
+  /// frequency in the request stream) and places them explicitly via the
+  /// step's override table; everything else follows kRehash movement
+  /// rules. Deterministic because the frequency counts are a pure
+  /// function of the totally ordered stream prefix.
+  kHotKey = 1,
+};
+
+/// One membership change: sinking rounds <= cut_epoch run with n_before
+/// machines, rounds > cut_epoch with n_after. The override table is
+/// filled (hot-key policy) by the scheduler *before* the step is
+/// published via ElasticPartitionMap::Advance(), so concurrent readers
+/// never observe a half-built step.
+struct MembershipStep {
+  SinkEpoch cut_epoch = 0;
+  std::size_t n_before = 0;
+  std::size_t n_after = 0;
+  MigrationPolicy policy = MigrationPolicy::kRehash;
+  /// How many hot keys the scheduler pins explicitly (kHotKey only).
+  std::size_t hot_keys = 64;
+  /// Explicit per-key placement, filled at the cut (kHotKey), always a
+  /// machine < n_after.
+  std::unordered_map<ObjectKey, MachineId> overrides;
+};
+
+/// Epoch-versioned key -> machine map: a fixed base map plus an ordered
+/// list of membership steps. Version v means "the first v steps have been
+/// applied"; Locate() answers at the atomically published active version,
+/// LocateAt() at any version (the control plane diffs v-1 vs v to compute
+/// the moved-key set). num_partitions() reports the total machine slots
+/// the run ever uses, so stores and machines are allocated once up front
+/// and a membership change never reallocates anything — it only changes
+/// where keys are homed.
+///
+/// Thread-safety: AddStep() is construction-time only. The scheduler
+/// thread mutates step v's override table and then calls Advance() (a
+/// release store); any thread may call Locate()/LocateAt() concurrently
+/// (acquire load) and will only ever read fully published steps.
+class ElasticPartitionMap : public DataPartitionMap {
+ public:
+  ElasticPartitionMap(std::shared_ptr<const DataPartitionMap> base,
+                      std::size_t total_slots)
+      : base_(std::move(base)), total_slots_(total_slots) {}
+
+  /// Appends a step (construction time, before the run starts).
+  void AddStep(MembershipStep step) { steps_.push_back(std::move(step)); }
+
+  /// Home of `key` after the first `version` steps.
+  MachineId LocateAt(std::size_t version, ObjectKey key) const;
+
+  MachineId Locate(ObjectKey key) const override {
+    return LocateAt(active_version_.load(std::memory_order_acquire), key);
+  }
+
+  /// Total machine slots allocated for the run (max membership).
+  std::size_t num_partitions() const override { return total_slots_; }
+
+  /// Active machine count (membership, not slots) at `version`.
+  std::size_t membership_at(std::size_t version) const;
+
+  std::size_t active_version() const {
+    return active_version_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes the next step (scheduler thread, at the cut).
+  void Advance() { active_version_.fetch_add(1, std::memory_order_release); }
+
+  std::size_t num_steps() const { return steps_.size(); }
+  const MembershipStep& step(std::size_t i) const { return steps_.at(i); }
+  /// Mutable access for the scheduler to fill hot-key overrides before
+  /// publishing; never call for an already-published step.
+  MembershipStep& mutable_step(std::size_t i) { return steps_.at(i); }
+
+  const DataPartitionMap& base() const { return *base_; }
+
+ private:
+  static MachineId ApplyStep(const MembershipStep& step, std::size_t step_idx,
+                             ObjectKey key, MachineId home);
+
+  std::shared_ptr<const DataPartitionMap> base_;
+  std::size_t total_slots_;
+  std::vector<MembershipStep> steps_;
+  std::atomic<std::size_t> active_version_{0};
+};
+
+}  // namespace tpart
+
+#endif  // TPART_ELASTIC_ELASTIC_MAP_H_

@@ -46,8 +46,9 @@ std::string PipelineStats::Summary() const {
       << " batches=" << batches << " plans=" << plans
       << " admission_rate=" << AdmissionRate()
       << " backpressure=" << backpressure_waits
-      << " queue_hw(batch/plan/epoch)=" << batch_queue_high_water << "/"
-      << plan_queue_high_water << "/" << epoch_queue_high_water;
+      << " queue_hw(batch/plan/epoch/inbound)=" << batch_queue_high_water
+      << "/" << plan_queue_high_water << "/" << epoch_queue_high_water << "/"
+      << machine_inbound_high_water;
   if (admit_to_commit_us.count() > 0) {
     out << " admit_to_commit_us(p50/p99)=" << admit_to_commit_us.Quantile(0.5)
         << "/" << admit_to_commit_us.Quantile(0.99);
@@ -163,6 +164,9 @@ void PipelineStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetGauge("tpart_pipeline_epoch_queue_high_water",
                     static_cast<double>(epoch_queue_high_water),
                     "Most sinking rounds in flight at any machine");
+  registry.SetGauge("tpart_pipeline_machine_inbound_high_water",
+                    static_cast<double>(machine_inbound_high_water),
+                    "Deepest any machine's inbound service FIFO ever got");
   registry.SetGauge("tpart_pipeline_admission_seconds", admission_seconds,
                     "Wall-clock span of the admission stage");
   registry.SetGauge("tpart_pipeline_admission_rate", AdmissionRate(),
@@ -192,6 +196,50 @@ void RecoveryStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetGauge("tpart_recovery_downtime_us",
                     static_cast<double>(downtime_us),
                     "Crash-stop until the machine rejoined the stream");
+}
+
+std::string MigrationStats::Summary() const {
+  std::ostringstream out;
+  out << "steps=" << membership_steps << " routes=" << routes
+      << " keys=" << keys_moved << " records=" << records_moved
+      << " bytes=" << bytes_shipped << " chunks=" << chunks_shipped
+      << " dup_chunks=" << duplicate_chunks_dropped
+      << " forced_checkpoints=" << forced_checkpoints
+      << " barrier_us=" << barrier_us << " last_cut=" << last_cut_epoch;
+  return out.str();
+}
+
+void MigrationStats::PublishTo(obs::MetricsRegistry& registry) const {
+  registry.SetCounter("tpart_migration_steps_total",
+                      static_cast<double>(membership_steps),
+                      "Membership steps executed (grow or shrink)");
+  registry.SetCounter("tpart_migration_routes_total",
+                      static_cast<double>(routes),
+                      "Source->target key shipments");
+  registry.SetCounter("tpart_migration_keys_moved_total",
+                      static_cast<double>(keys_moved),
+                      "Keys whose home machine changed");
+  registry.SetCounter("tpart_migration_records_moved_total",
+                      static_cast<double>(records_moved),
+                      "Moved keys carrying a live record");
+  registry.SetCounter("tpart_migration_bytes_shipped_total",
+                      static_cast<double>(bytes_shipped),
+                      "Encoded partition-image bytes shipped");
+  registry.SetCounter("tpart_migration_chunks_shipped_total",
+                      static_cast<double>(chunks_shipped),
+                      "Partition-image chunks shipped");
+  registry.SetCounter("tpart_migration_duplicate_chunks_dropped_total",
+                      static_cast<double>(duplicate_chunks_dropped),
+                      "Target-side app-level duplicate suppressions");
+  registry.SetCounter("tpart_migration_forced_checkpoints_total",
+                      static_cast<double>(forced_checkpoints),
+                      "Post-migration forced checkpoint captures");
+  registry.SetGauge("tpart_migration_barrier_us",
+                    static_cast<double>(barrier_us),
+                    "Wall-clock microseconds the stream paused at barriers");
+  registry.SetGauge("tpart_migration_last_cut_epoch",
+                    static_cast<double>(last_cut_epoch),
+                    "Cut epoch of the last executed membership step");
 }
 
 void RunStats::PublishTo(obs::MetricsRegistry& registry) const {
@@ -229,6 +277,7 @@ void RunStats::PublishTo(obs::MetricsRegistry& registry) const {
   if (pipeline.admitted > 0) pipeline.PublishTo(registry);
   if (recovery.crashes_injected > 0) recovery.PublishTo(registry);
   if (checkpoint.checkpoints_taken > 0) checkpoint.PublishTo(registry);
+  if (migration.membership_steps > 0) migration.PublishTo(registry);
 }
 
 std::string RunStats::Summary() const {
@@ -252,6 +301,9 @@ std::string RunStats::Summary() const {
   }
   if (checkpoint.checkpoints_taken > 0) {
     out << " | checkpoint: " << checkpoint.Summary();
+  }
+  if (migration.membership_steps > 0) {
+    out << " | migration: " << migration.Summary();
   }
   return out.str();
 }

@@ -71,6 +71,10 @@ struct PipelineStats {
   std::uint64_t batch_queue_high_water = 0;
   std::uint64_t plan_queue_high_water = 0;
   std::uint64_t epoch_queue_high_water = 0;
+  /// Deepest any machine's inbound service FIFO ever got (the per-machine
+  /// stage of the pipeline; unbounded, so growth here is the first sign
+  /// of a service thread falling behind).
+  std::uint64_t machine_inbound_high_water = 0;
   /// Wall-clock seconds the admission stage spent end to end.
   double admission_seconds = 0.0;
   /// Admitted transactions per wall-clock second.
@@ -152,6 +156,36 @@ struct CheckpointStats {
   void PublishTo(obs::MetricsRegistry& registry) const;
 };
 
+/// Counters for the elastic-membership subsystem (src/elastic): live
+/// partition migration at sink-epoch cuts. Zero/absent unless
+/// LocalClusterOptions::resize is armed.
+struct MigrationStats {
+  /// Membership steps executed (grow or shrink events).
+  std::uint64_t membership_steps = 0;
+  /// Source -> target key shipments across all steps.
+  std::uint64_t routes = 0;
+  /// Keys whose home changed (records + version-discipline state).
+  std::uint64_t keys_moved = 0;
+  /// Moved keys that carried a live record.
+  std::uint64_t records_moved = 0;
+  /// Encoded partition-image bytes shipped over the transport.
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t chunks_shipped = 0;
+  /// Target-side app-level duplicate suppressions (exactly-once install).
+  std::uint64_t duplicate_chunks_dropped = 0;
+  /// Post-migration forced checkpoints (log truncation at the cut).
+  std::uint64_t forced_checkpoints = 0;
+  /// Total wall-clock microseconds the stream was paused at barriers.
+  std::uint64_t barrier_us = 0;
+  /// Cut epoch of the last executed step.
+  SinkEpoch last_cut_epoch = 0;
+
+  std::string Summary() const;
+
+  /// Publishes as tpart_migration_* metrics.
+  void PublishTo(obs::MetricsRegistry& registry) const;
+};
+
 /// Aggregate outcome of one simulated (or real) engine run. Produced by
 /// CalvinSim / TPartSim and by the threaded runtime; consumed by every
 /// benchmark.
@@ -208,6 +242,9 @@ struct RunStats {
 
   /// Periodic checkpointing counters (checkpoint_every runs only).
   CheckpointStats checkpoint;
+
+  /// Elastic-membership counters (resize runs only).
+  MigrationStats migration;
 
   std::string Summary() const;
 

@@ -73,7 +73,9 @@ void FaultyPacketNetwork::TimerLoop() {
     }
     const auto next_release = delayed_.top().release;
     if (std::chrono::steady_clock::now() < next_release) {
-      cv_.wait_until(lock, next_release);
+      // cv_status dropped on purpose: timeout and notify both loop back
+      // to re-derive the next release from the queue.
+      (void)cv_.wait_until(lock, next_release);
       continue;
     }
     Delayed item = delayed_.top();

@@ -59,6 +59,25 @@ struct Message {
     /// applied, so the machine captures its checkpoint there. Never
     /// crosses the wire.
     kCheckpointBarrier,
+    /// Elastic membership (src/elastic): control plane -> source machine,
+    /// at a quiesced sink-epoch barrier. `plan_bytes` lists the moved
+    /// keys, `dst_txn` the target machine, `req_id` the migration stream
+    /// id, `epoch` the cut epoch. The source captures the keys' partition
+    /// image, ships it to the target, and drops the keys locally.
+    kMigrateBegin,
+    /// One chunk of an encoded PartitionImage: `plan_bytes` the chunk,
+    /// `epoch` the chunk index, `txn` the total chunk count, `req_id` the
+    /// stream id. The target dedupes by (stream, chunk index), so
+    /// transport-level duplicates deliver exactly once.
+    kPartitionImage,
+    /// End of a migration stream: `key` carries the FNV checksum of the
+    /// whole encoded image, `txn` the chunk count, `version` the number of
+    /// key entries. The target verifies and installs atomically.
+    kMigrateCommit,
+    /// Local-only service fence: posted directly into a machine's inbound
+    /// queue by the migration barrier; when dispatched, every message
+    /// delivered before it has been applied. Never crosses the wire.
+    kServiceFence,
     /// Stop the service loop. Must stay the last enumerator: the wire
     /// decoder rejects any type byte beyond it (net/wire.cc).
     kShutdown,

@@ -15,6 +15,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "elastic/migration.h"
 #include "net/resend_window.h"
 #include "net/wire.h"
 #include "obs/trace.h"
@@ -53,20 +54,61 @@ void LocalCluster::Reset() {
   StopAll();
   machines_.clear();
   transport_ = MakeTransport(options_.transport);
+  // Elastic membership: allocate every machine slot the run ever uses up
+  // front (max membership over the schedule) and route all placement
+  // through the versioned map. A membership change then never
+  // reallocates anything — it only changes where keys are homed.
+  elastic_.reset();
+  std::size_t total_slots = workload_->num_machines;
+  std::shared_ptr<const DataPartitionMap> machine_map =
+      workload_->partition_map;
+  if (options_.resize.enabled()) {
+    std::size_t n = workload_->num_machines;
+    std::size_t max_n = n;
+    SinkEpoch prev_cut = 0;
+    for (const LocalClusterOptions::ResizeEvent& ev : options_.resize.events) {
+      TPART_CHECK(ev.at_epoch > prev_cut)
+          << "resize cut epochs must be strictly increasing and >= 1";
+      prev_cut = ev.at_epoch;
+      const long long after = static_cast<long long>(n) + ev.delta;
+      TPART_CHECK(ev.delta != 0 && after >= 1)
+          << "resize event at epoch " << ev.at_epoch << " takes membership "
+          << n << " to " << after;
+      n = static_cast<std::size_t>(after);
+      max_n = std::max(max_n, n);
+    }
+    total_slots = max_n;
+    auto elastic = std::make_shared<ElasticPartitionMap>(
+        workload_->partition_map, total_slots);
+    n = workload_->num_machines;
+    for (const LocalClusterOptions::ResizeEvent& ev : options_.resize.events) {
+      MembershipStep step;
+      step.cut_epoch = ev.at_epoch;
+      step.n_before = n;
+      step.n_after = static_cast<std::size_t>(static_cast<long long>(n) +
+                                              ev.delta);
+      step.policy = options_.resize.policy;
+      step.hot_keys = options_.resize.hot_keys;
+      n = step.n_after;
+      elastic->AddStep(std::move(step));
+    }
+    elastic_ = std::move(elastic);
+    machine_map = elastic_;
+  }
   store_ = std::make_unique<PartitionedStore>(
-      workload_->num_machines, workload_->partition_map,
+      total_slots, machine_map,
       /*maintain_ordered_index=*/true);
   workload_->loader(*store_);
-  for (std::size_t m = 0; m < workload_->num_machines; ++m) {
+  for (std::size_t m = 0; m < total_slots; ++m) {
     machines_.push_back(std::make_unique<Machine>(
-        static_cast<MachineId>(m), workload_->num_machines,
+        static_cast<MachineId>(m), total_slots,
         &store_->store(static_cast<MachineId>(m)),
         workload_->procedures.get(),
         [this, m](MachineId to, Message msg) {
           transport_->Send(static_cast<MachineId>(m), to, std::move(msg));
         },
         options_.sticky_ttl, options_.executor_workers));
-    const DataPartitionMap* map = workload_->partition_map.get();
+    const DataPartitionMap* map = machine_map.get();
     machines_.back()->set_locator(
         [map](ObjectKey key) { return map->Locate(key); });
     machines_.back()->set_log_recording(options_.record_recovery_logs);
@@ -77,9 +119,12 @@ void LocalCluster::Reset() {
   // seeded with the loaded state: the recovery baseline each crashed
   // partition is rebuilt from. With checkpoint_every set, each machine
   // folds its dirty keys and volatile state in at every cadence boundary.
+  // Resize runs need one too: the migration barrier forces a capture at
+  // each cut so no later replay can resurrect moved keys.
   checkpoints_.clear();
-  if (options_.crash.enabled() || options_.checkpoint_every > 0) {
-    for (std::size_t m = 0; m < workload_->num_machines; ++m) {
+  if (options_.crash.enabled() || options_.checkpoint_every > 0 ||
+      options_.resize.enabled()) {
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
       auto cp = std::make_unique<MachineCheckpoint>();
       store_->store(static_cast<MachineId>(m))
           .Scan(0, std::numeric_limits<ObjectKey>::max(),
@@ -107,6 +152,7 @@ std::size_t LocalCluster::RestorePartition(MachineId m) {
   store.Scan(0, std::numeric_limits<ObjectKey>::max(),
              [&](ObjectKey key, const Record&) { keys.push_back(key); });
   for (const ObjectKey key : keys) {
+    // Cannot miss: every key came from the Scan() one loop up.
     (void)store.Delete(key);
   }
   return checkpoints_.at(m)->records.Checkpoint(
@@ -132,6 +178,9 @@ ClusterRunOutcome LocalCluster::RunTPartBatch() {
   TPART_CHECK(options_.checkpoint_every == 0)
       << "periodic checkpointing requires streaming mode (batch has no "
          "quiescent epoch boundaries while plans pre-enqueue)";
+  TPART_CHECK(!options_.resize.enabled())
+      << "elastic membership requires streaming mode (the migration "
+         "barrier quiesces the dissemination stream at each cut)";
   if (used_) Reset();
   used_ = true;
   NameTraceTracks(machines_.size());
@@ -204,6 +253,12 @@ struct PlanEnvelope {
 }  // namespace
 
 ClusterRunOutcome LocalCluster::RunTPartStreaming() {
+  if (options_.resize.enabled()) {
+    TPART_CHECK(options_.pipeline.epoch_queue_capacity > 0)
+        << "elastic membership needs a bounded epoch queue: the migration "
+           "barrier quiesces the stream by waiting for every epoch credit "
+           "to free";
+  }
   if (used_) Reset();
   used_ = true;
   last_plans_.clear();  // streaming never materializes the plan list
@@ -476,8 +531,17 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   std::thread scheduling([&] {
     TPART_TRACE(SetThreadInfo(0, "scheduler"));
     TPartScheduler::Options sched_opts = options_.scheduler;
+    // The graph starts at the base membership; each membership step
+    // re-targets it (Rehome) when the scheduler crosses the cut. Placement
+    // routes through the versioned map so rounds past a cut home keys at
+    // their post-step machines.
     sched_opts.graph.num_machines = workload_->num_machines;
-    TPartScheduler scheduler(sched_opts, workload_->partition_map);
+    sched_opts.elastic = elastic_;
+    TPartScheduler scheduler(
+        sched_opts, elastic_ != nullptr
+                        ? std::static_pointer_cast<const DataPartitionMap>(
+                              elastic_)
+                        : workload_->partition_map);
     std::unordered_map<TxnId, TxnSpec> parked;
     auto emit = [&](SinkPlan plan) {
       PlanEnvelope env;
@@ -520,6 +584,12 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   // FIFO executors rely on.
   std::uint64_t plans = 0, credit_waits = 0;
   SinkEpoch last_epoch = 0;
+  MigrationStats migration;
+  std::size_t steps_done = 0;
+  const bool record_timeline =
+      options_.record_epoch_timeline || options_.resize.enabled();
+  std::vector<ClusterRunOutcome::EpochTick> timeline;
+  const auto stream_t0 = std::chrono::steady_clock::now();
   while (true) {
     Result<std::optional<PlanEnvelope>> env =
         plan_queue.ReceiveFor(stall_timeout);
@@ -527,6 +597,26 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
         << "dissemination stalled awaiting the scheduler stage: "
         << env.status().message();
     if (!env->has_value()) break;
+    // Membership cuts fire between rounds: before the first round past a
+    // cut ships — or even enters the resend window, since a recovery
+    // re-ship must never hand a machine a post-cut round ahead of its
+    // migration — quiesce the stream, move the keys, and force the cut
+    // checkpoint everywhere.
+    while (elastic_ != nullptr && steps_done < elastic_->num_steps() &&
+           (*env)->plan.epoch > elastic_->step(steps_done).cut_epoch) {
+      Status step_status = RunMembershipStep(steps_done, migration);
+      if (!step_status.ok()) {
+        std::ostringstream out;
+        out << "membership step " << steps_done << " (cut epoch "
+            << elastic_->step(steps_done).cut_epoch
+            << ") failed: " << step_status.message();
+        declare_fault(out.str());
+        // Abandon the remaining schedule; the doomed run still drains.
+        steps_done = elastic_->num_steps();
+        break;
+      }
+      ++steps_done;
+    }
     ++plans;
     last_epoch = (*env)->plan.epoch;
     TPART_TRACE_SPAN("disseminate", "pipeline",
@@ -570,6 +660,14 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
         }
       }
       transport_->Send(0, static_cast<MachineId>(m), msg);
+    }
+    if (record_timeline) {
+      timeline.push_back(ClusterRunOutcome::EpochTick{
+          last_epoch,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - stream_t0)
+                  .count())});
     }
   }
   if (crash.enabled()) {
@@ -643,6 +741,9 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     outcome.pipeline.epoch_queue_high_water =
         std::max<std::uint64_t>(outcome.pipeline.epoch_queue_high_water,
                                 m->epoch_queue_high_water());
+    outcome.pipeline.machine_inbound_high_water =
+        std::max<std::uint64_t>(outcome.pipeline.machine_inbound_high_water,
+                                m->inbound_queue_high_water());
   }
   outcome.pipeline.admission_seconds = admission_seconds;
   outcome.pipeline.admit_to_commit_us = latency.us;
@@ -675,8 +776,131 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   }
   outcome.checkpoint.resend_window_bytes_peak = resend_window.bytes_peak();
   outcome.checkpoint.pruned_resend_rounds = resend_window.pruned_rounds();
+  // Migration accounting: barrier-side counters from the dissemination
+  // thread plus the per-machine wire counters (source capture / target
+  // install sides).
+  outcome.migration = migration;
+  outcome.timeline = std::move(timeline);
+  if (elastic_ != nullptr) {
+    for (const auto& m : machines_) {
+      const Machine::MigrationCounters mc = m->migration_counters();
+      outcome.migration.records_moved += mc.records_moved;
+      outcome.migration.bytes_shipped += mc.bytes_shipped;
+      outcome.migration.chunks_shipped += mc.chunks_shipped;
+      outcome.migration.duplicate_chunks_dropped +=
+          mc.duplicate_chunks_dropped;
+    }
+  }
   StopAll();
   return outcome;
+}
+
+Status LocalCluster::RunMembershipStep(std::size_t step_idx,
+                                       MigrationStats& stats) {
+  const MembershipStep& step = elastic_->step(step_idx);
+  const std::size_t version = step_idx + 1;
+  const std::chrono::microseconds timeout(options_.stall_timeout_us);
+  const auto t0 = std::chrono::steady_clock::now();
+  TPART_TRACE_SPAN("membership_step", "elastic",
+                   {{"cut", step.cut_epoch},
+                    {"n_before", step.n_before},
+                    {"n_after", step.n_after}});
+  // 1. Quiesce: every disseminated round has fully executed everywhere.
+  //    The scheduler may already have sunk rounds past the cut, but this
+  //    thread is the only shipper, so nothing past the cut is in flight.
+  //    A crash armed at the cut epoch flips its machine down BEFORE the
+  //    round's credit is released (the executor defers the release past
+  //    CrashStop), so a post-drain crashed() probe reliably sees it; the
+  //    probe also covers the replay phase of an earlier crash, since the
+  //    machine stays kRecovering until the replayed suffix finishes.
+  //    When it trips, wait out the watchdog's detect + recover + replay,
+  //    then re-drain: re-shipped rounds still hold their original ship
+  //    credits, so the redo absorbs them.
+  const auto quiesce_deadline = t0 + timeout;
+  for (auto& m : machines_) {
+    for (;;) {
+      Status s = m->WaitStreamDrained(timeout);
+      if (!s.ok()) return s;
+      if (!m->crashed()) break;
+      if (timeout.count() > 0 &&
+          std::chrono::steady_clock::now() > quiesce_deadline) {
+        std::ostringstream out;
+        out << "membership step at epoch " << step.cut_epoch << ": machine "
+            << m->id() << " is still down at the cut";
+        return Status::Unavailable(out.str());
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  // 2. Push every in-flight write-back and forward-push to its
+  //    destination queue, then fence each service FIFO so everything
+  //    delivered is also applied before state is scanned.
+  transport_->Flush();
+  for (auto& m : machines_) {
+    Status s = m->FenceService(timeout);
+    if (!s.ok()) return s;
+  }
+  // 3. Plan the routes: a machine's key universe is its record store
+  //    plus its version-discipline key state (PlanMigration drops keys
+  //    whose home does not actually change across the step).
+  std::vector<std::pair<MachineId, std::vector<ObjectKey>>> keys_by_source;
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    std::vector<ObjectKey> keys = machines_[m]->storage().StateKeys();
+    store_->store(static_cast<MachineId>(m)).ForEachKey([&](ObjectKey key) {
+      keys.push_back(key);
+    });
+    if (!keys.empty()) {
+      keys_by_source.emplace_back(static_cast<MachineId>(m), std::move(keys));
+    }
+  }
+  const std::vector<MigrationRoute> routes =
+      PlanMigration(*elastic_, version, keys_by_source);
+  // 4. Ship each route (begin -> chunked image -> commit; the source
+  //    captures and drops, the target installs exactly once) and wait
+  //    for every install. Flush between polls pushes retried chunks
+  //    through a fault-injecting transport.
+  for (const MigrationRoute& route : routes) {
+    const std::uint64_t stream = MigrationStreamId(
+        static_cast<std::uint64_t>(version), route.source, route.target);
+    Message begin;
+    begin.type = Message::Type::kMigrateBegin;
+    begin.req_id = stream;
+    begin.dst_txn = route.target;
+    begin.epoch = step.cut_epoch;
+    begin.plan_bytes = EncodeKeyList(route.keys);
+    transport_->Send(0, route.source, std::move(begin));
+    stats.keys_moved += route.keys.size();
+  }
+  stats.routes += routes.size();
+  const auto deadline = t0 + timeout;
+  for (const MigrationRoute& route : routes) {
+    const std::uint64_t stream = MigrationStreamId(
+        static_cast<std::uint64_t>(version), route.source, route.target);
+    while (!machines_[route.source]->MigrationSourceDone(stream) ||
+           !machines_[route.target]->MigrationInstalled(stream)) {
+      if (timeout.count() > 0 && std::chrono::steady_clock::now() > deadline) {
+        std::ostringstream out;
+        out << "migration stream " << route.source << " -> " << route.target
+            << " (" << route.keys.size() << " keys) timed out";
+        return Status::Unavailable(out.str());
+      }
+      transport_->Flush();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  // 5. Force a checkpoint on every machine at the cut. The capture folds
+  //    the migration's record deletions/insertions (marked dirty by the
+  //    handlers) and truncates the §5.4 logs — a later crash replay can
+  //    then never resurrect a moved key on its old home.
+  for (auto& m : machines_) m->ForceCheckpoint(step.cut_epoch);
+  stats.forced_checkpoints += machines_.size();
+  ++stats.membership_steps;
+  stats.last_cut_epoch = step.cut_epoch;
+  stats.barrier_us += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return Status::Ok();
 }
 
 std::string ApplySeededChaos(std::uint64_t seed, std::size_t num_machines,
@@ -734,6 +958,8 @@ std::string ApplySeededChaos(std::uint64_t seed, std::size_t num_machines,
 }
 
 ClusterRunOutcome LocalCluster::RunCalvin() {
+  TPART_CHECK(!options_.resize.enabled())
+      << "elastic membership is a T-Part streaming feature";
   if (used_) Reset();
   used_ = true;
   NameTraceTracks(machines_.size());

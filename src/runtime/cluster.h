@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "elastic/elastic_map.h"
 #include "metrics/run_stats.h"
 #include "net/transport.h"
 #include "runtime/machine.h"
@@ -129,6 +130,33 @@ struct LocalClusterOptions {
   /// (the seed behaviour).
   SinkEpoch checkpoint_every = 0;
 
+  /// One elastic-membership change: after sinking round `at_epoch` fully
+  /// executes everywhere, the active machine set grows (delta > 0) or
+  /// shrinks (delta < 0) by |delta| machines and the keys whose home
+  /// changes migrate over the wire before round at_epoch + 1 ships.
+  struct ResizeEvent {
+    SinkEpoch at_epoch = 0;
+    int delta = 0;
+  };
+
+  /// Elastic membership (streaming runs only): machine slots for the
+  /// maximum membership are allocated up front; each event only changes
+  /// where keys are homed and ships the moved partition state at a
+  /// quiesced sink-epoch barrier. Results stay byte-identical to a
+  /// fixed-membership run of the same workload. Requires a bounded epoch
+  /// queue (the barrier quiesces via epoch credits).
+  struct ResizeSchedule {
+    /// Events in firing order; cut epochs strictly increasing, >= 1.
+    std::vector<ResizeEvent> events;
+    /// How moved keys are chosen (rehash, or Lion-style hot-key pinning
+    /// from scheduler-observed access frequencies).
+    MigrationPolicy policy = MigrationPolicy::kRehash;
+    /// Hot keys pinned per step (kHotKey only).
+    std::size_t hot_keys = 64;
+    bool enabled() const { return !events.empty(); }
+  };
+  ResizeSchedule resize;
+
   /// Transport-level heartbeat failure detection. Enabled implicitly by
   /// an armed crash schedule; enable explicitly to watchdog healthy runs.
   struct FailureDetectorOptions {
@@ -146,6 +174,12 @@ struct LocalClusterOptions {
   /// runs (required for crash recovery; disable to keep long runs'
   /// memory strictly bounded).
   bool record_recovery_logs = true;
+
+  /// Record the per-round dissemination timeline in the outcome (one
+  /// entry per sinking round — implied by an armed resize schedule; the
+  /// elasticity bench derives throughput-dip depth and reconvergence
+  /// from the inter-round gaps).
+  bool record_epoch_timeline = false;
 
   /// Bounds every blocking wait in the run — executor response/credit/
   /// storage waits and the dissemination stage's queue receives. A wait
@@ -181,6 +215,18 @@ struct ClusterRunOutcome {
   /// Periodic-checkpointing counters (checkpoints_taken stays 0 unless
   /// checkpoint_every was set).
   CheckpointStats checkpoint;
+  /// Elastic-membership counters (membership_steps stays 0 unless a
+  /// resize schedule was armed).
+  MigrationStats migration;
+  /// Dissemination timeline (resize runs or record_epoch_timeline):
+  /// microseconds since the stream started at which each sinking round
+  /// finished shipping. A migration barrier shows up as a widened gap
+  /// around its cut epoch.
+  struct EpochTick {
+    SinkEpoch epoch = 0;
+    std::uint64_t us_since_start = 0;
+  };
+  std::vector<EpochTick> timeline;
 };
 
 /// Fills `options` with a seeded chaos schedule over `num_machines`
@@ -219,6 +265,10 @@ class LocalCluster {
   Machine& machine(MachineId m) { return *machines_.at(m); }
   std::size_t num_machines() const { return machines_.size(); }
 
+  /// The epoch-versioned key -> machine map of a resize run, or nullptr
+  /// when no resize schedule is armed. For tests inspecting placement.
+  const ElasticPartitionMap* elastic_map() const { return elastic_.get(); }
+
   /// Plans of the last batch-mode RunTPart (for inspection / recovery
   /// tests). Streaming mode deliberately retains nothing here: plans are
   /// shipped and dropped, keeping memory bounded by the stage caps.
@@ -237,6 +287,15 @@ class LocalCluster {
  private:
   ClusterRunOutcome RunTPartBatch();
   ClusterRunOutcome RunTPartStreaming();
+  /// Executes membership step `step_idx` at its cut: quiesces the stream
+  /// (every in-flight round executed, every service FIFO drained),
+  /// computes and ships the migration routes, waits for every image to
+  /// install, and forces a checkpoint on all machines at the cut epoch so
+  /// no later replay can resurrect moved keys. Called by the
+  /// dissemination stage before shipping the first round past the cut.
+  /// On a wait timeout the returned status carries a stall diagnostic and
+  /// the run is declared faulted.
+  Status RunMembershipStep(std::size_t step_idx, MigrationStats& stats);
   void StopAll();
   ClusterRunOutcome CollectResults(bool dedup_participants);
   /// Rebuilds exactly partition `m` from its Zig-Zag checkpoint (wipes
@@ -249,6 +308,9 @@ class LocalCluster {
   const Workload* workload_;
   LocalClusterOptions options_;
   bool used_ = false;
+  /// Set when options_.resize is armed: the versioned map every layer
+  /// (store routing, scheduler, machines) shares for the run.
+  std::shared_ptr<ElasticPartitionMap> elastic_;
   std::unique_ptr<PartitionedStore> store_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;

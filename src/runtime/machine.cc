@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "elastic/migration.h"
 #include "exec/serial_executor.h"
 #include "net/wire.h"
 #include "obs/trace.h"
@@ -299,6 +300,25 @@ void Machine::Dispatch(Message msg) {
       peer_cv_.notify_all();
       break;
     }
+    // Elastic migration. Never network-logged: a replay re-shipping a
+    // partition image would resurrect moved keys; the forced checkpoint
+    // after the migration owns durability of the move instead.
+    case Message::Type::kMigrateBegin:
+      HandleMigrateBegin(std::move(msg));
+      break;
+    case Message::Type::kPartitionImage:
+      HandleImageChunk(std::move(msg));
+      break;
+    case Message::Type::kMigrateCommit:
+      HandleMigrateCommit(std::move(msg));
+      break;
+    case Message::Type::kServiceFence:
+      {
+        std::lock_guard<std::mutex> lock(fence_mu_);
+        if (msg.req_id > fence_seen_) fence_seen_ = msg.req_id;
+      }
+      fence_cv_.notify_all();
+      break;
     // Streaming dissemination. Not network-logged: §5.4 replay re-runs
     // from the request log, which ExecutePlan populates either way.
     case Message::Type::kSinkPlan:
@@ -398,17 +418,19 @@ void Machine::EnqueueStreamEpoch(SinkEpoch epoch,
 }
 
 bool Machine::OnPlanItemDone(SinkEpoch epoch) {
-  bool release = false;
-  {
-    std::lock_guard<std::mutex> lock(work_mu_);
-    auto it = epoch_outstanding_.find(epoch);
-    if (it != epoch_outstanding_.end() && --it->second == 0) {
-      epoch_outstanding_.erase(it);
-      release = true;
-    }
-  }
+  const bool release = MarkPlanItemDone(epoch);
   if (release) ReleaseEpochCredit();
   return release;
+}
+
+bool Machine::MarkPlanItemDone(SinkEpoch epoch) {
+  std::lock_guard<std::mutex> lock(work_mu_);
+  auto it = epoch_outstanding_.find(epoch);
+  if (it != epoch_outstanding_.end() && --it->second == 0) {
+    epoch_outstanding_.erase(it);
+    return true;
+  }
+  return false;
 }
 
 bool Machine::AcquireEpochCredit() {
@@ -445,7 +467,9 @@ void Machine::ReleaseEpochCredit() {
     std::lock_guard<std::mutex> lock(credit_mu_);
     if (epochs_in_flight_ > 0) --epochs_in_flight_;
   }
-  credit_cv_.notify_one();
+  // notify_all: a migration barrier's WaitStreamDrained may be waiting on
+  // the same cv as an AcquireEpochCredit caller.
+  credit_cv_.notify_all();
 }
 
 std::size_t Machine::epoch_queue_high_water() const {
@@ -713,7 +737,11 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
   // Replayed plans already fired their commit hook pre-crash; firing
   // again would double-count latency samples.
   if (commit_hook_ && !is_replay) commit_hook_(p.txn);
-  const bool drained = OnPlanItemDone(epoch);
+  // The credit release for a drained round is deferred past the crash
+  // trigger below (see MarkPlanItemDone): anyone woken by the release —
+  // in particular a membership barrier's WaitStreamDrained — must already
+  // observe CrashStop's state flip.
+  const bool drained = MarkPlanItemDone(epoch);
   const std::uint64_t executed =
       executed_plans_.fetch_add(1, std::memory_order_relaxed) + 1;
 
@@ -760,6 +788,7 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
       CrashStop(drained ? epoch + 1 : epoch);
     }
   }
+  if (drained) ReleaseEpochCredit();
 }
 
 Record Machine::AwaitResponse(std::uint64_t req_id) {
@@ -1153,6 +1182,270 @@ std::size_t Machine::network_log_bytes_peak() const {
   return network_log_bytes_peak_;
 }
 
+// ---------------------------------------------------------------------
+// Elastic migration (src/elastic)
+// ---------------------------------------------------------------------
+
+Status Machine::WaitStreamDrained(std::chrono::microseconds timeout) {
+  TPART_CHECK(epoch_queue_capacity_ > 0)
+      << "stream drain barrier needs a bounded epoch queue: at capacity 0 "
+         "credits are not tracked";
+  std::unique_lock<std::mutex> lock(credit_mu_);
+  const auto drained = [&] {
+    return epochs_in_flight_ == 0 || credit_shutdown_;
+  };
+  if (timeout.count() <= 0) {
+    credit_cv_.wait(lock, drained);
+    return Status::Ok();
+  }
+  if (!credit_cv_.wait_for(lock, timeout, drained)) {
+    lock.unlock();  // StallDiagnostic takes credit_mu_
+    return Status::Unavailable("stream drain timed out: " +
+                               StallDiagnostic());
+  }
+  return Status::Ok();
+}
+
+Status Machine::FenceService(std::chrono::microseconds timeout) {
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(fence_mu_);
+    seq = ++fence_posted_;
+  }
+  Message fence;
+  fence.type = Message::Type::kServiceFence;
+  fence.req_id = seq;
+  // Direct into the inbound queue, never through the transport: the fence
+  // is a local ordering marker, not a wire message.
+  inbound_.Send(std::move(fence));
+  std::unique_lock<std::mutex> lock(fence_mu_);
+  const auto done = [&] { return fence_seen_ >= seq; };
+  if (timeout.count() <= 0) {
+    fence_cv_.wait(lock, done);
+    return Status::Ok();
+  }
+  if (!fence_cv_.wait_for(lock, timeout, done)) {
+    lock.unlock();
+    return Status::Unavailable("service fence timed out: " +
+                               StallDiagnostic());
+  }
+  return Status::Ok();
+}
+
+void Machine::ForceCheckpoint(SinkEpoch epoch) {
+  TPART_CHECK(checkpoint_ != nullptr)
+      << "migration barrier needs an attached checkpoint image";
+  TPART_CHECK(run_state_.load(std::memory_order_acquire) == RunState::kLive)
+      << "forced checkpoint on a non-live machine";
+  RunCheckpointBarrier(epoch);
+}
+
+void Machine::HandleMigrateBegin(Message msg) {
+  const std::uint64_t stream = msg.req_id;
+  {
+    // The done-set doubles as the idempotence guard: a duplicate begin
+    // must not re-capture keys that were already extracted and dropped.
+    std::lock_guard<std::mutex> lock(migrate_mu_);
+    if (!migration_source_done_.insert(stream).second) return;
+  }
+  Result<std::vector<ObjectKey>> keys = DecodeKeyList(msg.plan_bytes);
+  TPART_CHECK(keys.ok()) << "bad migration key list on machine " << id_
+                         << ": " << keys.status().ToString();
+  const MachineId target = static_cast<MachineId>(msg.dst_txn);
+  TPART_TRACE_SPAN("migrate_source", "elastic",
+                   {{"machine", id_},
+                    {"target", target},
+                    {"keys", keys->size()},
+                    {"cut", msg.epoch}});
+
+  // Capture the partition image: record, version-discipline state, and
+  // sticky cache entry per key — then drop everything locally. ExtractKeys
+  // CHECKs that no parked storage work exists (the barrier quiesced the
+  // stream), and marks the keys dirty so the forced capture folds the
+  // deletions into this machine's checkpoint.
+  std::unordered_map<ObjectKey, StorageService::MigratedKeyState> state_of;
+  for (auto& st : storage_.ExtractKeys(*keys)) {
+    const ObjectKey key = st.key;
+    state_of.emplace(key, std::move(st));
+  }
+  PartitionImage image;
+  image.entries.reserve(keys->size());
+  std::uint64_t records = 0;
+  for (const ObjectKey key : *keys) {
+    PartitionImage::KeyEntry e;
+    e.key = key;
+    Result<Record> r = store_->Read(key);
+    if (r.ok()) {
+      e.present = true;
+      e.value = std::move(*r);
+      // Cannot miss: the key was read one line up under the same fence.
+      (void)store_->Delete(key);
+      ++records;
+    }
+    auto st = state_of.find(key);
+    if (st != state_of.end()) {
+      e.has_state = true;
+      e.current = st->second.current;
+      e.reads_served_since_wb = st->second.reads_served_since_wb;
+      e.has_sticky = st->second.has_sticky;
+      e.sticky_expire = st->second.sticky_expire;
+    }
+    if (auto sticky = cache_.ExtractSticky(key); sticky.has_value()) {
+      e.has_cache_sticky = true;
+      e.cache_sticky_value = std::move(sticky->value);
+      e.cache_sticky_version = sticky->version;
+      e.cache_sticky_expire = sticky->expire_epoch;
+    }
+    image.entries.push_back(std::move(e));
+  }
+  storage_.MarkDirty(*keys);
+
+  const std::string encoded = EncodePartitionImage(image);
+  const std::vector<std::string> chunks = ChunkImage(encoded);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    Message chunk;
+    chunk.type = Message::Type::kPartitionImage;
+    chunk.req_id = stream;
+    chunk.epoch = i;                 // chunk index
+    chunk.txn = chunks.size();       // total chunks
+    chunk.plan_bytes = chunks[i];
+    SendOut(target, std::move(chunk));
+  }
+  Message commit;
+  commit.type = Message::Type::kMigrateCommit;
+  commit.req_id = stream;
+  commit.key = WireChecksum(encoded);  // image checksum
+  commit.txn = chunks.size();
+  commit.version = image.entries.size();
+  commit.epoch = msg.epoch;
+  SendOut(target, std::move(commit));
+
+  {
+    std::lock_guard<std::mutex> lock(migrate_mu_);
+    migration_counters_.keys_moved_out += keys->size();
+    migration_counters_.records_moved += records;
+    migration_counters_.bytes_shipped += encoded.size();
+    migration_counters_.chunks_shipped += chunks.size();
+    ++migration_counters_.images_sent;
+  }
+}
+
+void Machine::HandleImageChunk(Message msg) {
+  const std::uint64_t stream = msg.req_id;
+  bool install = false;
+  {
+    std::lock_guard<std::mutex> lock(migrate_mu_);
+    if (migration_installed_.count(stream) != 0) {
+      ++migration_counters_.duplicate_chunks_dropped;
+      return;
+    }
+    InboundImage& img = inbound_images_[stream];
+    if (!img.chunks.emplace(msg.epoch, std::move(msg.plan_bytes)).second) {
+      ++migration_counters_.duplicate_chunks_dropped;
+      return;
+    }
+    install = img.commit_seen && img.chunks.size() == img.expect_chunks;
+  }
+  if (install) InstallMigration(stream);
+}
+
+void Machine::HandleMigrateCommit(Message msg) {
+  const std::uint64_t stream = msg.req_id;
+  bool install = false;
+  {
+    std::lock_guard<std::mutex> lock(migrate_mu_);
+    if (migration_installed_.count(stream) != 0) return;  // dup commit
+    InboundImage& img = inbound_images_[stream];
+    if (img.commit_seen) return;  // dup commit, still assembling
+    img.commit_seen = true;
+    img.expect_chunks = msg.txn;
+    img.expect_entries = msg.version;
+    img.checksum = static_cast<std::uint32_t>(msg.key);
+    // A faulty transport may reorder the commit ahead of trailing chunks;
+    // install fires from the last chunk's handler in that case.
+    install = img.chunks.size() == img.expect_chunks;
+  }
+  if (install) InstallMigration(stream);
+}
+
+void Machine::InstallMigration(std::uint64_t stream) {
+  std::string encoded;
+  std::uint32_t checksum = 0;
+  std::uint64_t expect_entries = 0;
+  {
+    std::lock_guard<std::mutex> lock(migrate_mu_);
+    auto it = inbound_images_.find(stream);
+    TPART_CHECK(it != inbound_images_.end());
+    InboundImage& img = it->second;
+    TPART_CHECK(img.chunks.size() == img.expect_chunks);
+    std::uint64_t next = 0;
+    for (const auto& [idx, bytes] : img.chunks) {
+      TPART_CHECK(idx == next++) << "migration chunk gap at " << idx;
+      encoded += bytes;
+    }
+    checksum = img.checksum;
+    expect_entries = img.expect_entries;
+    inbound_images_.erase(it);
+  }
+  TPART_CHECK(WireChecksum(encoded) == checksum)
+      << "migration image checksum mismatch on machine " << id_
+      << " (stream " << stream << ")";
+  Result<PartitionImage> image = DecodePartitionImage(encoded);
+  TPART_CHECK(image.ok()) << "bad migration image on machine " << id_
+                          << ": " << image.status().ToString();
+  TPART_CHECK(image->entries.size() == expect_entries);
+  TPART_TRACE_SPAN("migrate_install", "elastic",
+                   {{"machine", id_}, {"keys", image->entries.size()}});
+
+  std::vector<StorageService::MigratedKeyState> states;
+  std::vector<ObjectKey> all_keys;
+  all_keys.reserve(image->entries.size());
+  for (auto& e : image->entries) {
+    all_keys.push_back(e.key);
+    if (e.present) {
+      store_->Upsert(e.key, std::move(e.value));
+    } else if (store_->Contains(e.key)) {
+      // Cannot miss: guarded by the Contains() probe above.
+      (void)store_->Delete(e.key);
+    }
+    if (e.has_state) {
+      states.push_back(StorageService::MigratedKeyState{
+          e.key, e.current, e.reads_served_since_wb, e.has_sticky,
+          e.sticky_expire});
+    }
+    if (e.has_cache_sticky) {
+      cache_.InstallSticky(CacheArea::Image::StickyImage{
+          e.key, std::move(e.cache_sticky_value), e.cache_sticky_version,
+          e.cache_sticky_expire});
+    }
+  }
+  storage_.InstallKeys(states);
+  // Mark every moved key dirty (not just the stateful ones) so the forced
+  // post-migration checkpoint folds the installed records in.
+  storage_.MarkDirty(all_keys);
+  {
+    std::lock_guard<std::mutex> lock(migrate_mu_);
+    migration_installed_.insert(stream);
+    migration_counters_.keys_moved_in += all_keys.size();
+    ++migration_counters_.images_installed;
+  }
+}
+
+bool Machine::MigrationSourceDone(std::uint64_t stream) const {
+  std::lock_guard<std::mutex> lock(migrate_mu_);
+  return migration_source_done_.count(stream) != 0;
+}
+
+bool Machine::MigrationInstalled(std::uint64_t stream) const {
+  std::lock_guard<std::mutex> lock(migrate_mu_);
+  return migration_installed_.count(stream) != 0;
+}
+
+Machine::MigrationCounters Machine::migration_counters() const {
+  std::lock_guard<std::mutex> lock(migrate_mu_);
+  return migration_counters_;
+}
+
 std::string Machine::StallDiagnostic() const {
   std::ostringstream out;
   out << "machine " << id_;
@@ -1308,6 +1601,8 @@ void Machine::ExecuteCalvin(const TxnSpec& spec) {
     for (auto& [key, rec] : ctx.writes()) {
       if (locate_(key) != id_) continue;  // "local write" (§2.1)
       if (rec.is_absent()) {
+        // Blind delete: an absent write may target a key that never
+        // existed here; kNotFound is the expected no-op, not an error.
         (void)store_->Delete(key);
       } else {
         store_->Upsert(key, std::move(rec));

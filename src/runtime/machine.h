@@ -81,6 +81,8 @@ class Machine {
   CreditGrant AcquireEpochCreditFor(std::chrono::microseconds timeout);
   /// Deepest the in-flight-round window ever got.
   std::size_t epoch_queue_high_water() const;
+  /// Deepest the inbound service FIFO ever got (pipeline depth gauge).
+  std::size_t inbound_queue_high_water() const { return inbound_.high_water(); }
 
   /// Invoked (from an executor thread) with each transaction's id as its
   /// result is recorded — admission-to-commit latency tracking. Set before
@@ -160,7 +162,8 @@ class Machine {
   /// lost rounds — never before, or live rounds would race the replay's
   /// credit accounting). Returns the number of replayed plans. Watchdog
   /// thread only.
-  std::size_t Recover(const std::function<void()>& restore_partition);
+  [[nodiscard]] std::size_t Recover(
+      const std::function<void()>& restore_partition);
   /// Joins the executor spawned by Recover() (no-op if none). Call after
   /// the run's normal JoinExecutor() round.
   void JoinRecoveredExecutor();
@@ -232,6 +235,51 @@ class Machine {
   std::size_t request_log_bytes_peak() const;
   std::size_t network_log_bytes_peak() const;
 
+  // ---- Elastic migration (src/elastic) --------------------------------
+  /// Per-machine migration counters; the cluster merges them into
+  /// MigrationStats.
+  struct MigrationCounters {
+    std::uint64_t keys_moved_out = 0;
+    std::uint64_t keys_moved_in = 0;
+    std::uint64_t records_moved = 0;
+    std::uint64_t bytes_shipped = 0;
+    std::uint64_t chunks_shipped = 0;
+    std::uint64_t duplicate_chunks_dropped = 0;
+    std::uint64_t images_sent = 0;
+    std::uint64_t images_installed = 0;
+  };
+
+  /// Migration-barrier quiesce: blocks until every disseminated round has
+  /// fully executed here (all epoch credits released — this also rides
+  /// out a crash + recovery + re-ship cycle, whose re-executed rounds
+  /// release the stuck credits). Requires a bounded epoch queue
+  /// (set_epoch_queue_capacity > 0): at capacity 0 credits are not
+  /// tracked and a drain barrier is meaningless. kUnavailable on timeout
+  /// (0 = wait forever).
+  [[nodiscard]] Status WaitStreamDrained(std::chrono::microseconds timeout);
+
+  /// Posts a local kServiceFence through the inbound queue (never via the
+  /// transport — it is not a wire message) and blocks until the service
+  /// thread dispatches it; every message delivered before the call has
+  /// then been fully applied. kUnavailable on timeout (0 = forever).
+  [[nodiscard]] Status FenceService(std::chrono::microseconds timeout);
+
+  /// Control-plane checkpoint at the migration cut: captures the attached
+  /// checkpoint image at `epoch` exactly like a cadence capture,
+  /// truncating both §5.4 logs — so a later crash can never replay
+  /// pre-cut traffic that resurrects moved-away keys. Call only while the
+  /// machine is quiescent (stream drained + service fenced) and live;
+  /// requires ConfigureCheckpoint.
+  void ForceCheckpoint(SinkEpoch epoch);
+
+  /// True once this machine, as migration source for `stream`, captured
+  /// and shipped its partition image and dropped the moved keys.
+  bool MigrationSourceDone(std::uint64_t stream) const;
+  /// True once this machine, as migration target for `stream`, verified
+  /// the image checksum and installed every entry.
+  bool MigrationInstalled(std::uint64_t stream) const;
+  MigrationCounters migration_counters() const;
+
  private:
   struct EpochWork {
     SinkEpoch epoch = 0;
@@ -266,12 +314,27 @@ class Machine {
   /// Appends one inbound message to the §5.4 network log (byte-counted).
   void LogNetworkMessage(const Message& msg);
 
+  // Elastic-migration internals (service thread). Their messages are
+  // never network-logged: migration state crosses machines exactly once,
+  // and the post-migration forced checkpoint owns its durability.
+  void HandleMigrateBegin(Message msg);
+  void HandleImageChunk(Message msg);
+  void HandleMigrateCommit(Message msg);
+  void InstallMigration(std::uint64_t stream);
+
   // Streaming intake internals (service thread only, except credit
   // release which executors trigger).
   void HandleSinkPlan(Message msg);
   void EnqueueStreamEpoch(SinkEpoch epoch, std::vector<PlanItem> items);
   /// Returns true when the round fully drained (its credit was released).
   bool OnPlanItemDone(SinkEpoch epoch);
+  /// Marks one plan item of `epoch` done and returns true when the round
+  /// fully drained — WITHOUT releasing the round's credit. The executor's
+  /// crash-trigger path uses this to defer the release until after
+  /// CrashStop: a migration barrier waking on the credit must already see
+  /// the machine down, or it would start extracting the partition while
+  /// recovery replay still reads it.
+  bool MarkPlanItemDone(SinkEpoch epoch);
   void ReleaseEpochCredit();
 
   // Awaits a response delivered by the service thread for `req_id`.
@@ -407,6 +470,30 @@ class Machine {
   /// to kLive) when it hits zero.
   std::atomic<std::size_t> replay_remaining_{0};
   std::thread recovery_executor_;
+
+  // ---- Elastic migration state ----------------------------------------
+  // Inbound image assembly, keyed by migration stream id. Chunks may
+  // arrive out of order and the commit may overtake trailing chunks on a
+  // faulty transport; installation fires from whichever message completes
+  // the set.
+  struct InboundImage {
+    std::map<std::uint64_t, std::string> chunks;  // by chunk index
+    bool commit_seen = false;
+    std::uint64_t expect_chunks = 0;
+    std::uint64_t expect_entries = 0;
+    std::uint32_t checksum = 0;
+  };
+  mutable std::mutex migrate_mu_;
+  std::unordered_map<std::uint64_t, InboundImage> inbound_images_;
+  std::unordered_set<std::uint64_t> migration_source_done_;
+  std::unordered_set<std::uint64_t> migration_installed_;
+  MigrationCounters migration_counters_;
+
+  // Service-fence handshake (FenceService <-> service thread).
+  mutable std::mutex fence_mu_;
+  std::condition_variable fence_cv_;
+  std::uint64_t fence_posted_ = 0;
+  std::uint64_t fence_seen_ = 0;
 
   // Straggler mode (service thread only): sleep before a heartbeat, at
   // most once per period, so responses skirt the detector deadline.

@@ -47,6 +47,8 @@ void StorageService::DrainKeyLocked(
                                   ? std::optional<Record>(std::move(*old))
                                   : std::nullopt);
         if (wb.value.is_absent()) {
+          // Blind delete: an absent write-back may target a key already
+          // gone; kNotFound is the expected no-op, not an error.
           (void)store_->Delete(key);
         } else {
           store_->Upsert(key, wb.value);
@@ -239,6 +241,55 @@ void StorageService::Restore(const Image& image,
     }
   }
   shutdown_ = false;
+}
+
+std::vector<ObjectKey> StorageService::StateKeys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectKey> out;
+  out.reserve(keys_.size());
+  for (const auto& [key, st] : keys_) {
+    (void)st;
+    out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<StorageService::MigratedKeyState> StorageService::ExtractKeys(
+    const std::vector<ObjectKey>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MigratedKeyState> out;
+  out.reserve(keys.size());
+  for (const ObjectKey key : keys) {
+    auto it = keys_.find(key);
+    if (it == keys_.end()) continue;
+    const KeyState& st = it->second;
+    TPART_CHECK(st.parked_reads.empty() && st.parked_wbs.empty())
+        << "migrating key " << key << " with parked storage work — the "
+        << "barrier did not quiesce the stream";
+    out.push_back(MigratedKeyState{key, st.current, st.reads_served_since_wb,
+                                   st.has_sticky, st.sticky_expire});
+    keys_.erase(it);
+    dirty_keys_.insert(key);  // the forced capture must fold the deletion
+  }
+  return out;
+}
+
+void StorageService::InstallKeys(const std::vector<MigratedKeyState>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MigratedKeyState& mk : keys) {
+    KeyState& st = keys_[mk.key];
+    st.current = mk.current;
+    st.reads_served_since_wb = mk.reads_served_since_wb;
+    st.has_sticky = mk.has_sticky;
+    st.sticky_expire = mk.sticky_expire;
+    dirty_keys_.insert(mk.key);
+  }
+}
+
+void StorageService::MarkDirty(const std::vector<ObjectKey>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_keys_.insert(keys.begin(), keys.end());
 }
 
 std::vector<ObjectKey> StorageService::TakeDirtyKeys() {

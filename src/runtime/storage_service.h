@@ -128,6 +128,36 @@ class StorageService {
   /// set for an incremental checkpoint pass).
   std::vector<ObjectKey> TakeDirtyKeys();
 
+  /// Per-key migration state, extracted from a quiesced source machine.
+  struct MigratedKeyState {
+    ObjectKey key = 0;
+    TxnId current = kInvalidTxnId;
+    std::uint32_t reads_served_since_wb = 0;
+    bool has_sticky = false;
+    SinkEpoch sticky_expire = 0;
+  };
+
+  /// Keys with any version-discipline state (sorted). The migration
+  /// control plane unions this with the store's keys so moved keys whose
+  /// record was deleted still carry their current-version tag across.
+  std::vector<ObjectKey> StateKeys() const;
+
+  /// Removes and returns the version-discipline state of `keys` (elastic
+  /// migration source side, at a quiesced barrier: parked reads and
+  /// parked write-backs for moved keys must be empty — CHECK). Keys with
+  /// no state entry are skipped; they carry default state on both sides.
+  std::vector<MigratedKeyState> ExtractKeys(const std::vector<ObjectKey>& keys);
+
+  /// Installs migrated key state (elastic migration target side) and
+  /// marks each key dirty so the next checkpoint pass folds it in.
+  void InstallKeys(const std::vector<MigratedKeyState>& keys);
+
+  /// Marks keys dirty without touching their state: migration mutates
+  /// store records directly (deletes at the source, upserts at the
+  /// target), and the post-migration forced checkpoint must fold those
+  /// mutations even for keys that never had version-discipline state.
+  void MarkDirty(const std::vector<ObjectKey>& keys);
+
   const WriteBackLog& write_back_log() const { return wb_log_; }
   std::uint64_t sticky_hits() const;
   std::uint64_t reads_served() const;

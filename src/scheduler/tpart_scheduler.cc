@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "elastic/migration.h"
 #include "obs/trace.h"
 #include "partition/streaming_greedy.h"
 #include "scheduler/plan_optimizer.h"
@@ -20,6 +21,7 @@ TPartScheduler::TPartScheduler(
 std::vector<SinkPlan> TPartScheduler::OnTxn(const TxnSpec& spec) {
   {
     TPART_TRACE_SPAN("tgraph_insert", "scheduler", {{"txn", spec.id}});
+    TrackFrequencies(spec);
     graph_.AddTxn(spec);
   }
   max_tgraph_size_ = std::max(max_tgraph_size_, graph_.num_unsunk());
@@ -30,12 +32,48 @@ std::vector<SinkPlan> TPartScheduler::OnTxn(const TxnSpec& spec) {
 std::vector<SinkPlan> TPartScheduler::OnBatch(const TxnBatch& batch) {
   std::vector<SinkPlan> plans;
   for (const auto& spec : batch.txns) {
+    TrackFrequencies(spec);
     graph_.AddTxn(spec);
     max_tgraph_size_ = std::max(max_tgraph_size_, graph_.num_unsunk());
     auto produced = MaybeSink();
     for (auto& p : produced) plans.push_back(std::move(p));
   }
   return plans;
+}
+
+void TPartScheduler::TrackFrequencies(const TxnSpec& spec) {
+  if (options_.elastic == nullptr || spec.is_dummy) return;
+  // Only worth the hash traffic while a hot-key step is still pending.
+  bool pending_hot = false;
+  for (std::size_t i = applied_steps_; i < options_.elastic->num_steps(); ++i) {
+    if (options_.elastic->step(i).policy == MigrationPolicy::kHotKey) {
+      pending_hot = true;
+      break;
+    }
+  }
+  if (!pending_hot) return;
+  for (const ObjectKey key : spec.rw.reads) ++key_freq_[key];
+  for (const ObjectKey key : spec.rw.writes) ++key_freq_[key];
+}
+
+void TPartScheduler::MaybeApplyMembershipStep() {
+  ElasticPartitionMap* elastic = options_.elastic.get();
+  if (elastic == nullptr || applied_steps_ >= elastic->num_steps()) return;
+  const MembershipStep& next = elastic->step(applied_steps_);
+  if (next_epoch_ != next.cut_epoch + 1) return;
+  const std::size_t version = applied_steps_ + 1;
+  if (next.policy == MigrationPolicy::kHotKey) {
+    std::vector<std::pair<ObjectKey, std::uint64_t>> freq(key_freq_.begin(),
+                                                          key_freq_.end());
+    FillHotKeyOverrides(elastic->mutable_step(applied_steps_), freq, *elastic,
+                        version);
+  }
+  // Overrides are final before the publish: Advance() release-publishes
+  // the version, after which concurrent Locate() calls may fold this step.
+  elastic->Advance();
+  graph_.Rehome(next.n_after);
+  ++applied_steps_;
+  TPART_TRACE(Counter("membership_steps", applied_steps_));
 }
 
 std::vector<SinkPlan> TPartScheduler::MaybeSink() {
@@ -58,6 +96,7 @@ std::vector<SinkPlan> TPartScheduler::Drain() {
 SinkPlan TPartScheduler::SinkRound(std::size_t count) {
   TPART_TRACE_SPAN("sink_round", "scheduler",
                    {{"epoch", next_epoch_}, {"count", count}});
+  MaybeApplyMembershipStep();
   const auto start = std::chrono::steady_clock::now();
   {
     TPART_TRACE_SPAN("partition", "scheduler",

@@ -2,8 +2,10 @@
 #define TPART_SCHEDULER_TPART_SCHEDULER_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "elastic/elastic_map.h"
 #include "partition/partitioner.h"
 #include "scheduler/push_plan.h"
 #include "sequencer/batch.h"
@@ -32,6 +34,15 @@ class TPartScheduler {
     TGraph::Options graph;
     /// Apply the §4.3 plan optimisation after each sinking round.
     bool optimize_plans = true;
+    /// Elastic membership: when set, the scheduler owns advancing this
+    /// map through its registered MembershipSteps. The step with
+    /// cut_epoch E is applied at the top of sink round E + 1 — i.e.
+    /// rounds 1..E address the old membership, rounds E+1.. the new one —
+    /// by filling hot-key overrides (kHotKey policy), publishing the new
+    /// map version, and re-homing the T-graph. Since every scheduler in
+    /// the cluster sees the same total order and the same schedule, all
+    /// of them flip at the same round and keep emitting identical plans.
+    std::shared_ptr<ElasticPartitionMap> elastic;
   };
 
   /// `partitioner` defaults to the streaming greedy of Algorithm 1 when
@@ -65,10 +76,14 @@ class TPartScheduler {
   double scheduling_seconds() const { return scheduling_seconds_; }
   /// Peak unsunk T-graph size observed (Fig. 4(c)).
   std::size_t max_tgraph_size() const { return max_tgraph_size_; }
+  /// Membership steps already applied (elastic runs only).
+  std::size_t membership_steps_applied() const { return applied_steps_; }
 
  private:
   std::vector<SinkPlan> MaybeSink();
   SinkPlan SinkRound(std::size_t count);
+  void MaybeApplyMembershipStep();
+  void TrackFrequencies(const TxnSpec& spec);
 
   Options options_;
   TGraph graph_;
@@ -77,6 +92,11 @@ class TPartScheduler {
   std::uint64_t pushes_eliminated_ = 0;
   double scheduling_seconds_ = 0.0;
   std::size_t max_tgraph_size_ = 0;
+  std::size_t applied_steps_ = 0;
+  /// Access counts per key, fed from the total order — the hot-key
+  /// migration policy's input. Deterministic across schedulers because
+  /// the stream is.
+  std::unordered_map<ObjectKey, std::uint64_t> key_freq_;
 };
 
 }  // namespace tpart

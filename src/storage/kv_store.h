@@ -43,8 +43,10 @@ class KvStore {
   /// Inserts or overwrites unconditionally.
   void Upsert(ObjectKey key, Record record);
 
-  /// Deletes a record. Fails with NotFound when absent.
-  Status Delete(ObjectKey key);
+  /// Deletes a record. Fails with NotFound when absent. Blind deletes
+  /// (where NotFound is the expected no-op) must void-cast with a
+  /// comment saying why.
+  [[nodiscard]] Status Delete(ObjectKey key);
 
   bool Contains(ObjectKey key) const { return records_.count(key) > 0; }
   std::size_t size() const { return records_.size(); }
@@ -57,6 +59,16 @@ class KvStore {
 
   /// Total logical bytes stored (for buffer accounting).
   std::size_t TotalBytes() const { return total_bytes_; }
+
+  /// Visits every stored key, in no particular order (the caller sorts).
+  /// Control-plane use (migration planning) at a quiesced barrier only —
+  /// the store is not internally synchronized.
+  void ForEachKey(const std::function<void(ObjectKey)>& fn) const {
+    for (const auto& [key, record] : records_) {
+      (void)record;
+      fn(key);
+    }
+  }
 
  private:
   std::unordered_map<ObjectKey, Record> records_;

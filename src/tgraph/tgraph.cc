@@ -138,6 +138,28 @@ void TGraph::OnCommitted(TxnId id) {
   outstanding_.erase(it);
 }
 
+void TGraph::Rehome(std::size_t new_n) {
+  TPART_CHECK(new_n >= 1);
+  TPART_CHECK(data_map_->num_partitions() >= new_n)
+      << "membership " << new_n << " exceeds the map's machine slots";
+  options_.num_machines = new_n;
+  if (sink_weight_.size() < new_n) sink_weight_.resize(new_n, 0.0);
+  for (auto& [eid, e] : edges_) {
+    (void)eid;
+    if (e.stale) continue;
+    if (e.kind == EdgeKind::kStorageRead ||
+        e.kind == EdgeKind::kStorageWrite) {
+      e.sink = data_map_->Locate(e.key);
+    }
+  }
+  for (auto& n : nodes_) {
+    if (n.assigned != kInvalidMachine &&
+        n.assigned >= static_cast<MachineId>(new_n)) {
+      n.assigned = kInvalidMachine;
+    }
+  }
+}
+
 void TGraph::ForEachUnsunk(
     const std::function<void(const TxnNode&)>& fn) const {
   for (const auto& n : nodes_) fn(n);
@@ -159,7 +181,10 @@ void TGraph::AccumulateAffinity(TxnId id,
       const MachineId m = node(peer).assigned;
       if (m == kInvalidMachine) continue;
       affinity[m] += e.weight;
-    } else {
+    } else if (e.sink < affinity.size()) {
+      // A cache-read edge may point at a holder outside the current
+      // membership after a shrink (a zombie still serving residual
+      // pulls); it then exerts no placement pull.
       affinity[e.sink] += e.weight;
     }
   }
@@ -233,10 +258,12 @@ TGraph::Snapshot TGraph::ExportSnapshot() const {
       v = vtx_of_txn(e.dst_txn);
     } else if (e.kind == EdgeKind::kStorageWrite) {
       if (!HasNode(e.src_txn)) continue;
+      if (e.sink >= k) continue;  // zombie holder after a shrink
       u = vtx_of_txn(e.src_txn);
       v = static_cast<int>(e.sink);
     } else {
       if (!HasNode(e.dst_txn)) continue;
+      if (e.sink >= k) continue;  // zombie holder after a shrink
       u = static_cast<int>(e.sink);
       v = vtx_of_txn(e.dst_txn);
     }

@@ -120,6 +120,19 @@ class TGraph {
   /// counts toward its machine's sink-node weight (§3.1).
   void OnCommitted(TxnId id);
 
+  /// Elastic membership change at a sink-epoch cut: the data map has just
+  /// advanced to a new version, and rounds from here on address `new_n`
+  /// machines. Re-homes every live storage-read/storage-write edge to the
+  /// key's new home (their sinks were fixed at arrival time under the old
+  /// map) and un-assigns unsunk nodes parked on machines leaving the
+  /// membership, so the streaming partitioner re-places them. Cache-read
+  /// edges keep their holder: published epoch entries stay valid on the
+  /// machine that published them, even one leaving the membership (it
+  /// keeps serving residual pulls). The sink-weight vector only ever
+  /// grows — OnCommitted() for transactions sunk on a leaver before the
+  /// cut still indexes its slot.
+  void Rehome(std::size_t new_n);
+
   // --- Introspection / partitioner interface -------------------------
 
   std::size_t num_machines() const { return options_.num_machines; }

@@ -247,6 +247,86 @@ TEST_P(CheckpointReplayProperty, SuffixReplayMatchesFullLogReplay) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointReplayProperty,
                          ::testing::Values(101, 202, 303, 404));
 
+// Chaos-transport replay property: for any seed, a TCP-transport
+// streaming run that checkpoints every few epochs while the full seeded
+// chaos matrix fires (two distinct victims, a repeat crash of the first
+// after its recovery, and a straggler) must stay byte-identical to a
+// clean direct-transport run — same per-transaction outputs, same final
+// store — and every machine must still be reconstructible offline from
+// its last checkpoint image plus the truncated log suffix.
+class ChaosTransportReplayProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaosTransportReplayProperty, TcpChaosRunMatchesCleanDirectRun) {
+  MicroOptions o;
+  o.num_machines = 3;
+  o.records_per_machine = 150;
+  o.hot_set_size = 15;
+  o.num_txns = 400;
+  o.seed = static_cast<std::uint64_t>(GetParam());
+  const Workload w = MakeMicroWorkload(o);
+
+  LocalClusterOptions clean;
+  clean.streaming = true;
+  clean.scheduler.sink_size = 20;
+  LocalCluster baseline(&w, clean);
+  const ClusterRunOutcome want = baseline.RunTPart();
+  ASSERT_TRUE(want.fault.ok()) << want.fault.ToString();
+
+  LocalClusterOptions chaotic = clean;
+  chaotic.transport.kind = TransportKind::kTcp;
+  chaotic.checkpoint_every = 4;
+  chaotic.detector.heartbeat_interval_us = 2000;
+  chaotic.detector.deadline_us = 100000;
+  const SinkEpoch span = static_cast<SinkEpoch>(o.num_txns / 20);
+  const std::string schedule = ApplySeededChaos(
+      static_cast<std::uint64_t>(GetParam()), w.num_machines, span, chaotic);
+  LocalCluster cluster(&w, chaotic);
+  const ClusterRunOutcome got = cluster.RunTPart();
+  ASSERT_TRUE(got.fault.ok()) << schedule << ": " << got.fault.ToString();
+  EXPECT_EQ(got.recovery.crashes_injected, 3u) << schedule;
+
+  ASSERT_EQ(got.results.size(), want.results.size());
+  for (std::size_t i = 0; i < got.results.size(); ++i) {
+    ASSERT_EQ(got.results[i].id, want.results[i].id) << schedule;
+    ASSERT_EQ(got.results[i].committed, want.results[i].committed)
+        << schedule << " T" << got.results[i].id;
+    ASSERT_EQ(got.results[i].output, want.results[i].output)
+        << schedule << " T" << got.results[i].id;
+  }
+  EXPECT_EQ(cluster.store().Snapshot(), baseline.store().Snapshot());
+
+  auto partition_state = [](PartitionedStore& store, MachineId m) {
+    std::vector<std::pair<ObjectKey, Record>> state;
+    store.store(m).Scan(
+        0, std::numeric_limits<ObjectKey>::max(),
+        [&](ObjectKey k, const Record& v) { state.emplace_back(k, v); });
+    std::sort(state.begin(), state.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return state;
+  };
+
+  // Checkpoint-aware replay: even though the crashes already consumed
+  // the live checkpoints once (in-run recovery restores from them), the
+  // offline image-plus-suffix replay must rebuild every partition
+  // byte-identically to the cluster's final state.
+  for (std::size_t m = 0; m < w.num_machines; ++m) {
+    const MachineId id = static_cast<MachineId>(m);
+    ASSERT_NE(cluster.checkpoint(id), nullptr) << schedule;
+    ASSERT_GT(cluster.checkpoint(id)->epoch(), 0u)
+        << schedule << " machine " << m << " never captured";
+    ReplayResult replayed =
+        ReplayMachine(w, id, *cluster.checkpoint(id),
+                      cluster.machine(id).request_log(),
+                      cluster.machine(id).network_log());
+    EXPECT_EQ(partition_state(*replayed.store, id),
+              partition_state(cluster.store(), id))
+        << schedule << " machine " << m << " partition diverged";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTransportReplayProperty,
+                         ::testing::Values(7, 21, 42));
+
 INSTANTIATE_TEST_SUITE_P(
     Grid, GraphInvariantProperty,
     ::testing::Values(std::tuple<int, bool, bool, int>{1, true, false, 1},
