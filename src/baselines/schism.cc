@@ -25,7 +25,7 @@ std::shared_ptr<LookupPartitionMap> BuildSchismPartition(
   for (const TxnSpec& spec : trace) {
     if (spec.is_dummy) continue;
     if (++used > options.max_trace_txns) break;
-    std::vector<ObjectKey> keys = spec.rw.AllKeys();
+    KeySet keys = spec.rw.AllKeys();
     if (keys.size() > options.max_keys_per_txn) {
       keys.resize(options.max_keys_per_txn);
     }

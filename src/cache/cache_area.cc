@@ -1,5 +1,7 @@
 #include "cache/cache_area.h"
 
+#include <algorithm>
+
 namespace tpart {
 
 void CacheArea::PutVersion(ObjectKey key, TxnId version, TxnId dst,
@@ -100,13 +102,12 @@ std::optional<Record> CacheArea::ReadSticky(ObjectKey key,
 
 void CacheArea::EvictExpiredSticky(SinkEpoch now_epoch) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = sticky_.begin(); it != sticky_.end();) {
-    if (it->second.expire_epoch < now_epoch) {
-      it = sticky_.erase(it);
-    } else {
-      ++it;
-    }
+  // FlatMap::erase shifts elements, so collect first, then erase.
+  std::vector<ObjectKey> expired;
+  for (const auto& [key, e] : sticky_) {
+    if (e.expire_epoch < now_epoch) expired.push_back(key);
   }
+  for (const ObjectKey key : expired) sticky_.erase(key);
 }
 
 void CacheArea::Shutdown() {
@@ -146,6 +147,23 @@ CacheArea::Image CacheArea::Capture() const {
     image.sticky.push_back(
         Image::StickyImage{key, e.value, e.version, e.expire_epoch});
   }
+  // The hash tables iterate in table order; sort so the image (and any
+  // checkpoint bytes derived from it) stays key-ordered and deterministic.
+  std::sort(image.versions.begin(), image.versions.end(),
+            [](const Image::VersionEntryImage& a,
+               const Image::VersionEntryImage& b) {
+              return std::tie(a.key, a.version, a.dst) <
+                     std::tie(b.key, b.version, b.dst);
+            });
+  std::sort(image.epochs.begin(), image.epochs.end(),
+            [](const Image::EpochEntryImage& a,
+               const Image::EpochEntryImage& b) {
+              return std::tie(a.key, a.version) < std::tie(b.key, b.version);
+            });
+  std::sort(image.sticky.begin(), image.sticky.end(),
+            [](const Image::StickyImage& a, const Image::StickyImage& b) {
+              return a.key < b.key;
+            });
   return image;
 }
 

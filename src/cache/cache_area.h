@@ -3,12 +3,12 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <tuple>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "storage/record.h"
 
@@ -88,7 +88,7 @@ class CacheArea {
   void Reset();
 
   /// Checkpoint image of the cache: every live version, epoch, and sticky
-  /// entry, in deterministic (ordered-map) order. Captured at a quiescent
+  /// entry, in deterministic (key-sorted) order. Captured at a quiescent
   /// epoch boundary so a truncated-log replay can resume with exactly the
   /// entries the suffix expects to find.
   struct Image {
@@ -166,9 +166,13 @@ class CacheArea {
   std::condition_variable cv_;
   bool shutdown_ = false;
 
-  std::map<std::tuple<ObjectKey, TxnId, TxnId>, Record> versions_;
-  std::map<std::pair<ObjectKey, TxnId>, EpochEntry> epochs_;
-  std::map<ObjectKey, StickyEntry> sticky_;
+  // Open-addressing tables (common/flat_map.h): entry churn on the
+  // executor hot path stops allocating a tree node per entry. Capture()
+  // sorts its output, preserving the deterministic checkpoint image the
+  // ordered maps used to provide.
+  FlatMap<std::tuple<ObjectKey, TxnId, TxnId>, Record> versions_;
+  FlatMap<std::pair<ObjectKey, TxnId>, EpochEntry> epochs_;
+  FlatMap<ObjectKey, StickyEntry> sticky_;
 
   std::size_t peak_entries_ = 0;
   mutable std::uint64_t sticky_hits_ = 0;

@@ -1,0 +1,166 @@
+#ifndef TPART_COMMON_ARENA_H_
+#define TPART_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tpart {
+
+/// Epoch-scoped slab arena (DESIGN.md §4h): bump allocation out of
+/// geometrically growing slabs, freed all at once by Reset() at a
+/// sink-epoch drain instead of per-object delete. Reset() rewinds the
+/// cursor but keeps every slab, so a steady-state round allocates zero
+/// bytes from the system allocator — the hot loop touches only memory it
+/// already owns.
+///
+/// Objects placed in the arena are never individually destroyed; callers
+/// must only park trivially destructible state here (or run destructors
+/// themselves before Reset). ArenaAllocator below statically enforces
+/// this for containers.
+///
+/// Not thread-safe: one arena per owning thread/stage, matching the
+/// pipeline's single-writer stage structure.
+class Arena {
+ public:
+  explicit Arena(std::size_t first_slab_bytes = 16 * 1024)
+      : next_slab_bytes_(first_slab_bytes < 64 ? 64 : first_slab_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Movable so owning objects (e.g. TGraph) stay movable. Pointers handed
+  // out remain valid — slabs move wholesale.
+  Arena(Arena&& o) noexcept { *this = std::move(o); }
+  Arena& operator=(Arena&& o) noexcept {
+    slabs_ = std::move(o.slabs_);
+    slab_sizes_ = std::move(o.slab_sizes_);
+    live_ = o.live_;
+    cursor_ = o.cursor_;
+    limit_ = o.limit_;
+    next_slab_bytes_ = o.next_slab_bytes_;
+    bytes_used_ = o.bytes_used_;
+    bytes_reserved_ = o.bytes_reserved_;
+    o.slabs_.clear();
+    o.slab_sizes_.clear();
+    o.live_ = 0;
+    o.cursor_ = o.limit_ = 0;
+    o.bytes_used_ = o.bytes_reserved_ = 0;
+    return *this;
+  }
+
+  void* Allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(std::uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      AddSlab(bytes + align);
+      p = (cursor_ + (align - 1)) & ~(std::uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Placement-constructs a T in the arena. T must be trivially
+  /// destructible — nothing will ever run its destructor.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return ::new (Allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Rewinds to empty, retaining all slabs for reuse. Everything handed
+  /// out since the last Reset is invalidated.
+  void Reset() {
+    bytes_used_ = 0;
+    if (slabs_.empty()) {
+      live_ = 0;
+      return;
+    }
+    // live_ counts slabs consumed since Reset; slab 0 becomes current, so
+    // the refill walk in AddSlab must start at slab 1 — starting at 0
+    // would hand slab 0 out twice and overwrite live data.
+    live_ = 1;
+    cursor_ = reinterpret_cast<std::uintptr_t>(slabs_[0].get());
+    limit_ = cursor_ + slab_sizes_[0];
+  }
+
+  /// Bytes handed out since the last Reset.
+  std::size_t bytes_used() const { return bytes_used_; }
+  /// Bytes of slab capacity owned (survives Reset).
+  std::size_t bytes_reserved() const { return bytes_reserved_; }
+  std::size_t num_slabs() const { return slabs_.size(); }
+
+ private:
+  void AddSlab(std::size_t min_bytes) {
+    // After Reset, walk the already-owned slabs before growing.
+    while (live_ < slabs_.size()) {
+      cursor_ = reinterpret_cast<std::uintptr_t>(slabs_[live_].get());
+      limit_ = cursor_ + slab_sizes_[live_];
+      ++live_;
+      if (limit_ - cursor_ >= min_bytes) return;
+    }
+    std::size_t size = next_slab_bytes_;
+    while (size < min_bytes) size *= 2;
+    next_slab_bytes_ = size * 2;  // geometric growth caps slab count
+    slabs_.push_back(std::unique_ptr<std::byte[]>(new std::byte[size]));
+    slab_sizes_.push_back(size);
+    bytes_reserved_ += size;
+    live_ = slabs_.size();
+    cursor_ = reinterpret_cast<std::uintptr_t>(slabs_.back().get());
+    limit_ = cursor_ + size;
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::vector<std::size_t> slab_sizes_;
+  std::size_t live_ = 0;  // slabs in use since last Reset
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t next_slab_bytes_;
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+/// std-compatible allocator over an Arena for container scratch whose
+/// lifetime ends at the next Reset. deallocate() is a no-op, so containers
+/// using it must themselves be cleared/abandoned before Reset — and their
+/// elements must be trivially destructible.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena-backed containers must hold trivially destructible "
+                "elements (nothing runs element destructors at Reset)");
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}  // freed wholesale by Arena::Reset
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_COMMON_ARENA_H_

@@ -1,0 +1,271 @@
+#ifndef TPART_COMMON_FLAT_MAP_H_
+#define TPART_COMMON_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tpart {
+
+/// splitmix64 finalizer: a full-avalanche mixer, so sequential keys
+/// (txn ids, edge ids, dense object keys) spread uniformly over a
+/// power-of-two table.
+inline std::uint64_t MixHash64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Hash functor for FlatMap: integral keys and pairs/tuples of them.
+/// A pure function of the key value — FlatMap iteration order is therefore
+/// a deterministic function of the operation history, which keeps the
+/// byte-identity oracle across transports intact (every machine performs
+/// the same operations in the same order).
+struct FlatHash {
+  std::size_t operator()(std::uint64_t k) const {
+    return static_cast<std::size_t>(MixHash64(k));
+  }
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    return Combine((*this)(static_cast<std::uint64_t>(p.first)),
+                   (*this)(static_cast<std::uint64_t>(p.second)));
+  }
+  template <typename... Ts>
+  std::size_t operator()(const std::tuple<Ts...>& t) const {
+    std::size_t h = 0;
+    std::apply(
+        [&](const auto&... elems) {
+          ((h = Combine(h, (*this)(static_cast<std::uint64_t>(elems)))), ...);
+        },
+        t);
+    return h;
+  }
+  static std::size_t Combine(std::size_t a, std::size_t b) {
+    return static_cast<std::size_t>(
+        MixHash64(static_cast<std::uint64_t>(a) * 0x9e3779b97f4a7c15ull +
+                  static_cast<std::uint64_t>(b)));
+  }
+};
+
+/// Open-addressing hash map (linear probing, power-of-two capacity,
+/// backward-shift deletion — no tombstones) for the hot path: one flat
+/// slot array instead of a heap node per entry, so inserts/lookups on the
+/// executor and scheduler paths stop allocating and chase no pointers.
+///
+/// Deliberate scope limits (this is an internal container, not a drop-in
+/// std::unordered_map):
+///  * K and V must be default-constructible and movable; empty slots hold
+///    default-constructed pairs.
+///  * erase() moves other elements (backward shift): it invalidates ALL
+///    iterators and references, not just the erased one. Do not erase
+///    while holding references to other entries, and do not erase inside
+///    a range-for over the map — collect keys first, then erase.
+///  * rehash (any insert may trigger it) also invalidates everything.
+///  * iterators expose std::pair<K, V>&; callers must not mutate .first.
+template <typename K, typename V, typename Hash = FlatHash>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using MapT = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using Ref = std::conditional_t<Const, const value_type&, value_type&>;
+    using Ptr = std::conditional_t<Const, const value_type*, value_type*>;
+
+    Iter() = default;
+    Iter(MapT* map, std::size_t idx) : map_(map), idx_(idx) { SkipEmpty(); }
+    /// const_iterator from iterator.
+    template <bool C = Const, typename = std::enable_if_t<C>>
+    Iter(const Iter<false>& other) : map_(other.map_), idx_(other.idx_) {}
+
+    Ref operator*() const { return map_->slots_[idx_]; }
+    Ptr operator->() const { return &map_->slots_[idx_]; }
+    Iter& operator++() {
+      ++idx_;
+      SkipEmpty();
+      return *this;
+    }
+    bool operator==(const Iter& o) const { return idx_ == o.idx_; }
+    bool operator!=(const Iter& o) const { return idx_ != o.idx_; }
+
+   private:
+    friend class FlatMap;
+    template <bool>
+    friend class Iter;
+    void SkipEmpty() {
+      while (map_ != nullptr && idx_ < map_->slots_.size() &&
+             !map_->full_[idx_]) {
+        ++idx_;
+      }
+    }
+    MapT* map_ = nullptr;
+    std::size_t idx_ = 0;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slots_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+  /// Grows the table so `n` entries fit without rehashing.
+  void reserve(std::size_t n) {
+    std::size_t want = kMinCapacity;
+    // max load factor 7/8.
+    while (want - want / 8 < n) want <<= 1;
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (full_[i]) {
+        slots_[i] = value_type();
+        full_[i] = 0;
+      }
+    }
+    size_ = 0;
+  }
+
+  iterator find(const K& key) {
+    const std::size_t i = FindSlot(key);
+    return i == kNpos ? end() : iterator(this, i);
+  }
+  const_iterator find(const K& key) const {
+    const std::size_t i = FindSlot(key);
+    return i == kNpos ? end() : const_iterator(this, i);
+  }
+  std::size_t count(const K& key) const {
+    return FindSlot(key) == kNpos ? 0 : 1;
+  }
+  bool contains(const K& key) const { return FindSlot(key) != kNpos; }
+
+  V& at(const K& key) {
+    const std::size_t i = FindSlot(key);
+    assert(i != kNpos && "FlatMap::at: key not present");
+    return slots_[i].second;
+  }
+  const V& at(const K& key) const {
+    const std::size_t i = FindSlot(key);
+    assert(i != kNpos && "FlatMap::at: key not present");
+    return slots_[i].second;
+  }
+
+  V& operator[](const K& key) {
+    return slots_[InsertSlot(key).first].second;
+  }
+
+  template <typename KK, typename VV>
+  std::pair<iterator, bool> emplace(KK&& key, VV&& value) {
+    const K k(std::forward<KK>(key));
+    const auto [i, inserted] = InsertSlot(k);
+    if (inserted) slots_[i].second = V(std::forward<VV>(value));
+    return {iterator(this, i), inserted};
+  }
+
+  /// Erases by key; returns the number of elements removed (0 or 1).
+  std::size_t erase(const K& key) {
+    const std::size_t i = FindSlot(key);
+    if (i == kNpos) return 0;
+    EraseSlot(i);
+    return 1;
+  }
+
+  /// Erases the pointed-to element. Invalidates all iterators (backward
+  /// shift moves elements); do not use while iterating the map.
+  void erase(const_iterator it) {
+    assert(it.map_ == this && it.idx_ < slots_.size() && full_[it.idx_]);
+    EraseSlot(it.idx_);
+  }
+
+ private:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::size_t Mask() const { return slots_.size() - 1; }
+  std::size_t HomeOf(const K& key) const { return Hash{}(key) & Mask(); }
+
+  std::size_t FindSlot(const K& key) const {
+    if (slots_.empty()) return kNpos;
+    std::size_t i = HomeOf(key);
+    while (full_[i]) {
+      if (slots_[i].first == key) return i;
+      i = (i + 1) & Mask();
+    }
+    return kNpos;
+  }
+
+  /// Returns (slot, inserted). Rehashes first when at the load limit.
+  std::pair<std::size_t, bool> InsertSlot(const K& key) {
+    if (slots_.empty()) Rehash(kMinCapacity);
+    std::size_t i = HomeOf(key);
+    while (full_[i]) {
+      if (slots_[i].first == key) return {i, false};
+      i = (i + 1) & Mask();
+    }
+    if (size_ + 1 > slots_.size() - slots_.size() / 8) {
+      Rehash(slots_.size() * 2);
+      i = HomeOf(key);
+      while (full_[i]) i = (i + 1) & Mask();
+    }
+    full_[i] = 1;
+    slots_[i].first = key;
+    ++size_;
+    return {i, true};
+  }
+
+  void EraseSlot(std::size_t i) {
+    // Backward-shift deletion: walk the cluster after the hole and pull
+    // back every element whose home position lies at or before the hole.
+    std::size_t hole = i;
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & Mask();
+      if (!full_[j]) break;
+      const std::size_t home = HomeOf(slots_[j].first);
+      // j may fill the hole iff the hole lies cyclically in [home, j).
+      if (((hole - home) & Mask()) <= ((j - home) & Mask())) {
+        slots_[hole] = std::move(slots_[j]);
+        hole = j;
+      }
+    }
+    slots_[hole] = value_type();  // release held resources
+    full_[hole] = 0;
+    --size_;
+  }
+
+  void Rehash(std::size_t new_capacity) {
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_full = std::move(full_);
+    slots_.assign(new_capacity, value_type());
+    full_.assign(new_capacity, 0);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_full[i]) continue;
+      std::size_t j = HomeOf(old_slots[i].first);
+      while (full_[j]) j = (j + 1) & Mask();
+      slots_[j] = std::move(old_slots[i]);
+      full_[j] = 1;
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<std::uint8_t> full_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_COMMON_FLAT_MAP_H_

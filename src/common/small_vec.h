@@ -1,0 +1,221 @@
+#ifndef TPART_COMMON_SMALL_VEC_H_
+#define TPART_COMMON_SMALL_VEC_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace tpart {
+
+/// Vector with inline storage for the first `N` elements (DESIGN.md §4h).
+/// Transaction footprints are tiny — a handful of keys and parameters —
+/// so the hot path's per-txn containers (RwSet key sets, TxnSpec params)
+/// fit inline and copying a spec stops touching the heap entirely; only
+/// oversized outliers spill to a heap buffer, with ordinary geometric
+/// growth from there.
+///
+/// API is the std::vector subset the codebase uses (plus conversion from
+/// std::vector so call sites that build with std containers keep working).
+/// Iterators are raw pointers; the usual invalidation rules apply.
+template <typename T, std::size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  explicit SmallVector(std::size_t n, const T& value = T()) {
+    reserve(n);
+    for (std::size_t i = 0; i < n; ++i) ::new (data_ + i) T(value);
+    size_ = n;
+  }
+
+  SmallVector(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  SmallVector(const SmallVector& o) { assign(o.begin(), o.end()); }
+
+  SmallVector(SmallVector&& o) noexcept { MoveFrom(std::move(o)); }
+
+  /// Implicit on purpose: lets `rw.reads = locally_built_std_vector` keep
+  /// working across the std::vector -> SmallVector migration.
+  SmallVector(const std::vector<T>& o) { assign(o.begin(), o.end()); }
+
+  ~SmallVector() { Free(); }
+
+  SmallVector& operator=(const SmallVector& o) {
+    if (this != &o) assign(o.begin(), o.end());
+    return *this;
+  }
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this != &o) {
+      Free();
+      MoveFrom(std::move(o));
+    }
+    return *this;
+  }
+  SmallVector& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+  SmallVector& operator=(const std::vector<T>& o) {
+    assign(o.begin(), o.end());
+    return *this;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    reserve(static_cast<std::size_t>(std::distance(first, last)));
+    for (; first != last; ++first) {
+      ::new (data_ + size_) T(*first);
+      ++size_;
+    }
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(std::size_t n) {
+    if (n <= capacity_) return;
+    Grow(n);
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* p = ::new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  void resize(std::size_t n, const T& value = T()) {
+    if (n < size_) {
+      for (std::size_t i = n; i < size_; ++i) data_[i].~T();
+      size_ = n;
+    } else {
+      reserve(n);
+      while (size_ < n) {
+        ::new (data_ + size_) T(value);
+        ++size_;
+      }
+    }
+  }
+
+  iterator erase(const_iterator first, const_iterator last) {
+    iterator f = data_ + (first - data_);
+    iterator l = data_ + (last - data_);
+    iterator out = std::move(l, end(), f);
+    for (iterator it = out; it != end(); ++it) it->~T();
+    size_ = static_cast<std::size_t>(out - data_);
+    return f;
+  }
+  iterator erase(const_iterator pos) { return erase(pos, pos + 1); }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  void Grow(std::size_t want) {
+    std::size_t cap = capacity_;
+    while (cap < want) cap *= 2;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (fresh + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (data_ != InlineData()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+    }
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  void MoveFrom(SmallVector&& o) noexcept {
+    if (o.data_ != o.InlineData()) {
+      // Steal the heap buffer.
+      data_ = o.data_;
+      capacity_ = o.capacity_;
+      size_ = o.size_;
+      o.data_ = o.InlineData();
+      o.capacity_ = N;
+      o.size_ = 0;
+    } else {
+      data_ = InlineData();
+      capacity_ = N;
+      size_ = o.size_;
+      for (std::size_t i = 0; i < size_; ++i) {
+        ::new (data_ + i) T(std::move(o.data_[i]));
+        o.data_[i].~T();
+      }
+      o.size_ = 0;
+    }
+  }
+
+  void Free() {
+    clear();
+    if (data_ != InlineData()) {
+      ::operator delete(data_, std::align_val_t{alignof(T)});
+      data_ = InlineData();
+      capacity_ = N;
+    }
+  }
+
+  T* InlineData() { return reinterpret_cast<T*>(inline_); }
+  const T* InlineData() const { return reinterpret_cast<const T*>(inline_); }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = InlineData();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace tpart
+
+#endif  // TPART_COMMON_SMALL_VEC_H_

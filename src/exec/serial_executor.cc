@@ -10,10 +10,10 @@ Result<Record> GatheredTxnContext::Get(ObjectKey key) {
         "read of key outside the declared read set");
   }
   // Read-your-writes within the transaction.
-  auto wit = writes_.find(key);
-  if (wit != writes_.end()) return wit->second;
-  auto it = values_.find(key);
-  if (it == values_.end()) return Record::Absent();
+  auto wit = scratch_->writes.find(key);
+  if (wit != scratch_->writes.end()) return wit->second;
+  auto it = scratch_->values.find(key);
+  if (it == scratch_->values.end()) return Record::Absent();
   return it->second;
 }
 
@@ -22,18 +22,18 @@ Status GatheredTxnContext::Put(ObjectKey key, Record record) {
     return Status::FailedPrecondition(
         "write of key outside the declared write set");
   }
-  writes_[key] = std::move(record);
+  scratch_->writes[key] = std::move(record);
   return Status::Ok();
 }
 
 Record GatheredTxnContext::OutgoingValue(ObjectKey key,
                                          bool committed) const {
   if (committed) {
-    auto wit = writes_.find(key);
-    if (wit != writes_.end()) return wit->second;
+    auto wit = scratch_->writes.find(key);
+    if (wit != scratch_->writes.end()) return wit->second;
   }
-  auto it = values_.find(key);
-  if (it == values_.end()) return Record::Absent();
+  auto it = scratch_->values.find(key);
+  if (it == scratch_->values.end()) return Record::Absent();
   return it->second;
 }
 
@@ -42,14 +42,16 @@ Result<SerialRunResult> RunSerial(const ProcedureRegistry& registry,
                                   KvStore& store) {
   SerialRunResult out;
   out.results.reserve(txns.size());
+  ExecScratch scratch;  // tables reused across the whole run
   for (const TxnSpec& spec : txns) {
     if (spec.is_dummy) continue;
-    std::unordered_map<ObjectKey, Record> values;
+    scratch.Clear();
     for (const ObjectKey k : spec.rw.AllKeys()) {
       Result<Record> r = store.Read(k);
-      values.emplace(k, r.ok() ? std::move(r).value() : Record::Absent());
+      scratch.values.emplace(
+          k, r.ok() ? std::move(r).value() : Record::Absent());
     }
-    GatheredTxnContext ctx(&spec, std::move(values));
+    GatheredTxnContext ctx(&spec, &scratch);
     TPART_ASSIGN_OR_RETURN(TxnResult result,
                            RunProcedure(registry, spec, ctx));
     if (result.committed) {

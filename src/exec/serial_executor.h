@@ -1,9 +1,9 @@
 #ifndef TPART_EXEC_SERIAL_EXECUTOR_H_
 #define TPART_EXEC_SERIAL_EXECUTOR_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "storage/kv_store.h"
 #include "txn/procedure.h"
@@ -11,24 +11,40 @@
 
 namespace tpart {
 
+/// Reusable per-worker execution scratch (DESIGN.md §4h): the gathered
+/// read values and buffered writes of one transaction. The open-addressing
+/// tables keep their slot arrays across Clear(), so a worker's steady-state
+/// execute loop performs no map-node allocations. Callers own the scratch,
+/// Clear() it between transactions, and keep it alive for as long as the
+/// GatheredTxnContext borrowing it.
+struct ExecScratch {
+  FlatMap<ObjectKey, Record> values;
+  FlatMap<ObjectKey, Record> writes;
+
+  void Clear() {
+    values.clear();
+    writes.clear();
+  }
+};
+
 /// TxnContext over pre-gathered read values with buffered writes — the
 /// execution surface shared by every engine. Reads are served from the
 /// gathered map (absent keys yield Record::Absent()); writes are buffered
-/// and only visible through TakeWrites() when the procedure committed.
+/// and only visible through writes() when the procedure committed.
 class GatheredTxnContext : public BasicTxnContext {
  public:
-  GatheredTxnContext(const TxnSpec* spec,
-                     std::unordered_map<ObjectKey, Record> values)
-      : BasicTxnContext(&spec->params),
-        spec_(spec),
-        values_(std::move(values)) {}
+  /// Borrows `scratch` (non-owning): `scratch->values` must already hold
+  /// the gathered reads, and the caller must have Clear()ed it since the
+  /// previous transaction.
+  GatheredTxnContext(const TxnSpec* spec, ExecScratch* scratch)
+      : BasicTxnContext(&spec->params), spec_(spec), scratch_(scratch) {}
 
   Result<Record> Get(ObjectKey key) override;
   Status Put(ObjectKey key, Record record) override;
 
   /// Buffered writes (valid regardless of commit; callers consult the
   /// commit decision).
-  std::unordered_map<ObjectKey, Record>& writes() { return writes_; }
+  FlatMap<ObjectKey, Record>& writes() { return scratch_->writes; }
 
   /// Value of `key` as this transaction leaves it: the buffered write
   /// when committed and written, otherwise the gathered (old) value —
@@ -37,8 +53,7 @@ class GatheredTxnContext : public BasicTxnContext {
 
  private:
   const TxnSpec* spec_;
-  std::unordered_map<ObjectKey, Record> values_;
-  std::unordered_map<ObjectKey, Record> writes_;
+  ExecScratch* scratch_;
 };
 
 /// Reference engine: executes the totally ordered `txns` one at a time

@@ -10,6 +10,8 @@ namespace tpart {
 void TransportStats::MergeFrom(const TransportStats& other) {
   messages_sent += other.messages_sent;
   messages_delivered += other.messages_delivered;
+  batches_sent += other.batches_sent;
+  batched_messages += other.batched_messages;
   bytes_out += other.bytes_out;
   bytes_in += other.bytes_in;
   packets_out += other.packets_out;
@@ -26,8 +28,11 @@ void TransportStats::MergeFrom(const TransportStats& other) {
 
 std::string TransportStats::Summary() const {
   std::ostringstream out;
-  out << "msgs=" << messages_sent << "/" << messages_delivered
-      << " bytes=" << bytes_out << "/" << bytes_in
+  out << "msgs=" << messages_sent << "/" << messages_delivered;
+  if (batches_sent > 0) {
+    out << " batches=" << batches_sent << " batched_msgs=" << batched_messages;
+  }
+  out << " bytes=" << bytes_out << "/" << bytes_in
       << " packets=" << packets_out << "/" << packets_in
       << " acks=" << acks_sent << " retries=" << retries
       << " dups_dropped=" << duplicates_dropped;
@@ -123,6 +128,10 @@ void TransportStats::PublishTo(obs::MetricsRegistry& registry) const {
   c("messages_sent_total", messages_sent, "Messages handed to the transport");
   c("messages_delivered_total", messages_delivered,
     "Messages delivered to their destination machine");
+  c("batches_sent_total", batches_sent,
+    "Multi-message batch frames sent (one link seq each)");
+  c("batched_messages_total", batched_messages,
+    "Messages that travelled inside batch frames");
   c("bytes_out_total", bytes_out, "Serialized bytes entering the network");
   c("bytes_in_total", bytes_in, "Serialized bytes leaving the network");
   c("packets_out_total", packets_out, "Packets sent (data + acks + retries)");

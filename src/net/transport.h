@@ -12,6 +12,7 @@
 #include <string>
 #include <thread>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "metrics/run_stats.h"
@@ -48,6 +49,13 @@ struct TransportOptions {
   /// otherwise, and sporadic spurious retries are harmless: receivers
   /// dedupe).
   int retry_timeout_us = 2000;
+  /// Batched fan-out: executors hand their publish-phase messages to
+  /// Transport::SendBatch, and serialized transports coalesce each
+  /// destination's share into ONE wire frame with ONE link sequence
+  /// number (resend/dedupe unit = the batch). Off = every message is its
+  /// own packet, the pre-batching behaviour; outcomes are byte-identical
+  /// either way (the batched-framing property test enforces it).
+  bool batch_fanout = true;
 };
 
 /// Message conduit between the machines of a LocalCluster. Thread-safe:
@@ -63,6 +71,18 @@ class Transport {
   virtual void Start(std::vector<DeliverFn> deliver) = 0;
 
   virtual void Send(MachineId from, MachineId to, Message msg) = 0;
+
+  /// Sends a burst of messages from one machine, preserving per-
+  /// destination order. The base implementation forwards to Send one by
+  /// one; serialized transports override it to coalesce each
+  /// destination's share into a single batch frame (net/wire.h
+  /// EncodeMessageBatch) carrying one link sequence number. The vector is
+  /// borrowed scratch: the transport moves the messages out but leaves
+  /// the (cleared-by-caller) vector's capacity with the caller.
+  virtual void SendBatch(MachineId from,
+                         std::vector<std::pair<MachineId, Message>>& msgs) {
+    for (auto& [to, msg] : msgs) Send(from, to, std::move(msg));
+  }
 
   /// Blocks until every message accepted so far has been delivered to
   /// its destination — under fault injection, until every data packet
@@ -105,6 +125,8 @@ class SerializedTransport : public Transport {
 
   void Start(std::vector<DeliverFn> deliver) override;
   void Send(MachineId from, MachineId to, Message msg) override;
+  void SendBatch(MachineId from,
+                 std::vector<std::pair<MachineId, Message>>& msgs) override;
   void Flush() override;
   void Stop() override;
   TransportStats stats() const override;

@@ -44,7 +44,9 @@ void EncodeRecord(const Record& record, WireWriter& w) {
   w.PutU8(record.is_absent() ? 1 : 0);
   if (record.is_absent()) return;
   w.PutVarint(record.num_fields());
-  for (const std::int64_t f : record.fields()) w.PutZigzag(f);
+  for (std::size_t i = 0; i < record.num_fields(); ++i) {
+    w.PutZigzag(record.field(i));
+  }
   w.PutVarint(record.padding_bytes());
 }
 
@@ -79,12 +81,14 @@ bool DecodeRecord(WireReader& r, Record* record) {
 
 namespace {
 
-void EncodeKeySet(const std::vector<ObjectKey>& keys, WireWriter& w) {
+template <typename KeyVec>
+void EncodeKeySet(const KeyVec& keys, WireWriter& w) {
   w.PutVarint(keys.size());
   for (const ObjectKey k : keys) w.PutVarint(k);
 }
 
-bool DecodeKeySet(WireReader& r, std::vector<ObjectKey>* keys) {
+template <typename KeyVec>
+bool DecodeKeySet(WireReader& r, KeyVec* keys) {
   std::uint64_t n;
   if (!r.GetVarint(&n) || n > r.remaining()) return false;
   keys->resize(static_cast<std::size_t>(n));
@@ -139,6 +143,18 @@ bool DecodeTxnSpec(WireReader& r, TxnSpec* spec) {
 
 std::string EncodeMessage(const Message& msg) {
   std::string out;
+  EncodeMessageTo(msg, &out);
+  return out;
+}
+
+void EncodeMessageTo(const Message& msg, std::string* outp) {
+  std::string& out = *outp;
+  // Header + fixed fields fit in ~64 bytes; the variable parts are the
+  // value record, the kv list, the plan blob, and the specs. Reserving
+  // the estimate up front makes the common encode a single allocation.
+  out.reserve(out.size() + 64 + 10 * msg.value.num_fields() +
+              24 * msg.kvs.size() + msg.plan_bytes.size() +
+              48 * msg.specs.size());
   WireWriter w(&out);
   w.PutU8(kWireFormatVersion);
   w.PutU8(static_cast<std::uint8_t>(msg.type));
@@ -164,6 +180,53 @@ std::string EncodeMessage(const Message& msg) {
   out.append(msg.plan_bytes);
   w.PutVarint(msg.specs.size());
   for (const TxnSpec& spec : msg.specs) EncodeTxnSpec(spec, w);
+}
+
+std::string EncodeMessageBatch(const std::vector<Message>& msgs) {
+  std::string out;
+  out.reserve(16 + 96 * msgs.size());
+  WireWriter w(&out);
+  w.PutU8(kWireFormatVersion);
+  w.PutVarint(msgs.size());
+  std::string scratch;  // reused across entries: one allocation amortized
+  for (const Message& msg : msgs) {
+    scratch.clear();
+    EncodeMessageTo(msg, &scratch);
+    w.PutVarint(scratch.size());
+    out.append(scratch);
+  }
+  return out;
+}
+
+Result<std::vector<Message>> DecodeMessageBatch(std::string_view bytes) {
+  WireReader r(bytes);
+  std::uint8_t version;
+  if (!r.GetU8(&version)) return Truncated("batch header");
+  if (version != kWireFormatVersion) {
+    return Status::InvalidArgument("unknown wire format version " +
+                                   std::to_string(version));
+  }
+  std::uint64_t count;
+  if (!r.GetVarint(&count)) return Truncated("batch count");
+  if (count > r.remaining()) {
+    return Status::InvalidArgument("batch count exceeds payload");
+  }
+  std::vector<Message> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len;
+    if (!r.GetVarint(&len)) return Truncated("batch entry length");
+    std::string_view entry;
+    if (!r.GetView(static_cast<std::size_t>(len), &entry)) {
+      return Status::InvalidArgument("batch entry length exceeds payload");
+    }
+    Result<Message> msg = DecodeMessage(entry);
+    if (!msg.ok()) return msg.status();
+    out.push_back(std::move(*msg));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after batch");
+  }
   return out;
 }
 
@@ -396,6 +459,9 @@ bool DecodeTxnPlan(WireReader& r, TxnPlan* p) {
 
 std::string EncodeSinkPlan(const SinkPlan& plan) {
   std::string out;
+  // A plan txn with a handful of read/push/write-back steps encodes to
+  // roughly 100 bytes; one up-front reservation covers the whole round.
+  out.reserve(16 + 112 * plan.txns.size());
   WireWriter w(&out);
   w.PutU8(kWireFormatVersion);
   w.PutVarint(plan.epoch);

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "runtime/channel.h"
@@ -90,6 +91,16 @@ class WireReader {
     return true;
   }
 
+  /// Zero-copy variant: a view into the underlying buffer, valid only
+  /// while that buffer lives (batch decoding slices sub-messages out of
+  /// one contiguous payload without copying).
+  bool GetView(std::size_t n, std::string_view* out) {
+    if (n > remaining()) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
   std::size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
 
@@ -114,10 +125,28 @@ bool DecodeTxnSpec(WireReader& r, TxnSpec* spec);
 /// Serializes `msg` (without framing).
 std::string EncodeMessage(const Message& msg);
 
+/// Appends EncodeMessage's output to `*out` (which may already hold
+/// data). Lets batch encoding reuse one buffer instead of allocating a
+/// string per message.
+void EncodeMessageTo(const Message& msg, std::string* out);
+
 /// Parses a payload produced by EncodeMessage. Rejects unknown format
 /// versions, out-of-range enum values, truncated input, and trailing
 /// garbage.
 Result<Message> DecodeMessage(std::string_view bytes);
+
+/// Batched wire encode (the per-round frame of the hot-path refactor):
+/// one payload carrying every message a sender emits to one destination
+/// in one burst — version byte, message count, then length-prefixed
+/// EncodeMessage entries in send order. The transport gives the whole
+/// batch ONE link sequence number, so the reliability layer's resend and
+/// dedupe unit (and therefore the resend window granularity) is the
+/// round-batch, not the individual message.
+std::string EncodeMessageBatch(const std::vector<Message>& msgs);
+
+/// Parses an EncodeMessageBatch payload, enforcing the same strictness
+/// as DecodeMessage on every entry plus the batch envelope itself.
+Result<std::vector<Message>> DecodeMessageBatch(std::string_view bytes);
 
 /// Serializes one sinking round's full push plan (§3.4): what a central
 /// scheduler would broadcast to machines in a real deployment.

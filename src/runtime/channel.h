@@ -159,14 +159,20 @@ class BlockingQueue {
   /// Deadline-aware variant: waits at most `timeout` for a message and
   /// returns kUnavailable on expiry, so a dead producer surfaces as a
   /// reported error instead of a hang. A timeout of zero waits forever
-  /// (identical to Receive()).
+  /// (identical to Receive()). The deadline is computed once up front and
+  /// every re-wait targets the *remaining* time — a stream of spurious
+  /// wakeups (or stolen wakeups under heavy fan-in) cannot stretch the
+  /// total wait past the requested timeout.
   [[nodiscard]] Result<T> ReceiveFor(std::chrono::microseconds timeout) {
     std::unique_lock<std::mutex> lock(mu_);
     const auto ready = [&] { return !queue_.empty(); };
     if (timeout.count() <= 0) {
       cv_.wait(lock, ready);
-    } else if (!cv_.wait_for(lock, timeout, ready)) {
-      return Status::Unavailable("channel receive timed out");
+    } else {
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      if (!cv_.wait_until(lock, deadline, ready)) {
+        return Status::Unavailable("channel receive timed out");
+      }
     }
     T msg = std::move(queue_.front());
     queue_.pop_front();

@@ -108,6 +108,12 @@ void LocalCluster::Reset() {
           transport_->Send(static_cast<MachineId>(m), to, std::move(msg));
         },
         options_.sticky_ttl, options_.executor_workers));
+    if (options_.transport.batch_fanout) {
+      machines_.back()->set_send_batch(
+          [this, m](std::vector<std::pair<MachineId, Message>>& msgs) {
+            transport_->SendBatch(static_cast<MachineId>(m), msgs);
+          });
+    }
     const DataPartitionMap* map = machine_map.get();
     machines_.back()->set_locator(
         [map](ObjectKey key) { return map->Locate(key); });

@@ -43,6 +43,15 @@ void Machine::SendOut(MachineId to, Message msg) {
   send_(to, std::move(msg));
 }
 
+void Machine::SendOutBatch(std::vector<std::pair<MachineId, Message>>& msgs) {
+  if (replay_ || msgs.empty()) return;  // §5.4 replay is local
+  if (send_batch_) {
+    send_batch_(msgs);
+  } else {
+    for (auto& [to, msg] : msgs) send_(to, std::move(msg));
+  }
+}
+
 void Machine::EnqueueTPartEpoch(SinkEpoch epoch,
                                 std::vector<PlanItem> items) {
   {
@@ -569,12 +578,24 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
   // ---- Gather every planned read (the version-based deterministic CC:
   // each read waits for its exact version, §5.2).
   TPART_TRACE(Begin("gather", "exec", {{"reads", p.reads.size()}}));
-  std::unordered_map<ObjectKey, Record> values;
+  // Per-worker scratch (DESIGN §4h): the gather map, pending-response
+  // list, and publish outbox keep their capacity across plans, so the
+  // steady-state executor loop stops allocating. A worker runs one plan
+  // at a time, and the scratch never escapes the call.
   struct PendingResp {
     ObjectKey key;
     std::uint64_t req_id;
   };
-  std::vector<PendingResp> pending;
+  struct PlanScratch {
+    ExecScratch exec;
+    std::vector<PendingResp> pending;
+    std::vector<std::pair<MachineId, Message>> outbox;
+  };
+  thread_local PlanScratch scratch;
+  scratch.exec.Clear();
+  scratch.pending.clear();
+  auto& values = scratch.exec.values;
+  auto& pending = scratch.pending;
   // Request ids are deterministic functions of (txn, read position) so a
   // §5.4 replay pairs logged responses with re-issued requests no matter
   // how worker threads interleave.
@@ -671,7 +692,7 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
 
   // ---- Execute the stored procedure.
   TPART_TRACE(Begin("procedure", "exec"));
-  GatheredTxnContext ctx(&spec, std::move(values));
+  GatheredTxnContext ctx(&spec, &scratch.exec);
   Result<TxnResult> result = RunProcedure(*registry_, spec, ctx);
   TPART_CHECK(result.ok()) << "engine failure executing T" << p.txn << ": "
                            << result.status().ToString();
@@ -679,8 +700,17 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
   TPART_TRACE(End());  // procedure
 
   // ---- Outbound plan steps. An aborted transaction forwards the values
-  // it read (§5.3), which OutgoingValue() encapsulates.
+  // it read (§5.3), which OutgoingValue() encapsulates. Pushes and remote
+  // write-backs are staged in an outbox and flushed as ONE batch at the
+  // end of the phase (nothing here awaits a reply, so deferring them is
+  // safe — unlike the gather phase's read requests).
   TPART_TRACE(Begin("publish", "exec", {{"pushes", p.pushes.size()}}));
+  auto& outbox = scratch.outbox;
+  outbox.clear();
+  outbox.reserve(p.pushes.size() + p.write_backs.size());
+  const auto stage_out = [&](MachineId to, Message m) {
+    if (!is_replay) outbox.emplace_back(to, std::move(m));
+  };
   for (const PushStep& s : p.pushes) {
     // The producer end of the forward-push arrow; the consumer's gather
     // span holds the matching FlowEnd.
@@ -694,7 +724,7 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
     m.version = s.version_txn;
     m.dst_txn = s.dst_txn;
     m.value = ctx.OutgoingValue(s.key, committed);
-    send_out(s.dst_machine, std::move(m));
+    stage_out(s.dst_machine, std::move(m));
   }
   for (const LocalVersionStep& s : p.local_versions) {
     cache_.PutVersion(s.key, s.version_txn, s.dst_txn,
@@ -725,9 +755,10 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
       m.awaits = s.readers_to_await;
       m.sticky = s.make_sticky;
       m.epoch = epoch;
-      send_out(s.home, std::move(m));
+      stage_out(s.home, std::move(m));
     }
   }
+  SendOutBatch(outbox);
   TPART_TRACE(End());  // publish
 
   {
@@ -1535,10 +1566,13 @@ void Machine::ExecuteCalvin(const TxnSpec& spec) {
   TPART_TRACE_SPAN("txn", "exec", {{"txn", spec.id}});
   // Calvin (§2.1): read local footprint, push to peers, wait for peers'
   // reads, execute the full procedure, write local keys.
-  const std::vector<ObjectKey> all_keys = spec.rw.AllKeys();
+  const KeySet all_keys = spec.rw.AllKeys();
   std::vector<MachineId> participants;
   std::vector<ObjectKey> remote_keys;
-  std::unordered_map<ObjectKey, Record> values;
+  // Per-worker scratch, reused across transactions (DESIGN §4h).
+  thread_local ExecScratch exec_scratch;
+  exec_scratch.Clear();
+  auto& values = exec_scratch.values;
   std::vector<std::pair<ObjectKey, Record>> local_kvs;
   for (const ObjectKey k : all_keys) {
     const MachineId home = locate_(k);
@@ -1593,7 +1627,7 @@ void Machine::ExecuteCalvin(const TxnSpec& spec) {
     }
   }
 
-  GatheredTxnContext ctx(&spec, std::move(values));
+  GatheredTxnContext ctx(&spec, &exec_scratch);
   Result<TxnResult> result = RunProcedure(*registry_, spec, ctx);
   TPART_CHECK(result.ok()) << "engine failure executing T" << spec.id
                            << ": " << result.status().ToString();

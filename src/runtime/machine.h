@@ -13,11 +13,13 @@
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cache/cache_area.h"
 #include "runtime/channel.h"
 #include "runtime/machine_checkpoint.h"
+#include "runtime/ring_channel.h"
 #include "runtime/storage_service.h"
 #include "scheduler/push_plan.h"
 #include "storage/kv_store.h"
@@ -38,6 +40,14 @@ namespace tpart {
 class Machine {
  public:
   using SendFn = std::function<void(MachineId, Message)>;
+  /// Batched fan-out: one call carries every (destination, message) pair
+  /// of an executor's publish phase; the cluster routes it to
+  /// Transport::SendBatch so serialized transports coalesce each
+  /// destination's share into one wire frame.
+  /// The vector is borrowed executor scratch: implementations move the
+  /// messages out but must leave the vector (and its capacity) behind.
+  using SendBatchFn =
+      std::function<void(std::vector<std::pair<MachineId, Message>>&)>;
 
   /// `executor_workers` > 1 enables concurrent plan execution in T-Part
   /// mode: the version-based CC (reads wait for exact versions) makes the
@@ -192,6 +202,16 @@ class Machine {
     locate_ = std::move(locate);
   }
 
+  /// Arms batched publish-phase fan-out: each executed plan's outbound
+  /// pushes and remote write-backs are handed over in ONE call instead of
+  /// per-message sends. Unset = per-message (the pre-batching wire
+  /// traffic). Read requests always flush immediately — the executor
+  /// blocks on their responses, so holding them in a batch would
+  /// deadlock. Set before Start*().
+  void set_send_batch(SendBatchFn send_batch) {
+    send_batch_ = std::move(send_batch);
+  }
+
   // ---- Results & state ------------------------------------------------
   MachineId id() const { return id_; }
   std::vector<TxnResult> TakeResults();
@@ -303,6 +323,9 @@ class Machine {
   void ExecutePlan(SinkEpoch epoch, const PlanItem& item, bool is_replay);
   void ExecuteCalvin(const TxnSpec& spec);
   void SendOut(MachineId to, Message msg);
+  /// Flushes one publish phase's staged messages: through send_batch_
+  /// when armed (batched wire framing), else message-by-message.
+  void SendOutBatch(std::vector<std::pair<MachineId, Message>>& msgs);
   void CrashStop(SinkEpoch resume);
 
   // Checkpoint internals: the executor fences (RunCheckpointBarrier,
@@ -345,13 +368,18 @@ class Machine {
   KvStore* store_;
   const ProcedureRegistry* registry_;
   SendFn send_;
+  SendBatchFn send_batch_;
   SinkEpoch sticky_ttl_;
   bool replay_ = false;
   std::function<MachineId(ObjectKey)> locate_;
 
   CacheArea cache_;
   StorageService storage_;
-  Channel inbound_;
+  /// Inbound message queue: MPSC ring with cv-parked consumer fallback
+  /// (runtime/ring_channel.h). Producers — peer service threads (direct
+  /// transport), the network receiver, the control plane, and our own
+  /// executor's self-sends — take no lock on the fast path.
+  RingChannel<Message> inbound_;
 
   // Executor work queue. T-Part work is flattened to per-plan units
   // consumed in total order by the worker pool; `replay` marks §5.4

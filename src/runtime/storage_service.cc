@@ -8,6 +8,35 @@
 
 namespace tpart {
 
+namespace {
+
+using ReadyVec =
+    std::vector<std::pair<StorageService::ReadDone, Record>>;
+
+// Per-thread pool of ready-callback vectors (DESIGN §4h): the drain path
+// runs on every read/write-back, and a fresh vector per call was one of
+// the hottest allocation sites. Pooling (instead of a bare thread_local)
+// stays correct even if a callback re-enters the service on this thread.
+std::vector<ReadyVec>& ReadyPool() {
+  thread_local std::vector<ReadyVec> pool;
+  return pool;
+}
+
+ReadyVec AcquireReadyVec() {
+  auto& pool = ReadyPool();
+  if (pool.empty()) return {};
+  ReadyVec v = std::move(pool.back());
+  pool.pop_back();
+  return v;
+}
+
+void ReleaseReadyVec(ReadyVec v) {
+  v.clear();
+  ReadyPool().push_back(std::move(v));
+}
+
+}  // namespace
+
 Record StorageService::CurrentValueLocked(ObjectKey key, const KeyState& st) {
   (void)st;
   Result<Record> r = store_->Read(key);
@@ -37,9 +66,11 @@ void StorageService::DrainKeyLocked(
     // Apply the next write-back if its gates are open: it must replace
     // the *current* version (strict replacement order) and all planned
     // readers of that version must have been served.
-    auto it = st.parked_wbs.find(st.current);
+    auto it = std::find_if(
+        st.parked_wbs.begin(), st.parked_wbs.end(),
+        [&](const ParkedWb& w) { return w.replaces == st.current; });
     if (it != st.parked_wbs.end()) {
-      ParkedWb& wb = it->second;
+      ParkedWb& wb = *it;
       if (st.reads_served_since_wb >= wb.awaits) {
         wb_log_.BeginBatch(++next_log_batch_);
         Result<Record> old = store_->Read(key);
@@ -55,7 +86,7 @@ void StorageService::DrainKeyLocked(
         }
         wb_log_.CommitBatch();
         ++write_backs_applied_;
-        dirty_keys_.insert(key);
+        dirty_keys_.emplace(key, 0);
         st.current = wb.version;
         st.reads_served_since_wb = 0;
         st.has_sticky = wb.sticky;
@@ -70,7 +101,7 @@ void StorageService::DrainKeyLocked(
 void StorageService::AsyncRead(ObjectKey key, TxnId expected_version,
                                ReadDone done,
                                std::optional<RemoteReadTag> remote) {
-  std::vector<std::pair<ReadDone, Record>> ready;
+  ReadyVec ready = AcquireReadyVec();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
@@ -91,72 +122,130 @@ void StorageService::AsyncRead(ObjectKey key, TxnId expected_version,
     }
   }
   for (auto& [cb, value] : ready) cb(std::move(value));
+  ReleaseReadyVec(std::move(ready));
 }
 
-Record StorageService::BlockingRead(ObjectKey key, TxnId expected_version) {
+namespace {
+
+// Wait state for blocking reads. Owned by a per-thread slab that is never
+// freed, so the ReadDone callback can capture a raw {state, generation}
+// pair — 16 trivially-copyable bytes that fit std::function's inline
+// buffer, keeping the per-read callback off the heap. A timed-out waiter
+// bumps `gen` (under the lock) and recycles the state immediately; the
+// still-parked callback observes the stale generation and does nothing.
+// The slab lives until its thread exits, which covers every parked
+// callback: Shutdown() runs them while waiters are still blocked (it
+// exists to release them), and Reset() drops them without running.
+struct ReadWaitState {
   std::mutex m;
   std::condition_variable cv;
+  std::uint64_t gen = 0;
   bool done = false;
   Record out;
-  AsyncRead(key, expected_version, [&](Record value) {
-    // Notify while holding the lock: the waiter owns cv on its stack, and
-    // notifying after unlocking would race with cv's destruction once the
-    // waiter observes `done` and returns.
-    std::lock_guard<std::mutex> lock(m);
-    out = std::move(value);
-    done = true;
-    cv.notify_one();
-  });
-  std::unique_lock<std::mutex> lock(m);
-  cv.wait(lock, [&] { return done; });
-  return out;
+};
+
+// One blocking read per thread at a time, so the slab holds one state in
+// steady state. Acquire/Release run on the waiting thread only (blocking
+// reads complete on the calling thread), so the pool needs no locking.
+struct ReadWaitPool {
+  std::vector<std::unique_ptr<ReadWaitState>> slab;
+  std::vector<ReadWaitState*> free_list;
+};
+
+ReadWaitPool& GetReadWaitPool() {
+  thread_local ReadWaitPool pool;
+  return pool;
+}
+
+ReadWaitState* AcquireReadWait() {
+  ReadWaitPool& pool = GetReadWaitPool();
+  if (pool.free_list.empty()) {
+    pool.slab.push_back(std::make_unique<ReadWaitState>());
+    pool.free_list.push_back(pool.slab.back().get());
+  }
+  ReadWaitState* st = pool.free_list.back();
+  pool.free_list.pop_back();
+  return st;
+}
+
+void ReleaseReadWait(ReadWaitState* st) {
+  GetReadWaitPool().free_list.push_back(st);
+}
+
+}  // namespace
+
+Record StorageService::BlockingRead(ObjectKey key, TxnId expected_version) {
+  Result<Record> r =
+      BlockingReadFor(key, expected_version, std::chrono::microseconds(0));
+  return r.ok() ? std::move(r).value() : Record::Absent();
 }
 
 Result<Record> StorageService::BlockingReadFor(
     ObjectKey key, TxnId expected_version, std::chrono::microseconds timeout) {
-  if (timeout.count() <= 0) return BlockingRead(key, expected_version);
-  // The wait state is shared with the callback: on timeout this frame
-  // returns while the read stays parked, and the late callback must not
-  // touch a dead stack frame.
-  struct WaitState {
-    std::mutex m;
-    std::condition_variable cv;
-    bool done = false;
-    Record out;
-  };
-  auto st = std::make_shared<WaitState>();
-  AsyncRead(key, expected_version, [st](Record value) {
+  ReadWaitState* st = AcquireReadWait();
+  std::uint64_t gen;
+  {
     std::lock_guard<std::mutex> lock(st->m);
-    st->out = std::move(value);
-    st->done = true;
-    st->cv.notify_one();
+    gen = ++st->gen;
+    st->done = false;
+  }
+  struct Tag {
+    ReadWaitState* st;
+    std::uint64_t gen;
+  };
+  const Tag tag{st, gen};
+  AsyncRead(key, expected_version, [tag](Record value) {
+    // Notify while holding the lock; a stale generation means the waiter
+    // timed out and recycled the state — drop the value.
+    std::lock_guard<std::mutex> lock(tag.st->m);
+    if (tag.st->gen != tag.gen) return;
+    tag.st->out = std::move(value);
+    tag.st->done = true;
+    tag.st->cv.notify_one();
   });
   std::unique_lock<std::mutex> lock(st->m);
-  if (!st->cv.wait_for(lock, timeout, [&] { return st->done; })) {
+  const bool ok =
+      timeout.count() <= 0
+          ? (st->cv.wait(lock, [&] { return st->done; }), true)
+          : st->cv.wait_for(lock, timeout, [&] { return st->done; });
+  ++st->gen;  // invalidate any still-parked callback before recycling
+  Record out = ok ? std::move(st->out) : Record();
+  st->out = Record();
+  lock.unlock();
+  ReleaseReadWait(st);
+  if (!ok) {
     return Status::Unavailable("storage read timed out awaiting version");
   }
-  return std::move(st->out);
+  return std::move(out);
 }
 
 void StorageService::ApplyWriteBack(ObjectKey key, TxnId version,
                                     TxnId replaces, Record value,
                                     std::uint32_t awaits, bool sticky,
                                     SinkEpoch epoch) {
-  std::vector<std::pair<ReadDone, Record>> ready;
+  ReadyVec ready = AcquireReadyVec();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) return;
     KeyState& st = keys_[key];
-    st.parked_wbs.emplace(
-        replaces,
-        ParkedWb{version, replaces, std::move(value), awaits, sticky, epoch});
+    // Mirror std::map::emplace semantics: a duplicate (same replaced
+    // version) is dropped, not double-applied.
+    const bool dup = std::any_of(
+        st.parked_wbs.begin(), st.parked_wbs.end(),
+        [&](const ParkedWb& w) { return w.replaces == replaces; });
+    if (!dup) {
+      st.parked_wbs.push_back(
+          ParkedWb{version, replaces, std::move(value), awaits, sticky,
+                   epoch});
+    }
     DrainKeyLocked(key, st, ready);
   }
   for (auto& [cb, v] : ready) cb(std::move(v));
+  ReleaseReadyVec(std::move(ready));
 }
 
 void StorageService::Shutdown() {
-  std::vector<std::pair<ReadDone, Record>> ready;
+  ReadyVec ready;
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -200,10 +289,16 @@ StorageService::Image StorageService::Capture() const {
     ki.reads_served_since_wb = st.reads_served_since_wb;
     ki.has_sticky = st.has_sticky;
     ki.sticky_expire = st.sticky_expire;
-    for (const auto& [replaces, wb] : st.parked_wbs) {
-      (void)replaces;
+    std::vector<const ParkedWb*> wbs;
+    wbs.reserve(st.parked_wbs.size());
+    for (const ParkedWb& wb : st.parked_wbs) wbs.push_back(&wb);
+    std::sort(wbs.begin(), wbs.end(), [](const ParkedWb* a, const ParkedWb* b) {
+      return a->replaces < b->replaces;
+    });
+    for (const ParkedWb* wb : wbs) {
       ki.parked_wbs.push_back(Image::ParkedWbImage{
-          wb.version, wb.replaces, wb.value, wb.awaits, wb.sticky, wb.epoch});
+          wb->version, wb->replaces, wb->value, wb->awaits, wb->sticky,
+          wb->epoch});
     }
     for (const ParkedRead& pr : st.parked_reads) {
       // The executor is quiescent at capture, so every parked read must be
@@ -231,9 +326,8 @@ void StorageService::Restore(const Image& image,
     st.has_sticky = ki.has_sticky;
     st.sticky_expire = ki.sticky_expire;
     for (const auto& wb : ki.parked_wbs) {
-      st.parked_wbs.emplace(
-          wb.replaces, ParkedWb{wb.version, wb.replaces, wb.value, wb.awaits,
-                                wb.sticky, wb.epoch});
+      st.parked_wbs.push_back(ParkedWb{wb.version, wb.replaces, wb.value,
+                                       wb.awaits, wb.sticky, wb.epoch});
     }
     for (const auto& prr : ki.parked_remote_reads) {
       st.parked_reads.push_back(
@@ -270,7 +364,7 @@ std::vector<StorageService::MigratedKeyState> StorageService::ExtractKeys(
     out.push_back(MigratedKeyState{key, st.current, st.reads_served_since_wb,
                                    st.has_sticky, st.sticky_expire});
     keys_.erase(it);
-    dirty_keys_.insert(key);  // the forced capture must fold the deletion
+    dirty_keys_.emplace(key, 0);  // forced capture must fold the deletion
   }
   return out;
 }
@@ -283,18 +377,23 @@ void StorageService::InstallKeys(const std::vector<MigratedKeyState>& keys) {
     st.reads_served_since_wb = mk.reads_served_since_wb;
     st.has_sticky = mk.has_sticky;
     st.sticky_expire = mk.sticky_expire;
-    dirty_keys_.insert(mk.key);
+    dirty_keys_.emplace(mk.key, 0);
   }
 }
 
 void StorageService::MarkDirty(const std::vector<ObjectKey>& keys) {
   std::lock_guard<std::mutex> lock(mu_);
-  dirty_keys_.insert(keys.begin(), keys.end());
+  for (const ObjectKey key : keys) dirty_keys_.emplace(key, 0);
 }
 
 std::vector<ObjectKey> StorageService::TakeDirtyKeys() {
   std::lock_guard<std::mutex> lock(mu_);
-  std::vector<ObjectKey> out(dirty_keys_.begin(), dirty_keys_.end());
+  std::vector<ObjectKey> out;
+  out.reserve(dirty_keys_.size());
+  for (const auto& [key, unused] : dirty_keys_) {
+    (void)unused;
+    out.push_back(key);
+  }
   dirty_keys_.clear();
   std::sort(out.begin(), out.end());
   return out;

@@ -5,13 +5,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/kv_store.h"
@@ -181,9 +179,11 @@ class StorageService {
     TxnId current = kInvalidTxnId;  // 0 = initial version
     std::uint32_t reads_served_since_wb = 0;
     std::vector<ParkedRead> parked_reads;
-    // Keyed by the version each write-back replaces; a write-back applies
-    // only when its predecessor version is current.
-    std::map<TxnId, ParkedWb> parked_wbs;
+    // A write-back applies only when the version it replaces is current.
+    // At most a handful park per key, so a flat vector (linear search on
+    // `replaces`) beats a node-based map; Capture() sorts by `replaces`
+    // to keep checkpoint images byte-identical to the old map order.
+    std::vector<ParkedWb> parked_wbs;
     // Sticky copy of the current version (§5.2).
     bool has_sticky = false;
     SinkEpoch sticky_expire = 0;
@@ -198,10 +198,11 @@ class StorageService {
   bool shutdown_ = false;
   KvStore* store_;
   SinkEpoch sticky_ttl_;
-  std::unordered_map<ObjectKey, KeyState> keys_;
+  FlatMap<ObjectKey, KeyState> keys_;
   // Keys written back since the last TakeDirtyKeys() (write-backs are the
-  // only storage writes, so this is the full dirty set).
-  std::unordered_set<ObjectKey> dirty_keys_;
+  // only storage writes, so this is the full dirty set). FlatMap-as-set:
+  // the value byte is unused.
+  FlatMap<ObjectKey, char> dirty_keys_;
   WriteBackLog wb_log_;
   SinkEpoch next_log_batch_ = 0;
   std::uint64_t sticky_hits_ = 0;

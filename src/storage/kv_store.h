@@ -4,8 +4,8 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/ordered_index.h"
@@ -16,7 +16,8 @@ namespace tpart {
 /// Single-machine record store with the CRUD interface T-Part assumes
 /// ("works alongside any storage with the CRUD interface", §1).
 ///
-/// Internally a hash primary index over a record heap, plus an optional
+/// Internally an open-addressing hash primary index (common/flat_map.h —
+/// no per-record heap node, no pointer chase per probe), plus an optional
 /// ordered secondary index (B+-tree) maintained on every mutation so the
 /// workloads can run range scans. Not internally synchronized: each
 /// machine/executor owns its store and accesses it from one thread (the
@@ -71,7 +72,7 @@ class KvStore {
   }
 
  private:
-  std::unordered_map<ObjectKey, Record> records_;
+  FlatMap<ObjectKey, Record> records_;
   std::unique_ptr<OrderedIndex> ordered_;
   std::size_t total_bytes_ = 0;
 };

@@ -7,9 +7,9 @@ namespace tpart {
 std::string Record::ToString() const {
   std::ostringstream out;
   out << "[";
-  for (std::size_t i = 0; i < fields_.size(); ++i) {
+  for (std::size_t i = 0; i < num_fields(); ++i) {
     if (i > 0) out << ", ";
-    out << fields_[i];
+    out << field(i);
   }
   out << "]";
   return out.str();

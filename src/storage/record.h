@@ -2,6 +2,7 @@
 #define TPART_STORAGE_RECORD_H_
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -14,18 +15,39 @@ namespace tpart {
 /// opaque padding size so that workloads can model the paper's record
 /// footprint (164 bytes in the Microbenchmark, §6.3) without shipping
 /// actual payload bytes around.
+///
+/// Fields live inline (no heap) up to kInlineFields — every schema in
+/// this repo fits — with a vector fallback for wider records. Records
+/// are copied on every read/push/write-back hop of the hot path, so the
+/// inline representation is what keeps those hops allocation-free
+/// (DESIGN.md §4h).
 class Record {
  public:
+  static constexpr std::size_t kInlineFields = 6;
+
   Record() = default;
 
   /// Record with `num_fields` zero-initialized fields.
   explicit Record(std::size_t num_fields, std::size_t padding_bytes = 0)
-      : fields_(num_fields, 0), padding_bytes_(padding_bytes) {}
+      : padding_bytes_(padding_bytes) {
+    if (num_fields > kInlineFields) {
+      overflow_.assign(num_fields, 0);
+    }
+    nfields_ = num_fields;
+  }
 
   /// Record from explicit field values.
   Record(std::initializer_list<std::int64_t> fields,
          std::size_t padding_bytes = 0)
-      : fields_(fields), padding_bytes_(padding_bytes) {}
+      : padding_bytes_(padding_bytes) {
+    if (fields.size() > kInlineFields) {
+      overflow_.assign(fields.begin(), fields.end());
+    } else {
+      std::size_t i = 0;
+      for (const std::int64_t f : fields) inline_[i++] = f;
+    }
+    nfields_ = fields.size();
+  }
 
   /// The "absent" marker: the pre-image of a key that does not exist yet.
   /// Pushing/writing-back an absent value is how an aborted transaction
@@ -38,37 +60,64 @@ class Record {
   }
   bool is_absent() const { return absent_; }
 
-  std::size_t num_fields() const { return fields_.size(); }
+  std::size_t num_fields() const { return nfields_; }
 
-  std::int64_t field(std::size_t i) const { return fields_.at(i); }
-  void set_field(std::size_t i, std::int64_t v) { fields_.at(i) = v; }
+  std::int64_t field(std::size_t i) const {
+    CheckIndex(i);
+    return data()[i];
+  }
+  void set_field(std::size_t i, std::int64_t v) {
+    CheckIndex(i);
+    data()[i] = v;
+  }
 
   /// Adds `delta` to field `i`; the canonical read-modify-write primitive
   /// used by the stored procedures.
   void add_to_field(std::size_t i, std::int64_t delta) {
-    fields_.at(i) += delta;
+    CheckIndex(i);
+    data()[i] += delta;
   }
 
-  const std::vector<std::int64_t>& fields() const { return fields_; }
+  const std::int64_t* fields_data() const { return data(); }
 
   /// Logical wire/storage size in bytes (fields + declared padding).
   std::size_t SizeBytes() const {
-    return fields_.size() * sizeof(std::int64_t) + padding_bytes_;
+    return nfields_ * sizeof(std::int64_t) + padding_bytes_;
   }
 
   std::size_t padding_bytes() const { return padding_bytes_; }
 
   bool operator==(const Record& other) const {
-    return fields_ == other.fields_ &&
-           padding_bytes_ == other.padding_bytes_ &&
-           absent_ == other.absent_;
+    if (nfields_ != other.nfields_ ||
+        padding_bytes_ != other.padding_bytes_ || absent_ != other.absent_) {
+      return false;
+    }
+    const std::int64_t* a = data();
+    const std::int64_t* b = other.data();
+    for (std::size_t i = 0; i < nfields_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
   }
 
   /// Debug rendering: "[f0, f1, ...]".
   std::string ToString() const;
 
  private:
-  std::vector<std::int64_t> fields_;
+  const std::int64_t* data() const {
+    return nfields_ > kInlineFields ? overflow_.data() : inline_;
+  }
+  std::int64_t* data() {
+    return nfields_ > kInlineFields ? overflow_.data() : inline_;
+  }
+  void CheckIndex(std::size_t i) const {
+    // Mirrors the std::vector::at() contract this class used to expose.
+    if (i >= nfields_) throw std::out_of_range("Record field index");
+  }
+
+  std::int64_t inline_[kInlineFields] = {};
+  std::vector<std::int64_t> overflow_;  // all fields, iff > kInlineFields
+  std::size_t nfields_ = 0;
   std::size_t padding_bytes_ = 0;
   bool absent_ = false;
 };

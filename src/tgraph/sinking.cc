@@ -3,7 +3,7 @@
 // transformation (§3.4), and write-back duty assignment (§4.2).
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
 #include "common/logging.h"
 #include "tgraph/tgraph.h"
@@ -16,6 +16,9 @@ SinkPlan TGraph::Sink(std::size_t count, SinkEpoch epoch) {
       << last_epoch_ << ")";
   last_epoch_ = epoch;
   count = std::min(count, nodes_.size());
+  // Per-epoch scratch below (the stranded-edge grouping) lives in the
+  // sink arena; rewinding it here frees last round's scratch wholesale.
+  sink_arena_.Reset();
 
   SinkPlan plan;
   plan.epoch = epoch;
@@ -127,17 +130,33 @@ SinkPlan TGraph::Sink(std::size_t count, SinkEpoch epoch) {
     const TxnNode& n = nodes_[i];
     if (n.spec.is_dummy) continue;
     const TxnId w = n.spec.id;
-    std::map<ObjectKey, std::vector<std::size_t>> stranded;
+    // (key, edge) pairs grouped by key in the sink arena; the stable sort
+    // reproduces the old std::map iteration (ascending key, edges in
+    // discovery order within a key), so plan bytes are unchanged.
+    using StrandedEdge = std::pair<ObjectKey, std::size_t>;
+    std::vector<StrandedEdge, ArenaAllocator<StrandedEdge>> stranded{
+        ArenaAllocator<StrandedEdge>(&sink_arena_)};
+    stranded.reserve(n.edges.size());
     for (const std::size_t eid : n.edges) {
       auto it = edges_.find(eid);
       if (it == edges_.end()) continue;
       const TEdge& e = it->second;
       if (e.stale || e.kind != EdgeKind::kForwardPush) continue;
       if (e.src_txn == w && e.dst_txn > last_sunk) {
-        stranded[e.key].push_back(eid);
+        stranded.emplace_back(e.key, eid);
       }
     }
-    for (const auto& [key, eids] : stranded) {
+    std::stable_sort(
+        stranded.begin(), stranded.end(),
+        [](const StrandedEdge& a, const StrandedEdge& b) {
+          return a.first < b.first;
+        });
+    for (std::size_t lo = 0; lo < stranded.size();) {
+      std::size_t hi = lo + 1;
+      while (hi < stranded.size() && stranded[hi].first == stranded[lo].first) {
+        ++hi;
+      }
+      const ObjectKey key = stranded[lo].first;
       ObjectState& st = objects_[key];
       const MachineId machine = slots[i].machine;
       if (!options_.always_write_back) {
@@ -146,8 +165,8 @@ SinkPlan TGraph::Sink(std::size_t count, SinkEpoch epoch) {
         entry.machine = machine;
         entry.epoch = epoch;
         entry.dirty = true;
-        for (const std::size_t eid : eids) {
-          TEdge& e = edges_.at(eid);
+        for (std::size_t si = lo; si < hi; ++si) {
+          TEdge& e = edges_.at(stranded[si].second);
           entry.unsunk_readers.push_back(e.dst_txn);
           e.kind = EdgeKind::kCacheRead;
           e.sink = machine;
@@ -174,8 +193,8 @@ SinkPlan TGraph::Sink(std::size_t count, SinkEpoch epoch) {
         slots[i].write_backs.push_back(wb);
         st.storage_readers_since_wb = 0;
         st.storage_version = wb.version_txn;
-        for (const std::size_t eid : eids) {
-          TEdge& e = edges_.at(eid);
+        for (std::size_t si = lo; si < hi; ++si) {
+          TEdge& e = edges_.at(stranded[si].second);
           e.kind = EdgeKind::kStorageRead;
           e.sink = wb.home;
           e.storage_min_epoch = epoch;
@@ -194,6 +213,7 @@ SinkPlan TGraph::Sink(std::size_t count, SinkEpoch epoch) {
           }
         }
       }
+      lo = hi;
     }
   }
 

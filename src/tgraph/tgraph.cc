@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "txn/rw_set.h"
@@ -69,8 +70,13 @@ void TGraph::AddTxn(const TxnSpec& spec) {
 
   // §5.3: a transaction reads the objects it writes so that, on a logic
   // abort, it can push the (old) read data forward unchanged.
-  const std::vector<ObjectKey> effective_reads =
+  const KeySet effective_reads =
       options_.read_own_writes ? spec.rw.AllKeys() : spec.rw.reads;
+
+  // Each read contributes at most one edge id; each access of a dirty
+  // object can additionally move a write-back edge here.
+  node.edges.reserve(effective_reads.size() + spec.rw.writes.size() +
+                     spec.rw.reads.size());
 
   for (const ObjectKey o : effective_reads) {
     ObjectState& st = StateOf(o);

@@ -4,11 +4,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "scheduler/push_plan.h"
 #include "storage/data_partition.h"
@@ -247,17 +248,26 @@ class TGraph {
   TxnId first_id_ = 1;         // id of nodes_.front()
   TxnId next_expected_id_ = 1;
 
-  std::unordered_map<std::size_t, TEdge> edges_;
+  // Open-addressing tables (common/flat_map.h): AddTxn/Sink run once per
+  // transaction on the scheduler hot path, and node-based maps spent it
+  // allocating. Iteration order is a pure function of the operation
+  // history, so independent TGraph replicas still agree byte-for-byte.
+  FlatMap<std::size_t, TEdge> edges_;
   std::size_t next_edge_id_ = 0;
 
-  std::unordered_map<ObjectKey, ObjectState> objects_;
-  std::map<std::pair<ObjectKey, TxnId>, CacheEntryState> cache_entries_;
+  FlatMap<ObjectKey, ObjectState> objects_;
+  FlatMap<std::pair<ObjectKey, TxnId>, CacheEntryState> cache_entries_;
 
   std::vector<double> sink_weight_;
   // weight of sunk-but-uncommitted txns, per txn (for OnCommitted).
-  std::unordered_map<TxnId, std::pair<MachineId, double>> outstanding_;
+  FlatMap<TxnId, std::pair<MachineId, double>> outstanding_;
 
   SinkEpoch last_epoch_ = 0;
+
+  // Epoch-scoped slab memory (common/arena.h) for Sink's transient
+  // grouping state: reset at the top of every Sink call, so per-epoch
+  // scratch costs zero steady-state allocations once the slabs warm up.
+  Arena sink_arena_;
 };
 
 }  // namespace tpart

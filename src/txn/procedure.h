@@ -30,7 +30,7 @@ class TxnContext {
   virtual Status Put(ObjectKey key, Record record) = 0;
 
   /// Procedure parameters from the TxnSpec.
-  virtual const std::vector<std::int64_t>& params() const = 0;
+  virtual const ParamVec& params() const = 0;
 
   /// Appends a value to the transaction's deterministic output.
   virtual void EmitOutput(std::int64_t value) = 0;
@@ -43,15 +43,14 @@ class TxnContext {
 /// from this and implement only Get/Put.
 class BasicTxnContext : public TxnContext {
  public:
-  explicit BasicTxnContext(const std::vector<std::int64_t>* params)
-      : params_(params) {}
+  explicit BasicTxnContext(const ParamVec* params) : params_(params) {}
 
-  const std::vector<std::int64_t>& params() const override { return *params_; }
+  const ParamVec& params() const override { return *params_; }
   void EmitOutput(std::int64_t value) override { output_.push_back(value); }
   std::vector<std::int64_t> TakeOutput() override { return std::move(output_); }
 
  private:
-  const std::vector<std::int64_t>* params_;
+  const ParamVec* params_;
   std::vector<std::int64_t> output_;
 };
 

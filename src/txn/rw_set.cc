@@ -4,17 +4,16 @@
 
 namespace tpart {
 
-void NormalizeKeySet(std::vector<ObjectKey>& keys) {
+void NormalizeKeySet(KeySet& keys) {
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
 }
 
-bool KeySetContains(const std::vector<ObjectKey>& keys, ObjectKey key) {
+bool KeySetContains(const KeySet& keys, ObjectKey key) {
   return std::binary_search(keys.begin(), keys.end(), key);
 }
 
-bool KeySetsIntersect(const std::vector<ObjectKey>& a,
-                      const std::vector<ObjectKey>& b) {
+bool KeySetsIntersect(const KeySet& a, const KeySet& b) {
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i] == b[j]) return true;
@@ -27,18 +26,16 @@ bool KeySetsIntersect(const std::vector<ObjectKey>& a,
   return false;
 }
 
-std::vector<ObjectKey> KeySetUnion(const std::vector<ObjectKey>& a,
-                                   const std::vector<ObjectKey>& b) {
-  std::vector<ObjectKey> out;
+KeySet KeySetUnion(const KeySet& a, const KeySet& b) {
+  KeySet out;
   out.reserve(a.size() + b.size());
   std::set_union(a.begin(), a.end(), b.begin(), b.end(),
                  std::back_inserter(out));
   return out;
 }
 
-std::vector<ObjectKey> KeySetIntersection(const std::vector<ObjectKey>& a,
-                                          const std::vector<ObjectKey>& b) {
-  std::vector<ObjectKey> out;
+KeySet KeySetIntersection(const KeySet& a, const KeySet& b) {
+  KeySet out;
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
                         std::back_inserter(out));
   return out;

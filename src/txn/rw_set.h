@@ -3,37 +3,40 @@
 
 #include <vector>
 
+#include "common/small_vec.h"
 #include "common/types.h"
 
 namespace tpart {
 
+/// Key set with inline storage (common/small_vec.h): OLTP footprints are
+/// a handful of keys, so reads/writes live inside the owning TxnSpec and
+/// copying a spec does not touch the heap.
+using KeySet = SmallVector<ObjectKey, 8>;
+
 /// Normalizes `keys` in place: sorts ascending and removes duplicates.
 /// All read/write sets in the system are kept normalized so set operations
 /// are linear merges and plans are deterministic.
-void NormalizeKeySet(std::vector<ObjectKey>& keys);
+void NormalizeKeySet(KeySet& keys);
 
 /// Binary-search membership test over a normalized key set.
-bool KeySetContains(const std::vector<ObjectKey>& keys, ObjectKey key);
+bool KeySetContains(const KeySet& keys, ObjectKey key);
 
 /// True when two normalized key sets share at least one key.
-bool KeySetsIntersect(const std::vector<ObjectKey>& a,
-                      const std::vector<ObjectKey>& b);
+bool KeySetsIntersect(const KeySet& a, const KeySet& b);
 
 /// Sorted union of two normalized key sets.
-std::vector<ObjectKey> KeySetUnion(const std::vector<ObjectKey>& a,
-                                   const std::vector<ObjectKey>& b);
+KeySet KeySetUnion(const KeySet& a, const KeySet& b);
 
 /// Sorted intersection of two normalized key sets.
-std::vector<ObjectKey> KeySetIntersection(const std::vector<ObjectKey>& a,
-                                          const std::vector<ObjectKey>& b);
+KeySet KeySetIntersection(const KeySet& a, const KeySet& b);
 
 /// Declared read and write sets of a transaction, known before execution
 /// as deterministic database systems require (§1: "each machine ... needs
 /// to analyze the read and write sets of that transaction" before
 /// executing it). Both sets are normalized.
 struct RwSet {
-  std::vector<ObjectKey> reads;
-  std::vector<ObjectKey> writes;
+  KeySet reads;
+  KeySet writes;
 
   /// Sorts and dedups both sets.
   void Normalize();
@@ -42,7 +45,7 @@ struct RwSet {
   bool WritesKey(ObjectKey key) const { return KeySetContains(writes, key); }
 
   /// Union of reads and writes (the transaction's full footprint).
-  std::vector<ObjectKey> AllKeys() const { return KeySetUnion(reads, writes); }
+  KeySet AllKeys() const { return KeySetUnion(reads, writes); }
 
   bool operator==(const RwSet& other) const {
     return reads == other.reads && writes == other.writes;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "common/small_vec.h"
 #include "txn/rw_set.h"
 
 namespace tpart {
@@ -19,14 +20,19 @@ using ProcId = std::uint32_t;
 /// OLTP transactions are "short and drawn from predefined stored
 /// procedures" (§1): a request carries the procedure id, its parameters,
 /// and the read/write sets derived from them by the scheduler's analysis.
+/// Procedure parameter list with inline storage (common/small_vec.h).
+using ParamVec = SmallVector<std::int64_t, 8>;
+
 struct TxnSpec {
   /// Place in the total order (1-based; kInvalidTxnId before sequencing).
   TxnId id = kInvalidTxnId;
 
   ProcId proc = 0;
 
-  /// Procedure parameters; interpretation is procedure-specific.
-  std::vector<std::int64_t> params;
+  /// Procedure parameters; interpretation is procedure-specific. Inline
+  /// storage (common/small_vec.h): most procedures take a handful of
+  /// scalars, so copying a spec stays off the heap.
+  ParamVec params;
 
   RwSet rw;
 

@@ -30,14 +30,14 @@ Status Malformed(const std::string& line) {
 }
 
 template <typename T>
-Status ParseList(std::istringstream& in, const std::string& line,
-                 std::vector<T>& out) {
+Status ParseList(std::istringstream& in, const std::string& line, T& out) {
+  using V = typename T::value_type;
   std::size_t n = 0;
   if (!(in >> n)) return Malformed(line);
   out.clear();
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    T v;
+    V v;
     if (!(in >> v)) return Malformed(line);
     out.push_back(v);
   }

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.h"
+
+namespace tpart {
+namespace {
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), m.end());
+
+  m[7] = 70;
+  m[8] = 80;
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(7), 70);
+  EXPECT_EQ(m.count(8), 1u);
+  EXPECT_TRUE(m.contains(8));
+  EXPECT_FALSE(m.contains(9));
+
+  auto it = m.find(7);
+  ASSERT_NE(it, m.end());
+  EXPECT_EQ(it->second, 70);
+
+  EXPECT_EQ(m.erase(7), 1u);
+  EXPECT_EQ(m.erase(7), 0u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.find(7), m.end());
+  EXPECT_EQ(m.at(8), 80);
+}
+
+TEST(FlatMapTest, EmplaceDoesNotOverwrite) {
+  FlatMap<std::uint64_t, std::string> m;
+  auto [it1, ins1] = m.emplace(1, std::string("first"));
+  EXPECT_TRUE(ins1);
+  auto [it2, ins2] = m.emplace(1, std::string("second"));
+  EXPECT_FALSE(ins2);
+  EXPECT_EQ(it2->second, "first");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructs) {
+  FlatMap<std::uint64_t, std::vector<int>> m;
+  EXPECT_TRUE(m[5].empty());
+  m[5].push_back(1);
+  EXPECT_EQ(m[5].size(), 1u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, PairAndTupleKeys) {
+  FlatMap<std::pair<std::uint64_t, std::uint64_t>, int> pm;
+  pm[{1, 2}] = 12;
+  pm[{2, 1}] = 21;
+  EXPECT_EQ(pm.at({1, 2}), 12);
+  EXPECT_EQ(pm.at({2, 1}), 21);
+
+  FlatMap<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>, int> tm;
+  tm[{1, 2, 3}] = 123;
+  tm[{3, 2, 1}] = 321;
+  EXPECT_EQ(tm.at({1, 2, 3}), 123);
+  EXPECT_EQ(tm.at({3, 2, 1}), 321);
+  EXPECT_EQ(tm.count({2, 2, 2}), 0u);
+}
+
+TEST(FlatMapTest, IterationVisitsEveryElementOnce) {
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  for (std::uint64_t k = 0; k < 100; ++k) m[k] = k * 10;
+  std::vector<std::uint64_t> seen;
+  for (const auto& [k, v] : m) {
+    EXPECT_EQ(v, k * 10);
+    seen.push_back(k);
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 100u);
+  for (std::uint64_t k = 0; k < 100; ++k) EXPECT_EQ(seen[k], k);
+}
+
+TEST(FlatMapTest, ClearReleasesAndReuses) {
+  FlatMap<std::uint64_t, std::string> m;
+  for (std::uint64_t k = 0; k < 50; ++k) m[k] = "v" + std::to_string(k);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(3), m.end());
+  m[3] = "again";
+  EXPECT_EQ(m.at(3), "again");
+}
+
+TEST(FlatMapTest, ReserveAvoidsGrowth) {
+  FlatMap<std::uint64_t, int> m;
+  m.reserve(1000);
+  for (std::uint64_t k = 0; k < 1000; ++k) m[k] = static_cast<int>(k);
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_EQ(m.at(k), (int)k);
+}
+
+// The load-bearing property: backward-shift deletion must keep every
+// remaining probe chain intact through arbitrary insert/erase
+// interleavings, including clusters that wrap around the table end.
+TEST(FlatMapTest, RandomizedAgainstUnorderedMap) {
+  std::mt19937_64 rng(20260809);
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  // Small key space forces dense tables, collisions, and wrapping.
+  for (int step = 0; step < 200000; ++step) {
+    const std::uint64_t key = rng() % 512;
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // upsert
+        const std::uint64_t val = rng();
+        m[key] = val;
+        ref[key] = val;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(m.erase(key), ref.erase(key));
+        break;
+      }
+      case 3: {  // lookup
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(m.find(key), m.end());
+        } else {
+          ASSERT_NE(m.find(key), m.end());
+          EXPECT_EQ(m.at(key), it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  // Full final sweep both ways.
+  for (const auto& [k, v] : ref) EXPECT_EQ(m.at(k), v);
+  std::size_t visited = 0;
+  for (const auto& [k, v] : m) {
+    ASSERT_TRUE(ref.count(k));
+    EXPECT_EQ(ref.at(k), v);
+    ++visited;
+  }
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMapTest, EraseByIteratorAfterFind) {
+  FlatMap<std::uint64_t, int> m;
+  for (std::uint64_t k = 0; k < 32; ++k) m[k] = static_cast<int>(k);
+  auto it = m.find(17);
+  ASSERT_NE(it, m.end());
+  m.erase(it);
+  EXPECT_EQ(m.size(), 31u);
+  EXPECT_EQ(m.find(17), m.end());
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    if (k != 17) {
+      EXPECT_EQ(m.at(k), (int)k);
+    }
+  }
+}
+
+TEST(FlatMapTest, DeterministicIterationOrder) {
+  // Same operation history => same iteration order (the cross-transport
+  // byte-identity oracle relies on this).
+  auto build = [] {
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 200; k += 3) m[k * 97 + 5] = (int)k;
+    for (std::uint64_t k = 0; k < 200; k += 6) m.erase(k * 97 + 5);
+    return m;
+  };
+  const FlatMap<std::uint64_t, int> a = build();
+  const FlatMap<std::uint64_t, int> b = build();
+  std::vector<std::uint64_t> ka, kb;
+  for (const auto& [k, v] : a) ka.push_back(k);
+  for (const auto& [k, v] : b) kb.push_back(k);
+  EXPECT_EQ(ka, kb);
+}
+
+}  // namespace
+}  // namespace tpart

@@ -67,7 +67,7 @@ Workload MakeStressWorkload(std::uint64_t seed, std::size_t machines,
     TxnSpec spec;
     spec.proc = kStressProc;
     const std::uint64_t mode = rng.NextBelow(5);
-    std::vector<ObjectKey> reads, writes;
+    KeySet reads, writes;
     switch (mode) {
       case 0: {  // plain read-modify-write on the hotspot key 0
         reads = {0, rng.NextBelow(kKeys)};

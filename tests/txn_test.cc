@@ -11,15 +11,15 @@ namespace {
 // ---- Key-set helpers ----------------------------------------------------
 
 TEST(RwSetTest, NormalizeSortsAndDedups) {
-  std::vector<ObjectKey> keys = {5, 1, 5, 3, 1};
+  KeySet keys = {5, 1, 5, 3, 1};
   NormalizeKeySet(keys);
-  EXPECT_EQ(keys, (std::vector<ObjectKey>{1, 3, 5}));
+  EXPECT_EQ(keys, (KeySet{1, 3, 5}));
 }
 
 TEST(RwSetTest, ContainsAndIntersect) {
-  const std::vector<ObjectKey> a = {1, 3, 5};
-  const std::vector<ObjectKey> b = {2, 4, 5};
-  const std::vector<ObjectKey> c = {2, 4, 6};
+  const KeySet a = {1, 3, 5};
+  const KeySet b = {2, 4, 5};
+  const KeySet c = {2, 4, 6};
   EXPECT_TRUE(KeySetContains(a, 3));
   EXPECT_FALSE(KeySetContains(a, 2));
   EXPECT_TRUE(KeySetsIntersect(a, b));
@@ -27,7 +27,7 @@ TEST(RwSetTest, ContainsAndIntersect) {
 }
 
 TEST(RwSetTest, UnionAndIntersection) {
-  const std::vector<ObjectKey> a = {1, 3, 5};
+  const KeySet a = {1, 3, 5};
   const std::vector<ObjectKey> b = {3, 4};
   EXPECT_EQ(KeySetUnion(a, b), (std::vector<ObjectKey>{1, 3, 4, 5}));
   EXPECT_EQ(KeySetIntersection(a, b), (std::vector<ObjectKey>{3}));
@@ -90,7 +90,8 @@ TEST(ProcedureTest, CommitCollectsOutput) {
     return Status::Ok();
   });
   const TxnSpec spec = SpecWith({}, {});
-  GatheredTxnContext ctx(&spec, {});
+  ExecScratch scratch;
+  GatheredTxnContext ctx(&spec, &scratch);
   auto result = RunProcedure(reg, spec, ctx);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->committed);
@@ -102,7 +103,8 @@ TEST(ProcedureTest, LogicAbortIsNotAnError) {
   reg.Register(1, "abort",
                [](TxnContext&) { return Status::Aborted("logic"); });
   const TxnSpec spec = SpecWith({}, {});
-  GatheredTxnContext ctx(&spec, {});
+  ExecScratch scratch;
+  GatheredTxnContext ctx(&spec, &scratch);
   auto result = RunProcedure(reg, spec, ctx);
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->committed);
@@ -113,14 +115,16 @@ TEST(ProcedureTest, EngineErrorsPropagate) {
   reg.Register(1, "bad",
                [](TxnContext&) { return Status::Internal("engine"); });
   const TxnSpec spec = SpecWith({}, {});
-  GatheredTxnContext ctx(&spec, {});
+  ExecScratch scratch;
+  GatheredTxnContext ctx(&spec, &scratch);
   EXPECT_FALSE(RunProcedure(reg, spec, ctx).ok());
 }
 
 TEST(ProcedureTest, UnregisteredProcedureFails) {
   ProcedureRegistry reg;
   const TxnSpec spec = SpecWith({}, {}, /*proc=*/9);
-  GatheredTxnContext ctx(&spec, {});
+  ExecScratch scratch;
+  GatheredTxnContext ctx(&spec, &scratch);
   EXPECT_FALSE(RunProcedure(reg, spec, ctx).ok());
 }
 
@@ -128,7 +132,9 @@ TEST(ProcedureTest, UnregisteredProcedureFails) {
 
 TEST(GatheredContextTest, ReadsDeclaredKeysOnly) {
   const TxnSpec spec = SpecWith({1}, {2});
-  GatheredTxnContext ctx(&spec, {{1, Record{10}}});
+  ExecScratch scratch;
+  scratch.values.emplace(1, Record{10});
+  GatheredTxnContext ctx(&spec, &scratch);
   EXPECT_EQ(ctx.Get(1)->field(0), 10);
   EXPECT_TRUE(ctx.Get(2).ok());  // write-set key readable (read-own-writes)
   EXPECT_EQ(ctx.Get(3).status().code(), StatusCode::kFailedPrecondition);
@@ -136,27 +142,33 @@ TEST(GatheredContextTest, ReadsDeclaredKeysOnly) {
 
 TEST(GatheredContextTest, MissingKeyIsAbsent) {
   const TxnSpec spec = SpecWith({1}, {});
-  GatheredTxnContext ctx(&spec, {});
+  ExecScratch scratch;
+  GatheredTxnContext ctx(&spec, &scratch);
   EXPECT_TRUE(ctx.Get(1)->is_absent());
 }
 
 TEST(GatheredContextTest, WriteOutsideSetRejected) {
   const TxnSpec spec = SpecWith({1}, {2});
-  GatheredTxnContext ctx(&spec, {});
+  ExecScratch scratch;
+  GatheredTxnContext ctx(&spec, &scratch);
   EXPECT_TRUE(ctx.Put(2, Record{1}).ok());
   EXPECT_EQ(ctx.Put(1, Record{1}).code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(GatheredContextTest, ReadYourOwnWrites) {
   const TxnSpec spec = SpecWith({1}, {1});
-  GatheredTxnContext ctx(&spec, {{1, Record{10}}});
+  ExecScratch scratch;
+  scratch.values.emplace(1, Record{10});
+  GatheredTxnContext ctx(&spec, &scratch);
   ASSERT_TRUE(ctx.Put(1, Record{20}).ok());
   EXPECT_EQ(ctx.Get(1)->field(0), 20);
 }
 
 TEST(GatheredContextTest, OutgoingValueFollowsCommitDecision) {
   const TxnSpec spec = SpecWith({1}, {1});
-  GatheredTxnContext ctx(&spec, {{1, Record{10}}});
+  ExecScratch scratch;
+  scratch.values.emplace(1, Record{10});
+  GatheredTxnContext ctx(&spec, &scratch);
   ASSERT_TRUE(ctx.Put(1, Record{20}).ok());
   // Committed: forward the new version.
   EXPECT_EQ(ctx.OutgoingValue(1, /*committed=*/true).field(0), 20);

@@ -294,6 +294,152 @@ TEST(WireMessageTest, MutationFuzzRoundTripsOrRejects) {
 }
 
 // -------------------------------------------------------------------
+// Message batch round trip (the per-round wire frame)
+// -------------------------------------------------------------------
+
+std::vector<Message> FullBatch() {
+  Message hb;
+  hb.type = Message::Type::kHeartbeat;
+  hb.req_id = 7;
+  Message push;
+  push.type = Message::Type::kPushVersion;
+  push.key = 31337;
+  push.version = 5;
+  push.dst_txn = 6;
+  push.value = Record({9, -8}, /*padding_bytes=*/32);
+  return {FullMessage(), push, hb};
+}
+
+bool BatchEq(const std::vector<Message>& a, const std::vector<Message>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+TEST(WireMessageBatchTest, BatchRoundTripsBitForBit) {
+  const std::vector<Message> batch = FullBatch();
+  Result<std::vector<Message>> got =
+      DecodeMessageBatch(EncodeMessageBatch(batch));
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(BatchEq(*got, batch));
+}
+
+TEST(WireMessageBatchTest, SingletonAndEmptyBatchesRoundTrip) {
+  const std::vector<Message> one = {FullMessage()};
+  Result<std::vector<Message>> got_one =
+      DecodeMessageBatch(EncodeMessageBatch(one));
+  ASSERT_TRUE(got_one.ok());
+  EXPECT_TRUE(BatchEq(*got_one, one));
+
+  Result<std::vector<Message>> got_zero =
+      DecodeMessageBatch(EncodeMessageBatch({}));
+  ASSERT_TRUE(got_zero.ok());
+  EXPECT_TRUE(got_zero->empty());
+}
+
+TEST(WireMessageBatchTest, EntriesMatchStandaloneEncoding) {
+  // The batch must carry byte-for-byte EncodeMessage entries: the
+  // resend-window granularity claim depends on batched and per-message
+  // framing being the same payload bytes modulo the batch envelope.
+  const std::vector<Message> batch = FullBatch();
+  const std::string bytes = EncodeMessageBatch(batch);
+  WireReader r(bytes);
+  std::uint8_t version;
+  std::uint64_t count;
+  ASSERT_TRUE(r.GetU8(&version) && r.GetVarint(&count));
+  ASSERT_EQ(count, batch.size());
+  for (const Message& m : batch) {
+    std::uint64_t len;
+    std::string_view entry;
+    ASSERT_TRUE(r.GetVarint(&len));
+    ASSERT_TRUE(r.GetView(static_cast<std::size_t>(len), &entry));
+    EXPECT_EQ(entry, EncodeMessage(m));
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireMessageBatchTest, EveryTruncationRejected) {
+  const std::string bytes = EncodeMessageBatch(FullBatch());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Result<std::vector<Message>> got =
+        DecodeMessageBatch(std::string_view(bytes.data(), cut));
+    EXPECT_FALSE(got.ok()) << "truncation to " << cut << " bytes accepted";
+  }
+}
+
+TEST(WireMessageBatchTest, TrailingGarbageRejected) {
+  std::string bytes = EncodeMessageBatch(FullBatch());
+  bytes.push_back('\x00');
+  EXPECT_FALSE(DecodeMessageBatch(bytes).ok());
+}
+
+TEST(WireMessageBatchTest, BadVersionAndInsaneCountRejected) {
+  std::string bad_version = EncodeMessageBatch(FullBatch());
+  bad_version[0] = static_cast<char>(kWireFormatVersion + 1);
+  EXPECT_FALSE(DecodeMessageBatch(bad_version).ok());
+
+  // A garbage count larger than the remaining bytes must be rejected
+  // up front, before any per-entry allocation happens.
+  std::string bad_count;
+  WireWriter w(&bad_count);
+  w.PutU8(kWireFormatVersion);
+  w.PutVarint(0xFFFFFFFFFFULL);
+  EXPECT_FALSE(DecodeMessageBatch(bad_count).ok());
+}
+
+TEST(WireMessageBatchTest, SingleByteCorruptionNeverRoundTrips) {
+  const std::vector<Message> batch = FullBatch();
+  const std::string bytes = EncodeMessageBatch(batch);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x55);
+    Result<std::vector<Message>> got = DecodeMessageBatch(corrupt);
+    if (got.ok()) {
+      EXPECT_FALSE(BatchEq(*got, batch)) << "flip at byte " << i
+                                         << " undetected";
+    }
+  }
+}
+
+TEST(WireMessageBatchTest, RandomBytesDoNotCrash) {
+  Rng rng(0xBA7C4);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string bytes(rng.NextBelow(96), '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.Next());
+    Result<std::vector<Message>> got = DecodeMessageBatch(bytes);
+    if (got.ok()) {
+      Result<std::vector<Message>> again =
+          DecodeMessageBatch(EncodeMessageBatch(*got));
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(BatchEq(*again, *got));
+    }
+  }
+}
+
+TEST(WireMessageBatchTest, MutationFuzzRoundTripsOrRejects) {
+  Rng rng(0xBA7C5);
+  const std::string base = EncodeMessageBatch(FullBatch());
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string bytes = base;
+    const int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int k = 0; k < mutations; ++k) {
+      const auto pos = rng.NextBelow(bytes.size());
+      bytes[pos] = static_cast<char>(rng.Next());
+    }
+    if (rng.NextBool(0.3)) bytes.resize(rng.NextBelow(bytes.size() + 1));
+    Result<std::vector<Message>> got = DecodeMessageBatch(bytes);
+    if (got.ok()) {
+      Result<std::vector<Message>> again =
+          DecodeMessageBatch(EncodeMessageBatch(*got));
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(BatchEq(*again, *got));
+    }
+  }
+}
+
+// -------------------------------------------------------------------
 // SinkPlan round trip
 // -------------------------------------------------------------------
 
