@@ -158,6 +158,67 @@ void BenchRecoveryVsRunLength(std::size_t machines, std::size_t txns) {
               "since the last capture), not O(run length))\n");
 }
 
+void BenchCoordinatorFailover(std::size_t machines, std::size_t txns) {
+  Header("Coordinator failover: replication tax and leader-crash latency");
+  const Workload w = MakeMicroWorkload(DefaultMicro(machines, txns));
+  std::printf("%10s %8s %12s %14s %12s %12s %10s %12s\n", "standbys",
+              "crash", "tps", "detect_us", "election_us", "replan_us",
+              "gap_us", "committed");
+  struct Case {
+    std::size_t standbys;
+    bool crash;
+  };
+  const Case cases[] = {{0, false}, {1, false}, {2, false}, {1, true},
+                        {2, true}};
+  for (const Case& c : cases) {
+    LocalClusterOptions opts = StreamingOpts();
+    opts.coordinator.standbys = c.standbys;
+    if (c.crash) {
+      // Kill the leader mid-stream: roughly half the rounds shipped.
+      opts.crash.coordinator_at.push_back(
+          static_cast<SinkEpoch>(txns / (50 * 2)));
+    }
+    LocalCluster cluster(&w, opts);
+    const auto start = std::chrono::steady_clock::now();
+    const ClusterRunOutcome out = cluster.RunTPart();
+    const double secs = Seconds(std::chrono::steady_clock::now() - start);
+    if (!out.fault.ok()) {
+      std::printf("%10zu  run failed: %s\n", c.standbys,
+                  out.fault.ToString().c_str());
+      continue;
+    }
+    const FailoverStats& f = out.failover;
+    std::printf("%10zu %8s %12.0f %14llu %12llu %12llu %10llu %12llu\n",
+                c.standbys, c.crash ? "yes" : "no",
+                static_cast<double>(txns) / secs,
+                static_cast<unsigned long long>(f.detection_latency_us),
+                static_cast<unsigned long long>(f.election_us),
+                static_cast<unsigned long long>(f.replan_us),
+                static_cast<unsigned long long>(f.plan_stream_gap_us),
+                static_cast<unsigned long long>(out.committed));
+    if (g_json) {
+      JsonRow("coordinator_failover")
+          .Add("standbys", c.standbys)
+          .Add("leader_crash", c.crash ? 1 : 0)
+          .Add("tps", static_cast<double>(txns) / secs)
+          .Add("committed_batches", f.committed_batches)
+          .Add("log_appends", f.log_appends)
+          .Add("detection_us", f.detection_latency_us)
+          .Add("election_us", f.election_us)
+          .Add("replan_us", f.replan_us)
+          .Add("plan_stream_gap_us", f.plan_stream_gap_us)
+          .Add("replayed_batches", f.replayed_batches)
+          .Add("catchup_rounds", f.catchup_rounds)
+          .Add("reshipped_rounds", f.reshipped_rounds)
+          .Add("committed", out.committed)
+          .Print();
+    }
+  }
+  std::printf("(standbys without a crash price the quorum-commit tax; with "
+              "a crash, gap_us is end-to-end plan-stream outage: detection "
+              "+ election + committed-log replay + watermark catch-up)\n");
+}
+
 void Run(int argc, char** argv) {
   const auto txns =
       static_cast<std::size_t>(IntFlag(argc, argv, "txns", 4000));
@@ -167,6 +228,7 @@ void Run(int argc, char** argv) {
   BenchLoggingOverhead(machines, txns);
   BenchDowntimeVsCrashEpoch(machines, txns);
   BenchRecoveryVsRunLength(machines, txns);
+  BenchCoordinatorFailover(machines, txns);
 }
 
 }  // namespace

@@ -21,12 +21,25 @@
 //                                   execute as concurrent bounded stages;
 //                                   prints stage stats and p50/p99
 //                                   admission-to-commit latency
-//   --crash=M@E                     (streaming only) crash-stop machine M
-//                                   at sink epoch E, detect it via
-//                                   heartbeats, and recover it in-run;
-//                                   prints the recovery statistics
+//   --crash=M@E[,M@E|seq@E...]      (streaming only) comma list of
+//                                   crash-stops in firing order. M@E
+//                                   crash-stops worker machine M at sink
+//                                   epoch E, detects it via heartbeats,
+//                                   and recovers it in-run. seq@E
+//                                   crash-stops the coordinator (leader
+//                                   sequencer/scheduler) at epoch E and
+//                                   fails over to a standby — requires
+//                                   --standbys>=1. Worker and seq events
+//                                   compose freely; prints the recovery
+//                                   and failover statistics
 //   --no-recover                    with --crash: detect only, surface
 //                                   the failure as a fault status
+//                                   (worker events only)
+//   --standbys=N                    (streaming only) run the coordinator
+//                                   replicated: N standby replicas
+//                                   receive a quorum-committed request
+//                                   log and one takes over by election
+//                                   if the leader crash-stops
 //   --checkpoint-every=N            (streaming only) capture a per-machine
 //                                   incremental checkpoint every N sink
 //                                   epochs and truncate the recovery logs
@@ -49,8 +62,10 @@
 //                                   two sequential crashes of distinct
 //                                   machines, a repeat crash of the first
 //                                   victim, and a straggler — all
-//                                   recovered in-run; incompatible with
-//                                   --crash
+//                                   recovered in-run; with --standbys>=1
+//                                   it also schedules one coordinator
+//                                   leader crash (seq@E in the printed
+//                                   schedule); incompatible with --crash
 //   --trace=out.json                record a Chrome trace-event JSON of
 //                                   the run (open in Perfetto or
 //                                   chrome://tracing). Simulator traces
@@ -150,6 +165,8 @@ int main(int argc, char** argv) {
   const double delay = std::atof(StrFlag(argc, argv, "delay", "0").c_str());
   const std::string crash = StrFlag(argc, argv, "crash", "");
   const bool no_recover = BoolFlag(argc, argv, "no-recover");
+  const auto standbys =
+      static_cast<std::size_t>(IntFlag(argc, argv, "standbys", 0));
   const auto checkpoint_every = static_cast<SinkEpoch>(
       IntFlag(argc, argv, "checkpoint-every", 0));
   const std::string chaos = StrFlag(argc, argv, "chaos", "");
@@ -226,19 +243,60 @@ int main(int argc, char** argv) {
     opts.transport.faults.duplicate_prob = dup;
     opts.transport.faults.delay_prob = delay;
     opts.streaming = stream;
-    if (!crash.empty()) {
-      const auto at = crash.find('@');
-      if (!stream || at == std::string::npos) {
-        std::fprintf(stderr,
-                     "--crash requires --stream and the form M@EPOCH\n");
+    if (standbys > 0) {
+      if (!stream) {
+        std::fprintf(stderr, "--standbys requires --stream\n");
         return 2;
       }
-      opts.crash.machine =
-          static_cast<MachineId>(std::atoll(crash.substr(0, at).c_str()));
-      opts.crash.at_epoch =
-          static_cast<SinkEpoch>(std::atoll(crash.substr(at + 1).c_str()));
+      opts.coordinator.standbys = standbys;
+    }
+    if (!crash.empty()) {
+      if (!stream) {
+        std::fprintf(stderr, "--crash requires --stream\n");
+        return 2;
+      }
+      // Comma list of events in firing order: M@EPOCH crash-stops a
+      // worker, seq@EPOCH crash-stops the coordinator leader.
+      bool have_worker = false;
+      for (std::size_t pos = 0; pos < crash.size();) {
+        std::size_t comma = crash.find(',', pos);
+        if (comma == std::string::npos) comma = crash.size();
+        const std::string item = crash.substr(pos, comma - pos);
+        pos = comma + 1;
+        const auto at = item.find('@');
+        if (at == std::string::npos) {
+          std::fprintf(stderr,
+                       "--crash items must look like M@EPOCH or seq@EPOCH "
+                       "(got '%s')\n",
+                       item.c_str());
+          return 2;
+        }
+        const SinkEpoch epoch =
+            static_cast<SinkEpoch>(std::atoll(item.substr(at + 1).c_str()));
+        if (item.compare(0, at, "seq") == 0) {
+          if (standbys == 0) {
+            std::fprintf(stderr,
+                         "--crash=seq@EPOCH requires --standbys>=1\n");
+            return 2;
+          }
+          opts.crash.coordinator_at.push_back(epoch);
+          continue;
+        }
+        const auto machine =
+            static_cast<MachineId>(std::atoll(item.substr(0, at).c_str()));
+        if (!have_worker) {
+          opts.crash.machine = machine;
+          opts.crash.at_epoch = epoch;
+          have_worker = true;
+        } else {
+          LocalClusterOptions::CrashEvent event;
+          event.machine = machine;
+          event.at_epoch = epoch;
+          opts.crash.more.push_back(event);
+        }
+      }
       opts.crash.recover = !no_recover;
-      opts.detector.enabled = true;
+      if (have_worker) opts.detector.enabled = true;
     }
     if (!chaos.empty()) {
       if (!stream || !crash.empty()) {
@@ -324,6 +382,10 @@ int main(int argc, char** argv) {
       if (out.migration.membership_steps > 0) {
         out.migration.PublishTo(registry);
       }
+      if (out.failover.log_appends > 0 ||
+          out.failover.coordinator_crashes > 0) {
+        out.failover.PublishTo(registry);
+      }
       std::printf("tpart  (runtime%s): committed=%llu aborted=%llu\n",
                   stream ? ", streaming" : "",
                   static_cast<unsigned long long>(out.committed),
@@ -354,6 +416,10 @@ int main(int argc, char** argv) {
       }
       if (out.migration.membership_steps > 0) {
         std::printf("  migration: %s\n", out.migration.Summary().c_str());
+      }
+      if (out.failover.log_appends > 0 ||
+          out.failover.coordinator_crashes > 0) {
+        std::printf("  failover: %s\n", out.failover.Summary().c_str());
       }
     }
     return finish(0);

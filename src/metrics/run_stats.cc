@@ -53,7 +53,8 @@ std::string PipelineStats::Summary() const {
       << " backpressure=" << backpressure_waits
       << " queue_hw(batch/plan/epoch/inbound)=" << batch_queue_high_water
       << "/" << plan_queue_high_water << "/" << epoch_queue_high_water << "/"
-      << machine_inbound_high_water;
+      << machine_inbound_high_water
+      << " inbound_spills=" << machine_inbound_spills;
   if (admit_to_commit_us.count() > 0) {
     out << " admit_to_commit_us(p50/p99)=" << admit_to_commit_us.Quantile(0.5)
         << "/" << admit_to_commit_us.Quantile(0.99);
@@ -176,6 +177,9 @@ void PipelineStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetGauge("tpart_pipeline_machine_inbound_high_water",
                     static_cast<double>(machine_inbound_high_water),
                     "Deepest any machine's inbound service FIFO ever got");
+  c("machine_inbound_spills_total",
+    static_cast<double>(machine_inbound_spills),
+    "Inbound ring overflows onto the locked spill deque");
   registry.SetGauge("tpart_pipeline_admission_seconds", admission_seconds,
                     "Wall-clock span of the admission stage");
   registry.SetGauge("tpart_pipeline_admission_rate", AdmissionRate(),
@@ -205,6 +209,69 @@ void RecoveryStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetGauge("tpart_recovery_downtime_us",
                     static_cast<double>(downtime_us),
                     "Crash-stop until the machine rejoined the stream");
+}
+
+std::string FailoverStats::Summary() const {
+  std::ostringstream out;
+  out << "replicas_committed_batches=" << committed_batches
+      << " appends=" << log_appends << " acks=" << log_acks
+      << " coordinator_crashes=" << coordinator_crashes;
+  if (coordinator_crashes > 0) {
+    out << " elections=" << elections_won << " leader=" << leader
+        << " replayed_batches=" << replayed_batches
+        << " catchup_rounds=" << catchup_rounds
+        << " reshipped_rounds=" << reshipped_rounds
+        << " dueling_claims=" << dueling_claims
+        << " detection_us=" << detection_latency_us
+        << " election_us=" << election_us << " replan_us=" << replan_us
+        << " gap_us=" << plan_stream_gap_us;
+  }
+  return out.str();
+}
+
+void FailoverStats::PublishTo(obs::MetricsRegistry& registry) const {
+  registry.SetCounter("tpart_failover_committed_batches_total",
+                      static_cast<double>(committed_batches),
+                      "Batches quorum-committed into the replicated log");
+  registry.SetCounter("tpart_failover_log_appends_total",
+                      static_cast<double>(log_appends),
+                      "Log entries replicated leader -> standbys");
+  registry.SetCounter("tpart_failover_log_acks_total",
+                      static_cast<double>(log_acks),
+                      "Replication acks received by leaders");
+  registry.SetCounter("tpart_failover_coordinator_crashes_total",
+                      static_cast<double>(coordinator_crashes),
+                      "Coordinator crash-stops injected");
+  if (coordinator_crashes == 0) return;
+  registry.SetCounter("tpart_failover_elections_won_total",
+                      static_cast<double>(elections_won),
+                      "Elections won by a standby");
+  registry.SetCounter("tpart_failover_replayed_batches_total",
+                      static_cast<double>(replayed_batches),
+                      "Committed-log batches replayed by a new leader");
+  registry.SetCounter("tpart_failover_catchup_rounds_total",
+                      static_cast<double>(catchup_rounds),
+                      "Regenerated rounds at or below the shipped frontier");
+  registry.SetCounter("tpart_failover_reshipped_rounds_total",
+                      static_cast<double>(reshipped_rounds),
+                      "Per-machine catch-up sends past the watermarks");
+  registry.SetCounter("tpart_failover_dueling_claims_total",
+                      static_cast<double>(dueling_claims),
+                      "Simultaneous leadership claims observed");
+  registry.SetGauge("tpart_failover_detection_latency_us",
+                    static_cast<double>(detection_latency_us),
+                    "Leader crash until a standby's election timer fired");
+  registry.SetGauge("tpart_failover_election_us",
+                    static_cast<double>(election_us),
+                    "Election timer firing until the claim broadcast");
+  registry.SetGauge("tpart_failover_replan_us",
+                    static_cast<double>(replan_us),
+                    "New term start until its first fresh round shipped");
+  registry.SetGauge("tpart_failover_plan_stream_gap_us",
+                    static_cast<double>(plan_stream_gap_us),
+                    "Leader crash until the plan stream resumed");
+  registry.SetGauge("tpart_failover_leader", static_cast<double>(leader),
+                    "Replica index leading when the run finished");
 }
 
 std::string MigrationStats::Summary() const {
@@ -285,6 +352,9 @@ void RunStats::PublishTo(obs::MetricsRegistry& registry) const {
   if (transport.messages_sent > 0) transport.PublishTo(registry);
   if (pipeline.admitted > 0) pipeline.PublishTo(registry);
   if (recovery.crashes_injected > 0) recovery.PublishTo(registry);
+  if (failover.committed_batches > 0 || failover.coordinator_crashes > 0) {
+    failover.PublishTo(registry);
+  }
   if (checkpoint.checkpoints_taken > 0) checkpoint.PublishTo(registry);
   if (migration.membership_steps > 0) migration.PublishTo(registry);
 }
@@ -307,6 +377,9 @@ std::string RunStats::Summary() const {
   }
   if (recovery.crashes_injected > 0) {
     out << " | recovery: " << recovery.Summary();
+  }
+  if (failover.committed_batches > 0 || failover.coordinator_crashes > 0) {
+    out << " | failover: " << failover.Summary();
   }
   if (checkpoint.checkpoints_taken > 0) {
     out << " | checkpoint: " << checkpoint.Summary();

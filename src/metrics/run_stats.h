@@ -80,6 +80,11 @@ struct PipelineStats {
   /// stage of the pipeline; unbounded, so growth here is the first sign
   /// of a service thread falling behind).
   std::uint64_t machine_inbound_high_water = 0;
+  /// Times any machine's inbound ring overflowed its fixed slots and fell
+  /// back to the locked spill deque (runtime/ring_channel.h). Spills are
+  /// correct but slow — sustained growth means the ring is undersized for
+  /// the offered burst rate.
+  std::uint64_t machine_inbound_spills = 0;
   /// Wall-clock seconds the admission stage spent end to end.
   double admission_seconds = 0.0;
   /// Admitted transactions per wall-clock second.
@@ -127,6 +132,50 @@ struct RecoveryStats {
   std::string Summary() const;
 
   /// Publishes as tpart_recovery_* metrics.
+  void PublishTo(obs::MetricsRegistry& registry) const;
+};
+
+/// Counters for coordinator replication + failover (DESIGN §4i): the
+/// leader/standby request-log replication that removes the streaming
+/// coordinator as a single point of failure. Zero/absent unless
+/// LocalClusterOptions::coordinator.standbys > 0.
+struct FailoverStats {
+  /// Coordinator (leader) crash-stops injected during the run.
+  std::uint64_t coordinator_crashes = 0;
+  /// Elections won by a standby (== successful failovers).
+  std::uint64_t elections_won = 0;
+  /// Log entries replicated leader -> standbys, and acks received.
+  std::uint64_t log_appends = 0;
+  std::uint64_t log_acks = 0;
+  /// Batches quorum-committed into the replicated request log.
+  std::uint64_t committed_batches = 0;
+  /// Committed-log batches the new leader re-ran through a fresh
+  /// scheduler to rebuild the T-graph (deterministic replay, §5.4).
+  std::uint64_t replayed_batches = 0;
+  /// Regenerated rounds at or below the old leader's shipped frontier,
+  /// and the per-machine sends among them that were actually re-shipped
+  /// (the rest were filtered by dissemination watermarks).
+  std::uint64_t catchup_rounds = 0;
+  std::uint64_t reshipped_rounds = 0;
+  /// Simultaneous leadership claims observed (randomized election
+  /// backoff should keep this at zero even under stragglers).
+  std::uint64_t dueling_claims = 0;
+  /// Leader crash-stop until a standby's election timer fired.
+  std::uint64_t detection_latency_us = 0;
+  /// Election timer firing until the claim was broadcast (backoff incl.).
+  std::uint64_t election_us = 0;
+  /// New leader's term start until its first fresh round shipped
+  /// (replica sync + log replay + catch-up filtering).
+  std::uint64_t replan_us = 0;
+  /// Leader crash until the plan stream resumed with a fresh round — the
+  /// end-to-end gap machines observed.
+  std::uint64_t plan_stream_gap_us = 0;
+  /// Replica index leading when the run finished.
+  std::uint32_t leader = 0;
+
+  std::string Summary() const;
+
+  /// Publishes as tpart_failover_* metrics.
   void PublishTo(obs::MetricsRegistry& registry) const;
 };
 
@@ -244,6 +293,9 @@ struct RunStats {
 
   /// Crash-fault-tolerance counters (crash-injection runs only).
   RecoveryStats recovery;
+
+  /// Coordinator replication + failover counters (standby runs only).
+  FailoverStats failover;
 
   /// Periodic checkpointing counters (checkpoint_every runs only).
   CheckpointStats checkpoint;

@@ -6,6 +6,7 @@ void ResendWindow::Append(Message msg) {
   std::lock_guard<std::mutex> lock(mu_);
   bytes_ += ApproxMessageBytes(msg);
   if (bytes_ > bytes_peak_) bytes_peak_ = bytes_;
+  if (msg.epoch > last_epoch_) last_epoch_ = msg.epoch;
   window_.push_back(std::move(msg));
 }
 
@@ -36,6 +37,11 @@ std::size_t ResendWindow::ForEachFrom(
 SinkEpoch ResendWindow::front_epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
   return window_.empty() ? 0 : window_.front().epoch;
+}
+
+SinkEpoch ResendWindow::last_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_epoch_;
 }
 
 bool ResendWindow::empty() const {

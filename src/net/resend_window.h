@@ -40,6 +40,11 @@ class ResendWindow {
   /// Epoch of the oldest retained round; 0 when empty.
   SinkEpoch front_epoch() const;
 
+  /// Highest epoch ever appended (survives pruning; 0 before any append).
+  /// A failed-over coordinator uses it as the boundary between rounds the
+  /// old leader already shipped and rounds it must ship fresh.
+  SinkEpoch last_epoch() const;
+
   bool empty() const;
   std::size_t size() const;
   std::size_t bytes() const;
@@ -49,6 +54,7 @@ class ResendWindow {
  private:
   mutable std::mutex mu_;
   std::deque<Message> window_;
+  SinkEpoch last_epoch_ = 0;
   std::size_t bytes_ = 0;
   std::size_t bytes_peak_ = 0;
   std::uint64_t pruned_rounds_ = 0;

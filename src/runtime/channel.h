@@ -78,6 +78,23 @@ struct Message {
     /// queue by the migration barrier; when dispatched, every message
     /// delivered before it has been applied. Never crosses the wire.
     kServiceFence,
+    /// Coordinator replication (§2.1 Zab, DESIGN §4i): leader -> standby
+    /// replication of one sequenced batch. `req_id` is the log index,
+    /// `txn` the batch id, `epoch` the leader's term, `specs` the batch's
+    /// transactions (ids already assigned by the sequencer).
+    kLogAppend,
+    /// Coordinator replication ack, multiplexed by `key`:
+    ///   0 = append ack (standby -> leader; `req_id` echoes the log index),
+    ///   1 = claim ack  (replica -> new leader; `req_id` = replica log len),
+    ///   2 = watermark  (machine -> leader; `epoch` = highest contiguous
+    ///       sink round enqueued by that machine, `req_id` echoes probe).
+    kLogAck,
+    /// Leadership claim / watermark probe. Replica -> replica: `txn` is the
+    /// claimant replica index, `req_id` its committed-log length, `epoch`
+    /// the new term (Zab election: longest log wins, ties -> lower id).
+    /// Leader -> machine (`reply_to` set): a watermark probe; the machine
+    /// answers with a kLogAck(key=2) to `reply_to`.
+    kLeaderClaim,
     /// Stop the service loop. Must stay the last enumerator: the wire
     /// decoder rejects any type byte beyond it (net/wire.cc).
     kShutdown,

@@ -148,6 +148,23 @@ void LocalCluster::Reset() {
       machines_[m]->Deliver(std::move(msg));
     });
   }
+  // Coordinator replication (DESIGN §4i): the replica ensemble occupies
+  // extra transport endpoints [M, M+R) — every transport derives its
+  // endpoint count from this sink vector, so leader/standby traffic rides
+  // the same wire (and the same fault injector) as machine traffic.
+  coordinator_.reset();
+  if (options_.coordinator.standbys > 0) {
+    coordinator_ = std::make_unique<CoordinatorReplicaSet>(
+        options_.coordinator, machines_.size(),
+        [this](MachineId from, MachineId to, Message msg) {
+          transport_->Send(from, to, std::move(msg));
+        });
+    for (std::size_t r = 0; r < coordinator_->num_replicas(); ++r) {
+      sinks.push_back([this, r](Message msg) {
+        coordinator_->Deliver(r, std::move(msg));
+      });
+    }
+  }
   transport_->Start(std::move(sinks));
 }
 
@@ -166,7 +183,10 @@ std::size_t LocalCluster::RestorePartition(MachineId m) {
 }
 
 void LocalCluster::StopAll() {
-  // Transport first: once it stops, no delivery can race machine teardown.
+  // Coordinator replicas first (their pump/heartbeat threads send through
+  // the transport), then the transport: once it stops, no delivery can
+  // race machine teardown.
+  if (coordinator_) coordinator_->Shutdown();
   if (transport_) transport_->Stop();
   for (auto& m : machines_) {
     if (m) m->Stop();
@@ -187,6 +207,9 @@ ClusterRunOutcome LocalCluster::RunTPartBatch() {
   TPART_CHECK(!options_.resize.enabled())
       << "elastic membership requires streaming mode (the migration "
          "barrier quiesces the dissemination stream at each cut)";
+  TPART_CHECK(options_.crash.coordinator_at.empty())
+      << "coordinator crash injection requires streaming mode (batch has "
+         "no live coordinator to fail over)";
   if (used_) Reset();
   used_ = true;
   NameTraceTracks(machines_.size());
@@ -372,8 +395,18 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       TPART_TRACE(SetThreadInfo(0, "watchdog"));
       const auto interval = std::chrono::microseconds(std::max<std::uint64_t>(
           options_.detector.heartbeat_interval_us, 50));
-      const auto deadline =
-          std::chrono::microseconds(options_.detector.deadline_us);
+      // Straggler-aware deadlines: a seeded straggler freezes its machine
+      // for delay_us every period, so its heartbeat responses legitimately
+      // stall that long. Widen that machine's deadline additively rather
+      // than declaring a false positive (the paper's failure detector
+      // assumes bounded delay; the bound must include injected delay).
+      std::vector<std::chrono::microseconds> deadlines(
+          machines_.size(),
+          std::chrono::microseconds(options_.detector.deadline_us));
+      if (options_.straggler.enabled()) {
+        deadlines[options_.straggler.machine] +=
+            std::chrono::microseconds(options_.straggler.delay_us);
+      }
       std::uint64_t seq = 0;
       const auto start = std::chrono::steady_clock::now();
       std::vector<std::uint64_t> last_seen(machines_.size(), 0);
@@ -398,7 +431,7 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
             last_alive[m] = now;
             continue;
           }
-          if (now - last_alive[m] < deadline) continue;
+          if (now - last_alive[m] < deadlines[m]) continue;
           // Heartbeat sequence stalled past the deadline: declare failed.
           declared[m] = true;
           TPART_TRACE(Instant("failure_declared", "fault",
@@ -473,122 +506,32 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     });
   }
 
-  // Stage channels. An empty batch / nullopt envelope is the
-  // end-of-stream sentinel (real batches are never empty).
-  BlockingQueue<TxnBatch> batch_queue(options_.pipeline.batch_queue_capacity);
-  BlockingQueue<std::optional<PlanEnvelope>> plan_queue(
-      options_.pipeline.plan_queue_capacity);
+  // ---- Coordinator replication (DESIGN §4i). With standbys configured,
+  // every sequenced batch is quorum-committed to the replica ensemble
+  // before it enters the pipeline, and the coordinator below runs as a
+  // sequence of leader *terms*: a scheduled leader crash aborts the term,
+  // a standby detects the silence and wins the election, and the next
+  // term rebuilds all coordinator state by deterministic replay of the
+  // committed request log — a fresh Sequencer primed past it, a fresh
+  // TPartScheduler fed the replayed batches — then resumes the plan
+  // stream exactly once (rounds at or below the per-machine dissemination
+  // watermarks are skipped; the rest re-ship and dedupe idempotently).
+  const bool coord_on = coordinator_ != nullptr;
+  if (coord_on) coordinator_->Start();
+  std::vector<SinkEpoch> coord_crashes = crash.coordinator_at;
+  std::sort(coord_crashes.begin(), coord_crashes.end());
+  TPART_CHECK(coord_crashes.empty() || coord_on)
+      << "coordinator crash injection requires coordinator.standbys >= 1";
 
-  // ---- Stage 1: admission. Pulls requests incrementally — the full
-  // workload is never materialized — and batches them through the
-  // Sequencer (ids assigned, short tail dummy-padded, §3.3).
+  // Pipeline counters accumulate across terms. A failover run re-pulls
+  // the in-flight (uncommitted) suffix, so admitted/batches may exceed
+  // the crash-free counts; committed results are what must match.
   std::uint64_t admitted = 0, dummies = 0, batches = 0;
   std::uint64_t admission_waits = 0;
   double admission_seconds = 0.0;
-  std::thread admission([&] {
-    TPART_TRACE(SetThreadInfo(0, "admission"));
-    const auto t0 = std::chrono::steady_clock::now();
-    Sequencer sequencer(options_.pipeline.sequencer);
-    std::unique_ptr<RequestSource> source = workload_->MakeRequestSource();
-    auto emit = [&](TxnBatch batch) {
-      TPART_TRACE_SPAN("admit_batch", "pipeline",
-                       {{"txns", batch.txns.size()}});
-      const auto now = std::chrono::steady_clock::now();
-      {
-        std::lock_guard<std::mutex> lock(latency.mu);
-        for (const TxnSpec& spec : batch.txns) {
-          if (!spec.is_dummy) {
-            latency.admitted.emplace(spec.id, now);
-            // Opens the per-transaction admit->commit lifecycle span,
-            // closed by the executor's commit hook.
-            TPART_TRACE(AsyncBegin("txn", "lifecycle", spec.id));
-          }
-        }
-      }
-      if (batch_queue.Send(std::move(batch))) ++admission_waits;
-      ++batches;
-    };
-    while (std::optional<TxnSpec> spec = source->Next()) {
-      sequencer.Submit(std::move(*spec));
-      ++admitted;
-      while (std::optional<TxnBatch> batch = sequencer.NextBatch()) {
-        emit(std::move(*batch));
-      }
-    }
-    // Only a non-empty tail is flushed: padding an empty tail would
-    // append a round of pure dummies for nothing.
-    if (sequencer.pending() > 0) {
-      if (std::optional<TxnBatch> batch = sequencer.Flush()) {
-        emit(std::move(*batch));
-      }
-    }
-    dummies = sequencer.num_dummies_issued();
-    admission_seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-    batch_queue.Send(TxnBatch{});
-  });
-
-  // ---- Stage 2: scheduler. Consumes ordered batches, maintains the
-  // T-graph, and emits each sunk round the moment it exists. Specs are
-  // parked here between arrival and sinking — the T-graph's unsunk bound
-  // caps that parking, so this stage is bounded too.
   std::uint64_t scheduler_waits = 0;
-  std::thread scheduling([&] {
-    TPART_TRACE(SetThreadInfo(0, "scheduler"));
-    TPartScheduler::Options sched_opts = options_.scheduler;
-    // The graph starts at the base membership; each membership step
-    // re-targets it (Rehome) when the scheduler crosses the cut. Placement
-    // routes through the versioned map so rounds past a cut home keys at
-    // their post-step machines.
-    sched_opts.graph.num_machines = workload_->num_machines;
-    sched_opts.elastic = elastic_;
-    TPartScheduler scheduler(
-        sched_opts, elastic_ != nullptr
-                        ? std::static_pointer_cast<const DataPartitionMap>(
-                              elastic_)
-                        : workload_->partition_map);
-    std::unordered_map<TxnId, TxnSpec> parked;
-    auto emit = [&](SinkPlan plan) {
-      PlanEnvelope env;
-      env.specs.reserve(plan.txns.size());
-      for (const TxnPlan& p : plan.txns) {
-        auto node = parked.extract(p.txn);
-        TPART_CHECK(!node.empty())
-            << "round " << plan.epoch << " sank T" << p.txn
-            << " with no parked spec";
-        env.specs.push_back(std::move(node.mapped()));
-      }
-      env.plan = std::move(plan);
-      if (plan_queue.Send(std::move(env))) ++scheduler_waits;
-    };
-    while (true) {
-      Result<TxnBatch> batch = batch_queue.ReceiveFor(stall_timeout);
-      TPART_CHECK(batch.ok())
-          << "scheduler stalled awaiting the admission stage: "
-          << batch.status().message();
-      if (batch->txns.empty()) break;
-      TPART_TRACE_SPAN("schedule_batch", "pipeline",
-                       {{"txns", batch->txns.size()}});
-      for (TxnSpec& spec : batch->txns) {
-        std::vector<SinkPlan> plans = scheduler.OnTxn(spec);
-        // Dummies are discarded at plan generation (§3.3); only real
-        // specs ever travel to a machine.
-        if (!spec.is_dummy) parked.emplace(spec.id, std::move(spec));
-        for (SinkPlan& plan : plans) emit(std::move(plan));
-      }
-    }
-    for (SinkPlan& plan : scheduler.Drain()) emit(std::move(plan));
-    TPART_CHECK(parked.empty()) << parked.size() << " specs never sank";
-    plan_queue.Send(std::nullopt);
-  });
-
-  // ---- Stage 3: dissemination (this thread). Each round is serialized
-  // once and shipped to every machine as a kSinkPlan wire message; epoch
-  // credits bound how far dissemination may run ahead of execution.
-  // Round r reaches every machine before r+1 reaches any, which the
-  // FIFO executors rely on.
   std::uint64_t plans = 0, credit_waits = 0;
+  std::uint64_t batch_q_hw = 0, plan_q_hw = 0;
   SinkEpoch last_epoch = 0;
   MigrationStats migration;
   std::size_t steps_done = 0;
@@ -596,85 +539,356 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       options_.record_epoch_timeline || options_.resize.enabled();
   std::vector<ClusterRunOutcome::EpochTick> timeline;
   const auto stream_t0 = std::chrono::steady_clock::now();
-  while (true) {
-    Result<std::optional<PlanEnvelope>> env =
-        plan_queue.ReceiveFor(stall_timeout);
-    TPART_CHECK(env.ok())
-        << "dissemination stalled awaiting the scheduler stage: "
-        << env.status().message();
-    if (!env->has_value()) break;
-    // Membership cuts fire between rounds: before the first round past a
-    // cut ships — or even enters the resend window, since a recovery
-    // re-ship must never hand a machine a post-cut round ahead of its
-    // migration — quiesce the stream, move the keys, and force the cut
-    // checkpoint everywhere.
-    while (elastic_ != nullptr && steps_done < elastic_->num_steps() &&
-           (*env)->plan.epoch > elastic_->step(steps_done).cut_epoch) {
-      Status step_status = RunMembershipStep(steps_done, migration);
-      if (!step_status.ok()) {
-        std::ostringstream out;
-        out << "membership step " << steps_done << " (cut epoch "
-            << elastic_->step(steps_done).cut_epoch
-            << ") failed: " << step_status.message();
-        declare_fault(out.str());
-        // Abandon the remaining schedule; the doomed run still drains.
-        steps_done = elastic_->num_steps();
-        break;
+
+  FailoverStats failover;
+  std::size_t coord_event_idx = 0;
+  std::size_t crashed_leader = 0;
+  std::vector<SinkEpoch> watermarks(machines_.size(), 0);
+  SinkEpoch catchup_through = 0;
+  auto t_crash = stream_t0;
+  auto t_term_start = stream_t0;
+  bool pending_replan_stamp = false;
+
+  // Runs one leader term end to end; returns true if the scheduled
+  // coordinator crash aborted it (the caller fails over and reruns).
+  auto run_term = [&]() -> bool {
+    // Stage channels, fresh per term. An empty batch / nullopt envelope
+    // is the end-of-stream sentinel (real batches are never empty).
+    BlockingQueue<TxnBatch> batch_queue(
+        options_.pipeline.batch_queue_capacity);
+    BlockingQueue<std::optional<PlanEnvelope>> plan_queue(
+        options_.pipeline.plan_queue_capacity);
+    std::atomic<bool> term_abort{false};
+
+    // Resume state from the new leader's committed log: batch composition
+    // is a pure function of stream position, so skipping the committed
+    // prefix of the request source and priming the sequencer past the
+    // last committed ids regenerates the exact remainder of the stream.
+    std::vector<TxnBatch> committed_log;
+    std::uint64_t source_skip = 0;
+    TxnId primed_next_id = 0;
+    std::uint64_t primed_next_batch = 0;
+    bool primed = false;
+    if (coord_on) {
+      committed_log = coordinator_->CommittedLog();
+      for (const TxnBatch& b : committed_log) {
+        source_skip += b.NumRealTxns();
+        primed_next_batch = b.batch_id + 1;
+        if (!b.txns.empty()) primed_next_id = b.txns.back().id + 1;
+        primed = true;
       }
-      ++steps_done;
     }
-    ++plans;
-    last_epoch = (*env)->plan.epoch;
-    TPART_TRACE_SPAN("disseminate", "pipeline",
-                     {{"epoch", (*env)->plan.epoch},
-                      {"txns", (*env)->plan.txns.size()}});
-    Message msg;
-    msg.type = Message::Type::kSinkPlan;
-    msg.epoch = (*env)->plan.epoch;
-    msg.plan_bytes = EncodeSinkPlan((*env)->plan);
-    msg.specs = std::move((*env)->specs);
-    if (keep_resend_window) {
-      resend_window.Append(msg);
-      if (options_.checkpoint_every > 0 && !checkpoints_.empty()) {
-        // No recovery can ever need a round at or below the minimum
-        // checkpointed epoch across machines: each machine resumes
-        // strictly after its own checkpoint epoch.
-        SinkEpoch prune_through = checkpoints_.front()->epoch();
-        for (const auto& cp : checkpoints_) {
-          prune_through = std::min(prune_through, cp->epoch());
+
+    // ---- Stage 1: admission. Pulls requests incrementally — the full
+    // workload is never materialized — and batches them through the
+    // Sequencer (ids assigned, short tail dummy-padded, §3.3).
+    std::thread admission([&] {
+      TPART_TRACE(SetThreadInfo(0, "admission"));
+      const auto t0 = std::chrono::steady_clock::now();
+      Sequencer sequencer(options_.pipeline.sequencer);
+      if (primed) sequencer.Prime(primed_next_id, primed_next_batch);
+      std::unique_ptr<RequestSource> source = workload_->MakeRequestSource();
+      for (std::uint64_t i = 0; i < source_skip; ++i) {
+        TPART_CHECK(source->Next().has_value())
+            << "committed log covers " << source_skip
+            << " requests but the source ran dry at " << i;
+      }
+      // Returns false once the leader crash-stops mid-append: that batch
+      // never committed, so the next term re-pulls it from the source
+      // (an append that did reach a standby commits through the new
+      // leader's log instead, and the skip count above absorbs it).
+      auto emit = [&](TxnBatch batch) -> bool {
+        TPART_TRACE_SPAN("admit_batch", "pipeline",
+                         {{"txns", batch.txns.size()}});
+        if (coord_on && !coordinator_->LeaderAppend(batch)) return false;
+        const auto now = std::chrono::steady_clock::now();
+        {
+          std::lock_guard<std::mutex> lock(latency.mu);
+          for (const TxnSpec& spec : batch.txns) {
+            if (!spec.is_dummy) {
+              // emplace: a surviving pre-crash stamp wins, so the
+              // measured latency spans the failover — the honest number.
+              latency.admitted.emplace(spec.id, now);
+              // Opens the per-transaction admit->commit lifecycle span,
+              // closed by the executor's commit hook.
+              TPART_TRACE(AsyncBegin("txn", "lifecycle", spec.id));
+            }
+          }
         }
-        if (prune_through > 0) resend_window.PruneThrough(prune_through);
+        if (batch_queue.Send(std::move(batch))) ++admission_waits;
+        ++batches;
+        return true;
+      };
+      bool alive = true;
+      while (alive && !term_abort.load(std::memory_order_acquire)) {
+        std::optional<TxnSpec> spec = source->Next();
+        if (!spec.has_value()) break;
+        sequencer.Submit(std::move(*spec));
+        ++admitted;
+        while (std::optional<TxnBatch> batch = sequencer.NextBatch()) {
+          if (!emit(std::move(*batch))) {
+            alive = false;
+            break;
+          }
+        }
       }
-    }
-    for (std::size_t m = 0; m < machines_.size(); ++m) {
-      switch (machines_[m]->AcquireEpochCreditFor(stall_timeout)) {
-        case Machine::CreditGrant::kGranted:
-          break;
-        case Machine::CreditGrant::kGrantedAfterWait:
-          ++credit_waits;
-          TPART_TRACE(Instant("credit_wait", "pipeline", {{"machine", m}}));
-          break;
-        case Machine::CreditGrant::kTimedOut: {
+      // Only a non-empty tail is flushed: padding an empty tail would
+      // append a round of pure dummies for nothing.
+      if (alive && !term_abort.load(std::memory_order_acquire) &&
+          sequencer.pending() > 0) {
+        if (std::optional<TxnBatch> batch = sequencer.Flush()) {
+          emit(std::move(*batch));
+        }
+      }
+      dummies += sequencer.num_dummies_issued();
+      admission_seconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      batch_queue.Send(TxnBatch{});
+    });
+
+    // ---- Stage 2: scheduler. Consumes ordered batches, maintains the
+    // T-graph, and emits each sunk round the moment it exists. Specs are
+    // parked here between arrival and sinking — the T-graph's unsunk
+    // bound caps that parking, so this stage is bounded too.
+    std::thread scheduling([&] {
+      TPART_TRACE(SetThreadInfo(0, "scheduler"));
+      TPartScheduler::Options sched_opts = options_.scheduler;
+      // The graph starts at the base membership; each membership step
+      // re-targets it (Rehome) when the scheduler crosses the cut.
+      // Placement routes through the versioned map so rounds past a cut
+      // home keys at their post-step machines.
+      sched_opts.graph.num_machines = workload_->num_machines;
+      sched_opts.elastic = elastic_;
+      TPartScheduler scheduler(
+          sched_opts, elastic_ != nullptr
+                          ? std::static_pointer_cast<const DataPartitionMap>(
+                                elastic_)
+                          : workload_->partition_map);
+      std::unordered_map<TxnId, TxnSpec> parked;
+      auto emit = [&](SinkPlan plan) {
+        PlanEnvelope env;
+        env.specs.reserve(plan.txns.size());
+        for (const TxnPlan& p : plan.txns) {
+          auto node = parked.extract(p.txn);
+          TPART_CHECK(!node.empty())
+              << "round " << plan.epoch << " sank T" << p.txn
+              << " with no parked spec";
+          env.specs.push_back(std::move(node.mapped()));
+        }
+        env.plan = std::move(plan);
+        if (plan_queue.Send(std::move(env))) ++scheduler_waits;
+      };
+      // Deterministic replay of the committed log (§5.4 semantics applied
+      // to the coordinator): the fresh T-graph re-derives every round and
+      // every Rehome decision of the crashed leader, because both are
+      // pure functions of the transaction stream.
+      for (const TxnBatch& b : committed_log) {
+        for (const TxnSpec& spec : b.txns) {
+          std::vector<SinkPlan> replayed = scheduler.OnTxn(spec);
+          if (!spec.is_dummy) parked.emplace(spec.id, spec);
+          for (SinkPlan& plan : replayed) emit(std::move(plan));
+        }
+        ++failover.replayed_batches;
+      }
+      while (true) {
+        Result<TxnBatch> batch = batch_queue.ReceiveFor(stall_timeout);
+        TPART_CHECK(batch.ok())
+            << "scheduler stalled awaiting the admission stage: "
+            << batch.status().message();
+        if (batch->txns.empty()) break;
+        // An aborted term keeps draining (a blocked admission Send would
+        // deadlock the join) but schedules nothing further.
+        if (term_abort.load(std::memory_order_acquire)) continue;
+        TPART_TRACE_SPAN("schedule_batch", "pipeline",
+                         {{"txns", batch->txns.size()}});
+        for (TxnSpec& spec : batch->txns) {
+          std::vector<SinkPlan> plans = scheduler.OnTxn(spec);
+          // Dummies are discarded at plan generation (§3.3); only real
+          // specs ever travel to a machine.
+          if (!spec.is_dummy) parked.emplace(spec.id, std::move(spec));
+          for (SinkPlan& plan : plans) emit(std::move(plan));
+        }
+      }
+      if (!term_abort.load(std::memory_order_acquire)) {
+        for (SinkPlan& plan : scheduler.Drain()) emit(std::move(plan));
+        TPART_CHECK(parked.empty()) << parked.size() << " specs never sank";
+      }
+      plan_queue.Send(std::nullopt);
+    });
+
+    // ---- Stage 3: dissemination (this thread). Each round is
+    // serialized once and shipped to every machine as a kSinkPlan wire
+    // message; epoch credits bound how far dissemination may run ahead
+    // of execution. Round r reaches every machine before r+1 reaches
+    // any, which the FIFO executors rely on.
+    bool aborted = false;
+    while (true) {
+      Result<std::optional<PlanEnvelope>> env =
+          plan_queue.ReceiveFor(stall_timeout);
+      TPART_CHECK(env.ok())
+          << "dissemination stalled awaiting the scheduler stage: "
+          << env.status().message();
+      if (!env->has_value()) break;
+      // Keep draining after the crash fires (a scheduler blocked mid-Send
+      // would deadlock the join); everything drained here regenerates in
+      // the next term.
+      if (aborted) continue;
+      // Membership cuts fire between rounds: before the first round past
+      // a cut ships — or even enters the resend window, since a recovery
+      // re-ship must never hand a machine a post-cut round ahead of its
+      // migration — quiesce the stream, move the keys, and force the cut
+      // checkpoint everywhere. Catch-up rounds can never re-trigger a
+      // step: any cut below the catch-up horizon stepped in the term
+      // that first shipped those rounds (steps_done is run-scoped).
+      while (elastic_ != nullptr && steps_done < elastic_->num_steps() &&
+             (*env)->plan.epoch > elastic_->step(steps_done).cut_epoch) {
+        Status step_status = RunMembershipStep(steps_done, migration);
+        if (!step_status.ok()) {
           std::ostringstream out;
-          out << "dissemination stalled acquiring an epoch credit for "
-                 "machine "
-              << m << ": " << machines_[m]->StallDiagnostic();
-          // Credits are non-blocking after this (shutdown flag), so the
-          // remaining stream still drains.
+          out << "membership step " << steps_done << " (cut epoch "
+              << elastic_->step(steps_done).cut_epoch
+              << ") failed: " << step_status.message();
           declare_fault(out.str());
+          // Abandon the remaining schedule; the doomed run still drains.
+          steps_done = elastic_->num_steps();
           break;
         }
+        ++steps_done;
       }
-      transport_->Send(0, static_cast<MachineId>(m), msg);
-    }
-    if (record_timeline) {
-      timeline.push_back(ClusterRunOutcome::EpochTick{
-          last_epoch,
-          static_cast<std::uint64_t>(
+      const SinkEpoch epoch = (*env)->plan.epoch;
+      // Rounds at or below the failover catch-up horizon were already
+      // shipped by the crashed leader: re-ship them only to machines
+      // whose watermark shows a gap, with no credit / window / timeline
+      // side effects (those all happened in the term that shipped them;
+      // machines drop duplicate rounds before enqueue, touching no
+      // credits, so the credit ledger stays exactly balanced).
+      const bool catchup = epoch <= catchup_through;
+      TPART_TRACE_SPAN("disseminate", "pipeline",
+                       {{"epoch", epoch}, {"txns", (*env)->plan.txns.size()}});
+      Message msg;
+      msg.type = Message::Type::kSinkPlan;
+      msg.epoch = epoch;
+      msg.plan_bytes = EncodeSinkPlan((*env)->plan);
+      msg.specs = std::move((*env)->specs);
+      if (catchup) {
+        ++failover.catchup_rounds;
+        for (std::size_t m = 0; m < machines_.size(); ++m) {
+          if (epoch > watermarks[m]) {
+            transport_->Send(0, static_cast<MachineId>(m), msg);
+            ++failover.reshipped_rounds;
+          }
+        }
+      } else {
+        ++plans;
+        last_epoch = epoch;
+        if (keep_resend_window) {
+          resend_window.Append(msg);
+          if (options_.checkpoint_every > 0 && !checkpoints_.empty()) {
+            // No recovery can ever need a round at or below the minimum
+            // checkpointed epoch across machines: each machine resumes
+            // strictly after its own checkpoint epoch.
+            SinkEpoch prune_through = checkpoints_.front()->epoch();
+            for (const auto& cp : checkpoints_) {
+              prune_through = std::min(prune_through, cp->epoch());
+            }
+            if (prune_through > 0) resend_window.PruneThrough(prune_through);
+          }
+        }
+        if (pending_replan_stamp) {
+          // First fresh round past the catch-up horizon: the plan stream
+          // has fully resumed.
+          const auto now = std::chrono::steady_clock::now();
+          failover.replan_us = static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::microseconds>(
-                  std::chrono::steady_clock::now() - stream_t0)
-                  .count())});
+                  now - t_term_start)
+                  .count());
+          failover.plan_stream_gap_us = static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - t_crash)
+                  .count());
+          pending_replan_stamp = false;
+        }
+        for (std::size_t m = 0; m < machines_.size(); ++m) {
+          switch (machines_[m]->AcquireEpochCreditFor(stall_timeout)) {
+            case Machine::CreditGrant::kGranted:
+              break;
+            case Machine::CreditGrant::kGrantedAfterWait:
+              ++credit_waits;
+              TPART_TRACE(
+                  Instant("credit_wait", "pipeline", {{"machine", m}}));
+              break;
+            case Machine::CreditGrant::kTimedOut: {
+              std::ostringstream out;
+              out << "dissemination stalled acquiring an epoch credit for "
+                     "machine "
+                  << m << ": " << machines_[m]->StallDiagnostic();
+              // Credits are non-blocking after this (shutdown flag), so
+              // the remaining stream still drains.
+              declare_fault(out.str());
+              break;
+            }
+          }
+          transport_->Send(0, static_cast<MachineId>(m), msg);
+        }
+        if (record_timeline) {
+          timeline.push_back(ClusterRunOutcome::EpochTick{
+              last_epoch,
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - stream_t0)
+                      .count())});
+        }
+      }
+      if (!catchup && coord_event_idx < coord_crashes.size() &&
+          epoch >= coord_crashes[coord_event_idx]) {
+        // Scheduled coordinator crash: fires after the first shipped
+        // round with epoch >= the entry. Capture the leader index before
+        // the crash-stop — the election moves it.
+        ++coord_event_idx;
+        crashed_leader = coordinator_->leader();
+        coordinator_->CrashLeader();
+        t_crash = std::chrono::steady_clock::now();
+        ++failover.coordinator_crashes;
+        term_abort.store(true, std::memory_order_release);
+        aborted = true;
+      }
     }
+    admission.join();
+    scheduling.join();
+    batch_q_hw = std::max<std::uint64_t>(batch_q_hw, batch_queue.high_water());
+    plan_q_hw = std::max<std::uint64_t>(plan_q_hw, plan_queue.high_water());
+    return aborted;
+  };
+
+  for (;;) {
+    if (!run_term()) break;
+    // ---- Failover. A standby detected the heartbeat silence, backed
+    // off, and claimed; wait out the election, sync the claim across the
+    // ensemble, rejoin the crashed replica as a standby, then probe every
+    // machine's dissemination watermark so the next term re-ships exactly
+    // the missing suffix of already-shipped rounds.
+    const std::chrono::microseconds failover_wait =
+        stall_timeout.count() > 0
+            ? stall_timeout
+            : std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::hours(24));
+    Result<std::size_t> elected = coordinator_->WaitElected(failover_wait);
+    TPART_CHECK(elected.ok())
+        << "no standby claimed leadership: " << elected.status().message();
+    ++failover.elections_won;
+    failover.detection_latency_us = coordinator_->last_detection_us();
+    failover.election_us = coordinator_->last_election_us();
+    coordinator_->SyncNewLeader();
+    coordinator_->RestartReplica(crashed_leader);
+    Result<std::vector<SinkEpoch>> wm =
+        coordinator_->ProbeWatermarks(failover_wait);
+    TPART_CHECK(wm.ok()) << "watermark probe failed: "
+                         << wm.status().message();
+    watermarks = *wm;
+    catchup_through = last_epoch;
+    t_term_start = std::chrono::steady_clock::now();
+    pending_replan_stamp = true;
   }
   if (crash.enabled()) {
     // Flag before sending: a recovery racing this must resend the end
@@ -691,8 +905,6 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     transport_->Send(0, static_cast<MachineId>(m), std::move(end));
   }
 
-  admission.join();
-  scheduling.join();
   // Executors exit once the stream end reaches them (via the transport's
   // reliable delivery) and their queues drain.
   for (auto& m : machines_) m->JoinExecutor();
@@ -741,8 +953,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   outcome.pipeline.plans = plans;
   outcome.pipeline.backpressure_waits =
       admission_waits + scheduler_waits + credit_waits;
-  outcome.pipeline.batch_queue_high_water = batch_queue.high_water();
-  outcome.pipeline.plan_queue_high_water = plan_queue.high_water();
+  outcome.pipeline.batch_queue_high_water = batch_q_hw;
+  outcome.pipeline.plan_queue_high_water = plan_q_hw;
   for (const auto& m : machines_) {
     outcome.pipeline.epoch_queue_high_water =
         std::max<std::uint64_t>(outcome.pipeline.epoch_queue_high_water,
@@ -750,6 +962,7 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     outcome.pipeline.machine_inbound_high_water =
         std::max<std::uint64_t>(outcome.pipeline.machine_inbound_high_water,
                                 m->inbound_queue_high_water());
+    outcome.pipeline.machine_inbound_spills += m->inbound_overflow_spills();
   }
   outcome.pipeline.admission_seconds = admission_seconds;
   outcome.pipeline.admit_to_commit_us = latency.us;
@@ -797,6 +1010,14 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           mc.duplicate_chunks_dropped;
     }
   }
+  if (coordinator_) {
+    failover.log_appends = coordinator_->log_appends();
+    failover.log_acks = coordinator_->log_acks();
+    failover.committed_batches = coordinator_->committed_batches();
+    failover.dueling_claims = coordinator_->dueling_claims();
+    failover.leader = static_cast<std::uint32_t>(coordinator_->leader());
+  }
+  outcome.failover = failover;
   StopAll();
   return outcome;
 }
@@ -959,6 +1180,17 @@ std::string ApplySeededChaos(std::uint64_t seed, std::size_t num_machines,
     options.straggler.period_us = 2 * options.detector.deadline_us;
     out << ", straggler m" << s << " (delay="
         << options.straggler.delay_us << "us)";
+  }
+  // With coordinator replication on, kill the leader once too (seq@E in
+  // the --chaos grammar). Drawn after every other event so the worker
+  // schedule for a fixed seed is unchanged by the standby count; the
+  // epoch may coincide with e2, composing a coordinator crash with a
+  // worker crash at the same round — a desired hard case.
+  options.crash.coordinator_at.clear();
+  if (options.coordinator.standbys > 0) {
+    const SinkEpoch es = e1 + 1 + static_cast<SinkEpoch>(rng.NextBelow(third));
+    options.crash.coordinator_at.push_back(es);
+    out << ", seq@e" << es;
   }
   return out.str();
 }

@@ -10,6 +10,7 @@
 #include "elastic/elastic_map.h"
 #include "metrics/run_stats.h"
 #include "net/transport.h"
+#include "runtime/coordinator.h"
 #include "runtime/machine.h"
 #include "runtime/machine_checkpoint.h"
 #include "scheduler/tpart_scheduler.h"
@@ -91,6 +92,12 @@ struct LocalClusterOptions {
     /// Additional crashes after the first (in firing order). The same
     /// machine may appear again — a repeat crash after its own recovery.
     std::vector<CrashEvent> more;
+    /// Coordinator (leader) crash-stops, one per entry, fired after the
+    /// first shipped round with epoch >= the entry (in order). Requires
+    /// coordinator.standbys >= 1 and streaming mode; composes freely
+    /// with the worker events above. enabled() stays worker-only — a
+    /// coordinator-only schedule does not arm worker crash machinery.
+    std::vector<SinkEpoch> coordinator_at;
     /// Recover in-run when true; detect-and-report only when false.
     /// Applies to every event in the schedule.
     bool recover = true;
@@ -170,6 +177,13 @@ struct LocalClusterOptions {
   };
   FailureDetectorOptions detector;
 
+  /// Coordinator replication (DESIGN §4i): with standbys >= 1 the
+  /// streaming coordinator runs as a leader replica whose sequenced
+  /// batches are quorum-committed to standby replicas before entering
+  /// the pipeline, and a scheduled coordinator crash fails over to a
+  /// standby that rebuilds all scheduler state by deterministic replay.
+  CoordinatorOptions coordinator;
+
   /// Record the §5.4 per-machine request/network logs during streaming
   /// runs (required for crash recovery; disable to keep long runs'
   /// memory strictly bounded).
@@ -212,6 +226,9 @@ struct ClusterRunOutcome {
   /// With a multi-crash schedule the count fields accumulate across
   /// crashes; machine/epoch/detection reflect the last one handled.
   RecoveryStats recovery;
+  /// Coordinator replication/failover counters (all zero unless
+  /// coordinator.standbys > 0).
+  FailoverStats failover;
   /// Periodic-checkpointing counters (checkpoints_taken stays 0 unless
   /// checkpoint_every was set).
   CheckpointStats checkpoint;
@@ -314,6 +331,9 @@ class LocalCluster {
   std::unique_ptr<PartitionedStore> store_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Machine>> machines_;
+  /// Coordinator replica ensemble (coordinator.standbys > 0 only); its
+  /// replicas occupy transport endpoints [num_machines, num_machines+R).
+  std::unique_ptr<CoordinatorReplicaSet> coordinator_;
   /// Per-machine checkpoints (crash and/or checkpoint_every runs only).
   /// Seeded with the loaded partition state; with checkpoint_every set,
   /// each machine folds its dirty keys and volatile state in at every

@@ -346,6 +346,30 @@ void Machine::Dispatch(Message msg) {
       if (finish) FinishEnqueue();
       break;
     }
+    // Coordinator replication (DESIGN §4i). Replica-to-replica traffic is
+    // handled by CoordinatorReplicaSet; a copy reaching a worker machine
+    // is ignored. Never network-logged: the replicated request log owns
+    // its own durability, and replaying acks would confuse a later term.
+    case Message::Type::kLogAppend:
+    case Message::Type::kLogAck:
+      break;
+    case Message::Type::kLeaderClaim:
+      // Watermark probe from a (new) leader: report the highest
+      // contiguous sink round this machine has enqueued, so catch-up
+      // re-ships only rounds we might actually be missing.
+      if (msg.reply_to != kInvalidMachine) {
+        Message ack;
+        ack.type = Message::Type::kLogAck;
+        ack.key = 2;  // watermark kind (see channel.h)
+        ack.req_id = msg.req_id;
+        ack.txn = static_cast<TxnId>(id_);
+        {
+          std::lock_guard<std::mutex> lock(stream_mu_);
+          ack.epoch = next_stream_epoch_ - 1;
+        }
+        SendOut(msg.reply_to, std::move(ack));
+      }
+      break;
   }
 }
 

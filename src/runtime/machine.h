@@ -93,6 +93,10 @@ class Machine {
   std::size_t epoch_queue_high_water() const;
   /// Deepest the inbound service FIFO ever got (pipeline depth gauge).
   std::size_t inbound_queue_high_water() const { return inbound_.high_water(); }
+  /// Sends that overflowed the inbound ring onto its spill deque.
+  std::uint64_t inbound_overflow_spills() const {
+    return inbound_.overflow_spills();
+  }
 
   /// Invoked (from an executor thread) with each transaction's id as its
   /// result is recorded — admission-to-commit latency tracking. Set before

@@ -182,6 +182,7 @@ class RingChannel {
       std::lock_guard<std::mutex> lock(mu_);
       overflow_.push_back(std::move(msg));
       overflow_active_.store(true, std::memory_order_release);
+      spills_.fetch_add(1, std::memory_order_relaxed);
       spilled = true;
     }
     count_.fetch_add(1, std::memory_order_acq_rel);
@@ -250,6 +251,13 @@ class RingChannel {
     return high_water_.load(std::memory_order_acquire);
   }
 
+  /// Sends that overflowed the ring onto the locked spill deque. A
+  /// nonzero value means the fixed ring was undersized for some burst —
+  /// still correct, but each spilled message paid for a mutex.
+  std::uint64_t overflow_spills() const {
+    return spills_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Consumer-side dequeue, lock NOT held: ring first (older messages —
   /// once the overflow activates the ring stops growing), then the
@@ -308,6 +316,7 @@ class RingChannel {
   MpscRing<T> ring_;
   std::atomic<std::size_t> count_{0};
   std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::uint64_t> spills_{0};
   std::atomic<bool> overflow_active_{false};
   std::atomic<bool> sleeping_{false};
 

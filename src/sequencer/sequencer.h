@@ -51,6 +51,15 @@ class Sequencer {
   /// Id the next sequenced transaction will receive.
   TxnId next_txn_id() const { return next_id_; }
 
+  /// Resumes numbering mid-stream: a failed-over coordinator's fresh
+  /// sequencer continues ids/batch-ids exactly where the committed log
+  /// left off, so batch composition stays a pure function of stream
+  /// position (DESIGN §4i). Only valid before any Submit().
+  void Prime(TxnId next_txn_id, std::uint64_t next_batch_id) {
+    next_id_ = next_txn_id;
+    next_batch_id_ = next_batch_id;
+  }
+
   std::size_t pending() const { return pending_.size(); }
   std::uint64_t num_dummies_issued() const { return num_dummies_; }
   std::uint64_t num_batches_issued() const { return next_batch_id_; }

@@ -1,0 +1,434 @@
+// Coordinator-fault-tolerance tests (DESIGN §4i): the replicated request
+// log, standby election after a leader crash-stop, and deterministic
+// rebuild of the coordinator's T-graph and sink-epoch state from the
+// committed log. A streaming run whose coordinator dies mid-stream must
+// fail over to a standby and finish with byte-identical committed results
+// and final store state to the crash-free run — on every transport, alone
+// and composed with worker crashes, network faults, and stragglers. The
+// straggler-aware failure detector and the executor stall diagnostic are
+// covered here too.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/channel.h"
+#include "runtime/cluster.h"
+#include "runtime/coordinator.h"
+#include "runtime/machine.h"
+#include "scheduler/push_plan.h"
+#include "storage/kv_store.h"
+#include "txn/procedure.h"
+#include "workload/micro.h"
+
+namespace tpart {
+namespace {
+
+MicroOptions SmallMicro() {
+  MicroOptions o;
+  o.num_machines = 3;
+  o.records_per_machine = 200;
+  o.hot_set_size = 25;
+  o.num_txns = 405;
+  return o;
+}
+
+LocalClusterOptions StreamingOpts(TransportKind kind) {
+  LocalClusterOptions opts;
+  opts.scheduler.sink_size = 20;
+  opts.transport.kind = kind;
+  opts.streaming = true;
+  return opts;
+}
+
+LocalClusterOptions FailoverOpts(TransportKind kind, SinkEpoch at_epoch,
+                                 std::size_t standbys = 1) {
+  LocalClusterOptions opts = StreamingOpts(kind);
+  opts.coordinator.standbys = standbys;
+  opts.crash.coordinator_at.push_back(at_epoch);
+  return opts;
+}
+
+void AddNetFaults(LocalClusterOptions& opts) {
+  opts.transport.faults.seed = 0xC0FFEE;
+  opts.transport.faults.drop_prob = 0.05;
+  opts.transport.faults.duplicate_prob = 0.05;
+  opts.transport.faults.delay_prob = 0.10;
+  opts.transport.faults.max_delay_us = 1500;
+  opts.transport.retry_timeout_us = 1000;
+}
+
+void ExpectSameResults(const std::vector<TxnResult>& a,
+                       const std::vector<TxnResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].committed, b[i].committed) << "T" << a[i].id;
+    EXPECT_EQ(a[i].output, b[i].output) << "T" << a[i].id;
+  }
+}
+
+struct RunSnapshot {
+  ClusterRunOutcome out;
+  std::vector<std::pair<ObjectKey, Record>> state;
+};
+
+RunSnapshot RunOnce(const Workload& w, const LocalClusterOptions& opts) {
+  LocalCluster cluster(&w, opts);
+  RunSnapshot snap;
+  snap.out = cluster.RunTPart();
+  snap.state = cluster.store().Snapshot();
+  return snap;
+}
+
+void ExpectFailedOver(const ClusterRunOutcome& out, std::uint64_t crashes) {
+  EXPECT_TRUE(out.fault.ok()) << out.fault.ToString();
+  EXPECT_EQ(out.failover.coordinator_crashes, crashes);
+  EXPECT_EQ(out.failover.elections_won, crashes);
+  EXPECT_GT(out.failover.detection_latency_us, 0u);
+  EXPECT_GT(out.failover.election_us, 0u);
+  EXPECT_GT(out.failover.replan_us, 0u);
+  EXPECT_GE(out.failover.plan_stream_gap_us, out.failover.replan_us);
+  EXPECT_GT(out.failover.replayed_batches, 0u);
+  EXPECT_GT(out.failover.catchup_rounds, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Replication without failure: the quorum-committed log is pure overhead
+// in the happy path — results must not change.
+// ---------------------------------------------------------------------
+
+TEST(FailoverTest, HealthyStandbysPreserveResults) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  LocalClusterOptions opts = StreamingOpts(TransportKind::kDirect);
+  opts.coordinator.standbys = 1;
+  const RunSnapshot got = RunOnce(w, opts);
+  EXPECT_TRUE(got.out.fault.ok()) << got.out.fault.ToString();
+  ExpectSameResults(ref.out.results, got.out.results);
+  EXPECT_EQ(got.state, ref.state);
+  // Every sequenced batch went through the replicated log and won its
+  // quorum; nothing crashed, nobody was elected.
+  EXPECT_EQ(got.out.failover.committed_batches, ref.out.pipeline.batches);
+  EXPECT_GE(got.out.failover.log_appends, got.out.failover.committed_batches);
+  EXPECT_GE(got.out.failover.log_acks, got.out.failover.committed_batches);
+  EXPECT_EQ(got.out.failover.coordinator_crashes, 0u);
+  EXPECT_EQ(got.out.failover.elections_won, 0u);
+  EXPECT_EQ(got.out.failover.leader, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Leader crash: a standby takes over and the committed prefix plus the
+// deterministically regenerated suffix equal the crash-free run.
+// ---------------------------------------------------------------------
+
+TEST(FailoverTest, LeaderCrashMatchesCrashFreeRun) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  const RunSnapshot got =
+      RunOnce(w, FailoverOpts(TransportKind::kDirect, 3));
+  ExpectSameResults(ref.out.results, got.out.results);
+  EXPECT_EQ(got.state, ref.state)
+      << "failed-over final store diverged from the crash-free run";
+  EXPECT_EQ(got.out.committed, ref.out.committed);
+  EXPECT_EQ(got.out.aborted, ref.out.aborted);
+  ExpectFailedOver(got.out, 1);
+  // The single standby (replica 1) is the only possible winner.
+  EXPECT_EQ(got.out.failover.leader, 1u);
+  EXPECT_EQ(got.out.failover.dueling_claims, 0u);
+}
+
+TEST(FailoverTest, FailoverOnEveryTransport) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  for (TransportKind kind : {TransportKind::kDirect,
+                             TransportKind::kInProcess,
+                             TransportKind::kTcp}) {
+    const RunSnapshot got = RunOnce(w, FailoverOpts(kind, 4));
+    const std::string label =
+        "transport " + std::to_string(static_cast<int>(kind));
+    ExpectSameResults(ref.out.results, got.out.results);
+    EXPECT_EQ(got.state, ref.state) << label;
+    ExpectFailedOver(got.out, 1);
+  }
+}
+
+TEST(FailoverTest, ComposedWithWorkerCrashAndNetFaults) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  struct Case {
+    TransportKind kind;
+    bool network_faults;
+  };
+  const Case cases[] = {
+      {TransportKind::kDirect, false},
+      {TransportKind::kInProcess, true},
+      {TransportKind::kTcp, false},
+  };
+  for (const Case& c : cases) {
+    // Coordinator and worker die at the same sink epoch: the watchdog
+    // rebuilds the worker from its logs while the standby rebuilds the
+    // coordinator from the committed request log.
+    LocalClusterOptions opts = FailoverOpts(c.kind, 5);
+    opts.crash.machine = 1;
+    opts.crash.at_epoch = 5;
+    opts.detector.heartbeat_interval_us = 2000;
+    opts.detector.deadline_us = 100000;
+    if (c.network_faults) AddNetFaults(opts);
+    const std::string label =
+        "transport " + std::to_string(static_cast<int>(c.kind)) +
+        (c.network_faults ? " with net faults" : "");
+    const RunSnapshot got = RunOnce(w, opts);
+    ExpectSameResults(ref.out.results, got.out.results);
+    EXPECT_EQ(got.state, ref.state) << label;
+    ExpectFailedOver(got.out, 1);
+    EXPECT_EQ(got.out.recovery.crashes_injected, 1u) << label;
+    EXPECT_EQ(got.out.recovery.crashed_machine, 1) << label;
+  }
+}
+
+TEST(FailoverTest, TwoLeaderCrashesWithThreeReplicas) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  LocalClusterOptions opts = FailoverOpts(TransportKind::kDirect, 3,
+                                          /*standbys=*/2);
+  opts.crash.coordinator_at.push_back(7);
+  const RunSnapshot got = RunOnce(w, opts);
+  ExpectSameResults(ref.out.results, got.out.results);
+  EXPECT_EQ(got.state, ref.state);
+  ExpectFailedOver(got.out, 2);
+}
+
+TEST(FailoverTest, FailoverIsDeterministicAcrossRuns) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const LocalClusterOptions opts = FailoverOpts(TransportKind::kInProcess, 4);
+  const RunSnapshot first = RunOnce(w, opts);
+  const RunSnapshot second = RunOnce(w, opts);
+  ExpectSameResults(first.out.results, second.out.results);
+  EXPECT_EQ(first.state, second.state);
+  EXPECT_EQ(first.out.failover.coordinator_crashes,
+            second.out.failover.coordinator_crashes);
+}
+
+// ---------------------------------------------------------------------
+// The full chaos matrix from one seed: three worker crashes, a
+// straggler, a coordinator crash, and network faults, all composed.
+// ---------------------------------------------------------------------
+
+TEST(FailoverTest, SeededChaosAddsCoordinatorEventOnlyWithStandbys) {
+  LocalClusterOptions without = StreamingOpts(TransportKind::kDirect);
+  const std::string s0 = ApplySeededChaos(42, 3, 20, without);
+  EXPECT_TRUE(without.crash.coordinator_at.empty());
+  EXPECT_EQ(s0.find("seq@e"), std::string::npos) << s0;
+
+  LocalClusterOptions with = StreamingOpts(TransportKind::kDirect);
+  with.coordinator.standbys = 1;
+  const std::string s1 = ApplySeededChaos(42, 3, 20, with);
+  ASSERT_EQ(with.crash.coordinator_at.size(), 1u);
+  EXPECT_NE(s1.find("seq@e"), std::string::npos) << s1;
+  // Drawn after every worker event: the worker schedule for a fixed seed
+  // is independent of the standby count.
+  EXPECT_EQ(with.crash.machine, without.crash.machine);
+  EXPECT_EQ(with.crash.at_epoch, without.crash.at_epoch);
+  ASSERT_EQ(with.crash.more.size(), without.crash.more.size());
+  EXPECT_EQ(with.straggler.machine, without.straggler.machine);
+  // The leader dies strictly inside the run, after the first crash arms.
+  EXPECT_GT(with.crash.coordinator_at[0], with.crash.at_epoch);
+}
+
+TEST(FailoverTest, SeededChaosMatrixWithCoordinatorEventMatchesReference) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+  const SinkEpoch span = static_cast<SinkEpoch>(ref.out.pipeline.plans);
+  ASSERT_GE(span, 12u);
+
+  LocalClusterOptions opts = StreamingOpts(TransportKind::kInProcess);
+  opts.coordinator.standbys = 1;
+  opts.detector.heartbeat_interval_us = 2000;
+  opts.detector.deadline_us = 100000;
+  const std::string schedule = ApplySeededChaos(7, w.num_machines, span, opts);
+  ASSERT_EQ(opts.crash.coordinator_at.size(), 1u) << schedule;
+  AddNetFaults(opts);
+  const RunSnapshot got = RunOnce(w, opts);
+  EXPECT_TRUE(got.out.fault.ok())
+      << schedule << ": " << got.out.fault.ToString();
+  ExpectSameResults(ref.out.results, got.out.results);
+  EXPECT_EQ(got.state, ref.state) << schedule;
+  EXPECT_EQ(got.out.recovery.crashes_injected, 3u) << schedule;
+  ExpectFailedOver(got.out, 1);
+}
+
+// ---------------------------------------------------------------------
+// Straggler-aware failure detection: injected delay above the base
+// deadline must widen that machine's deadline, not kill it.
+// ---------------------------------------------------------------------
+
+TEST(FailoverTest, StragglerBeyondBaseDeadlineIsNotDeclaredDead) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  LocalClusterOptions opts = StreamingOpts(TransportKind::kDirect);
+  opts.detector.enabled = true;  // watchdog on, no crash scheduled
+  opts.detector.heartbeat_interval_us = 2000;
+  opts.detector.deadline_us = 50000;
+  opts.straggler.machine = 1;
+  // The freeze exceeds the base deadline: without the straggler-aware
+  // widening this is a guaranteed false positive (and, with no crash
+  // scheduled, a fatal kUnavailable fault).
+  opts.straggler.delay_us = 75000;
+  opts.straggler.period_us = 400000;
+  const RunSnapshot got = RunOnce(w, opts);
+  EXPECT_TRUE(got.out.fault.ok()) << got.out.fault.ToString();
+  EXPECT_EQ(got.out.recovery.crashes_injected, 0u);
+  ExpectSameResults(ref.out.results, got.out.results);
+  EXPECT_EQ(got.state, ref.state);
+}
+
+// ---------------------------------------------------------------------
+// Executor stall diagnostic: a live machine blocked awaiting a version
+// that never arrived reports its state instead of staying opaque.
+// ---------------------------------------------------------------------
+
+TEST(FailoverTest, StallDiagnosticReportsLiveExecutorState) {
+  KvStore store;
+  store.Upsert(5, Record{50});
+  ProcedureRegistry registry;
+  registry.Register(200, "read_one", [](TxnContext& ctx) {
+    (void)ctx.Get(5);
+    return Status::Ok();
+  });
+  Machine m(0, 2, &store, &registry, [](MachineId, Message) {});
+  m.StartTPart();
+
+  // One plan whose only read awaits forward-push <5, v7> from machine 1 —
+  // a push nobody has sent: the executor blocks inside the gather phase.
+  TxnPlan plan;
+  plan.txn = 1;
+  plan.machine = 0;
+  ReadStep r;
+  r.key = 5;
+  r.kind = ReadSourceKind::kPush;
+  r.src_txn = 7;
+  r.src_machine = 1;
+  r.provider_txn = 7;
+  plan.reads.push_back(r);
+  TxnSpec spec;
+  spec.id = 1;
+  spec.proc = 200;
+  spec.rw.reads = {5};
+  std::vector<Machine::PlanItem> items;
+  items.push_back(Machine::PlanItem{plan, spec});
+  m.EnqueueTPartEpoch(1, std::move(items));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The work queue is drained (the executor holds the item) but nothing
+  // has executed: the diagnostic pinpoints a live machine wedged
+  // mid-round rather than a dead or backlogged one.
+  const std::string diag = m.StallDiagnostic();
+  EXPECT_NE(diag.find("machine 0"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("state=live"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("work=0"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("executed=0"), std::string::npos) << diag;
+
+  // Deliver the push; the executor unblocks and the round drains.
+  Message push;
+  push.type = Message::Type::kPushVersion;
+  push.key = 5;
+  push.version = 7;
+  push.dst_txn = 1;
+  push.value = Record{70};
+  m.Deliver(std::move(push));
+  m.FinishEnqueue();
+  m.JoinExecutor();
+  EXPECT_EQ(m.TakeResults().size(), 1u);
+  m.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Replication under reordering: the link layer delivers exactly once but
+// a dropped packet's retry can land after its successors. Out-of-order
+// appends must park (unapplied, unacked) until the gap fills, then apply
+// in log order.
+// ---------------------------------------------------------------------
+
+TEST(FailoverTest, OutOfOrderAppendsParkUntilGapFills) {
+  CoordinatorOptions copts;
+  copts.standbys = 1;
+  copts.election_timeout_us = 10'000'000;  // no elections during the test
+  std::mutex mu;
+  std::vector<Message> sent;
+  CoordinatorReplicaSet set(copts, /*num_machines=*/2,
+                            [&](MachineId, MachineId, Message m) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              sent.push_back(std::move(m));
+                            });
+  set.Start();
+  // Replicas sit at endpoints [2, 4): 2 is the leader, 3 the standby.
+  const auto append = [&](std::uint64_t index) {
+    Message m;
+    m.type = Message::Type::kLogAppend;
+    m.req_id = index;
+    m.txn = static_cast<TxnId>(100 + index);
+    m.epoch = 1;
+    m.reply_to = 2;
+    set.Deliver(1, std::move(m));
+  };
+  const auto acked = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::uint64_t> got;
+    for (const Message& m : sent) {
+      if (m.type == Message::Type::kLogAck && m.key == 0) {
+        got.push_back(m.req_id);
+      }
+    }
+    return got;
+  };
+  // Indices 2 and 1 arrive before 0: neither may apply or ack.
+  append(2);
+  append(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_TRUE(acked().empty());
+  // The gap-filling entry releases the whole parked run, in log order.
+  append(0);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (acked().size() < 3 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(acked(), (std::vector<std::uint64_t>{0, 1, 2}));
+  set.Shutdown();
+}
+
+// ---------------------------------------------------------------------
+// FailoverStats surfaces.
+// ---------------------------------------------------------------------
+
+TEST(FailoverTest, FailoverStatsSummaryReportsElections) {
+  FailoverStats stats;
+  stats.committed_batches = 12;
+  stats.log_appends = 12;
+  stats.log_acks = 12;
+  std::string s = stats.Summary();
+  EXPECT_NE(s.find("replicas_committed_batches=12"), std::string::npos) << s;
+  EXPECT_EQ(s.find("elections="), std::string::npos) << s;
+  stats.coordinator_crashes = 1;
+  stats.elections_won = 1;
+  stats.detection_latency_us = 21000;
+  stats.replan_us = 900;
+  s = stats.Summary();
+  EXPECT_NE(s.find("elections=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("detection_us=21000"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace tpart
