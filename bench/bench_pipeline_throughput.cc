@@ -16,6 +16,8 @@
 #include <new>
 
 #include "bench/bench_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/live_sampler.h"
 #include "runtime/cluster.h"
 
 // ---------------------------------------------------------------------
@@ -62,7 +64,7 @@ struct RunRow {
 };
 
 RunRow RunOnce(const Workload& w, TransportKind kind,
-               std::size_t sink_size) {
+               std::size_t sink_size, bool obs) {
   LocalClusterOptions opts;
   opts.streaming = true;
   opts.scheduler.sink_size = sink_size;
@@ -70,6 +72,18 @@ RunRow RunOnce(const Workload& w, TransportKind kind,
   // The perf configuration: no §5.4 logs (their growth is not what this
   // bench measures) — the recovery benches own that axis.
   opts.record_recovery_logs = false;
+  // Observability-armed rows measure the cost of the full live plane:
+  // wall-clock metrics sampling, the always-on flight recorder, and
+  // trace-context stamping for sampled transactions. The obs-vs-plain
+  // delta is the overhead the <=5%-regression gate bounds.
+  tpart::obs::LiveSampler sampler(tpart::obs::LiveSampler::Domain::kWall);
+  tpart::obs::FlightRecorder flight;
+  if (obs) {
+    tpart::obs::InstallGlobalFlightRecorder(&flight);
+    opts.live_sampler = &sampler;
+    opts.sample_every_us = 5'000;
+    opts.txn_sample = 64;
+  }
   LocalCluster cluster(&w, opts);
 
   const std::uint64_t allocs_before =
@@ -121,22 +135,24 @@ void Run(int argc, char** argv) {
   struct Config {
     const char* name;
     TransportKind kind;
+    bool obs;
   };
   const Config configs[] = {
-      {"direct", TransportKind::kDirect},
-      {"inprocess", TransportKind::kInProcess},
+      {"direct", TransportKind::kDirect, false},
+      {"direct+obs", TransportKind::kDirect, true},
+      {"inprocess", TransportKind::kInProcess, false},
   };
-  std::printf("%10s %12s %10s %10s %12s %14s\n", "transport", "txns/s",
+  std::printf("%12s %12s %10s %10s %12s %14s\n", "transport", "txns/s",
               "p50_us", "p99_us", "allocs/txn", "alloc_kb/txn");
   for (const Config& c : configs) {
     // Best-of-N: the gate compares steady-state capability, not scheduler
     // jitter of a loaded CI host.
     RunRow best;
     for (std::size_t i = 0; i < repeats; ++i) {
-      RunRow row = RunOnce(w, c.kind, sink_size);
+      RunRow row = RunOnce(w, c.kind, sink_size, c.obs);
       if (row.tps > best.tps) best = row;
     }
-    std::printf("%10s %12.0f %10llu %10llu %12.1f %14.2f\n", c.name,
+    std::printf("%12s %12.0f %10llu %10llu %12.1f %14.2f\n", c.name,
                 best.tps,
                 static_cast<unsigned long long>(best.p50_us),
                 static_cast<unsigned long long>(best.p99_us),

@@ -75,6 +75,34 @@
 //                                   Prometheus text exposition format,
 //                                   or one JSON object if the path ends
 //                                   in .json
+//   --metrics-stream=out.jsonl      stream in-flight metrics samples as
+//                                   JSONL, one timestamped object per
+//                                   sample. Runtime runs sample on wall
+//                                   time (--sample-every); simulator runs
+//                                   sample at sink-epoch boundaries and
+//                                   are byte-identical across same-seed
+//                                   runs
+//   --sample-every=USEC             wall-clock sampling interval for
+//                                   --metrics-stream on the runtime
+//                                   (default 10000)
+//   --serve-metrics=PORT            serve the newest sample (plus
+//                                   /healthz) over HTTP on
+//                                   127.0.0.1:PORT for the duration of
+//                                   the run; 0 picks an ephemeral port
+//   --txn-sample=1/N (or N)         causal timelines: transactions with
+//                                   id % N == 0 get end-to-end async
+//                                   spans (admit -> round_received ->
+//                                   executed -> commit) stitched across
+//                                   machines and coordinator terms in the
+//                                   --trace output
+//   --flight-recorder=out.json      black-box post-mortem destination:
+//                                   the always-on flight recorder dumps
+//                                   its bounded event rings there as
+//                                   Chrome-trace JSON when a watchdog /
+//                                   stall / failover / migration fault
+//                                   fires (the runtime keeps recording
+//                                   either way; without this flag dumps
+//                                   stay in memory)
 
 #include <algorithm>
 #include <cstdint>
@@ -85,7 +113,10 @@
 #include <string>
 
 #include "baselines/gstore.h"
+#include "obs/flight_recorder.h"
+#include "obs/live_sampler.h"
 #include "obs/metrics.h"
+#include "obs/metrics_http.h"
 #include "obs/trace.h"
 #include "runtime/cluster.h"
 #include "sim/calvin_sim.h"
@@ -175,6 +206,21 @@ int main(int argc, char** argv) {
       StrFlag(argc, argv, "resize-policy", "rehash");
   const std::string trace_path = StrFlag(argc, argv, "trace", "");
   const std::string metrics_path = StrFlag(argc, argv, "metrics", "");
+  const std::string metrics_stream_path =
+      StrFlag(argc, argv, "metrics-stream", "");
+  const auto sample_every = static_cast<std::uint64_t>(
+      IntFlag(argc, argv, "sample-every", 10'000));
+  const std::string serve_metrics = StrFlag(argc, argv, "serve-metrics", "");
+  // Accept "N" or the stride form "1/N"; both mean every Nth txn id.
+  const std::string txn_sample_str = StrFlag(argc, argv, "txn-sample", "");
+  std::uint64_t txn_sample = 0;
+  if (!txn_sample_str.empty()) {
+    const auto slash = txn_sample_str.find('/');
+    txn_sample = static_cast<std::uint64_t>(std::atoll(
+        slash == std::string::npos ? txn_sample_str.c_str()
+                                   : txn_sample_str.c_str() + slash + 1));
+  }
+  const std::string flight_path = StrFlag(argc, argv, "flight-recorder", "");
 
   // The simulator's recorder runs on virtual time (deterministic,
   // diffable traces); the threaded runtime's on the steady clock.
@@ -186,6 +232,44 @@ int main(int argc, char** argv) {
     obs::InstallGlobalTrace(recorder.get());
   }
   obs::MetricsRegistry registry;
+
+  // Black-box flight recorder: always-on for runtime runs (bounded
+  // per-thread rings, compact binary events), dumped as a Chrome-trace
+  // post-mortem when a fault path fires. --flight-recorder only chooses
+  // where dumps land.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (use_runtime) {
+    obs::FlightRecorder::Options fopts;
+    fopts.dump_path = flight_path;
+    flight = std::make_unique<obs::FlightRecorder>(fopts);
+    obs::InstallGlobalFlightRecorder(flight.get());
+  }
+
+  // In-flight metrics sampling: wall-time cadence on the threaded
+  // runtime, sink-epoch cadence (deterministic) on the simulator.
+  std::unique_ptr<obs::LiveSampler> sampler;
+  if (!metrics_stream_path.empty() || !serve_metrics.empty()) {
+    sampler = std::make_unique<obs::LiveSampler>(
+        use_runtime ? obs::LiveSampler::Domain::kWall
+                    : obs::LiveSampler::Domain::kEpoch);
+  }
+  std::unique_ptr<obs::MetricsHttpServer> http;
+  if (!serve_metrics.empty()) {
+    http = std::make_unique<obs::MetricsHttpServer>();
+    const Status s = http->Start(
+        static_cast<std::uint16_t>(std::atoi(serve_metrics.c_str())),
+        [&sampler, &registry] {
+          return sampler != nullptr && sampler->samples() > 0
+                     ? sampler->PrometheusText()
+                     : registry.PrometheusText();
+        });
+    if (!s.ok()) {
+      std::fprintf(stderr, "--serve-metrics: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("serving /metrics and /healthz on 127.0.0.1:%u\n",
+                http->port());
+  }
 
   // Writes the trace/metrics artifacts; every exit path past flag
   // parsing funnels through here.
@@ -215,6 +299,26 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "metrics write failed: %s\n",
                      s.ToString().c_str());
         if (rc == 0) rc = 1;
+      }
+    }
+    if (http != nullptr) http->Stop();
+    if (sampler != nullptr && !metrics_stream_path.empty()) {
+      const Status s = sampler->WriteJsonl(metrics_stream_path);
+      if (s.ok()) {
+        std::printf("metrics stream: %s (%zu samples)\n",
+                    metrics_stream_path.c_str(), sampler->samples());
+      } else {
+        std::fprintf(stderr, "metrics stream write failed: %s\n",
+                     s.ToString().c_str());
+        if (rc == 0) rc = 1;
+      }
+    }
+    if (flight != nullptr) {
+      obs::InstallGlobalFlightRecorder(nullptr);
+      if (flight->dumps() > 0) {
+        std::printf("flight recorder: %zu post-mortem dump(s)%s%s\n",
+                    flight->dumps(), flight_path.empty() ? "" : " -> ",
+                    flight_path.c_str());
       }
     }
     return rc;
@@ -353,6 +457,17 @@ int main(int argc, char** argv) {
       }
       opts.checkpoint_every = checkpoint_every;
     }
+    if (sampler != nullptr) {
+      if (!stream) {
+        std::fprintf(stderr,
+                     "--metrics-stream / --serve-metrics on the runtime "
+                     "require --stream\n");
+        return 2;
+      }
+      opts.live_sampler = sampler.get();
+      opts.sample_every_us = std::max<std::uint64_t>(sample_every, 100);
+    }
+    opts.txn_sample = txn_sample;
     LocalCluster cluster(&w, opts);
     if (engine == "calvin" || engine == "both") {
       const ClusterRunOutcome out = cluster.RunCalvin();
@@ -437,6 +552,7 @@ int main(int argc, char** argv) {
     o.num_machines = machines;
     o.scheduler.sink_size = sink;
     if (gstore) o = MakeGStoreSimOptions(o);
+    o.live_sampler = sampler.get();
     const RunStats stats = RunTPartSim(o, w.partition_map, seq);
     stats.PublishTo(registry);
     std::printf("tpart  (sim): %s\n", stats.Summary().c_str());

@@ -110,13 +110,13 @@ void CheckpointStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetGauge("tpart_checkpoint_capture_us",
                     static_cast<double>(capture_us),
                     "Wall-clock microseconds spent inside captures");
-  registry.SetGauge("tpart_request_log_bytes_peak",
+  registry.SetGauge("tpart_checkpoint_request_log_peak_bytes",
                     static_cast<double>(request_log_bytes_peak),
                     "High-water byte footprint of any request log");
-  registry.SetGauge("tpart_network_log_bytes_peak",
+  registry.SetGauge("tpart_checkpoint_network_log_peak_bytes",
                     static_cast<double>(network_log_bytes_peak),
                     "High-water byte footprint of any network log");
-  registry.SetGauge("tpart_resend_window_bytes_peak",
+  registry.SetGauge("tpart_checkpoint_resend_window_peak_bytes",
                     static_cast<double>(resend_window_bytes_peak),
                     "High-water byte footprint of the resend window");
 }
@@ -146,7 +146,7 @@ void TransportStats::PublishTo(obs::MetricsRegistry& registry) const {
   c("faults_delayed_total", faults_delayed, "Injected delays");
   c("backpressure_waits_total", backpressure_waits,
     "Sends that blocked on a full queue");
-  registry.SetGauge("tpart_transport_queue_high_water",
+  registry.SetGauge("tpart_transport_queue_peak_depth",
                     static_cast<double>(queue_high_water),
                     "Deepest any transport queue ever got");
 }
@@ -165,16 +165,16 @@ void PipelineStats::PublishTo(obs::MetricsRegistry& registry) const {
     "Sink plans disseminated");
   c("backpressure_waits_total", static_cast<double>(backpressure_waits),
     "Stage sends that blocked on a full queue or exhausted credits");
-  registry.SetGauge("tpart_pipeline_batch_queue_high_water",
+  registry.SetGauge("tpart_pipeline_batch_queue_peak_depth",
                     static_cast<double>(batch_queue_high_water),
                     "Deepest the admission->scheduler queue ever got");
-  registry.SetGauge("tpart_pipeline_plan_queue_high_water",
+  registry.SetGauge("tpart_pipeline_plan_queue_peak_depth",
                     static_cast<double>(plan_queue_high_water),
                     "Deepest the scheduler->dissemination queue ever got");
-  registry.SetGauge("tpart_pipeline_epoch_queue_high_water",
+  registry.SetGauge("tpart_pipeline_epoch_queue_peak_depth",
                     static_cast<double>(epoch_queue_high_water),
                     "Most sinking rounds in flight at any machine");
-  registry.SetGauge("tpart_pipeline_machine_inbound_high_water",
+  registry.SetGauge("tpart_pipeline_machine_inbound_peak_depth",
                     static_cast<double>(machine_inbound_high_water),
                     "Deepest any machine's inbound service FIFO ever got");
   c("machine_inbound_spills_total",
@@ -182,7 +182,7 @@ void PipelineStats::PublishTo(obs::MetricsRegistry& registry) const {
     "Inbound ring overflows onto the locked spill deque");
   registry.SetGauge("tpart_pipeline_admission_seconds", admission_seconds,
                     "Wall-clock span of the admission stage");
-  registry.SetGauge("tpart_pipeline_admission_rate", AdmissionRate(),
+  registry.SetGauge("tpart_pipeline_admission_rate_tps", AdmissionRate(),
                     "Admitted transactions per wall-clock second");
   registry.ObserveHistogram("tpart_pipeline_admit_to_commit_us",
                             admit_to_commit_us,
@@ -270,8 +270,19 @@ void FailoverStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetGauge("tpart_failover_plan_stream_gap_us",
                     static_cast<double>(plan_stream_gap_us),
                     "Leader crash until the plan stream resumed");
-  registry.SetGauge("tpart_failover_leader", static_cast<double>(leader),
+  registry.SetGauge("tpart_failover_leader_index", static_cast<double>(leader),
                     "Replica index leading when the run finished");
+  registry.ObserveHistogram("tpart_failover_phase_detection_us",
+                            phase_detection_us,
+                            "Per-failover detection phase, microseconds");
+  registry.ObserveHistogram("tpart_failover_phase_election_us",
+                            phase_election_us,
+                            "Per-failover election phase, microseconds");
+  registry.ObserveHistogram("tpart_failover_phase_replan_us", phase_replan_us,
+                            "Per-failover replan phase, microseconds");
+  registry.ObserveHistogram("tpart_failover_phase_plan_stream_gap_us",
+                            phase_plan_stream_gap_us,
+                            "Per-failover plan-stream outage, microseconds");
 }
 
 std::string MigrationStats::Summary() const {
@@ -313,6 +324,9 @@ void MigrationStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetGauge("tpart_migration_barrier_us",
                     static_cast<double>(barrier_us),
                     "Wall-clock microseconds the stream paused at barriers");
+  registry.ObserveHistogram("tpart_migration_phase_barrier_us",
+                            phase_barrier_us,
+                            "Per-step barrier pause, microseconds");
   registry.SetGauge("tpart_migration_last_cut_epoch",
                     static_cast<double>(last_cut_epoch),
                     "Cut epoch of the last executed membership step");
@@ -332,7 +346,7 @@ void RunStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetCounter("tpart_network_stalled_txns_total",
                       static_cast<double>(network_stalled_txns),
                       "Transactions that waited for remote records");
-  registry.SetGauge("tpart_network_stalled_fraction",
+  registry.SetGauge("tpart_network_stalled_ratio",
                     NetworkStalledFraction(),
                     "Fraction of transactions network-stalled");
   registry.SetCounter("tpart_distributed_txns_total",
@@ -343,7 +357,7 @@ void RunStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetCounter("tpart_pushes_eliminated_total",
                       static_cast<double>(pushes_eliminated),
                       "Forward-pushes removed by the section 4.3 optimizer");
-  registry.SetGauge("tpart_max_tgraph_size",
+  registry.SetGauge("tpart_tgraph_peak_size",
                     static_cast<double>(max_tgraph_size),
                     "Peak unsunk T-graph size (Fig. 4c)");
   registry.SetCounter("tpart_sticky_hits_total",

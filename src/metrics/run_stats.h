@@ -172,6 +172,14 @@ struct FailoverStats {
   std::uint64_t plan_stream_gap_us = 0;
   /// Replica index leading when the run finished.
   std::uint32_t leader = 0;
+  /// Per-failover phase distributions: one observation per handled
+  /// failover, so repeated coordinator crashes in a single run aggregate
+  /// into p50/p99 instead of overwriting a last-value gauge. The scalar
+  /// *_us fields above keep reporting the most recent failover.
+  Histogram phase_detection_us;
+  Histogram phase_election_us;
+  Histogram phase_replan_us;
+  Histogram phase_plan_stream_gap_us;
 
   std::string Summary() const;
 
@@ -231,6 +239,9 @@ struct MigrationStats {
   std::uint64_t forced_checkpoints = 0;
   /// Total wall-clock microseconds the stream was paused at barriers.
   std::uint64_t barrier_us = 0;
+  /// Per-step barrier pause distribution: one observation per membership
+  /// step, so multi-step resize schedules aggregate into p50/p99.
+  Histogram phase_barrier_us;
   /// Cut epoch of the last executed step.
   SinkEpoch last_cut_epoch = 0;
 

@@ -170,6 +170,7 @@ void EncodeMessageTo(const Message& msg, std::string* outp) {
   w.PutVarint(msg.reply_to);
   w.PutVarint(msg.req_id);
   w.PutVarint(msg.txn);
+  w.PutVarint(msg.trace_ctx);
   EncodeRecord(msg.value, w);
   w.PutVarint(msg.kvs.size());
   for (const auto& [key, value] : msg.kvs) {
@@ -272,6 +273,8 @@ Result<Message> DecodeMessage(std::string_view bytes) {
   msg.req_id = u;
   if (!r.GetVarint(&u)) return Truncated("txn");
   msg.txn = u;
+  if (!r.GetVarint(&u)) return Truncated("trace_ctx");
+  msg.trace_ctx = u;
   if (!DecodeRecord(r, &msg.value)) return Truncated("value record");
   std::uint64_t num_kvs;
   if (!r.GetVarint(&num_kvs)) return Truncated("kv count");

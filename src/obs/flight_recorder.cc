@@ -1,0 +1,228 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace tpart::obs {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_flight{nullptr};
+std::atomic<std::uint64_t> g_next_flight_id{1};
+
+/// Thread-local ring binding, keyed by recorder id exactly like the
+/// trace recorder's CachedLog: a new recorder at a dead one's address
+/// must not inherit rings.
+struct CachedRing {
+  std::uint64_t recorder_id = 0;
+  void* ring = nullptr;
+};
+thread_local CachedRing t_cached_ring;
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+const char* FlightEventName(FlightEvent ev) {
+  switch (ev) {
+    case FlightEvent::kAdmitBatch:
+      return "admit_batch";
+    case FlightEvent::kScheduleRound:
+      return "schedule_round";
+    case FlightEvent::kDisseminateRound:
+      return "disseminate_round";
+    case FlightEvent::kRoundReceived:
+      return "round_received";
+    case FlightEvent::kExecute:
+      return "execute";
+    case FlightEvent::kCrashStop:
+      return "crash_stop";
+    case FlightEvent::kRecover:
+      return "recover";
+    case FlightEvent::kFailureDeclared:
+      return "failure_declared";
+    case FlightEvent::kStall:
+      return "stall";
+    case FlightEvent::kElectionWon:
+      return "election_won";
+    case FlightEvent::kTermStart:
+      return "term_start";
+    case FlightEvent::kMigrationStep:
+      return "migration_step";
+    case FlightEvent::kMigrationAbort:
+      return "migration_abort";
+    case FlightEvent::kCheckpoint:
+      return "checkpoint";
+    case FlightEvent::kDump:
+      return "postmortem_dump";
+  }
+  return nullptr;
+}
+
+FlightRecorder* GlobalFlightRecorder() {
+  return g_flight.load(std::memory_order_acquire);
+}
+
+FlightRecorder* InstallGlobalFlightRecorder(FlightRecorder* recorder) {
+  return g_flight.exchange(recorder, std::memory_order_acq_rel);
+}
+
+FlightRecorder::FlightRecorder() : FlightRecorder(Options()) {}
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(std::move(options)),
+      recorder_id_(g_next_flight_id.fetch_add(1, std::memory_order_relaxed)),
+      t0_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder::~FlightRecorder() {
+  // Never die while installed: a racing Record() would use freed memory.
+  if (GlobalFlightRecorder() == this) InstallGlobalFlightRecorder(nullptr);
+}
+
+std::uint64_t FlightRecorder::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+FlightRecorder::Ring* FlightRecorder::LocalRing() {
+  if (t_cached_ring.recorder_id == recorder_id_) {
+    return static_cast<Ring*>(t_cached_ring.ring);
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto ring = std::make_unique<Ring>(std::max<std::size_t>(options_.ring_size,
+                                                           16));
+  ring->tid = next_tid_++;
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  t_cached_ring = CachedRing{recorder_id_, raw};
+  return raw;
+}
+
+void FlightRecorder::Record(FlightEvent ev, std::int32_t pid,
+                            std::uint64_t a, std::uint64_t b) {
+  Ring* ring = LocalRing();
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[head % ring->slots.size()];
+  slot.ts_ns = NowNs();
+  slot.a = a;
+  slot.b = b;
+  slot.code = static_cast<std::uint16_t>(ev);
+  slot.pid = pid;
+  ring->head.store(head + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string FlightRecorder::DumpJson(const std::string& reason) const {
+  struct Rendered {
+    Slot slot;
+    int tid;
+  };
+  std::vector<Rendered> events;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& ring : rings_) {
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      const std::uint64_t n =
+          std::min<std::uint64_t>(head, ring->slots.size());
+      for (std::uint64_t i = head - n; i < head; ++i) {
+        events.push_back(
+            Rendered{ring->slots[i % ring->slots.size()], ring->tid});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Rendered& x, const Rendered& y) {
+                     return x.slot.ts_ns < y.slot.ts_ns;
+                   });
+
+  std::string out;
+  out.reserve(256 + 96 * events.size());
+  out.append("{\"traceEvents\":[\n");
+  bool first = true;
+  char buf[160];
+  for (const Rendered& r : events) {
+    const char* name = FlightEventName(static_cast<FlightEvent>(r.slot.code));
+    if (name == nullptr) continue;  // torn or garbled slot: drop
+    if (!first) out.append(",\n");
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"flight\",\"ph\":\"i\","
+                  "\"ts\":%" PRIu64 ".%03" PRIu64
+                  ",\"pid\":%d,\"tid\":%d,\"args\":{\"a\":%" PRIu64
+                  ",\"b\":%" PRIu64 "}}",
+                  name, r.slot.ts_ns / 1000, r.slot.ts_ns % 1000, r.slot.pid,
+                  r.tid, r.slot.a, r.slot.b);
+    out.append(buf);
+  }
+  if (!reason.empty()) {
+    if (!first) out.append(",\n");
+    const std::uint64_t now = NowNs();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"postmortem\",\"cat\":\"flight\",\"ph\":\"i\","
+                  "\"ts\":%" PRIu64 ".%03" PRIu64
+                  ",\"pid\":0,\"tid\":0,\"args\":{\"reason\":\"",
+                  now / 1000, now % 1000);
+    out.append(buf);
+    AppendEscaped(&out, reason);
+    out.append("\"}}");
+  }
+  out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+  return out;
+}
+
+Status FlightRecorder::DumpPostmortem(const std::string& reason) {
+  const std::size_t ordinal =
+      dumps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Record(FlightEvent::kDump, 0, ordinal, 0);
+  const std::string json = DumpJson(reason);
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    last_dump_json_ = json;
+  }
+  if (options_.dump_path.empty()) return Status::Ok();
+  std::FILE* f = std::fopen(options_.dump_path.c_str(), "w");
+  if (f == nullptr) {
+    return Status(StatusCode::kInternal,
+                  "cannot open flight-recorder dump " + options_.dump_path);
+  }
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status(StatusCode::kInternal,
+                  "short write to flight-recorder dump " + options_.dump_path);
+  }
+  return Status::Ok();
+}
+
+std::string FlightRecorder::last_dump_json() const {
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  return last_dump_json_;
+}
+
+}  // namespace tpart::obs

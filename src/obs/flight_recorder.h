@@ -1,0 +1,169 @@
+#ifndef TPART_OBS_FLIGHT_RECORDER_H_
+#define TPART_OBS_FLIGHT_RECORDER_H_
+
+// Black-box flight recorder: an always-on, bounded-memory record of the
+// last N events on the admit -> schedule -> disseminate -> execute ->
+// commit path, kept in lock-free per-thread rings (single writer each,
+// overwrite-oldest) of compact binary events — no strings, no
+// allocation, no formatting on the hot path. When something goes wrong
+// (the watchdog declares a failure, a stall diagnostic fires, a
+// failover term starts, a migration step aborts), DumpPostmortem()
+// renders the rings as a Chrome-trace JSON post-mortem: every
+// chaos-matrix incident ships its own last-seconds trace without paying
+// full --trace overhead.
+//
+// Write protocol per ring: the owning thread writes the slot at
+// head % capacity, then publishes head+1 with a release store. A dump
+// racing the writer may read one torn slot per ring (the one being
+// overwritten); dumps happen on fault paths where a single garbled
+// event is acceptable, and the renderer drops slots whose code is out
+// of range.
+//
+// Like the trace recorder, the global instance is a relaxed-load null
+// sink when absent, and the TPART_FLIGHT* macros compile to nothing
+// under TPART_TRACING_DISABLED.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpart::obs {
+
+/// Compact event codes. Names (FlightEventName) become the Chrome-trace
+/// event names in the post-mortem dump.
+enum class FlightEvent : std::uint16_t {
+  kAdmitBatch = 1,     // a = batch txns, b = total admitted
+  kScheduleRound,      // a = epoch, b = txns in round
+  kDisseminateRound,   // a = epoch, b = txns in round
+  kRoundReceived,      // a = epoch, b = local slice size
+  kExecute,            // a = txn, b = epoch
+  kCrashStop,          // a = machine, b = resume epoch
+  kRecover,            // a = machine, b = replayed txns
+  kFailureDeclared,    // a = machine, b = heartbeat seq
+  kStall,              // a = machine, b = 0
+  kElectionWon,        // a = term (leader index), b = detection us
+  kTermStart,          // a = term, b = catch-up through epoch
+  kMigrationStep,      // a = cut epoch, b = machines after
+  kMigrationAbort,     // a = cut epoch, b = 0
+  kCheckpoint,         // a = machine, b = epoch
+  kDump,               // a = dump ordinal, b = 0
+};
+
+const char* FlightEventName(FlightEvent ev);
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Slots per thread ring; bounded memory = threads * ring_size * 40B.
+    std::size_t ring_size = 4096;
+    /// Post-mortem destination; empty keeps dumps in-memory only
+    /// (last_dump_json()).
+    std::string dump_path;
+  };
+
+  FlightRecorder();
+  explicit FlightRecorder(Options options);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Hot-path append to the calling thread's ring. pid follows the trace
+  /// track model: 0 = control plane, 1 + m = machine m.
+  void Record(FlightEvent ev, std::int32_t pid, std::uint64_t a,
+              std::uint64_t b);
+
+  /// Renders the rings (merged, time-sorted) as Chrome trace JSON.
+  std::string DumpJson(const std::string& reason = std::string()) const;
+
+  /// Records a kDump marker, renders the post-mortem, writes it to
+  /// options.dump_path (when set) and keeps it in last_dump_json().
+  /// Reentrant-safe; later dumps overwrite earlier files (the rings keep
+  /// history, so the last dump contains every prior marker still in
+  /// window).
+  Status DumpPostmortem(const std::string& reason);
+
+  std::size_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+  std::string last_dump_json() const;
+  /// Total events ever recorded (monotonic; rings hold only the tail).
+  std::size_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t ts_ns = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint16_t code = 0;
+    std::int32_t pid = 0;
+  };
+
+  struct Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> head{0};
+    int tid = 0;
+  };
+
+  Ring* LocalRing();
+  std::uint64_t NowNs() const;
+
+  const Options options_;
+  const std::uint64_t recorder_id_;
+  const std::chrono::steady_clock::time_point t0_;
+  std::atomic<std::size_t> recorded_{0};
+  std::atomic<std::size_t> dumps_{0};
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  int next_tid_ = 0;
+
+  mutable std::mutex dump_mu_;
+  std::string last_dump_json_;
+};
+
+/// Global instance (nullptr = null sink), mirroring GlobalTrace().
+FlightRecorder* GlobalFlightRecorder();
+FlightRecorder* InstallGlobalFlightRecorder(FlightRecorder* recorder);
+
+}  // namespace tpart::obs
+
+#if !defined(TPART_TRACING_DISABLED)
+
+#define TPART_FLIGHT(ev, pid, a, b)                                     \
+  do {                                                                  \
+    if (::tpart::obs::FlightRecorder* tpart_flight_rec_ =               \
+            ::tpart::obs::GlobalFlightRecorder()) {                     \
+      tpart_flight_rec_->Record(                                        \
+          (ev), static_cast<std::int32_t>(pid),                         \
+          static_cast<std::uint64_t>(a), static_cast<std::uint64_t>(b)); \
+    }                                                                   \
+  } while (0)
+
+#define TPART_FLIGHT_DUMP(reason)                                       \
+  do {                                                                  \
+    if (::tpart::obs::FlightRecorder* tpart_flight_rec_ =               \
+            ::tpart::obs::GlobalFlightRecorder()) {                     \
+      (void)tpart_flight_rec_->DumpPostmortem(reason);                  \
+    }                                                                   \
+  } while (0)
+
+#else  // TPART_TRACING_DISABLED
+
+#define TPART_FLIGHT(ev, pid, a, b) \
+  do {                              \
+  } while (0)
+#define TPART_FLIGHT_DUMP(reason) \
+  do {                            \
+  } while (0)
+
+#endif  // TPART_TRACING_DISABLED
+
+#endif  // TPART_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,113 @@
+#ifndef TPART_OBS_LIVE_SAMPLER_H_
+#define TPART_OBS_LIVE_SAMPLER_H_
+
+// In-flight metrics sampling: the live counterpart to the snapshot
+// MetricsRegistry. A LiveSampler periodically collects a small set of
+// named values from the engine's existing hot-path counters (relaxed
+// atomics, queue high-waters, T-graph size, hot-key share — the caller
+// provides a Source callback that reads them) and appends one JSONL
+// line per sample. The stream is the `--metrics-stream=out.jsonl`
+// artifact, the newest snapshot backs the HTTP /metrics endpoint, and
+// nothing here ever runs on a transaction's critical path: the engine
+// only increments counters it already maintains, and the sampler reads
+// them from its own (or the driver's) thread.
+//
+// Two clock domains, mirroring the trace recorder:
+//  * kWall — a background thread samples every interval_us of real
+//    time; lines carry "ts_us" (threaded runtime).
+//  * kEpoch — no thread and no real clock: the driver calls TickEpoch()
+//    at sink-epoch boundaries and lines carry "epoch". Values must be
+//    deterministic functions of the run, so two same-seed simulator
+//    runs produce byte-identical JSONL (asserted in trace_test).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpart::obs {
+
+class LiveSampler {
+ public:
+  enum class Domain {
+    kWall,   // background thread, steady-clock timestamps
+    kEpoch,  // explicit TickEpoch()/SampleEpoch(), sink-epoch numbering
+  };
+
+  /// One sample: (metric name, value) pairs. The sampler sorts by name
+  /// before rendering, so sources may append in any order.
+  using Sample = std::vector<std::pair<std::string, double>>;
+  using Source = std::function<void(Sample&)>;
+
+  explicit LiveSampler(Domain domain = Domain::kWall);
+  ~LiveSampler();
+
+  LiveSampler(const LiveSampler&) = delete;
+  LiveSampler& operator=(const LiveSampler&) = delete;
+
+  Domain domain() const { return domain_; }
+
+  /// The gather callback. The cluster installs it at run start (reading
+  /// its live counters) and clears it at run end; it must stay valid
+  /// while installed.
+  void set_source(Source source);
+  void ClearSource();
+
+  // ---- kWall ----------------------------------------------------------
+  /// Spawns the sampling thread; one line every interval_us.
+  void StartWall(std::uint64_t interval_us);
+  /// Joins the thread and takes one final sample (short runs still get
+  /// at least one line).
+  void StopWall();
+
+  // ---- kEpoch ---------------------------------------------------------
+  /// Sample cadence in sink epochs (default 1 = every epoch).
+  void set_epoch_every(std::uint64_t every);
+  /// Driver hook at a sink-epoch boundary; samples via the Source when
+  /// the epoch is on cadence (and not yet sampled).
+  void TickEpoch(std::uint64_t epoch);
+  /// Direct form (no Source): the simulator passes its own
+  /// deterministic values. Applies the same cadence filter.
+  void SampleEpoch(std::uint64_t epoch, const Sample& items);
+
+  // ---- Results --------------------------------------------------------
+  std::size_t samples() const;
+  /// All lines, one JSON object per line.
+  std::string Jsonl() const;
+  Status WriteJsonl(const std::string& path) const;
+  /// Newest snapshot in Prometheus text format (every series a gauge) —
+  /// the /metrics scrape body.
+  std::string PrometheusText() const;
+  double Latest(const std::string& name) const;  // 0 when absent
+
+ private:
+  void SampleLocked(std::uint64_t epoch, bool has_epoch);
+  void RenderLine(std::uint64_t epoch, bool has_epoch, Sample items);
+
+  const Domain domain_;
+  const std::chrono::steady_clock::time_point t0_;
+
+  mutable std::mutex mu_;
+  Source source_;
+  std::vector<std::string> lines_;
+  std::map<std::string, double> latest_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t epoch_every_ = 1;
+  bool sampled_any_epoch_ = false;
+  std::uint64_t last_epoch_ = 0;
+
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tpart::obs
+
+#endif  // TPART_OBS_LIVE_SAMPLER_H_

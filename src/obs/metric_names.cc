@@ -1,0 +1,64 @@
+#include "obs/metric_names.h"
+
+#include <cctype>
+
+namespace tpart::obs {
+
+namespace {
+
+bool HasSuffix(const std::string& name, const char* suffix) {
+  const std::string s(suffix);
+  return name.size() >= s.size() &&
+         name.compare(name.size() - s.size(), s.size(), s) == 0;
+}
+
+bool HasAnySuffix(const std::string& name,
+                  std::initializer_list<const char*> suffixes) {
+  for (const char* s : suffixes) {
+    if (HasSuffix(name, s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CheckMetricName(const std::string& name, MetricKind kind) {
+  if (name.compare(0, 6, "tpart_") != 0) {
+    return "must start with tpart_";
+  }
+  char prev = '\0';
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return "only [a-z0-9_] allowed";
+    if (c == '_' && prev == '_') return "double underscore";
+    prev = c;
+  }
+  if (name.back() == '_') return "trailing underscore";
+  // `tpart_` plus at least subsystem + name + unit segments.
+  switch (kind) {
+    case MetricKind::kCounter:
+      if (!HasSuffix(name, "_total")) return "counter must end in _total";
+      break;
+    case MetricKind::kHistogram:
+      if (!HasAnySuffix(name, {"_us", "_bytes", "_seconds"})) {
+        return "histogram must end in _us/_bytes/_seconds";
+      }
+      break;
+    case MetricKind::kGauge:
+      if (HasSuffix(name, "_total")) {
+        return "gauge must not end in _total (that marks counters)";
+      }
+      if (!HasAnySuffix(name, {"_us", "_seconds", "_bytes", "_tps",
+                               "_ratio", "_depth", "_size", "_count",
+                               "_index", "_epoch", "_term"})) {
+        return "gauge must end in a unit token "
+               "(_us/_seconds/_bytes/_tps/_ratio/_depth/_size/_count/"
+               "_index/_epoch/_term)";
+      }
+      break;
+  }
+  return std::string();
+}
+
+}  // namespace tpart::obs

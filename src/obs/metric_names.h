@@ -1,0 +1,39 @@
+#ifndef TPART_OBS_METRIC_NAMES_H_
+#define TPART_OBS_METRIC_NAMES_H_
+
+// The one metric-naming convention, enforceable in tests:
+//
+//   tpart_<subsystem>_<name>_<unit>
+//
+//  * Every name starts with `tpart_` and is lowercase
+//    [a-z0-9_] (the Prometheus-safe subset; no leading/trailing/double
+//    underscores).
+//  * Counters end in `_total`.
+//  * Histograms end in a measurement unit: `_us`, `_bytes`, or
+//    `_seconds`.
+//  * Gauges end in a unit token naming what the number is:
+//    `_us` / `_seconds` / `_bytes` / `_tps` / `_ratio` / `_total`-free
+//    structural units (`_depth`, `_size`, `_count`, `_index`, `_epoch`,
+//    `_term`).
+//
+// stats_test's audit publishes every stats struct into a registry and
+// validates each (name, kind) pair through CheckMetricName(); the live
+// sampler's JSONL keys go through the same check.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tpart::obs {
+
+/// Empty string when `name` conforms for `kind`; otherwise a short
+/// reason ("counter must end in _total", ...).
+std::string CheckMetricName(const std::string& name, MetricKind kind);
+
+inline bool IsValidMetricName(const std::string& name, MetricKind kind) {
+  return CheckMetricName(name, kind).empty();
+}
+
+}  // namespace tpart::obs
+
+#endif  // TPART_OBS_METRIC_NAMES_H_

@@ -7,9 +7,32 @@ namespace tpart::obs {
 
 namespace {
 
-/// Prometheus sample values: plain decimal, no exponent, trailing zeros
-/// trimmed — deterministic and human-readable.
-std::string FormatValue(double v) {
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+/// Prometheus HELP text escaping: backslash and line feed only, per the
+/// text exposition format.
+void AppendHelpEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+/// Sample values: plain decimal, no exponent, trailing zeros trimmed —
+/// deterministic and human-readable.
+std::string FormatMetricValue(double v) {
   char buf[64];
   if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
       v < 1e15 && v > -1e15) {
@@ -18,17 +41,11 @@ std::string FormatValue(double v) {
     return buf;
   }
   std::snprintf(buf, sizeof(buf), "%.6f", v);
-  return buf;
+  std::string s(buf);
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
 }
-
-void AppendJsonEscaped(std::string* out, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out->push_back('\\');
-    out->push_back(c);
-  }
-}
-
-}  // namespace
 
 MetricsRegistry::Entry& MetricsRegistry::Upsert(const std::string& name,
                                                 Kind kind,
@@ -69,6 +86,25 @@ std::size_t MetricsRegistry::size() const {
   return metrics_.size();
 }
 
+void MetricsRegistry::ForEach(
+    const std::function<void(const std::string& name, MetricKind kind)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        fn(name, MetricKind::kCounter);
+        break;
+      case Kind::kGauge:
+        fn(name, MetricKind::kGauge);
+        break;
+      case Kind::kHistogram:
+        fn(name, MetricKind::kHistogram);
+        break;
+    }
+  }
+}
+
 double MetricsRegistry::Value(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(name);
@@ -85,19 +121,20 @@ std::string MetricsRegistry::PrometheusText() const {
   char buf[96];
   for (const auto& [name, e] : metrics_) {
     if (!e.help.empty()) {
-      out.append("# HELP ").append(name).append(" ").append(e.help);
+      out.append("# HELP ").append(name).append(" ");
+      AppendHelpEscaped(&out, e.help);
       out.push_back('\n');
     }
     out.append("# TYPE ").append(name).append(" ");
     switch (e.kind) {
       case Kind::kCounter:
         out.append("counter\n");
-        out.append(name).append(" ").append(FormatValue(e.value));
+        out.append(name).append(" ").append(FormatMetricValue(e.value));
         out.push_back('\n');
         break;
       case Kind::kGauge:
         out.append("gauge\n");
-        out.append(name).append(" ").append(FormatValue(e.value));
+        out.append(name).append(" ").append(FormatMetricValue(e.value));
         out.push_back('\n');
         break;
       case Kind::kHistogram: {
@@ -118,7 +155,8 @@ std::string MetricsRegistry::PrometheusText() const {
         std::snprintf(buf, sizeof(buf), "{le=\"+Inf\"} %zu\n",
                       e.hist.count());
         out.append(name).append("_bucket").append(buf);
-        out.append(name).append("_sum ").append(FormatValue(e.hist.sum()));
+        out.append(name).append("_sum ").append(
+            FormatMetricValue(e.hist.sum()));
         out.push_back('\n');
         std::snprintf(buf, sizeof(buf), "_count %zu\n", e.hist.count());
         out.append(name).append(buf);
@@ -148,7 +186,7 @@ std::string MetricsRegistry::Json() const {
                     e.hist.Quantile(0.99), e.hist.max_value());
       out.append(buf);
     } else {
-      out.append(FormatValue(e.value));
+      out.append(FormatMetricValue(e.value));
     }
   }
   out.append("\n}\n");

@@ -12,6 +12,7 @@
 // post-run publish keeps the registry entirely off those paths.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -20,6 +21,15 @@
 #include "common/status.h"
 
 namespace tpart::obs {
+
+/// Exporter-facing metric kind, used by ForEach() introspection (the
+/// metric-name audit) and by callers that mirror registry entries.
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Canonical sample-value rendering shared by every exporter (Prometheus
+/// text, JSON, the live sampler's JSONL): plain decimal, integers exact,
+/// no exponent — deterministic across runs.
+std::string FormatMetricValue(double v);
 
 class MetricsRegistry {
  public:
@@ -38,6 +48,13 @@ class MetricsRegistry {
 
   std::size_t size() const;
   double Value(const std::string& name) const;  // 0 when absent
+
+  /// Visits every registered metric in sorted name order. The audit test
+  /// validates each (name, kind) against the naming convention
+  /// (obs/metric_names.h).
+  void ForEach(
+      const std::function<void(const std::string& name, MetricKind kind)>& fn)
+      const;
 
   /// Prometheus text exposition format (HELP/TYPE + samples; histograms
   /// as cumulative le-buckets with _sum and _count).

@@ -1,0 +1,114 @@
+#include "obs/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tpart::obs {
+
+namespace {
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away: drop the response
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& body,
+                         const char* content_type) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                code, reason, content_type, body.size());
+  return std::string(head) + body;
+}
+
+}  // namespace
+
+Status MetricsHttpServer::Start(std::uint16_t port, MetricsFn metrics) {
+  if (listen_fd_ >= 0) {
+    return Status(StatusCode::kInternal, "metrics server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(StatusCode::kInternal,
+                  std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+  addr.sin_port = ::htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status(StatusCode::kInternal, "bind/listen: " + err);
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status(StatusCode::kInternal, "getsockname: " + err);
+  }
+  port_ = ::ntohs(addr.sin_port);
+  metrics_ = std::move(metrics);
+  listen_fd_ = fd;
+  acceptor_ = std::thread([this] { Serve(); });
+  return Status::Ok();
+}
+
+void MetricsHttpServer::Serve() {
+  for (;;) {
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) return;  // listener closed during Stop()
+    // One short request per connection: read what arrives first (the
+    // request line is all we route on), answer, close.
+    char buf[1024];
+    const ssize_t n = ::recv(cfd, buf, sizeof(buf) - 1, 0);
+    if (n > 0) {
+      buf[n] = '\0';
+      const std::string req(buf);
+      if (req.compare(0, 13, "GET /healthz ") == 0) {
+        SendAll(cfd, HttpResponse(200, "OK", "ok\n", "text/plain"));
+      } else if (req.compare(0, 13, "GET /metrics ") == 0) {
+        const std::string body = metrics_ ? metrics_() : std::string();
+        SendAll(cfd, HttpResponse(200, "OK", body,
+                                  "text/plain; version=0.0.4"));
+      } else {
+        SendAll(cfd,
+                HttpResponse(404, "Not Found", "not found\n", "text/plain"));
+      }
+    }
+    ::close(cfd);
+  }
+}
+
+void MetricsHttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  // Shutdown wakes the blocked accept(); close() alone does not on all
+  // platforms.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  acceptor_.join();
+  listen_fd_ = -1;
+}
+
+}  // namespace tpart::obs

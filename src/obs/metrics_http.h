@@ -1,0 +1,51 @@
+#ifndef TPART_OBS_METRICS_HTTP_H_
+#define TPART_OBS_METRICS_HTTP_H_
+
+// Minimal HTTP/1.1 endpoint for Prometheus scraping of live runs:
+// GET /metrics returns the body produced by the metrics callback (the
+// LiveSampler's newest snapshot in text exposition format) and
+// GET /healthz returns "ok". One accept-loop thread, one short-lived
+// connection per request, loopback only — this is a scrape target for
+// `--serve`-style runs, not a general web server.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace tpart::obs {
+
+class MetricsHttpServer {
+ public:
+  /// Returns the /metrics response body on each scrape.
+  using MetricsFn = std::function<std::string()>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:port (0 = ephemeral; see port() for the choice)
+  /// and starts the accept loop.
+  Status Start(std::uint16_t port, MetricsFn metrics);
+  void Stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  MetricsFn metrics_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+};
+
+}  // namespace tpart::obs
+
+#endif  // TPART_OBS_METRICS_HTTP_H_

@@ -244,6 +244,21 @@ void TraceRecorder::AsyncEnd(const char* name, const char* cat,
   AppendHere(std::move(e));
 }
 
+void TraceRecorder::AsyncInstant(const char* name, const char* cat,
+                                 std::uint64_t id,
+                                 std::initializer_list<TraceArg> args) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'n';
+  e.ts_ns = NowNs();
+  e.id = id;
+  for (const TraceArg& a : args) {
+    if (e.nargs < 3) e.args[e.nargs++] = a;
+  }
+  AppendHere(std::move(e));
+}
+
 void TraceRecorder::CompleteAt(int pid, int tid, const char* name,
                                const char* cat, std::uint64_t ts_ns,
                                std::uint64_t dur_ns,
@@ -377,7 +392,8 @@ std::string TraceRecorder::ToJson() const {
       std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d", e.pid,
                     e.tid);
       out.append(buf);
-      if (e.ph == 's' || e.ph == 'f' || e.ph == 'b' || e.ph == 'e') {
+      if (e.ph == 's' || e.ph == 'f' || e.ph == 'b' || e.ph == 'e' ||
+          e.ph == 'n') {
         std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%" PRIx64 "\"", e.id);
         out.append(buf);
         // Flow ends bind to the enclosing slice.

@@ -104,6 +104,11 @@ class TraceRecorder {
   /// admit->commit lifecycle.
   void AsyncBegin(const char* name, const char* cat, std::uint64_t id);
   void AsyncEnd(const char* name, const char* cat, std::uint64_t id);
+  /// Point event inside an async interval (ph 'n'): a phase marker on a
+  /// transaction's admit->commit timeline, tied by (cat, id) like
+  /// AsyncBegin/AsyncEnd so Perfetto nests it under the open interval.
+  void AsyncInstant(const char* name, const char* cat, std::uint64_t id,
+                    std::initializer_list<TraceArg> args = {});
 
   // ---- Explicit-timestamp emitters (virtual tracks; simulator) --------
   void CompleteAt(int pid, int tid, const char* name, const char* cat,

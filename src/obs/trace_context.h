@@ -1,0 +1,47 @@
+#ifndef TPART_OBS_TRACE_CONTEXT_H_
+#define TPART_OBS_TRACE_CONTEXT_H_
+
+// Compact per-transaction trace context, carried in Message::trace_ctx
+// across the wire so a sampled transaction's causal timeline can be
+// stitched across machines, transports, and coordinator terms without
+// any global lookup on the receiving side.
+//
+// Packing (64 bits; 0 = "no context", which the varint codec encodes in
+// one byte so unsampled traffic pays a single zero byte per frame):
+//   bit  0        sampled flag
+//   bits 1..15    origin machine (15 bits)
+//   bits 16..63   coordinator term (48 bits)
+//
+// Sampling is deterministic and stateless: txn id modulo the --txn-sample
+// stride, so every machine — and a recovered or failed-over coordinator —
+// picks the same subset without coordination.
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace tpart::obs {
+
+inline std::uint64_t PackTraceCtx(std::uint32_t origin_machine,
+                                  std::uint64_t term) {
+  return 1ull | (static_cast<std::uint64_t>(origin_machine & 0x7FFF) << 1) |
+         (term << 16);
+}
+
+inline bool TraceCtxSampled(std::uint64_t ctx) { return (ctx & 1) != 0; }
+
+inline std::uint32_t TraceCtxOrigin(std::uint64_t ctx) {
+  return static_cast<std::uint32_t>((ctx >> 1) & 0x7FFF);
+}
+
+inline std::uint64_t TraceCtxTerm(std::uint64_t ctx) { return ctx >> 16; }
+
+/// True when txn `id` is in the sampled subset for stride `every`
+/// (--txn-sample=1/N). 0 disables sampling entirely.
+inline bool SampledTxn(TxnId id, std::uint64_t every) {
+  return every != 0 && id % every == 0;
+}
+
+}  // namespace tpart::obs
+
+#endif  // TPART_OBS_TRACE_CONTEXT_H_

@@ -10,7 +10,8 @@ bool operator==(const Message& a, const Message& b) {
          a.sticky == b.sticky && a.epoch == b.epoch &&
          a.reply_to == b.reply_to && a.req_id == b.req_id &&
          a.txn == b.txn && a.kvs == b.kvs &&
-         a.plan_bytes == b.plan_bytes && a.specs == b.specs;
+         a.plan_bytes == b.plan_bytes && a.specs == b.specs &&
+         a.trace_ctx == b.trace_ctx;
 }
 
 std::size_t ApproxMessageBytes(const Message& m) {

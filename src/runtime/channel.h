@@ -121,6 +121,12 @@ struct Message {
   std::string plan_bytes;
   /// kSinkPlan: specs of the plan's (non-dummy) transactions, in plan order.
   std::vector<TxnSpec> specs;
+  /// Per-transaction causal-timeline context (obs/trace_context.h packs
+  /// it): sampled-txn flag + origin machine + coordinator term, riding
+  /// every frame so the receiving side can stitch cross-machine async
+  /// spans without global state. 0 = no context (1 varint byte on the
+  /// wire).
+  std::uint64_t trace_ctx = 0;
   /// Recovery re-delivery marker: set on messages re-injected from the
   /// network log or a checkpoint image during Machine::Recover(), so they
   /// are not logged a second time. Local-only (never wire-encoded, not

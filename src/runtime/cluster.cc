@@ -18,7 +18,10 @@
 #include "elastic/migration.h"
 #include "net/resend_window.h"
 #include "net/wire.h"
+#include "obs/flight_recorder.h"
+#include "obs/live_sampler.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace tpart {
 
@@ -120,6 +123,7 @@ void LocalCluster::Reset() {
     machines_.back()->set_log_recording(options_.record_recovery_logs);
     machines_.back()->set_stall_timeout(
         std::chrono::microseconds(options_.stall_timeout_us));
+    machines_.back()->set_txn_sample(options_.txn_sample);
   }
   // Crash and periodic-checkpointing runs keep a per-machine checkpoint
   // seeded with the loaded state: the recovery baseline each crashed
@@ -436,6 +440,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           declared[m] = true;
           TPART_TRACE(Instant("failure_declared", "fault",
                               {{"machine", m}, {"last_seen", last_seen[m]}}));
+          TPART_FLIGHT(obs::FlightEvent::kFailureDeclared, 0, m,
+                       last_seen[m]);
           const std::string diag = machines_[m]->StallDiagnostic();
           const bool recoverable = crash.enabled() && crash_scheduled[m] &&
                                    crash.recover && machines_[m]->crashed();
@@ -526,13 +532,18 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   // Pipeline counters accumulate across terms. A failover run re-pulls
   // the in-flight (uncommitted) suffix, so admitted/batches may exceed
   // the crash-free counts; committed results are what must match.
-  std::uint64_t admitted = 0, dummies = 0, batches = 0;
+  // `admitted`, `plans`, and `last_epoch` are atomic so the live sampler
+  // may read them from its own thread mid-run; everything else stays
+  // single-writer / read-after-join.
+  std::atomic<std::uint64_t> admitted{0};
+  std::uint64_t dummies = 0, batches = 0;
   std::uint64_t admission_waits = 0;
   double admission_seconds = 0.0;
   std::uint64_t scheduler_waits = 0;
-  std::uint64_t plans = 0, credit_waits = 0;
+  std::atomic<std::uint64_t> plans{0};
+  std::uint64_t credit_waits = 0;
   std::uint64_t batch_q_hw = 0, plan_q_hw = 0;
-  SinkEpoch last_epoch = 0;
+  std::atomic<SinkEpoch> last_epoch{0};
   MigrationStats migration;
   std::size_t steps_done = 0;
   const bool record_timeline =
@@ -548,6 +559,64 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   auto t_crash = stream_t0;
   auto t_term_start = stream_t0;
   bool pending_replan_stamp = false;
+
+  // ---- Live observability (DESIGN §4f). The sampler's source reads only
+  // counters the pipeline already maintains (relaxed atomics, per-machine
+  // accessors) plus the handful of `live_*` mirrors below, which the
+  // scheduler and dissemination threads refresh off the critical path.
+  // Nothing here blocks the pipeline; with no sampler installed the
+  // mirrors cost nothing (every store is guarded on `sampler`).
+  std::atomic<std::uint64_t> live_tgraph{0};
+  std::atomic<std::uint64_t> live_planned_txns{0};
+  std::atomic<std::uint64_t> live_distributed_txns{0};
+  std::atomic<std::uint64_t> live_hot_key{0};
+  std::atomic<double> live_hot_share{0.0};
+  std::atomic<std::uint64_t> live_term{0};
+  obs::LiveSampler* const sampler = options_.live_sampler;
+  if (sampler != nullptr) {
+    sampler->set_source([&](obs::LiveSampler::Sample& s) {
+      std::uint64_t executed = 0;
+      std::uint64_t inbound_hw = 0;
+      std::uint64_t in_flight = 0;
+      for (const auto& m : machines_) {
+        executed += m->executed_plans();
+        inbound_hw =
+            std::max<std::uint64_t>(inbound_hw, m->inbound_queue_high_water());
+        in_flight += m->epochs_in_flight();
+      }
+      const double planned = static_cast<double>(
+          live_planned_txns.load(std::memory_order_relaxed));
+      const double distributed = static_cast<double>(
+          live_distributed_txns.load(std::memory_order_relaxed));
+      s.emplace_back("tpart_live_admitted_total",
+                     static_cast<double>(
+                         admitted.load(std::memory_order_relaxed)));
+      s.emplace_back("tpart_live_plans_total",
+                     static_cast<double>(plans.load(std::memory_order_relaxed)));
+      s.emplace_back("tpart_live_committed_total",
+                     static_cast<double>(executed));
+      s.emplace_back("tpart_live_tgraph_size",
+                     static_cast<double>(
+                         live_tgraph.load(std::memory_order_relaxed)));
+      s.emplace_back("tpart_live_distributed_ratio",
+                     planned > 0 ? distributed / planned : 0.0);
+      s.emplace_back("tpart_live_inbound_peak_depth",
+                     static_cast<double>(inbound_hw));
+      s.emplace_back("tpart_live_epochs_in_flight_depth",
+                     static_cast<double>(in_flight));
+      s.emplace_back("tpart_live_term_index",
+                     static_cast<double>(
+                         live_term.load(std::memory_order_relaxed)));
+      s.emplace_back("tpart_live_hot_key_index",
+                     static_cast<double>(
+                         live_hot_key.load(std::memory_order_relaxed)));
+      s.emplace_back("tpart_live_hot_key_share_ratio",
+                     live_hot_share.load(std::memory_order_relaxed));
+    });
+    if (sampler->domain() == obs::LiveSampler::Domain::kWall) {
+      sampler->StartWall(options_.sample_every_us);
+    }
+  }
 
   // Runs one leader term end to end; returns true if the scheduled
   // coordinator crash aborted it (the caller fails over and reruns).
@@ -600,6 +669,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       auto emit = [&](TxnBatch batch) -> bool {
         TPART_TRACE_SPAN("admit_batch", "pipeline",
                          {{"txns", batch.txns.size()}});
+        TPART_FLIGHT(obs::FlightEvent::kAdmitBatch, 0, batch.batch_id,
+                     batch.txns.size());
         if (coord_on && !coordinator_->LeaderAppend(batch)) return false;
         const auto now = std::chrono::steady_clock::now();
         {
@@ -612,6 +683,10 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
               // Opens the per-transaction admit->commit lifecycle span,
               // closed by the executor's commit hook.
               TPART_TRACE(AsyncBegin("txn", "lifecycle", spec.id));
+              if (obs::SampledTxn(spec.id, options_.txn_sample)) {
+                TPART_TRACE(AsyncInstant("admitted", "timeline", spec.id,
+                                         {{"batch", batch.batch_id}}));
+              }
             }
           }
         }
@@ -660,13 +735,18 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       // home keys at their post-step machines.
       sched_opts.graph.num_machines = workload_->num_machines;
       sched_opts.elastic = elastic_;
+      sched_opts.track_key_frequencies =
+          sched_opts.track_key_frequencies || sampler != nullptr;
       TPartScheduler scheduler(
           sched_opts, elastic_ != nullptr
                           ? std::static_pointer_cast<const DataPartitionMap>(
                                 elastic_)
                           : workload_->partition_map);
       std::unordered_map<TxnId, TxnSpec> parked;
+      int hot_refresh_countdown = 16;
       auto emit = [&](SinkPlan plan) {
+        TPART_FLIGHT(obs::FlightEvent::kScheduleRound, 0, plan.epoch,
+                     plan.txns.size());
         PlanEnvelope env;
         env.specs.reserve(plan.txns.size());
         for (const TxnPlan& p : plan.txns) {
@@ -709,6 +789,18 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           if (!spec.is_dummy) parked.emplace(spec.id, std::move(spec));
           for (SinkPlan& plan : plans) emit(std::move(plan));
         }
+        if (sampler != nullptr) {
+          live_tgraph.store(scheduler.graph().num_unsunk(),
+                            std::memory_order_relaxed);
+          // The hot-key scan walks the whole frequency map; refresh it
+          // on a coarse cadence rather than per batch.
+          if (++hot_refresh_countdown >= 16) {
+            hot_refresh_countdown = 0;
+            const auto [key, share] = scheduler.HottestKey();
+            live_hot_key.store(key, std::memory_order_relaxed);
+            live_hot_share.store(share, std::memory_order_relaxed);
+          }
+        }
       }
       if (!term_abort.load(std::memory_order_acquire)) {
         for (SinkPlan& plan : scheduler.Drain()) emit(std::move(plan));
@@ -750,6 +842,9 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
               << elastic_->step(steps_done).cut_epoch
               << ") failed: " << step_status.message();
           declare_fault(out.str());
+          TPART_FLIGHT(obs::FlightEvent::kMigrationAbort, 0, steps_done,
+                       elastic_->step(steps_done).cut_epoch);
+          TPART_FLIGHT_DUMP("migration_abort");
           // Abandon the remaining schedule; the doomed run still drains.
           steps_done = elastic_->num_steps();
           break;
@@ -766,9 +861,18 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       const bool catchup = epoch <= catchup_through;
       TPART_TRACE_SPAN("disseminate", "pipeline",
                        {{"epoch", epoch}, {"txns", (*env)->plan.txns.size()}});
+      TPART_FLIGHT(obs::FlightEvent::kDisseminateRound, 0, epoch,
+                   (*env)->plan.txns.size());
       Message msg;
       msg.type = Message::Type::kSinkPlan;
       msg.epoch = epoch;
+      // Causal timelines: stamp the round with a packed trace context
+      // (origin = control plane, current coordinator term) so receive-side
+      // markers on every machine know which term shipped it.
+      if (options_.txn_sample != 0) {
+        msg.trace_ctx = obs::PackTraceCtx(
+            /*origin=*/0, live_term.load(std::memory_order_relaxed));
+      }
       msg.plan_bytes = EncodeSinkPlan((*env)->plan);
       msg.specs = std::move((*env)->specs);
       if (catchup) {
@@ -782,6 +886,12 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       } else {
         ++plans;
         last_epoch = epoch;
+        if (sampler != nullptr) {
+          live_planned_txns.fetch_add((*env)->plan.txns.size(),
+                                      std::memory_order_relaxed);
+          live_distributed_txns.fetch_add((*env)->plan.NumDistributed(),
+                                          std::memory_order_relaxed);
+        }
         if (keep_resend_window) {
           resend_window.Append(msg);
           if (options_.checkpoint_every > 0 && !checkpoints_.empty()) {
@@ -807,6 +917,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
               std::chrono::duration_cast<std::chrono::microseconds>(
                   now - t_crash)
                   .count());
+          failover.phase_replan_us.Add(failover.replan_us);
+          failover.phase_plan_stream_gap_us.Add(failover.plan_stream_gap_us);
           pending_replan_stamp = false;
         }
         for (std::size_t m = 0; m < machines_.size(); ++m) {
@@ -839,6 +951,12 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
                       std::chrono::steady_clock::now() - stream_t0)
                       .count())});
         }
+        // Epoch-domain samplers (tests pinning deterministic cadence to
+        // sink epochs) tick here; wall-domain sampling rides its thread.
+        if (sampler != nullptr &&
+            sampler->domain() == obs::LiveSampler::Domain::kEpoch) {
+          sampler->TickEpoch(epoch);
+        }
       }
       if (!catchup && coord_event_idx < coord_crashes.size() &&
           epoch >= coord_crashes[coord_event_idx]) {
@@ -850,6 +968,7 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
         coordinator_->CrashLeader();
         t_crash = std::chrono::steady_clock::now();
         ++failover.coordinator_crashes;
+        TPART_FLIGHT(obs::FlightEvent::kCrashStop, 0, crashed_leader, epoch);
         term_abort.store(true, std::memory_order_release);
         aborted = true;
       }
@@ -877,8 +996,13 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     TPART_CHECK(elected.ok())
         << "no standby claimed leadership: " << elected.status().message();
     ++failover.elections_won;
+    live_term.store(failover.elections_won, std::memory_order_relaxed);
     failover.detection_latency_us = coordinator_->last_detection_us();
     failover.election_us = coordinator_->last_election_us();
+    failover.phase_detection_us.Add(failover.detection_latency_us);
+    failover.phase_election_us.Add(failover.election_us);
+    TPART_FLIGHT(obs::FlightEvent::kElectionWon, 0, failover.elections_won,
+                 failover.detection_latency_us);
     coordinator_->SyncNewLeader();
     coordinator_->RestartReplica(crashed_leader);
     Result<std::vector<SinkEpoch>> wm =
@@ -889,6 +1013,11 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     catchup_through = last_epoch;
     t_term_start = std::chrono::steady_clock::now();
     pending_replan_stamp = true;
+    // New-term post-mortem: the dump tail carries the leader crash-stop
+    // and the election that ended it.
+    TPART_FLIGHT(obs::FlightEvent::kTermStart, 0, failover.elections_won,
+                 catchup_through);
+    TPART_FLIGHT_DUMP("failover");
   }
   if (crash.enabled()) {
     // Flag before sending: a recovery racing this must resend the end
@@ -944,6 +1073,14 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   // them now, and the machines outlive this frame.
   for (auto& m : machines_) m->set_commit_hook(nullptr);
   transport_->Flush();
+  if (sampler != nullptr) {
+    // The source captures this frame's counters by reference: stop the
+    // sampling thread and detach the source before they go out of scope.
+    if (sampler->domain() == obs::LiveSampler::Domain::kWall) {
+      sampler->StopWall();
+    }
+    sampler->ClearSource();
+  }
 
   ClusterRunOutcome outcome = CollectResults(/*dedup_participants=*/false);
   outcome.transport = transport_->stats();
@@ -1123,10 +1260,14 @@ Status LocalCluster::RunMembershipStep(std::size_t step_idx,
   stats.forced_checkpoints += machines_.size();
   ++stats.membership_steps;
   stats.last_cut_epoch = step.cut_epoch;
-  stats.barrier_us += static_cast<std::uint64_t>(
+  const std::uint64_t step_barrier_us = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  stats.barrier_us += step_barrier_us;
+  stats.phase_barrier_us.Add(step_barrier_us);
+  TPART_FLIGHT(obs::FlightEvent::kMigrationStep, 0, step.cut_epoch,
+               routes.size());
   return Status::Ok();
 }
 

@@ -20,6 +20,10 @@
 
 namespace tpart {
 
+namespace obs {
+class LiveSampler;
+}  // namespace obs
+
 /// Stage bounds for the streaming pipeline (RunTPart with streaming=true):
 /// admission → scheduler → dissemination → execution run as concurrent
 /// stages connected by bounded queues, so a full stage backpressures its
@@ -201,6 +205,26 @@ struct LocalClusterOptions {
   /// paths) or surfaces as ClusterRunOutcome::fault (dissemination).
   /// 0 = wait forever (the seed behaviour).
   std::uint64_t stall_timeout_us = 120'000'000;
+
+  /// Live observability plane (DESIGN §4f). When `live_sampler` is set,
+  /// the streaming run installs a source over the pipeline's hot-path
+  /// counters — admitted/planned/committed, T-graph size, distributed-txn
+  /// ratio, per-machine inbound and in-flight depths, the coordinator
+  /// term, and the scheduler's hottest key — and drives the sampler every
+  /// `sample_every_us` of wall time for the duration of the run. The
+  /// caller owns the sampler and reads or streams its snapshots
+  /// (obs/live_sampler.h); sampling reads relaxed counters only and never
+  /// blocks the pipeline. Ignored in batch mode.
+  obs::LiveSampler* live_sampler = nullptr;
+  std::uint64_t sample_every_us = 10'000;
+
+  /// Causal-timeline sampling stride (--txn-sample=1/N): transactions
+  /// with id % N == 0 emit async trace events at admission, round
+  /// receipt, execution, and commit, stitched into one end-to-end span
+  /// per transaction across machines and coordinator terms. Sink-plan
+  /// messages carry a packed trace context (obs/trace_context.h) on the
+  /// wire so receive-side markers know the origin term. 0 = off.
+  std::uint64_t txn_sample = 0;
 
   LocalClusterOptions() {
     // Procedures in the runtime can abort, so transactions must read the

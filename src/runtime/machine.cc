@@ -9,7 +9,9 @@
 #include "elastic/migration.h"
 #include "exec/serial_executor.h"
 #include "net/wire.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "txn/rw_set.h"
 
 namespace tpart {
@@ -393,6 +395,21 @@ void Machine::HandleSinkPlan(Message msg) {
                                << " plan for T" << p.txn << " has no spec";
     slice.push_back(PlanItem{std::move(p), std::move(node.mapped())});
   }
+  TPART_FLIGHT(obs::FlightEvent::kRoundReceived, 1 + id_, plan->epoch,
+               slice.size());
+  // Causal timelines: the wire-carried trace context names the origin
+  // and coordinator term, so a sampled transaction's receive marker
+  // stitches into its cross-machine span even across failover terms.
+  if (msg.trace_ctx != 0 && txn_sample_ != 0) {
+    for (const PlanItem& item : slice) {
+      if (obs::SampledTxn(item.plan.txn, txn_sample_)) {
+        TPART_TRACE(AsyncInstant("round_received", "timeline", item.plan.txn,
+                                 {{"machine", id_},
+                                  {"epoch", plan->epoch},
+                                  {"term", obs::TraceCtxTerm(msg.trace_ctx)}}));
+      }
+    }
+  }
 
   std::vector<std::pair<SinkEpoch, std::vector<PlanItem>>> ready;
   bool finish = false;
@@ -510,6 +527,11 @@ std::size_t Machine::epoch_queue_high_water() const {
   return epoch_high_water_;
 }
 
+std::size_t Machine::epochs_in_flight() const {
+  std::lock_guard<std::mutex> lock(credit_mu_);
+  return epochs_in_flight_;
+}
+
 // ---------------------------------------------------------------------
 // T-Part executor
 // ---------------------------------------------------------------------
@@ -598,6 +620,11 @@ void Machine::ExecutePlan(SinkEpoch epoch, const PlanItem& item,
 
   TPART_TRACE_SPAN("txn", is_replay ? "replay" : "exec",
                    {{"txn", p.txn}, {"epoch", epoch}});
+  TPART_FLIGHT(obs::FlightEvent::kExecute, 1 + id_, p.txn, epoch);
+  if (obs::SampledTxn(p.txn, txn_sample_)) {
+    TPART_TRACE(AsyncInstant(is_replay ? "replayed" : "executed", "timeline",
+                             p.txn, {{"machine", id_}, {"epoch", epoch}}));
+  }
 
   // ---- Gather every planned read (the version-based deterministic CC:
   // each read waits for its exact version, §5.2).
@@ -903,6 +930,7 @@ void Machine::CrashStop(SinkEpoch resume) {
   run_state_.store(RunState::kDown, std::memory_order_release);
   TPART_TRACE(Instant("crash_stop", "fault",
                       {{"machine", id_}, {"resume_epoch", resume}}));
+  TPART_FLIGHT(obs::FlightEvent::kCrashStop, 1 + id_, id_, resume);
 }
 
 bool Machine::crashed() const {
@@ -1087,6 +1115,7 @@ std::size_t Machine::Recover(const std::function<void()>& restore_partition) {
   }
   TPART_TRACE(Instant("replay_done", "fault",
                       {{"machine", id_}, {"replayed", replayed}}));
+  TPART_FLIGHT(obs::FlightEvent::kRecover, 1 + id_, id_, replayed);
   return replayed;
 }
 
@@ -1177,6 +1206,7 @@ void Machine::CaptureCheckpoint(SinkEpoch epoch) {
   // Publish the epoch last: once visible, the cluster may prune resend
   // rounds <= epoch, which is only safe after the images are complete.
   cp.set_epoch(epoch);
+  TPART_FLIGHT(obs::FlightEvent::kCheckpoint, 1 + id_, id_, epoch);
 
   {
     std::lock_guard<std::mutex> lock(ckpt_mu_);
@@ -1541,6 +1571,13 @@ std::string Machine::StallDiagnostic() const {
   std::string text = out.str();
   TPART_TRACE(Instant("stall_diagnostic", "fault", {{"machine", id_}},
                       text));
+  // A stall diagnostic only fires on fault paths (expired executor waits,
+  // drain/fence timeouts, failure declarations), so it doubles as the
+  // flight recorder's auto-dump trigger: the post-mortem tail carries
+  // this marker plus whatever led up to it.
+  TPART_FLIGHT(obs::FlightEvent::kStall, 1 + id_, id_,
+               executed_plans_.load(std::memory_order_relaxed));
+  TPART_FLIGHT_DUMP("stall");
   return text;
 }
 

@@ -91,6 +91,9 @@ class Machine {
   CreditGrant AcquireEpochCreditFor(std::chrono::microseconds timeout);
   /// Deepest the in-flight-round window ever got.
   std::size_t epoch_queue_high_water() const;
+  /// Rounds currently in flight (disseminated but not fully executed) —
+  /// the live sampler's per-machine depth gauge.
+  std::size_t epochs_in_flight() const;
   /// Deepest the inbound service FIFO ever got (pipeline depth gauge).
   std::size_t inbound_queue_high_water() const { return inbound_.high_water(); }
   /// Sends that overflowed the inbound ring onto its spill deque.
@@ -104,6 +107,12 @@ class Machine {
   void set_commit_hook(std::function<void(TxnId)> hook) {
     commit_hook_ = std::move(hook);
   }
+
+  /// Causal-timeline sampling stride (--txn-sample=1/N): transactions with
+  /// id % every == 0 emit async trace events at receive/execute so their
+  /// end-to-end timeline stitches across machines (obs/trace_context.h).
+  /// 0 disables. Set before Start*().
+  void set_txn_sample(std::uint64_t every) { txn_sample_ = every; }
 
   void StartTPart();
   void StartCalvin();
@@ -535,6 +544,8 @@ class Machine {
 
   std::atomic<std::uint64_t> heartbeat_seen_{0};
   std::atomic<std::uint64_t> executed_plans_{0};
+  /// Timeline sampling stride (set_txn_sample); read on the execute path.
+  std::uint64_t txn_sample_ = 0;
   std::chrono::microseconds stall_timeout_{0};
   /// Set by AbortPendingWaits(): the run was declared failed. Executors
   /// drain their queues without running procedures (gathered values are

@@ -42,18 +42,44 @@ std::vector<SinkPlan> TPartScheduler::OnBatch(const TxnBatch& batch) {
 }
 
 void TPartScheduler::TrackFrequencies(const TxnSpec& spec) {
-  if (options_.elastic == nullptr || spec.is_dummy) return;
-  // Only worth the hash traffic while a hot-key step is still pending.
-  bool pending_hot = false;
-  for (std::size_t i = applied_steps_; i < options_.elastic->num_steps(); ++i) {
-    if (options_.elastic->step(i).policy == MigrationPolicy::kHotKey) {
-      pending_hot = true;
-      break;
+  if (spec.is_dummy) return;
+  bool exact = false;
+  if (options_.elastic != nullptr) {
+    // Only worth the hash traffic while a hot-key step is still pending —
+    // and migration placement needs the exact counts.
+    for (std::size_t i = applied_steps_; i < options_.elastic->num_steps();
+         ++i) {
+      if (options_.elastic->step(i).policy == MigrationPolicy::kHotKey) {
+        exact = true;
+        break;
+      }
     }
   }
-  if (!pending_hot) return;
+  if (!exact) {
+    if (!options_.track_key_frequencies) return;
+    // The live hot-key gauge only needs an estimate of the hottest key's
+    // access share: stride-sample transactions so the map traffic stays
+    // off the scheduler's per-access hot path. Sequential txn ids make
+    // the stride deterministic.
+    if (spec.id % 16 != 0) return;
+  }
   for (const ObjectKey key : spec.rw.reads) ++key_freq_[key];
   for (const ObjectKey key : spec.rw.writes) ++key_freq_[key];
+}
+
+std::pair<ObjectKey, double> TPartScheduler::HottestKey() const {
+  ObjectKey hot = 0;
+  std::uint64_t hot_count = 0;
+  std::uint64_t total = 0;
+  for (const auto& [key, count] : key_freq_) {
+    total += count;
+    if (count > hot_count || (count == hot_count && key < hot)) {
+      hot = key;
+      hot_count = count;
+    }
+  }
+  if (total == 0) return {0, 0.0};
+  return {hot, static_cast<double>(hot_count) / static_cast<double>(total)};
 }
 
 void TPartScheduler::MaybeApplyMembershipStep() {

@@ -43,6 +43,10 @@ class TPartScheduler {
     /// the cluster sees the same total order and the same schedule, all
     /// of them flip at the same round and keep emitting identical plans.
     std::shared_ptr<ElasticPartitionMap> elastic;
+    /// Track per-key access counts even with no pending hot-key
+    /// migration step (the live sampler's hot-key gauge reads them via
+    /// HottestKey()). Off by default: the hash traffic is per access.
+    bool track_key_frequencies = false;
   };
 
   /// `partitioner` defaults to the streaming greedy of Algorithm 1 when
@@ -76,6 +80,11 @@ class TPartScheduler {
   double scheduling_seconds() const { return scheduling_seconds_; }
   /// Peak unsunk T-graph size observed (Fig. 4(c)).
   std::size_t max_tgraph_size() const { return max_tgraph_size_; }
+  /// The most-accessed key so far and its share of all tracked accesses
+  /// (ties break toward the smaller key, so the answer is deterministic).
+  /// {0, 0.0} until frequency tracking has seen an access — enabled by a
+  /// pending hot-key migration step or track_key_frequencies.
+  std::pair<ObjectKey, double> HottestKey() const;
   /// Membership steps already applied (elastic runs only).
   std::size_t membership_steps_applied() const { return applied_steps_; }
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "obs/live_sampler.h"
 #include "obs/trace.h"
 #include "sim/sim_cluster.h"
 
@@ -70,6 +71,7 @@ RunStats RunTPartSim(const TPartSimOptions& options,
   // re-streams the unsunk window (~2x the round's size) and assembles
   // plans before the executors may start them.
   SimTime sched_ready = 0;
+  std::uint64_t sim_rounds = 0;
 
   auto simulate_plan = [&](const SinkPlan& plan) {
     sched_ready = std::max(sched_ready, cluster.ClusterNow()) +
@@ -321,6 +323,26 @@ RunStats RunTPartSim(const TPartSimOptions& options,
       stats.breakdown.Add(Component::kExecute, exec_cost);
       stats.breakdown.Add(Component::kStorageWrite, write_time);
       stats.breakdown.Add(Component::kCacheMgmt, cache_mgmt);
+    }
+
+    // Deterministic in-flight sampling: every value below is a pure
+    // function of the totally ordered input, so two same-seed runs emit
+    // byte-identical JSONL (no wall clock anywhere on this path).
+    if (options.live_sampler != nullptr) {
+      ++sim_rounds;
+      obs::LiveSampler::Sample s;
+      s.emplace_back("tpart_live_committed_total",
+                     static_cast<double>(stats.committed));
+      s.emplace_back("tpart_live_distributed_ratio",
+                     stats.committed > 0
+                         ? static_cast<double>(stats.distributed_txns) /
+                               static_cast<double>(stats.committed)
+                         : 0.0);
+      s.emplace_back("tpart_live_plans_total",
+                     static_cast<double>(sim_rounds));
+      s.emplace_back("tpart_live_tgraph_size",
+                     static_cast<double>(scheduler.graph().num_unsunk()));
+      options.live_sampler->SampleEpoch(plan.epoch, s);
     }
   };
 

@@ -13,6 +13,10 @@
 
 namespace tpart {
 
+namespace obs {
+class LiveSampler;
+}  // namespace obs
+
 /// Timing simulation of Calvin+TP: the *real* T-Part scheduler
 /// (T-graph, streaming partitioning, sinking, push plans — the paper's
 /// contribution, §3) drives a simulated cluster. Each transaction runs on
@@ -34,6 +38,11 @@ struct TPartSimOptions {
   /// write-backs fan out to every replica (one extra hop beyond the
   /// home). 1 = the paper's configuration.
   std::size_t storage_replicas = 1;
+  /// Live sampling pinned to sink epochs: a kEpoch-domain sampler gets
+  /// one SampleEpoch() per sinking round with values that are pure
+  /// functions of the run, so two same-seed sims produce byte-identical
+  /// metrics JSONL (asserted in trace_test). Must be kEpoch domain.
+  obs::LiveSampler* live_sampler = nullptr;
 };
 
 /// Runs the totally ordered `txns` and returns aggregate statistics.

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "runtime/channel.h"
 #include "runtime/cluster.h"
 #include "runtime/storage_service.h"
@@ -359,6 +360,72 @@ TEST(CrashTest, DetectionOnlySurfacesUnavailableWithDiagnostic) {
   // Detection, drain and teardown all happen promptly — no stall-timeout
   // or infinite hang on the way out.
   EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder: every declared fault ships a post-mortem whose tail
+// carries the fault markers.
+// ---------------------------------------------------------------------
+
+bool LooksLikeChromeTrace(const std::string& json) {
+  if (json.compare(0, 16, "{\"traceEvents\":[") != 0) return false;
+  if (json.find("],\"displayTimeUnit\":\"ms\"}") == std::string::npos) {
+    return false;
+  }
+  long depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+TEST(CrashTest, ChaosCrashProducesLoadablePostmortem) {
+#if defined(TPART_TRACING_DISABLED)
+  GTEST_SKIP() << "instrumentation compiled out (TPART_DISABLE_TRACING)";
+#endif
+  obs::FlightRecorder rec;
+  obs::InstallGlobalFlightRecorder(&rec);
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot got =
+      RunOnce(w, CrashOpts(TransportKind::kDirect, 1, 3));
+  obs::InstallGlobalFlightRecorder(nullptr);
+  ExpectRecovered(got.out, 1);
+
+  // The watchdog's stall diagnostic fired on the crashed machine and
+  // dumped the black box.
+  ASSERT_GE(rec.dumps(), 1u);
+  const std::string json = rec.last_dump_json();
+  EXPECT_TRUE(LooksLikeChromeTrace(json)) << json.substr(0, 200);
+  EXPECT_NE(json.find("\"name\":\"crash_stop\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"failure_declared\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stall\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"stall\""), std::string::npos);
+  // The fault markers sit in the tail, after the steady-state stream.
+  EXPECT_GT(json.find("\"name\":\"crash_stop\""),
+            json.find("\"name\":\"admit_batch\""));
+}
+
+TEST(CrashTest, InducedStallWithoutRecoveryDumpsPostmortem) {
+#if defined(TPART_TRACING_DISABLED)
+  GTEST_SKIP() << "instrumentation compiled out (TPART_DISABLE_TRACING)";
+#endif
+  obs::FlightRecorder rec;
+  obs::InstallGlobalFlightRecorder(&rec);
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  LocalClusterOptions opts = CrashOpts(TransportKind::kDirect, 1, 2);
+  opts.crash.recover = false;  // fault surfaces instead of recovering
+  LocalCluster cluster(&w, opts);
+  const ClusterRunOutcome out = cluster.RunTPart();
+  obs::InstallGlobalFlightRecorder(nullptr);
+  EXPECT_FALSE(out.fault.ok());
+
+  ASSERT_GE(rec.dumps(), 1u);
+  const std::string json = rec.last_dump_json();
+  EXPECT_TRUE(LooksLikeChromeTrace(json)) << json.substr(0, 200);
+  EXPECT_NE(json.find("\"name\":\"failure_declared\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"stall\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

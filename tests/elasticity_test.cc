@@ -86,6 +86,11 @@ void ExpectMigrated(const ClusterRunOutcome& out, std::uint64_t steps,
   EXPECT_GT(out.migration.chunks_shipped, 0u);
   EXPECT_EQ(out.migration.forced_checkpoints, steps * slots);
   EXPECT_GT(out.migration.barrier_us, 0u);
+  // One barrier-pause observation per membership step, summing to the
+  // scalar total (the live-observability phase histogram).
+  EXPECT_EQ(out.migration.phase_barrier_us.count(), steps);
+  EXPECT_EQ(static_cast<std::uint64_t>(out.migration.phase_barrier_us.sum()),
+            out.migration.barrier_us);
 }
 
 // ---------------------------------------------------------------------

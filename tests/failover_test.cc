@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "runtime/channel.h"
 #include "runtime/cluster.h"
 #include "runtime/coordinator.h"
@@ -407,6 +408,61 @@ TEST(FailoverTest, OutOfOrderAppendsParkUntilGapFills) {
   }
   EXPECT_EQ(acked(), (std::vector<std::uint64_t>{0, 1, 2}));
   set.Shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder: a coordinator failover dumps a post-mortem whose tail
+// carries the election and term-start markers.
+// ---------------------------------------------------------------------
+
+TEST(FailoverTest, CoordinatorFailoverProducesLoadablePostmortem) {
+#if defined(TPART_TRACING_DISABLED)
+  GTEST_SKIP() << "instrumentation compiled out (TPART_DISABLE_TRACING)";
+#endif
+  obs::FlightRecorder rec;
+  obs::InstallGlobalFlightRecorder(&rec);
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot got =
+      RunOnce(w, FailoverOpts(TransportKind::kDirect, 5, /*standbys=*/2));
+  obs::InstallGlobalFlightRecorder(nullptr);
+  ExpectFailedOver(got.out, 1);
+
+  ASSERT_GE(rec.dumps(), 1u);
+  const std::string json = rec.last_dump_json();
+  EXPECT_EQ(json.compare(0, 16, "{\"traceEvents\":["), 0)
+      << json.substr(0, 200);
+  EXPECT_NE(json.find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"crash_stop\""), std::string::npos)
+      << "leader crash-stop marker missing";
+  EXPECT_NE(json.find("\"name\":\"election_won\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"term_start\""), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"failover\""), std::string::npos);
+  // Causal order in the merged, time-sorted dump: crash before election
+  // before the new term.
+  const std::size_t crash_at = json.find("\"name\":\"crash_stop\"");
+  const std::size_t won_at = json.find("\"name\":\"election_won\"");
+  const std::size_t term_at = json.find("\"name\":\"term_start\"");
+  EXPECT_LT(crash_at, won_at);
+  EXPECT_LT(won_at, term_at);
+}
+
+// Satellite of the live-observability plane: each failover phase lands
+// one observation in the phase histograms, so multi-failover runs
+// aggregate into p50/p99 instead of overwriting a last-value gauge.
+TEST(FailoverTest, PhaseDurationsLandInHistograms) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot got = RunOnce(
+      w, FailoverOpts(TransportKind::kDirect, 4, /*standbys=*/1));
+  ExpectFailedOver(got.out, 1);
+  const FailoverStats& f = got.out.failover;
+  EXPECT_EQ(f.phase_detection_us.count(), 1u);
+  EXPECT_EQ(f.phase_election_us.count(), 1u);
+  EXPECT_EQ(f.phase_replan_us.count(), 1u);
+  EXPECT_EQ(f.phase_plan_stream_gap_us.count(), 1u);
+  // The histogram observations mirror the last-failover scalars.
+  EXPECT_EQ(f.phase_detection_us.max_value(), f.detection_latency_us);
+  EXPECT_EQ(f.phase_replan_us.max_value(), f.replan_us);
+  EXPECT_GE(f.phase_plan_stream_gap_us.max_value(), f.replan_us);
 }
 
 // ---------------------------------------------------------------------

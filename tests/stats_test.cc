@@ -265,9 +265,9 @@ TEST(PublishToTest, NestedStatsPublishWhenPopulated) {
   obs::MetricsRegistry reg;
   stats.PublishTo(reg);
   EXPECT_DOUBLE_EQ(reg.Value("tpart_transport_messages_sent_total"), 7.0);
-  EXPECT_DOUBLE_EQ(reg.Value("tpart_transport_queue_high_water"), 4.0);
+  EXPECT_DOUBLE_EQ(reg.Value("tpart_transport_queue_peak_depth"), 4.0);
   EXPECT_DOUBLE_EQ(reg.Value("tpart_pipeline_admitted_total"), 9.0);
-  EXPECT_DOUBLE_EQ(reg.Value("tpart_pipeline_admission_rate"), 3.0);
+  EXPECT_DOUBLE_EQ(reg.Value("tpart_pipeline_admission_rate_tps"), 3.0);
   EXPECT_DOUBLE_EQ(reg.Value("tpart_recovery_crashes_injected_total"), 1.0);
   EXPECT_DOUBLE_EQ(reg.Value("tpart_recovery_replayed_txns_total"), 11.0);
 }

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/live_sampler.h"
 #include "sim/tpart_sim.h"
 #include "workload/micro.h"
 
@@ -402,6 +403,27 @@ TEST(TraceSimTest, SimTraceCoversTxnsFlowsAndScheduler) {
   EXPECT_EQ(flow_start, flow_end);
   EXPECT_GT(counters, 0) << "tgraph_unsunk counter series";
   EXPECT_GT(sinks, 0) << "scheduler sink rounds";
+}
+
+TEST(TraceSimTest, SameSeedRunsProduceByteIdenticalMetricsStreams) {
+  auto run = [] {
+    obs::LiveSampler sampler(obs::LiveSampler::Domain::kEpoch);
+    const Workload w = TraceMicro();
+    TPartSimOptions o;
+    o.num_machines = 4;
+    o.scheduler.sink_size = 50;
+    o.live_sampler = &sampler;
+    RunTPartSim(o, w.partition_map, w.SequencedRequests());
+    return sampler.Jsonl();
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_NE(a.find("\"epoch\":1"), std::string::npos);
+  EXPECT_NE(a.find("\"tpart_live_committed_total\":"), std::string::npos);
+  EXPECT_EQ(a, b)
+      << "epoch-domain metrics streams must be byte-identical across "
+         "same-seed simulator runs";
 }
 
 TEST(TraceSimTest, RunWithoutRecorderLeavesTraceEmpty) {

@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "net/wire.h"
+#include "obs/trace_context.h"
 
 namespace tpart {
 namespace {
@@ -141,6 +142,7 @@ Message FullMessage() {
   m.reply_to = 2;
   m.req_id = 123456;
   m.txn = 88;
+  m.trace_ctx = obs::PackTraceCtx(/*origin=*/3, /*term=*/2);
   m.kvs = {{5, Record({7})}, {6, Record::Absent()}};
   // plan_bytes is opaque at the Message layer: arbitrary (non-UTF-8,
   // NUL-bearing) bytes must survive.
