@@ -29,9 +29,37 @@
 //                                   crash-stops the coordinator (leader
 //                                   sequencer/scheduler) at epoch E and
 //                                   fails over to a standby — requires
-//                                   --standbys>=1. Worker and seq events
-//                                   compose freely; prints the recovery
-//                                   and failover statistics
+//                                   --standbys>=1. seq@E+revive@E' pauses
+//                                   the leader instead: at epoch E' the
+//                                   zombie wakes and replays its
+//                                   in-flight traffic, which the
+//                                   successor's term fence must drop.
+//                                   Worker and seq events compose freely;
+//                                   prints the recovery and failover
+//                                   statistics
+//   --partition=SPEC[;SPEC...]      (streaming only) seeded link
+//                                   partitions, ';'-separated (group
+//                                   lists use commas). "0,1|2@3..5"
+//                                   severs both directions between {0,1}
+//                                   and {2} for sink epochs 3..4;
+//                                   "0>1@3..5" severs only 0's packets
+//                                   to 1; "1|@3" isolates machine 1 from
+//                                   everyone until the final flush. The
+//                                   retry layer redelivers everything a
+//                                   window swallowed once it heals —
+//                                   results stay byte-identical
+//   --slow-link=SPEC[,SPEC...]      (streaming only) gray-failure slow
+//                                   links: "0->1@2..7:900" delays every
+//                                   packet 0 sends to 1 by a seeded
+//                                   amount up to 900us while epochs 2..6
+//                                   disseminate (delay defaults to
+//                                   1500us). The adaptive detector must
+//                                   not declare the slow destination
+//                                   dead
+//   --detector                      (streaming only) arm the phi-accrual
+//                                   failure detector even without --crash:
+//                                   stragglers and slow links are excused
+//                                   while true crash-stops are caught
 //   --no-recover                    with --crash: detect only, surface
 //                                   the failure as a fault status
 //                                   (worker events only)
@@ -66,6 +94,14 @@
 //                                   it also schedules one coordinator
 //                                   leader crash (seq@E in the printed
 //                                   schedule); incompatible with --crash
+//   --chaos-extended                widen --chaos with link-level faults
+//                                   derived from the same seed: one
+//                                   partition window, one gray-failure
+//                                   slow link, one flapping link, and
+//                                   (with --standbys>=1) the leader
+//                                   crash becomes a pause-and-revive
+//                                   zombie whose stale traffic must be
+//                                   term-fenced
 //   --trace=out.json                record a Chrome trace-event JSON of
 //                                   the run (open in Perfetto or
 //                                   chrome://tracing). Simulator traces
@@ -110,9 +146,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "baselines/gstore.h"
+#include "net/partition_schedule.h"
 #include "obs/flight_recorder.h"
 #include "obs/live_sampler.h"
 #include "obs/metrics.h"
@@ -201,6 +239,10 @@ int main(int argc, char** argv) {
   const auto checkpoint_every = static_cast<SinkEpoch>(
       IntFlag(argc, argv, "checkpoint-every", 0));
   const std::string chaos = StrFlag(argc, argv, "chaos", "");
+  const bool chaos_extended = BoolFlag(argc, argv, "chaos-extended");
+  const std::string partition_specs = StrFlag(argc, argv, "partition", "");
+  const std::string slow_link_specs = StrFlag(argc, argv, "slow-link", "");
+  const bool force_detector = BoolFlag(argc, argv, "detector");
   const std::string resize = StrFlag(argc, argv, "resize", "");
   const std::string resize_policy =
       StrFlag(argc, argv, "resize-policy", "rehash");
@@ -331,6 +373,7 @@ int main(int argc, char** argv) {
 
   if (use_runtime) {
     LocalClusterOptions opts;
+    std::string chaos_schedule;
     opts.scheduler.sink_size = sink;
     if (gstore) {
       opts.scheduler.sink_size = 1;
@@ -375,16 +418,39 @@ int main(int argc, char** argv) {
                        item.c_str());
           return 2;
         }
-        const SinkEpoch epoch =
-            static_cast<SinkEpoch>(std::atoll(item.substr(at + 1).c_str()));
+        // seq events may carry a "+revive@E'" tail: the leader pauses at
+        // E instead of dying and wakes as a zombie at E'.
+        const std::string window = item.substr(at + 1);
+        const auto plus = window.find("+revive@");
+        const SinkEpoch epoch = static_cast<SinkEpoch>(
+            std::atoll(window.substr(0, plus).c_str()));
         if (item.compare(0, at, "seq") == 0) {
           if (standbys == 0) {
             std::fprintf(stderr,
                          "--crash=seq@EPOCH requires --standbys>=1\n");
             return 2;
           }
+          SinkEpoch revive = 0;
+          if (plus != std::string::npos) {
+            revive = static_cast<SinkEpoch>(
+                std::atoll(window.substr(plus + 8).c_str()));
+            if (revive <= epoch) {
+              std::fprintf(stderr,
+                           "--crash=seq@E+revive@E' needs E' > E (got "
+                           "'%s')\n",
+                           item.c_str());
+              return 2;
+            }
+          }
           opts.crash.coordinator_at.push_back(epoch);
+          opts.crash.coordinator_revive_at.push_back(revive);
           continue;
+        }
+        if (plus != std::string::npos) {
+          std::fprintf(stderr,
+                       "+revive@E' applies to seq events only (got '%s')\n",
+                       item.c_str());
+          return 2;
         }
         const auto machine =
             static_cast<MachineId>(std::atoll(item.substr(0, at).c_str()));
@@ -413,8 +479,71 @@ int main(int argc, char** argv) {
           std::max<SinkEpoch>(static_cast<SinkEpoch>(txns / sink), 12);
       const std::string schedule = ApplySeededChaos(
           static_cast<std::uint64_t>(std::atoll(chaos.c_str())), machines,
-          span, opts);
+          span, opts, chaos_extended);
       std::printf("%s\n", schedule.c_str());
+      chaos_schedule = schedule;
+    }
+    if (!partition_specs.empty()) {
+      if (!stream) {
+        std::fprintf(stderr, "--partition requires --stream\n");
+        return 2;
+      }
+      // ';'-separated: partition group lists use commas internally.
+      for (std::size_t pos = 0; pos < partition_specs.size();) {
+        std::size_t semi = partition_specs.find(';', pos);
+        if (semi == std::string::npos) semi = partition_specs.size();
+        const Result<PartitionEvent> ev =
+            ParsePartitionSpec(partition_specs.substr(pos, semi - pos));
+        if (!ev.ok()) {
+          std::fprintf(stderr, "--partition: %s\n",
+                       ev.status().ToString().c_str());
+          return 2;
+        }
+        opts.transport.faults.partition.partitions.push_back(*ev);
+        pos = semi + 1;
+      }
+    }
+    if (!slow_link_specs.empty()) {
+      if (!stream) {
+        std::fprintf(stderr, "--slow-link requires --stream\n");
+        return 2;
+      }
+      for (std::size_t pos = 0; pos < slow_link_specs.size();) {
+        std::size_t comma = slow_link_specs.find(',', pos);
+        if (comma == std::string::npos) comma = slow_link_specs.size();
+        const Result<SlowLinkEvent> ev =
+            ParseSlowLinkSpec(slow_link_specs.substr(pos, comma - pos));
+        if (!ev.ok()) {
+          std::fprintf(stderr, "--slow-link: %s\n",
+                       ev.status().ToString().c_str());
+          return 2;
+        }
+        opts.transport.faults.partition.slow_links.push_back(*ev);
+        pos = comma + 1;
+      }
+    }
+    // --detector arms the phi-accrual watchdog even without --crash:
+    // the gray-failure drill is "slow links and stragglers, detector
+    // on, zero crashes injected".
+    if (force_detector) {
+      if (!stream) {
+        std::fprintf(stderr, "--detector requires --stream\n");
+        return 2;
+      }
+      opts.detector.enabled = true;
+    }
+    // Post-mortem header (black-box analysis needs the run's identity):
+    // build id, the derived chaos schedule, and the link-fault summary
+    // land in the flight recorder's dump as "runContext".
+    if (flight != nullptr) {
+      std::ostringstream ctx;
+      ctx << "build " << __DATE__ << " " << __TIME__;
+      if (!chaos_schedule.empty()) ctx << "; " << chaos_schedule;
+      if (!crash.empty()) ctx << "; crash " << crash;
+      if (opts.transport.faults.partition.Any()) {
+        ctx << "; links " << opts.transport.faults.partition.Summary();
+      }
+      flight->SetRunContext(ctx.str());
     }
     if (!resize.empty()) {
       if (!stream) {

@@ -22,6 +22,8 @@ void TransportStats::MergeFrom(const TransportStats& other) {
   faults_dropped += other.faults_dropped;
   faults_duplicated += other.faults_duplicated;
   faults_delayed += other.faults_delayed;
+  faults_severed += other.faults_severed;
+  faults_slowed += other.faults_slowed;
   backpressure_waits += other.backpressure_waits;
   queue_high_water = std::max(queue_high_water, other.queue_high_water);
 }
@@ -39,6 +41,10 @@ std::string TransportStats::Summary() const {
   if (faults_dropped + faults_duplicated + faults_delayed > 0) {
     out << " faults(drop/dup/delay)=" << faults_dropped << "/"
         << faults_duplicated << "/" << faults_delayed;
+  }
+  if (faults_severed + faults_slowed > 0) {
+    out << " links(severed/slowed)=" << faults_severed << "/"
+        << faults_slowed;
   }
   out << " backpressure=" << backpressure_waits
       << " queue_hw=" << queue_high_water;
@@ -71,6 +77,10 @@ std::string RecoveryStats::Summary() const {
         << " replayed=" << replayed_txns << " resent_rounds=" << resent_rounds
         << " checkpoint_records=" << checkpoint_records
         << " downtime_us=" << downtime_us;
+  }
+  if (suspicions_suppressed > 0 || peak_healthy_phi > 0.0) {
+    out << " suspicions_suppressed=" << suspicions_suppressed
+        << " peak_healthy_phi=" << peak_healthy_phi;
   }
   return out.str();
 }
@@ -144,6 +154,10 @@ void TransportStats::PublishTo(obs::MetricsRegistry& registry) const {
   c("faults_dropped_total", faults_dropped, "Injected packet drops");
   c("faults_duplicated_total", faults_duplicated, "Injected duplications");
   c("faults_delayed_total", faults_delayed, "Injected delays");
+  c("faults_severed_total", faults_severed,
+    "Packets swallowed by severed (partitioned or flapping) links");
+  c("faults_slowed_total", faults_slowed,
+    "Packets slowed by gray-failure slow links");
   c("backpressure_waits_total", backpressure_waits,
     "Sends that blocked on a full queue");
   registry.SetGauge("tpart_transport_queue_peak_depth",
@@ -193,6 +207,11 @@ void RecoveryStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetCounter("tpart_recovery_crashes_injected_total",
                       static_cast<double>(crashes_injected),
                       "Machines crash-stopped during the run");
+  registry.SetCounter("tpart_fd_suspicions_suppressed_total",
+                      static_cast<double>(suspicions_suppressed),
+                      "Deadline expiries the phi-accrual gate suppressed");
+  registry.SetGauge("tpart_fd_peak_healthy_phi_ratio", peak_healthy_phi,
+                    "Highest phi any machine that stayed live reached");
   if (crashes_injected == 0) return;
   registry.SetGauge("tpart_recovery_detection_latency_us",
                     static_cast<double>(detection_latency_us),
@@ -222,6 +241,8 @@ std::string FailoverStats::Summary() const {
         << " catchup_rounds=" << catchup_rounds
         << " reshipped_rounds=" << reshipped_rounds
         << " dueling_claims=" << dueling_claims
+        << " fenced(msgs/appends)=" << fenced_messages << "/"
+        << fenced_appends << " zombies=" << zombie_revivals
         << " detection_us=" << detection_latency_us
         << " election_us=" << election_us << " replan_us=" << replan_us
         << " gap_us=" << plan_stream_gap_us;
@@ -258,6 +279,15 @@ void FailoverStats::PublishTo(obs::MetricsRegistry& registry) const {
   registry.SetCounter("tpart_failover_dueling_claims_total",
                       static_cast<double>(dueling_claims),
                       "Simultaneous leadership claims observed");
+  registry.SetCounter("tpart_failover_fenced_messages_total",
+                      static_cast<double>(fenced_messages),
+                      "Stale-term plan/round/migration messages rejected");
+  registry.SetCounter("tpart_failover_fenced_appends_total",
+                      static_cast<double>(fenced_appends),
+                      "Stale-term appends/claims replicas rejected");
+  registry.SetCounter("tpart_failover_zombie_revivals_total",
+                      static_cast<double>(zombie_revivals),
+                      "Paused ex-leaders revived to replay stale traffic");
   registry.SetGauge("tpart_failover_detection_latency_us",
                     static_cast<double>(detection_latency_us),
                     "Leader crash until a standby's election timer fired");

@@ -44,6 +44,10 @@ struct TransportStats {
   std::uint64_t faults_dropped = 0;
   std::uint64_t faults_duplicated = 0;
   std::uint64_t faults_delayed = 0;
+  /// Link-schedule faults: packets swallowed by a severed (partitioned or
+  /// flapping-down) link, and packets slowed by a gray-failure slow link.
+  std::uint64_t faults_severed = 0;
+  std::uint64_t faults_slowed = 0;
   /// Sender-side flow control: sends that blocked on a full queue, and
   /// the deepest any outgoing/delivery queue ever got.
   std::uint64_t backpressure_waits = 0;
@@ -115,8 +119,16 @@ struct RecoveryStats {
   /// Last sinking round the crashed machine fully executed before dying.
   SinkEpoch crash_epoch = 0;
   /// Crash-stop to watchdog declaring the machine failed (heartbeat
-  /// sequence stalled past the deadline).
+  /// sequence stalled past the deadline, and — with the adaptive
+  /// detector — past the phi-accrual suspicion threshold too).
   std::uint64_t detection_latency_us = 0;
+  /// Adaptive (phi-accrual) detector activity: deadline expiries the phi
+  /// gate suppressed (gray failure / straggler, not a crash), and the
+  /// highest suspicion level any machine that stayed live ever reached.
+  /// A false-positive recovery requires peak healthy phi to cross the
+  /// threshold; the partition tests assert it never does.
+  std::uint64_t suspicions_suppressed = 0;
+  double peak_healthy_phi = 0.0;
   /// Request-log entries re-executed by the §5.4 local replay.
   std::uint64_t replayed_txns = 0;
   /// Sinking rounds the dissemination stage re-shipped after recovery
@@ -160,6 +172,14 @@ struct FailoverStats {
   /// Simultaneous leadership claims observed (randomized election
   /// backoff should keep this at zero even under stragglers).
   std::uint64_t dueling_claims = 0;
+  /// Term fencing: stale-term plan/round/migration messages worker
+  /// machines rejected, stale-term log appends / leadership claims the
+  /// coordinator replicas rejected, and zombie-leader revivals injected
+  /// (a paused ex-leader coming back and replaying its in-flight
+  /// traffic, all of which must land in the fenced counters).
+  std::uint64_t fenced_messages = 0;
+  std::uint64_t fenced_appends = 0;
+  std::uint64_t zombie_revivals = 0;
   /// Leader crash-stop until a standby's election timer fired.
   std::uint64_t detection_latency_us = 0;
   /// Election timer firing until the claim was broadcast (backoff incl.).

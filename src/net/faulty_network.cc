@@ -29,6 +29,17 @@ void FaultyPacketNetwork::Send(MachineId from, MachineId to,
     std::lock_guard<std::mutex> lock(mu_);
     seq = link_seq_[from * n_ + to]++;
   }
+  // Link-schedule faults first: a severed or flapped-down link swallows
+  // the packet before any per-packet randomness, so runs without a
+  // schedule keep their exact historical drop/dup/delay pattern.
+  const std::uint64_t epoch = fault_epoch_.load(std::memory_order_acquire);
+  const PartitionSchedule& sched = options_.partition;
+  if (sched.Severed(from, to, epoch, n_) ||
+      sched.FlappedDown(from, to, epoch, seq)) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.faults_severed;
+    return;
+  }
   // One seeded generator per (link, send index): fault pattern is
   // independent of cross-link thread interleaving.
   Rng rng(options_.seed ^ (static_cast<std::uint64_t>(from) << 40) ^
@@ -45,22 +56,44 @@ void FaultyPacketNetwork::Send(MachineId from, MachineId to,
   }
   for (int c = 0; c < copies; ++c) {
     std::string copy = (c + 1 < copies) ? packet : std::move(packet);
+    std::uint64_t delay_us = 0;
     if (rng.NextBool(options_.delay_prob)) {
-      const auto delay = std::chrono::microseconds(
-          1 + rng.NextBelow(static_cast<std::uint64_t>(
-                  std::max(options_.max_delay_us, 1))));
+      delay_us = 1 + rng.NextBelow(static_cast<std::uint64_t>(
+                         std::max(options_.max_delay_us, 1)));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.faults_delayed;
+    }
+    // Gray failure: an active slow-link window inflates every packet on
+    // the link by a seeded amount on top of any probabilistic delay.
+    if (const int slow_us = sched.SlowDelayUs(from, to, epoch);
+        slow_us > 0) {
+      delay_us += 1 + rng.NextBelow(static_cast<std::uint64_t>(slow_us));
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.faults_slowed;
+    }
+    if (delay_us > 0) {
+      const auto delay = std::chrono::microseconds(delay_us);
       {
         std::lock_guard<std::mutex> lock(mu_);
         delayed_.push(Delayed{std::chrono::steady_clock::now() + delay,
                               delay_order_++, from, to, std::move(copy)});
       }
       cv_.notify_all();
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.faults_delayed;
     } else {
       inner_->Send(from, to, std::move(copy));
     }
   }
+}
+
+void FaultyPacketNetwork::SetEpoch(std::uint64_t epoch) {
+  // Monotonic max: recovery re-ships and racing stages may advance out
+  // of order, and healing must never be rolled back.
+  std::uint64_t cur = fault_epoch_.load(std::memory_order_relaxed);
+  while (epoch > cur && !fault_epoch_.compare_exchange_weak(
+                            cur, epoch, std::memory_order_release,
+                            std::memory_order_relaxed)) {
+  }
+  inner_->SetEpoch(epoch);
 }
 
 void FaultyPacketNetwork::TimerLoop() {

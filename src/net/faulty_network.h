@@ -10,13 +10,14 @@
 #include <vector>
 
 #include "net/packet_network.h"
+#include "net/partition_schedule.h"
 
 namespace tpart {
 
 /// Fault-injection knobs. Fault decisions are a pure function of
-/// (seed, from, to, per-link send index), so a given traffic pattern
-/// meets the same drop/duplicate/delay pattern on every run regardless
-/// of thread interleaving.
+/// (seed, from, to, per-link send index, fault epoch), so a given
+/// traffic pattern meets the same drop/duplicate/delay/sever/slow
+/// pattern on every run regardless of thread interleaving.
 struct FaultOptions {
   std::uint64_t seed = 0x7ea57;
   /// Per-packet probabilities; applied to data AND ack packets.
@@ -26,9 +27,14 @@ struct FaultOptions {
   /// Delayed packets are released after a seeded uniform delay in
   /// [1, max_delay_us].
   int max_delay_us = 2000;
+  /// Link-level schedule: partition windows, flapping links, and
+  /// gray-failure slow links keyed to the fault epoch the cluster
+  /// advances (PacketNetwork::SetEpoch).
+  PartitionSchedule partition;
 
   bool Any() const {
-    return drop_prob > 0 || duplicate_prob > 0 || delay_prob > 0;
+    return drop_prob > 0 || duplicate_prob > 0 || delay_prob > 0 ||
+           partition.Any();
   }
 };
 
@@ -47,6 +53,12 @@ class FaultyPacketNetwork : public PacketNetwork {
   void Drain() override;
   void Stop() override;
   TransportStats stats() const override;
+
+  /// Advances the fault epoch the link schedule is evaluated against.
+  /// Monotonic (stale advances are ignored); UINT64_MAX heals every
+  /// scheduled fault. Forwarded to the inner network for decorator
+  /// stacking.
+  void SetEpoch(std::uint64_t epoch) override;
 
  private:
   struct Delayed {
@@ -67,6 +79,9 @@ class FaultyPacketNetwork : public PacketNetwork {
   FaultOptions options_;
   bool started_ = false;
   bool stopped_ = false;
+  /// Current fault epoch (sink epoch being disseminated). Atomic: read
+  /// by every sending thread, advanced by the dissemination stage.
+  std::atomic<std::uint64_t> fault_epoch_{0};
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -47,6 +47,11 @@ class PacketNetwork {
   virtual void Stop() = 0;
 
   virtual TransportStats stats() const = 0;
+
+  /// Advances the fault epoch that epoch-keyed link schedules (severed
+  /// partitions, flapping links, slow links) are evaluated against.
+  /// No-op for lossless networks; the faulty decorator overrides it.
+  virtual void SetEpoch(std::uint64_t /*epoch*/) {}
 };
 
 /// Lossless in-process implementation: one bounded BlockingQueue of byte

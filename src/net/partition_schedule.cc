@@ -1,0 +1,271 @@
+#include "net/partition_schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tpart {
+
+namespace {
+
+bool Contains(const std::vector<MachineId>& group, MachineId m) {
+  return std::find(group.begin(), group.end(), m) != group.end();
+}
+
+/// Membership with complement semantics: an empty group_b matches every
+/// machine below n that is not in group_a.
+bool InB(const PartitionEvent& ev, MachineId m, std::size_t n) {
+  if (!ev.group_b.empty()) return Contains(ev.group_b, m);
+  return m < static_cast<MachineId>(n) && !Contains(ev.group_a, m);
+}
+
+bool WindowActive(std::uint64_t from_epoch, std::uint64_t heal_epoch,
+                  std::uint64_t epoch) {
+  return epoch >= from_epoch && epoch < heal_epoch;
+}
+
+Result<std::uint64_t> ParseUint(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number: " + s);
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return Status::InvalidArgument("number overflow: " + s);
+    }
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+Result<std::vector<MachineId>> ParseIdList(const std::string& s) {
+  if (!s.empty() && s.back() == ',') {
+    return Status::InvalidArgument("trailing comma in id list: " + s);
+  }
+  std::vector<MachineId> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    auto id = ParseUint(s.substr(pos, comma - pos));
+    if (!id.ok()) return id.status();
+    out.push_back(static_cast<MachineId>(*id));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Parses the "@E" / "@E..E'" window tail shared by both spec forms.
+Status ParseWindow(const std::string& s, std::uint64_t* from_epoch,
+                   std::uint64_t* heal_epoch) {
+  const std::size_t dots = s.find("..");
+  if (dots == std::string::npos) {
+    auto from = ParseUint(s);
+    if (!from.ok()) return from.status();
+    *from_epoch = *from;
+    *heal_epoch = std::numeric_limits<std::uint64_t>::max();
+    return Status::Ok();
+  }
+  auto from = ParseUint(s.substr(0, dots));
+  if (!from.ok()) return from.status();
+  auto heal = ParseUint(s.substr(dots + 2));
+  if (!heal.ok()) return heal.status();
+  if (*heal <= *from) {
+    return Status::InvalidArgument("window heals before it starts: " + s);
+  }
+  *from_epoch = *from;
+  *heal_epoch = *heal;
+  return Status::Ok();
+}
+
+void AppendWindow(std::ostringstream& out, std::uint64_t from_epoch,
+                  std::uint64_t heal_epoch) {
+  out << "@" << from_epoch << "..";
+  if (heal_epoch != std::numeric_limits<std::uint64_t>::max()) {
+    out << heal_epoch;
+  }
+}
+
+void AppendIds(std::ostringstream& out, const std::vector<MachineId>& ids) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out << ",";
+    out << ids[i];
+  }
+}
+
+}  // namespace
+
+bool PartitionSchedule::Severed(MachineId from, MachineId to,
+                                std::uint64_t epoch, std::size_t n) const {
+  for (const PartitionEvent& ev : partitions) {
+    if (!WindowActive(ev.from_epoch, ev.heal_epoch, epoch)) continue;
+    const bool a_to_b = Contains(ev.group_a, from) && InB(ev, to, n);
+    if (a_to_b) return true;
+    if (ev.symmetric && Contains(ev.group_a, to) && InB(ev, from, n)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PartitionSchedule::FlappedDown(MachineId from, MachineId to,
+                                    std::uint64_t epoch,
+                                    std::uint64_t link_seq) const {
+  for (const FlappingLink& ev : flapping) {
+    if (ev.from != from || ev.to != to) continue;
+    if (!WindowActive(ev.from_epoch, ev.heal_epoch, epoch)) continue;
+    const std::uint64_t period = std::max<std::uint64_t>(ev.period, 1);
+    if (link_seq % period >= std::min(ev.up, period)) return true;
+  }
+  return false;
+}
+
+int PartitionSchedule::SlowDelayUs(MachineId from, MachineId to,
+                                   std::uint64_t epoch) const {
+  int worst = 0;
+  for (const SlowLinkEvent& ev : slow_links) {
+    if (ev.from != from || ev.to != to) continue;
+    if (!WindowActive(ev.from_epoch, ev.heal_epoch, epoch)) continue;
+    worst = std::max(worst, ev.extra_delay_us);
+  }
+  return worst;
+}
+
+bool PartitionSchedule::OpensSeverWindowIn(std::uint64_t after,
+                                           std::uint64_t through) const {
+  for (const PartitionEvent& ev : partitions) {
+    if (ev.from_epoch > after && ev.from_epoch <= through) return true;
+  }
+  return false;
+}
+
+std::uint64_t PartitionSchedule::HealAllActiveAt(std::uint64_t epoch) const {
+  // Fixpoint: healing one window can land inside another that opens
+  // exactly at the first one's heal epoch. Each pass strictly raises
+  // `epoch`, so this terminates after at most |partitions| passes.
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (const PartitionEvent& ev : partitions) {
+      if (WindowActive(ev.from_epoch, ev.heal_epoch, epoch) &&
+          ev.heal_epoch > epoch) {
+        epoch = ev.heal_epoch;
+        advanced = true;
+      }
+    }
+  }
+  return epoch;
+}
+
+std::uint64_t PartitionSchedule::MaxPartitionSpan() const {
+  std::uint64_t span = 0;
+  for (const PartitionEvent& ev : partitions) {
+    if (ev.heal_epoch == std::numeric_limits<std::uint64_t>::max()) continue;
+    span = std::max(span, ev.heal_epoch - ev.from_epoch);
+  }
+  return span;
+}
+
+std::string PartitionSchedule::Summary() const {
+  std::ostringstream out;
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << " ";
+    first = false;
+  };
+  for (const PartitionEvent& ev : partitions) {
+    sep();
+    out << "part{";
+    AppendIds(out, ev.group_a);
+    out << (ev.symmetric ? "|" : ">");
+    AppendIds(out, ev.group_b);
+    out << "}";
+    AppendWindow(out, ev.from_epoch, ev.heal_epoch);
+  }
+  for (const SlowLinkEvent& ev : slow_links) {
+    sep();
+    out << "slow{" << ev.from << "->" << ev.to << ":" << ev.extra_delay_us
+        << "us}";
+    AppendWindow(out, ev.from_epoch, ev.heal_epoch);
+  }
+  for (const FlappingLink& ev : flapping) {
+    sep();
+    out << "flap{" << ev.from << "->" << ev.to << ":" << ev.up << "/"
+        << ev.period << "}";
+    AppendWindow(out, ev.from_epoch, ev.heal_epoch);
+  }
+  if (first) out << "none";
+  return out.str();
+}
+
+Result<PartitionEvent> ParsePartitionSpec(const std::string& spec) {
+  const std::size_t at = spec.find('@');
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("partition spec needs @window: " + spec);
+  }
+  const std::string groups = spec.substr(0, at);
+  PartitionEvent ev;
+  std::size_t split = groups.find('|');
+  if (split == std::string::npos) {
+    split = groups.find('>');
+    if (split == std::string::npos) {
+      return Status::InvalidArgument("partition spec needs A|B or A>B: " +
+                                     spec);
+    }
+    ev.symmetric = false;
+  }
+  auto a = ParseIdList(groups.substr(0, split));
+  if (!a.ok()) return a.status();
+  if (a->empty()) {
+    return Status::InvalidArgument("partition group A is empty: " + spec);
+  }
+  ev.group_a = std::move(*a);
+  auto b = ParseIdList(groups.substr(split + 1));
+  if (!b.ok()) return b.status();
+  ev.group_b = std::move(*b);
+  for (MachineId m : ev.group_b) {
+    if (Contains(ev.group_a, m)) {
+      return Status::InvalidArgument("partition groups overlap: " + spec);
+    }
+  }
+  Status window =
+      ParseWindow(spec.substr(at + 1), &ev.from_epoch, &ev.heal_epoch);
+  if (!window.ok()) return window;
+  return ev;
+}
+
+Result<SlowLinkEvent> ParseSlowLinkSpec(const std::string& spec) {
+  const std::size_t arrow = spec.find("->");
+  const std::size_t at = spec.find('@');
+  if (arrow == std::string::npos || at == std::string::npos || at < arrow) {
+    return Status::InvalidArgument("slow-link spec needs m->n@window: " +
+                                   spec);
+  }
+  SlowLinkEvent ev;
+  auto from = ParseUint(spec.substr(0, arrow));
+  if (!from.ok()) return from.status();
+  auto to = ParseUint(spec.substr(arrow + 2, at - arrow - 2));
+  if (!to.ok()) return to.status();
+  ev.from = static_cast<MachineId>(*from);
+  ev.to = static_cast<MachineId>(*to);
+  if (ev.from == ev.to) {
+    return Status::InvalidArgument("slow link to self: " + spec);
+  }
+  std::string window = spec.substr(at + 1);
+  const std::size_t colon = window.find(':');
+  if (colon != std::string::npos) {
+    auto delay = ParseUint(window.substr(colon + 1));
+    if (!delay.ok()) return delay.status();
+    if (*delay == 0 || *delay > 60'000'000) {
+      return Status::InvalidArgument("slow-link delay out of range: " + spec);
+    }
+    ev.extra_delay_us = static_cast<int>(*delay);
+    window = window.substr(0, colon);
+  }
+  Status st = ParseWindow(window, &ev.from_epoch, &ev.heal_epoch);
+  if (!st.ok()) return st;
+  return ev;
+}
+
+}  // namespace tpart

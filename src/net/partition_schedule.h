@@ -1,0 +1,134 @@
+#ifndef TPART_NET_PARTITION_SCHEDULE_H_
+#define TPART_NET_PARTITION_SCHEDULE_H_
+
+// Seeded link-level fault schedules: network partitions that sever and
+// heal whole machine groups at sink-epoch boundaries, flapping links
+// that oscillate per packet, and gray-failure slow links whose latency
+// is inflated by a seeded per-packet amount. The schedule is pure data
+// — FaultyPacketNetwork consults it on every Send against the fault
+// epoch the dissemination stage advances — so a given (schedule, seed,
+// traffic) triple produces the same fault pattern on every run and on
+// every transport substrate.
+//
+// Epoch semantics: an event is active while
+//   from_epoch <= current fault epoch < heal_epoch
+// where the fault epoch is the sink epoch of the round currently being
+// disseminated. Healing at UINT64_MAX means "never during the run" (the
+// cluster heals all links before its final flush so the reliability
+// layer can complete delivery of everything a severed window swallowed).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace tpart {
+
+/// One partition window: every link from group_a to group_b (and, when
+/// symmetric, back) is severed while the window is active. An empty
+/// group_b means "every machine not in group_a" — the usual two-way
+/// split. Asymmetric windows model one-way link loss (A can hear B but
+/// not the reverse).
+struct PartitionEvent {
+  std::vector<MachineId> group_a;
+  std::vector<MachineId> group_b;  // empty = complement of group_a
+  std::uint64_t from_epoch = 0;
+  std::uint64_t heal_epoch = std::numeric_limits<std::uint64_t>::max();
+  bool symmetric = true;
+};
+
+/// Gray failure: the from->to link stays up but every packet it carries
+/// is delayed by a seeded uniform amount in [1, extra_delay_us] while
+/// the window is active. Detectors must NOT declare the destination
+/// dead — it is slow, not gone.
+struct SlowLinkEvent {
+  MachineId from = 0;
+  MachineId to = 0;
+  std::uint64_t from_epoch = 0;
+  std::uint64_t heal_epoch = std::numeric_limits<std::uint64_t>::max();
+  int extra_delay_us = 1500;
+};
+
+/// Flapping link: while the window is active the from->to link passes
+/// the first `up` of every `period` packets and swallows the rest, so
+/// connectivity oscillates at packet granularity (the retry layer must
+/// squeeze everything through the up-slots).
+struct FlappingLink {
+  MachineId from = 0;
+  MachineId to = 0;
+  std::uint64_t from_epoch = 0;
+  std::uint64_t heal_epoch = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t period = 4;
+  std::uint64_t up = 2;
+};
+
+/// The full link-fault schedule one run executes. Plain aggregate so
+/// chaos derivation, CLI parsing, and tests can build it directly.
+struct PartitionSchedule {
+  std::vector<PartitionEvent> partitions;
+  std::vector<SlowLinkEvent> slow_links;
+  std::vector<FlappingLink> flapping;
+
+  bool Any() const {
+    return !partitions.empty() || !slow_links.empty() || !flapping.empty();
+  }
+
+  /// True when the from->to link is severed at `epoch` by a partition
+  /// window. `n` bounds the complement of a one-sided group.
+  bool Severed(MachineId from, MachineId to, std::uint64_t epoch,
+               std::size_t n) const;
+
+  /// True when the from->to link is flapped down for the link's
+  /// `link_seq`-th packet at `epoch`.
+  bool FlappedDown(MachineId from, MachineId to, std::uint64_t epoch,
+                   std::uint64_t link_seq) const;
+
+  /// Max extra delay (us) a slow-link window inflicts on from->to at
+  /// `epoch`; 0 when no window is active.
+  int SlowDelayUs(MachineId from, MachineId to, std::uint64_t epoch) const;
+
+  /// True when any partition window opens in (after, through]. The
+  /// cluster quiesces in-flight rounds before crossing such a boundary:
+  /// a window "starting at epoch E" severs only traffic of rounds >= E,
+  /// never responses still owed for earlier rounds — otherwise those
+  /// orphaned rounds would pin epoch credits and the heal epoch could
+  /// never be disseminated.
+  bool OpensSeverWindowIn(std::uint64_t after, std::uint64_t through) const;
+
+  /// Smallest epoch >= `epoch` at which no partition window is active
+  /// (chasing windows that open exactly where an earlier one heals).
+  /// The cluster advances the fault clock here on coordinator failover:
+  /// an outage plus election takes long enough that any sever window
+  /// active at the crash has healed by the time the successor probes
+  /// watermarks — without this, probes to a severed machine could never
+  /// be answered, because the heal epoch only advances from the (parked)
+  /// dissemination loop.
+  std::uint64_t HealAllActiveAt(std::uint64_t epoch) const;
+
+  /// Largest epoch span any partition window covers (0 when none). The
+  /// cluster checks this against its epoch-queue capacity: a window
+  /// wider than the in-flight credit window would stall dissemination
+  /// before the heal epoch could ever be reached.
+  std::uint64_t MaxPartitionSpan() const;
+
+  /// Human-readable one-line description ("part{0|1,2}@3..5 slow{0->1}@2..")
+  /// for post-mortems and chaos summaries.
+  std::string Summary() const;
+};
+
+/// Parses "A|B@E..E'" (symmetric) or "A>B@E..E'" (asymmetric, A's
+/// packets to B are lost) where A and B are comma-separated machine
+/// ids and B may be empty (complement). "0,1|2@3..5" severs both
+/// directions between {0,1} and {2} for epochs 3 and 4.
+Result<PartitionEvent> ParsePartitionSpec(const std::string& spec);
+
+/// Parses "m->n@E", "m->n@E..E'", or "m->n@E..E':D" (D = max extra
+/// delay in microseconds; default 1500).
+Result<SlowLinkEvent> ParseSlowLinkSpec(const std::string& spec);
+
+}  // namespace tpart
+
+#endif  // TPART_NET_PARTITION_SCHEDULE_H_

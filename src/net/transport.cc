@@ -1,6 +1,7 @@
 #include "net/transport.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "common/logging.h"
@@ -319,6 +320,31 @@ TransportStats SerializedTransport::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   out.MergeFrom(stats_);
   return out;
+}
+
+void SerializedTransport::AdvanceFaultEpoch(std::uint64_t epoch) {
+  network_->SetEpoch(epoch);
+}
+
+std::string SerializedTransport::LinkDiagnostic() const {
+  std::ostringstream out;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "unacked_total=" << unacked_total_;
+  for (std::size_t from = 0; from < n_; ++from) {
+    for (std::size_t to = 0; to < n_; ++to) {
+      const Link& link = links_[from * n_ + to];
+      if (link.unacked.empty()) continue;
+      const auto oldest_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - link.unacked.begin()->second.sent)
+              .count();
+      out << " link[" << from << "->" << to
+          << "]: backlog=" << link.unacked.size()
+          << " oldest_sent_us=" << oldest_us;
+    }
+  }
+  return out.str();
 }
 
 // ---------------------------------------------------------------------

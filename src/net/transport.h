@@ -94,6 +94,18 @@ class Transport {
   virtual void Stop() = 0;
 
   virtual TransportStats stats() const = 0;
+
+  /// Advances the fault epoch link-level schedules (partitions, slow
+  /// links) key off. Called by the dissemination stage as each sinking
+  /// round ships; UINT64_MAX heals everything (the cluster does this
+  /// before its final Flush so severed-window losses can be repaired).
+  /// No-op for transports without a fault-injecting substrate.
+  virtual void AdvanceFaultEpoch(std::uint64_t /*epoch*/) {}
+
+  /// Human-readable per-link reliability state (retry backlog depth and
+  /// oldest unacked age) for stall diagnostics; empty when the
+  /// transport has no reliability layer or nothing is pending.
+  virtual std::string LinkDiagnostic() const { return std::string(); }
 };
 
 /// The seed's zero-copy path: Send() delivers the struct synchronously.
@@ -130,6 +142,8 @@ class SerializedTransport : public Transport {
   void Flush() override;
   void Stop() override;
   TransportStats stats() const override;
+  void AdvanceFaultEpoch(std::uint64_t epoch) override;
+  std::string LinkDiagnostic() const override;
 
  private:
   /// State of one directed link: sender-side retransmission buffer and
@@ -156,7 +170,7 @@ class SerializedTransport : public Transport {
   bool started_ = false;
   bool stopped_ = false;
 
-  std::mutex mu_;  // links_ and unacked_total_
+  mutable std::mutex mu_;  // links_ and unacked_total_ (const diagnostics)
   std::condition_variable flush_cv_;
   std::vector<Link> links_;
   std::uint64_t unacked_total_ = 0;

@@ -171,6 +171,7 @@ void EncodeMessageTo(const Message& msg, std::string* outp) {
   w.PutVarint(msg.req_id);
   w.PutVarint(msg.txn);
   w.PutVarint(msg.trace_ctx);
+  w.PutVarint(msg.term);
   EncodeRecord(msg.value, w);
   w.PutVarint(msg.kvs.size());
   for (const auto& [key, value] : msg.kvs) {
@@ -275,6 +276,8 @@ Result<Message> DecodeMessage(std::string_view bytes) {
   msg.txn = u;
   if (!r.GetVarint(&u)) return Truncated("trace_ctx");
   msg.trace_ctx = u;
+  if (!r.GetVarint(&u)) return Truncated("term");
+  msg.term = u;
   if (!DecodeRecord(r, &msg.value)) return Truncated("value record");
   std::uint64_t num_kvs;
   if (!r.GetVarint(&num_kvs)) return Truncated("kv count");

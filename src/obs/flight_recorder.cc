@@ -77,6 +77,10 @@ const char* FlightEventName(FlightEvent ev) {
       return "migration_abort";
     case FlightEvent::kCheckpoint:
       return "checkpoint";
+    case FlightEvent::kFencedMessage:
+      return "fenced_stale_term";
+    case FlightEvent::kZombieRevival:
+      return "zombie_revival";
     case FlightEvent::kDump:
       return "postmortem_dump";
   }
@@ -192,8 +196,22 @@ std::string FlightRecorder::DumpJson(const std::string& reason) const {
     AppendEscaped(&out, reason);
     out.append("\"}}");
   }
-  out.append("\n],\"displayTimeUnit\":\"ms\"}\n");
+  out.append("\n],\"displayTimeUnit\":\"ms\"");
+  {
+    std::lock_guard<std::mutex> lock(context_mu_);
+    if (!run_context_.empty()) {
+      out.append(",\"runContext\":\"");
+      AppendEscaped(&out, run_context_);
+      out.append("\"");
+    }
+  }
+  out.append("}\n");
   return out;
+}
+
+void FlightRecorder::SetRunContext(const std::string& context) {
+  std::lock_guard<std::mutex> lock(context_mu_);
+  run_context_ = context;
 }
 
 Status FlightRecorder::DumpPostmortem(const std::string& reason) {

@@ -52,6 +52,8 @@ enum class FlightEvent : std::uint16_t {
   kMigrationStep,      // a = cut epoch, b = machines after
   kMigrationAbort,     // a = cut epoch, b = 0
   kCheckpoint,         // a = machine, b = epoch
+  kFencedMessage,      // a = stale term, b = witnessed term
+  kZombieRevival,      // a = deposed term, b = injection epoch
   kDump,               // a = dump ordinal, b = 0
 };
 
@@ -78,6 +80,12 @@ class FlightRecorder {
   /// track model: 0 = control plane, 1 + m = machine m.
   void Record(FlightEvent ev, std::int32_t pid, std::uint64_t a,
               std::uint64_t b);
+
+  /// Run context stamped into every subsequent dump as a top-level
+  /// "runContext" key (chaos seed, fault-schedule summary, build id) so
+  /// a post-mortem pulled off CI identifies the exact run that produced
+  /// it. Free-form text; JSON-escaped at render time.
+  void SetRunContext(const std::string& context);
 
   /// Renders the rings (merged, time-sorted) as Chrome trace JSON.
   std::string DumpJson(const std::string& reason = std::string()) const;
@@ -127,6 +135,9 @@ class FlightRecorder {
 
   mutable std::mutex dump_mu_;
   std::string last_dump_json_;
+
+  mutable std::mutex context_mu_;
+  std::string run_context_;
 };
 
 /// Global instance (nullptr = null sink), mirroring GlobalTrace().

@@ -11,7 +11,7 @@ bool operator==(const Message& a, const Message& b) {
          a.reply_to == b.reply_to && a.req_id == b.req_id &&
          a.txn == b.txn && a.kvs == b.kvs &&
          a.plan_bytes == b.plan_bytes && a.specs == b.specs &&
-         a.trace_ctx == b.trace_ctx;
+         a.trace_ctx == b.trace_ctx && a.term == b.term;
 }
 
 std::size_t ApproxMessageBytes(const Message& m) {

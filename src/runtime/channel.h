@@ -127,6 +127,13 @@ struct Message {
   /// spans without global state. 0 = no context (1 varint byte on the
   /// wire).
   std::uint64_t trace_ctx = 0;
+  /// Coordinator-term fence: the term of the leader that issued this
+  /// plan/round/migration control message. Machines and standbys track
+  /// the highest term seen and reject control traffic from lower terms
+  /// — a revived "zombie" ex-leader cannot corrupt the stream with its
+  /// stale in-flight plans. 0 = unfenced (data-plane traffic and legacy
+  /// frames; 1 varint byte on the wire).
+  std::uint64_t term = 0;
   /// Recovery re-delivery marker: set on messages re-injected from the
   /// network log or a checkpoint image during Machine::Recover(), so they
   /// are not logged a second time. Local-only (never wire-encoded, not

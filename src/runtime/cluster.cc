@@ -22,6 +22,7 @@
 #include "obs/live_sampler.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
+#include "runtime/failure_detector.h"
 
 namespace tpart {
 
@@ -386,6 +387,30 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     for (auto& m : machines_) m->AbortPendingWaits();
   };
 
+  // ---- Link-fault schedule & coordinator-term fencing (DESIGN §4j). ---
+  // `fault_epoch_live` mirrors the epoch the dissemination stage last
+  // advanced the transport's fault clock to, so the watchdog can excuse
+  // heartbeat silence a severed window explains. `current_term` is the
+  // fencing stamp on every control message this cluster ships; it tracks
+  // the coordinator's election term across failovers (stays 1 without
+  // replication — the fence is then uniform but inert).
+  const PartitionSchedule& partition = options_.transport.faults.partition;
+  if (partition.Any() && options_.pipeline.epoch_queue_capacity > 0) {
+    TPART_CHECK(partition.MaxPartitionSpan() <=
+                options_.pipeline.epoch_queue_capacity)
+        << "a partition window spans " << partition.MaxPartitionSpan()
+        << " epochs but only " << options_.pipeline.epoch_queue_capacity
+        << " epoch credits can be in flight: dissemination would stall on "
+           "a severed machine's credits before ever reaching the heal "
+           "epoch";
+  }
+  const std::size_t n_endpoints =
+      machines_.size() +
+      (coordinator_ != nullptr ? coordinator_->num_replicas() : 0);
+  std::atomic<std::uint64_t> fault_epoch_live{0};
+  std::atomic<std::uint64_t> current_term{
+      coordinator_ != nullptr ? coordinator_->term() : 1};
+
   RecoveryStats recovery;
   std::mutex wd_mu;
   std::condition_variable wd_cv;
@@ -393,6 +418,24 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   std::uint64_t recoveries_handled = 0;
   std::atomic<bool> watchdog_stop{false};
   const bool detector_on = options_.detector.enabled || crash.enabled();
+  // Stall diagnostics (satellite of §4j): every machine's StallDiagnostic
+  // also reports the transport's per-link retry backlog, the resend
+  // window depth, and the watchdog's latest suspicion snapshot.
+  std::mutex fd_mu;
+  std::string fd_describe;
+  for (auto& m : machines_) {
+    m->set_diagnostic_context([&]() {
+      std::ostringstream ctx;
+      const std::string links = transport_->LinkDiagnostic();
+      if (!links.empty()) ctx << " links{" << links << "}";
+      ctx << " resend_window=" << resend_window.size();
+      {
+        std::lock_guard<std::mutex> lock(fd_mu);
+        if (!fd_describe.empty()) ctx << " fd{" << fd_describe << "}";
+      }
+      return ctx.str();
+    });
+  }
   std::thread watchdog;
   if (detector_on) {
     watchdog = std::thread([&] {
@@ -404,6 +447,11 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       // stall that long. Widen that machine's deadline additively rather
       // than declaring a false positive (the paper's failure detector
       // assumes bounded delay; the bound must include injected delay).
+      // With the adaptive detector this fixed deadline is demoted to a
+      // *floor*: expiry alone no longer declares a failure, it merely
+      // makes the machine eligible — the phi-accrual suspicion level
+      // (learned from observed inter-arrivals, so slow links and
+      // stragglers widen it organically) must corroborate.
       std::vector<std::chrono::microseconds> deadlines(
           machines_.size(),
           std::chrono::microseconds(options_.detector.deadline_us));
@@ -411,32 +459,98 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
         deadlines[options_.straggler.machine] +=
             std::chrono::microseconds(options_.straggler.delay_us);
       }
+      const bool adaptive = options_.detector.adaptive;
+      PhiAccrualDetector::Options fd_opts;
+      fd_opts.history = options_.detector.history;
+      fd_opts.phi_threshold = options_.detector.phi_threshold;
+      fd_opts.expected_interval_us = static_cast<std::uint64_t>(
+          interval.count());
+      PhiAccrualDetector detector(machines_.size(), fd_opts);
       std::uint64_t seq = 0;
       const auto start = std::chrono::steady_clock::now();
+      const auto us_since_start = [&start](
+          std::chrono::steady_clock::time_point t) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t - start)
+                .count());
+      };
       std::vector<std::uint64_t> last_seen(machines_.size(), 0);
       std::vector<std::chrono::steady_clock::time_point> last_alive(
           machines_.size(), start);
       std::vector<bool> declared(machines_.size(), false);
+      // One suppression count per silence episode, not per scan: the flag
+      // arms when the phi gate first overrides an expired deadline and
+      // clears on the next heartbeat progress.
+      std::vector<bool> suppressing(machines_.size(), false);
       while (!watchdog_stop.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(interval);
         ++seq;
+        const std::uint64_t hb_term =
+            current_term.load(std::memory_order_acquire);
         for (std::size_t m = 0; m < machines_.size(); ++m) {
           Message hb;
           hb.type = Message::Type::kHeartbeat;
           hb.req_id = seq;
+          // Heartbeats carry the live term so machines witness an
+          // election between rounds and raise their fences before any
+          // zombie traffic can arrive.
+          hb.term = hb_term;
           transport_->Send(0, static_cast<MachineId>(m), std::move(hb));
         }
         const auto now = std::chrono::steady_clock::now();
+        const std::uint64_t now_us = us_since_start(now);
+        const std::uint64_t fe =
+            fault_epoch_live.load(std::memory_order_acquire);
+        {
+          std::lock_guard<std::mutex> lock(fd_mu);
+          fd_describe = detector.Describe(now_us);
+        }
         for (std::size_t m = 0; m < machines_.size(); ++m) {
           if (declared[m]) continue;
           const std::uint64_t seen = machines_[m]->heartbeat_seen();
           if (seen > last_seen[m]) {
             last_seen[m] = seen;
             last_alive[m] = now;
+            detector.Observe(m, now_us);
+            suppressing[m] = false;
+            continue;
+          }
+          // A seeded partition currently severing the watchdog<->machine
+          // link fully explains the silence: excuse it (hold both the
+          // deadline clock and the phi history) instead of suspecting a
+          // machine the schedule says we simply cannot hear.
+          if (partition.Severed(0, static_cast<int>(m), fe, n_endpoints) ||
+              partition.Severed(static_cast<int>(m), 0, fe, n_endpoints)) {
+            detector.Excuse(m, now_us);
+            last_alive[m] = now;
             continue;
           }
           if (now - last_alive[m] < deadlines[m]) continue;
-          // Heartbeat sequence stalled past the deadline: declare failed.
+          double phi = 0.0;
+          if (adaptive) {
+            phi = detector.Phi(m, now_us);
+            if (!machines_[m]->crashed() &&
+                phi > recovery.peak_healthy_phi) {
+              recovery.peak_healthy_phi = phi;
+            }
+            if (phi < options_.detector.phi_threshold) {
+              // Deadline expired but the learned inter-arrival
+              // distribution says this silence is unexceptional (gray
+              // failure / straggler regime): suppress the declaration.
+              if (!suppressing[m]) {
+                suppressing[m] = true;
+                ++recovery.suspicions_suppressed;
+                TPART_TRACE(Instant(
+                    "suspicion_suppressed", "fault",
+                    {{"machine", m},
+                     {"phi_x100",
+                      static_cast<std::uint64_t>(phi * 100.0)}}));
+              }
+              continue;
+            }
+          }
+          // Heartbeat sequence stalled past the deadline floor (and, when
+          // adaptive, past the phi threshold): declare failed.
           declared[m] = true;
           TPART_TRACE(Instant("failure_declared", "fault",
                               {{"machine", m}, {"last_seen", last_seen[m]}}));
@@ -448,7 +562,9 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           if (!recoverable) {
             std::ostringstream out;
             out << "machine " << m << " failed: no heartbeat progress for "
-                << options_.detector.deadline_us << "us; " << diag;
+                << options_.detector.deadline_us << "us";
+            if (adaptive) out << " (phi=" << phi << ")";
+            out << "; " << diag;
             declare_fault(out.str());
             std::lock_guard<std::mutex> lock(wd_mu);
             fatal_declared = true;
@@ -478,15 +594,24 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
             TPART_CHECK(resend_window.empty() ||
                         resend_window.front_epoch() <= resume)
                 << "resend window pruned past resume round " << resume;
+            // Re-ships carry the *current* term, not the term the round
+            // originally shipped under: a round retained across a
+            // failover would otherwise arrive pre-fenced.
+            const std::uint64_t resend_term =
+                current_term.load(std::memory_order_acquire);
             recovery.resent_rounds += resend_window.ForEachFrom(
                 resume, [&](const Message& round) {
-                  transport_->Send(0, static_cast<MachineId>(m), round);
+                  Message copy = round;
+                  copy.term = resend_term;
+                  transport_->Send(0, static_cast<MachineId>(m),
+                                   std::move(copy));
                 });
             std::lock_guard<std::mutex> lock(end_mu);
             if (end_sent) {
               Message end;
               end.type = Message::Type::kPlanStreamEnd;
               end.epoch = end_epoch;
+              end.term = resend_term;
               transport_->Send(0, static_cast<MachineId>(m), std::move(end));
             }
           }
@@ -499,10 +624,16 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           // Restart the clocks (and re-admit the victim) or the next
           // scan would mass-declare healthy machines.
           const auto after_recovery = std::chrono::steady_clock::now();
+          const std::uint64_t after_us = us_since_start(after_recovery);
           for (std::size_t k = 0; k < machines_.size(); ++k) {
             last_alive[k] = after_recovery;
+            detector.Excuse(k, after_us);
           }
+          // The rebuilt machine's timing regime may differ from its
+          // pre-crash one; drop its inter-arrival history entirely.
+          detector.Reset(m, after_us);
           declared[m] = false;
+          suppressing[m] = false;
           last_seen[m] = machines_[m]->heartbeat_seen();
           std::lock_guard<std::mutex> lock(wd_mu);
           ++recoveries_handled;
@@ -524,7 +655,16 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   // watermarks are skipped; the rest re-ship and dedupe idempotently).
   const bool coord_on = coordinator_ != nullptr;
   if (coord_on) coordinator_->Start();
-  std::vector<SinkEpoch> coord_crashes = crash.coordinator_at;
+  // Crash epochs sort as (crash, revive) pairs: revive entries are
+  // paired index-wise with coordinator_at and must travel with their
+  // crash when the schedule is reordered.
+  std::vector<std::pair<SinkEpoch, SinkEpoch>> coord_crashes;
+  for (std::size_t i = 0; i < crash.coordinator_at.size(); ++i) {
+    coord_crashes.emplace_back(crash.coordinator_at[i],
+                               i < crash.coordinator_revive_at.size()
+                                   ? crash.coordinator_revive_at[i]
+                                   : 0);
+  }
   std::sort(coord_crashes.begin(), coord_crashes.end());
   TPART_CHECK(coord_crashes.empty() || coord_on)
       << "coordinator crash injection requires coordinator.standbys >= 1";
@@ -559,6 +699,17 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
   auto t_crash = stream_t0;
   auto t_term_start = stream_t0;
   bool pending_replan_stamp = false;
+  // Zombie-leader revival state (--crash seq@E+revive@E'): the deposed
+  // leader's last in-flight round, a premature stream-end, and a stale
+  // log append are replayed under the old term once the new term's
+  // stream reaches the revival epoch; end-to-end term fencing must
+  // reject every one of them.
+  bool zombie_pending = false;
+  SinkEpoch zombie_at = 0;
+  std::uint64_t zombie_term = 0;
+  std::size_t zombie_leader = 0;
+  SinkEpoch zombie_end_epoch = 0;
+  Message zombie_round;
 
   // ---- Live observability (DESIGN §4f). The sampler's source reads only
   // counters the pipeline already maintains (relaxed atomics, per-machine
@@ -826,6 +977,51 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       // would deadlock the join); everything drained here regenerates in
       // the next term.
       if (aborted) continue;
+      const SinkEpoch epoch = (*env)->plan.epoch;
+      // Advance the transport's link-fault clock before anything for
+      // this round ships — membership traffic included: severed /
+      // flapping / slow windows open and close on sink-epoch boundaries,
+      // and a window healing at or before a cut must be healed before
+      // the cut's migration chunks flow.
+      // Rounds at or below the failover catch-up horizon were already
+      // shipped by the crashed leader; their window transitions (and the
+      // quiesce barriers guarding them) happened in the term that first
+      // shipped them, and the failover itself healed every window active
+      // at the crash. Replaying the fault clock for them would roll the
+      // mirror back and re-raise a quiesce barrier ahead of the very
+      // re-ships the stalled machines are waiting on.
+      const bool catchup = epoch <= catchup_through;
+      if (partition.Any() && !catchup) {
+        // A sever window opening at this round's epoch must not cut off
+        // response / forward-push traffic still owed for earlier rounds:
+        // dissemination runs ahead of execution, and severing a pending
+        // response would pin its round's epoch credits until the heal —
+        // which in turn needs credits to be disseminated. Quiesce every
+        // in-flight round before crossing a sever boundary, so a window
+        // "starting at epoch E" severs only rounds >= E. (Flapping and
+        // slow links need no barrier: retries eventually pass.)
+        const std::uint64_t prev_fault_epoch =
+            fault_epoch_live.load(std::memory_order_acquire);
+        if (epoch > prev_fault_epoch &&
+            options_.pipeline.epoch_queue_capacity > 0 &&
+            partition.OpensSeverWindowIn(prev_fault_epoch, epoch)) {
+          for (auto& m : machines_) {
+            Status drained = m->WaitStreamDrained(
+                std::chrono::microseconds(options_.stall_timeout_us));
+            if (!drained.ok()) {
+              std::ostringstream out;
+              out << "quiesce before sever window at epoch " << epoch
+                  << " stalled: machine " << m->id() << ": "
+                  << drained.message();
+              declare_fault(out.str());
+              break;
+            }
+          }
+          transport_->Flush();
+        }
+        transport_->AdvanceFaultEpoch(epoch);
+        fault_epoch_live.store(epoch, std::memory_order_release);
+      }
       // Membership cuts fire between rounds: before the first round past
       // a cut ships — or even enters the resend window, since a recovery
       // re-ship must never hand a machine a post-cut round ahead of its
@@ -835,7 +1031,9 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       // that first shipped those rounds (steps_done is run-scoped).
       while (elastic_ != nullptr && steps_done < elastic_->num_steps() &&
              (*env)->plan.epoch > elastic_->step(steps_done).cut_epoch) {
-        Status step_status = RunMembershipStep(steps_done, migration);
+        Status step_status =
+            RunMembershipStep(steps_done, migration,
+                              current_term.load(std::memory_order_acquire));
         if (!step_status.ok()) {
           std::ostringstream out;
           out << "membership step " << steps_done << " (cut epoch "
@@ -851,14 +1049,12 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
         }
         ++steps_done;
       }
-      const SinkEpoch epoch = (*env)->plan.epoch;
       // Rounds at or below the failover catch-up horizon were already
       // shipped by the crashed leader: re-ship them only to machines
       // whose watermark shows a gap, with no credit / window / timeline
       // side effects (those all happened in the term that shipped them;
       // machines drop duplicate rounds before enqueue, touching no
       // credits, so the credit ledger stays exactly balanced).
-      const bool catchup = epoch <= catchup_through;
       TPART_TRACE_SPAN("disseminate", "pipeline",
                        {{"epoch", epoch}, {"txns", (*env)->plan.txns.size()}});
       TPART_FLIGHT(obs::FlightEvent::kDisseminateRound, 0, epoch,
@@ -866,6 +1062,11 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
       Message msg;
       msg.type = Message::Type::kSinkPlan;
       msg.epoch = epoch;
+      // Term fence (DESIGN §4j): every round carries the term that
+      // shipped it, so a deposed leader's in-flight traffic is
+      // rejectable by every machine the moment a newer term is
+      // witnessed. Catch-up re-ships deliberately carry the *new* term.
+      msg.term = current_term.load(std::memory_order_acquire);
       // Causal timelines: stamp the round with a packed trace context
       // (origin = control plane, current coordinator term) so receive-side
       // markers on every machine know which term shipped it.
@@ -958,17 +1159,76 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
           sampler->TickEpoch(epoch);
         }
       }
+      if (!catchup && zombie_pending &&
+          current_term.load(std::memory_order_acquire) > zombie_term &&
+          epoch >= zombie_at) {
+        // ---- Zombie-leader revival (DESIGN §4j). The deposed leader
+        // wakes up and replays its stale in-flight traffic: the round it
+        // was shipping when it was paused, a premature plan-stream-end
+        // (the genuinely dangerous message — unfenced, it would truncate
+        // every machine's stream), and a stale log append to the replica
+        // ensemble. Wait until every machine has witnessed the new term
+        // (heartbeats, rounds, and watermark probes all carry it) so the
+        // run proves the *fence* rejects the zombie, not a lucky race.
+        zombie_pending = false;
+        const std::uint64_t new_term =
+            current_term.load(std::memory_order_acquire);
+        const auto fence_deadline =
+            std::chrono::steady_clock::now() + stall_timeout;
+        for (std::size_t m = 0; m < machines_.size(); ++m) {
+          while (machines_[m]->fence_term() < new_term) {
+            if (stall_timeout.count() > 0 &&
+                std::chrono::steady_clock::now() > fence_deadline) {
+              std::ostringstream out;
+              out << "machine " << m << " never witnessed term " << new_term
+                  << " before the zombie revival (fence at "
+                  << machines_[m]->fence_term() << ")";
+              declare_fault(out.str());
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+        }
+        ++failover.zombie_revivals;
+        TPART_FLIGHT(obs::FlightEvent::kZombieRevival, 0, zombie_term, epoch);
+        TPART_TRACE(Instant("zombie_revival", "fault",
+                            {{"stale_term", zombie_term},
+                             {"epoch", epoch}}));
+        for (std::size_t m = 0; m < machines_.size(); ++m) {
+          transport_->Send(0, static_cast<MachineId>(m), zombie_round);
+          Message stale_end;
+          stale_end.type = Message::Type::kPlanStreamEnd;
+          stale_end.epoch = zombie_end_epoch;
+          stale_end.term = zombie_term;
+          transport_->Send(0, static_cast<MachineId>(m),
+                           std::move(stale_end));
+        }
+        coordinator_->InjectStaleAppend(zombie_term, zombie_leader);
+      }
       if (!catchup && coord_event_idx < coord_crashes.size() &&
-          epoch >= coord_crashes[coord_event_idx]) {
+          epoch >= coord_crashes[coord_event_idx].first) {
         // Scheduled coordinator crash: fires after the first shipped
         // round with epoch >= the entry. Capture the leader index before
         // the crash-stop — the election moves it.
+        const SinkEpoch revive_at = coord_crashes[coord_event_idx].second;
         ++coord_event_idx;
         crashed_leader = coordinator_->leader();
         coordinator_->CrashLeader();
         t_crash = std::chrono::steady_clock::now();
         ++failover.coordinator_crashes;
         TPART_FLIGHT(obs::FlightEvent::kCrashStop, 0, crashed_leader, epoch);
+        if (revive_at > 0) {
+          // The "crashed" leader was only paused: stash the round it had
+          // in flight (still stamped with the dying term) so the revival
+          // above can replay it once the next term is running. The stash
+          // epoch doubles as the stale stream-end's epoch.
+          zombie_pending = true;
+          zombie_at = revive_at;
+          zombie_term = current_term.load(std::memory_order_acquire);
+          zombie_leader = crashed_leader;
+          zombie_end_epoch = epoch;
+          zombie_round = msg;
+        }
         term_abort.store(true, std::memory_order_release);
         aborted = true;
       }
@@ -997,12 +1257,33 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
         << "no standby claimed leadership: " << elected.status().message();
     ++failover.elections_won;
     live_term.store(failover.elections_won, std::memory_order_relaxed);
+    // From here on, every shipped message carries the new term: the
+    // deposed leader's in-flight traffic is now fenceable everywhere.
+    current_term.store(coordinator_->term(), std::memory_order_release);
     failover.detection_latency_us = coordinator_->last_detection_us();
     failover.election_us = coordinator_->last_election_us();
     failover.phase_detection_us.Add(failover.detection_latency_us);
     failover.phase_election_us.Add(failover.election_us);
     TPART_FLIGHT(obs::FlightEvent::kElectionWon, 0, failover.elections_won,
                  failover.detection_latency_us);
+    // A leader outage plus an election takes long enough that any sever
+    // window active at the crash has healed by the time the successor
+    // runs. Advance the fault clock past those windows before probing:
+    // the dissemination loop (the only other fault-clock driver) is
+    // parked until the probe completes, so a probe to a machine severed
+    // at the stale fault epoch could otherwise never be answered.
+    if (partition.Any()) {
+      const std::uint64_t stale_fe =
+          fault_epoch_live.load(std::memory_order_acquire);
+      const std::uint64_t healed = partition.HealAllActiveAt(stale_fe);
+      if (healed > stale_fe) {
+        // No Flush here: the window is ACTIVE, so unacked packets to a
+        // severed machine cannot drain until after this advance — the
+        // retry loop redelivers them once the links are up again.
+        transport_->AdvanceFaultEpoch(healed);
+        fault_epoch_live.store(healed, std::memory_order_release);
+      }
+    }
     coordinator_->SyncNewLeader();
     coordinator_->RestartReplica(crashed_leader);
     Result<std::vector<SinkEpoch>> wm =
@@ -1019,6 +1300,16 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
                  catchup_through);
     TPART_FLIGHT_DUMP("failover");
   }
+  // Heal every remaining link fault before the end-of-stream barrier:
+  // the reliability layer must complete delivery of everything a severed
+  // window swallowed, and a window configured to heal past the last
+  // sunk epoch would otherwise never heal.
+  if (partition.Any()) {
+    transport_->AdvanceFaultEpoch(
+        std::numeric_limits<std::uint64_t>::max());
+    fault_epoch_live.store(std::numeric_limits<std::uint64_t>::max(),
+                           std::memory_order_release);
+  }
   if (crash.enabled()) {
     // Flag before sending: a recovery racing this must resend the end
     // marker whenever the original may already have been consumed (and
@@ -1031,6 +1322,7 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     Message end;
     end.type = Message::Type::kPlanStreamEnd;
     end.epoch = last_epoch;
+    end.term = current_term.load(std::memory_order_acquire);
     transport_->Send(0, static_cast<MachineId>(m), std::move(end));
   }
 
@@ -1069,9 +1361,12 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     watchdog.join();
     for (auto& m : machines_) m->JoinRecoveredExecutor();
   }
-  // The hooks capture this frame's LatencyTracker; no executor can call
-  // them now, and the machines outlive this frame.
-  for (auto& m : machines_) m->set_commit_hook(nullptr);
+  // The hooks capture this frame's LatencyTracker / fault state; no
+  // executor can call them now, and the machines outlive this frame.
+  for (auto& m : machines_) {
+    m->set_commit_hook(nullptr);
+    m->set_diagnostic_context(nullptr);
+  }
   transport_->Flush();
   if (sampler != nullptr) {
     // The source captures this frame's counters by reference: stop the
@@ -1153,6 +1448,10 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
     failover.committed_batches = coordinator_->committed_batches();
     failover.dueling_claims = coordinator_->dueling_claims();
     failover.leader = static_cast<std::uint32_t>(coordinator_->leader());
+    failover.fenced_appends = coordinator_->fenced_appends();
+  }
+  for (const auto& m : machines_) {
+    failover.fenced_messages += m->fenced_messages();
   }
   outcome.failover = failover;
   StopAll();
@@ -1160,7 +1459,8 @@ ClusterRunOutcome LocalCluster::RunTPartStreaming() {
 }
 
 Status LocalCluster::RunMembershipStep(std::size_t step_idx,
-                                       MigrationStats& stats) {
+                                       MigrationStats& stats,
+                                       std::uint64_t term) {
   const MembershipStep& step = elastic_->step(step_idx);
   const std::size_t version = step_idx + 1;
   const std::chrono::microseconds timeout(options_.stall_timeout_us);
@@ -1232,6 +1532,10 @@ Status LocalCluster::RunMembershipStep(std::size_t step_idx,
     begin.dst_txn = route.target;
     begin.epoch = step.cut_epoch;
     begin.plan_bytes = EncodeKeyList(route.keys);
+    // The migration stream inherits the issuing term: the source stamps
+    // it onto every image chunk and the commit, so a zombie-issued
+    // migration is fenced end to end.
+    begin.term = term;
     transport_->Send(0, route.source, std::move(begin));
     stats.keys_moved += route.keys.size();
   }
@@ -1273,7 +1577,7 @@ Status LocalCluster::RunMembershipStep(std::size_t step_idx,
 
 std::string ApplySeededChaos(std::uint64_t seed, std::size_t num_machines,
                              SinkEpoch span_epochs,
-                             LocalClusterOptions& options) {
+                             LocalClusterOptions& options, bool extended) {
   TPART_CHECK(num_machines >= 2)
       << "the chaos matrix crashes two distinct machines";
   TPART_CHECK(span_epochs >= 12)
@@ -1328,10 +1632,51 @@ std::string ApplySeededChaos(std::uint64_t seed, std::size_t num_machines,
   // epoch may coincide with e2, composing a coordinator crash with a
   // worker crash at the same round — a desired hard case.
   options.crash.coordinator_at.clear();
+  options.crash.coordinator_revive_at.clear();
   if (options.coordinator.standbys > 0) {
     const SinkEpoch es = e1 + 1 + static_cast<SinkEpoch>(rng.NextBelow(third));
     options.crash.coordinator_at.push_back(es);
     out << ", seq@e" << es;
+  }
+  if (extended) {
+    // Extended chaos (the nightly matrix): link-level faults, drawn
+    // strictly AFTER every base draw so a fixed seed's crash / straggler
+    // / leader-crash pattern is unchanged by the extended flag. One
+    // symmetric isolation window (span 2, inside the default epoch
+    // credit window), one gray-failure slow link, one flapping link, and
+    // — with standbys — the leader crash above becomes a pause-and-
+    // revive zombie whose stale traffic must be term-fenced.
+    PartitionSchedule& net = options.transport.faults.partition;
+    PartitionEvent part;
+    part.group_a.push_back(
+        static_cast<MachineId>(rng.NextBelow(num_machines)));
+    part.from_epoch = 2 + rng.NextBelow(span_epochs - 4);
+    part.heal_epoch = part.from_epoch + 2;
+    net.partitions.push_back(part);
+    SlowLinkEvent slow;
+    slow.from = static_cast<MachineId>(rng.NextBelow(num_machines));
+    slow.to = static_cast<MachineId>(rng.NextBelow(num_machines - 1));
+    if (slow.to >= slow.from) ++slow.to;
+    slow.from_epoch = 1 + rng.NextBelow(span_epochs / 2);
+    slow.heal_epoch =
+        slow.from_epoch + std::max<SinkEpoch>(span_epochs / 3, 2);
+    net.slow_links.push_back(slow);
+    FlappingLink flap;
+    flap.from = static_cast<MachineId>(rng.NextBelow(num_machines));
+    flap.to = static_cast<MachineId>(rng.NextBelow(num_machines - 1));
+    if (flap.to >= flap.from) ++flap.to;
+    flap.from_epoch = 1 + rng.NextBelow(span_epochs / 2);
+    flap.heal_epoch = flap.from_epoch + 2;
+    net.flapping.push_back(flap);
+    out << ", " << net.Summary();
+    if (!options.crash.coordinator_at.empty()) {
+      const SinkEpoch revive = options.crash.coordinator_at.back() + 2 +
+                               static_cast<SinkEpoch>(rng.NextBelow(third));
+      options.crash.coordinator_revive_at.assign(
+          options.crash.coordinator_at.size(), 0);
+      options.crash.coordinator_revive_at.back() = revive;
+      out << "+revive@e" << revive;
+    }
   }
   return out.str();
 }

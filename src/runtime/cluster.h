@@ -102,6 +102,17 @@ struct LocalClusterOptions {
     /// with the worker events above. enabled() stays worker-only — a
     /// coordinator-only schedule does not arm worker crash machinery.
     std::vector<SinkEpoch> coordinator_at;
+    /// Zombie-leader revival, paired index-wise with coordinator_at:
+    /// entry i > 0 means the leader crashed by coordinator_at[i] was
+    /// only *paused* and comes back once the new term's stream reaches
+    /// epoch >= the entry: its stale in-flight round, a stale
+    /// plan-stream-end, and a stale log append are replayed onto the
+    /// wire, all carrying the old term. End-to-end term fencing must
+    /// reject every one of them (FailoverStats::fenced_*) and the run
+    /// must stay byte-identical to fault-free. 0 (or a missing entry) =
+    /// plain crash-stop, the pre-revival behaviour. CLI syntax:
+    /// --crash seq@E+revive@E'.
+    std::vector<SinkEpoch> coordinator_revive_at;
     /// Recover in-run when true; detect-and-report only when false.
     /// Applies to every event in the schedule.
     bool recover = true;
@@ -176,8 +187,20 @@ struct LocalClusterOptions {
     /// sequence number.
     std::uint64_t heartbeat_interval_us = 1000;
     /// A machine whose recorded heartbeat sequence stalls longer than
-    /// this is declared failed.
+    /// this is declared failed. With `adaptive` on this is the floor, not
+    /// the verdict: the deadline must expire AND the phi-accrual
+    /// suspicion level must cross `phi_threshold`.
     std::uint64_t deadline_us = 100000;
+    /// Phi-accrual adaptive gate (DESIGN §4j): suspicion is computed from
+    /// each machine's observed heartbeat inter-arrival history, so
+    /// stragglers and gray-failure slow links — slow but alive — never
+    /// trigger a false-positive recovery, while a true crash-stop's
+    /// unbounded silence still crosses any threshold. Off = the fixed
+    /// deadline alone decides (the pre-§4j behaviour).
+    bool adaptive = true;
+    double phi_threshold = 8.0;
+    /// Inter-arrival samples kept per machine.
+    std::size_t history = 64;
   };
   FailureDetectorOptions detector;
 
@@ -275,12 +298,16 @@ struct ClusterRunOutcome {
 /// crashes of distinct machines, a repeat crash of the first victim
 /// after its own recovery, and (with >= 3 machines) a straggler that
 /// delays heartbeat handling without ever breaching the detector
-/// deadline. All crashes recover in place. Returns a human-readable
-/// description of the schedule; the same seed always produces the same
-/// schedule.
+/// deadline. All crashes recover in place. With `extended` the schedule
+/// additionally draws (after every base draw, so base schedules stay
+/// seed-stable) a symmetric link-partition window, a gray-failure slow
+/// link, and — when a coordinator crash is armed — converts it into a
+/// zombie pause+revive. Returns a human-readable description of the
+/// schedule; the same seed always produces the same schedule.
 std::string ApplySeededChaos(std::uint64_t seed, std::size_t num_machines,
                              SinkEpoch span_epochs,
-                             LocalClusterOptions& options);
+                             LocalClusterOptions& options,
+                             bool extended = false);
 
 /// A multi-machine deterministic database in one process: N Machines
 /// (each a partition-owning executor + service thread) wired by in-memory
@@ -336,7 +363,8 @@ class LocalCluster {
   /// dissemination stage before shipping the first round past the cut.
   /// On a wait timeout the returned status carries a stall diagnostic and
   /// the run is declared faulted.
-  Status RunMembershipStep(std::size_t step_idx, MigrationStats& stats);
+  Status RunMembershipStep(std::size_t step_idx, MigrationStats& stats,
+                           std::uint64_t term);
   void StopAll();
   ClusterRunOutcome CollectResults(bool dedup_participants);
   /// Rebuilds exactly partition `m` from its Zig-Zag checkpoint (wipes

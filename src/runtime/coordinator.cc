@@ -156,6 +156,15 @@ void CoordinatorReplicaSet::HandleAppend(std::size_t r, Message msg) {
   std::vector<std::pair<std::uint64_t, MachineId>> acks;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Term fence (DESIGN §4j): an append stamped with a term below the
+    // ensemble's current one comes from a deposed (zombie) leader —
+    // reject it before it can park or duplicate-ack, let alone extend
+    // the log. Live appends always carry the current term, so this only
+    // ever trips on genuinely stale traffic.
+    if (msg.term != 0 && msg.term < term_) {
+      ++fenced_appends_;
+      return;
+    }
     Replica& rep = *replicas_[r];
     auto& log = rep.log;
     if (index > log.size()) {
@@ -229,6 +238,12 @@ void CoordinatorReplicaSet::HandleClaim(std::size_t r, Message msg) {
   bool yield = true;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Term fence: a claim from an older term is a zombie's — never
+    // adopt, never reset the election timer for it.
+    if (msg.term != 0 && msg.term < term_) {
+      ++fenced_appends_;
+      return;
+    }
     own_len = replicas_[r]->log.size();
     if (replicas_[r]->candidate) {
       // Dueling claims: Zab tie-break — longer committed history wins,
@@ -314,6 +329,7 @@ void CoordinatorReplicaSet::MaybeElect(std::size_t r) {
     claim.txn = static_cast<TxnId>(r);
     claim.req_id = claim_len;
     claim.epoch = static_cast<SinkEpoch>(claim_term);
+    claim.term = claim_term;
     send_(endpoint(r), to, std::move(claim));
   }
   elected_cv_.notify_all();
@@ -331,6 +347,7 @@ void CoordinatorReplicaSet::ShipLogRange(std::size_t src, MachineId dst_ep,
       m.req_id = i;
       m.txn = static_cast<TxnId>(log[i].batch_id);
       m.epoch = static_cast<SinkEpoch>(term_);
+      m.term = term_;
       m.specs = log[i].txns;
       m.reply_to = endpoint(src);
       out.push_back(std::move(m));
@@ -343,12 +360,14 @@ void CoordinatorReplicaSet::ShipLogRange(std::size_t src, MachineId dst_ep,
 bool CoordinatorReplicaSet::LeaderAppend(const TxnBatch& batch) {
   std::size_t leader;
   std::uint64_t index;
+  std::uint64_t term;
   std::vector<MachineId> targets;
   {
     std::unique_lock<std::mutex> lock(mu_);
     leader = leader_;
     if (replicas_[leader]->down || shutdown_) return false;
     index = replicas_[leader]->log.size();
+    term = term_;
     replicas_[leader]->log.push_back(batch);
     for (std::size_t r = 0; r < replicas_.size(); ++r) {
       if (r != leader && !replicas_[r]->down) targets.push_back(endpoint(r));
@@ -360,6 +379,7 @@ bool CoordinatorReplicaSet::LeaderAppend(const TxnBatch& batch) {
     m.type = Message::Type::kLogAppend;
     m.req_id = index;
     m.txn = static_cast<TxnId>(batch.batch_id);
+    m.term = term;
     m.specs = batch.txns;
     m.reply_to = endpoint(leader);
     send_(endpoint(leader), to, std::move(m));
@@ -443,10 +463,12 @@ Result<std::vector<SinkEpoch>> CoordinatorReplicaSet::ProbeWatermarks(
     std::chrono::microseconds timeout) {
   std::uint64_t round;
   std::size_t leader;
+  std::uint64_t term;
   {
     std::lock_guard<std::mutex> lock(mu_);
     round = ++probe_round_;
     leader = leader_;
+    term = term_;
     watermarks_.clear();
   }
   const auto deadline = Clock::now() + timeout;
@@ -461,6 +483,9 @@ Result<std::vector<SinkEpoch>> CoordinatorReplicaSet::ProbeWatermarks(
       probe.type = Message::Type::kLeaderClaim;
       probe.reply_to = endpoint(leader);
       probe.req_id = round;
+      // Probes carry the new term: machines witness it (and raise their
+      // fence) before any zombie traffic could possibly reach them.
+      probe.term = term;
       send_(endpoint(leader), m, std::move(probe));
     }
     std::unique_lock<std::mutex> lock(mu_);
@@ -480,6 +505,32 @@ Result<std::vector<SinkEpoch>> CoordinatorReplicaSet::ProbeWatermarks(
       return Status::Unavailable("watermark probe timed out");
     }
   }
+}
+
+void CoordinatorReplicaSet::InjectStaleAppend(std::uint64_t stale_term,
+                                              std::size_t zombie) {
+  // Replay the zombie replica's last log entry onto the wire under its
+  // deposed term — the append a paused-then-revived leader would send.
+  // HandleAppend's term fence must reject it at every live replica.
+  std::vector<std::pair<MachineId, Message>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto& log = replicas_[zombie]->log;
+    if (log.empty()) return;
+    const std::uint64_t index = log.size() - 1;
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      if (r == zombie || replicas_[r]->down) continue;
+      Message m;
+      m.type = Message::Type::kLogAppend;
+      m.req_id = index;
+      m.txn = static_cast<TxnId>(log[index].batch_id);
+      m.term = stale_term;
+      m.specs = log[index].txns;
+      m.reply_to = endpoint(zombie);
+      out.emplace_back(endpoint(r), std::move(m));
+    }
+  }
+  for (auto& [to, m] : out) send_(endpoint(zombie), to, std::move(m));
 }
 
 std::vector<TxnBatch> CoordinatorReplicaSet::CommittedLog() const {
@@ -510,6 +561,16 @@ std::uint64_t CoordinatorReplicaSet::committed_batches() const {
 std::uint64_t CoordinatorReplicaSet::dueling_claims() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dueling_claims_;
+}
+
+std::uint64_t CoordinatorReplicaSet::term() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return term_;
+}
+
+std::uint64_t CoordinatorReplicaSet::fenced_appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fenced_appends_;
 }
 
 std::uint64_t CoordinatorReplicaSet::last_detection_us() const {

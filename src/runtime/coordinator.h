@@ -119,7 +119,17 @@ class CoordinatorReplicaSet {
   /// Copy of the current leader's committed log, in order.
   std::vector<TxnBatch> CommittedLog() const;
 
+  /// Zombie-leader revival (DESIGN §4j): replays replica `zombie`'s last
+  /// log entry onto the wire as a kLogAppend stamped with `stale_term` —
+  /// the message a paused-then-revived deposed leader would send. Every
+  /// live replica must reject it by term fencing (fenced_appends()).
+  void InjectStaleAppend(std::uint64_t stale_term, std::size_t zombie);
+
   std::size_t leader() const;
+  /// Current election term (starts at 1; each won election increments).
+  std::uint64_t term() const;
+  /// Stale-term appends / claims rejected by replica-side term fencing.
+  std::uint64_t fenced_appends() const;
   std::uint64_t log_appends() const;
   std::uint64_t log_acks() const;
   std::uint64_t committed_batches() const;
@@ -195,6 +205,7 @@ class CoordinatorReplicaSet {
   std::uint64_t log_acks_ = 0;
   std::uint64_t committed_batches_ = 0;
   std::uint64_t dueling_claims_ = 0;
+  std::uint64_t fenced_appends_ = 0;
   std::uint64_t hb_seq_ = 0;
 
   std::thread heartbeat_thread_;

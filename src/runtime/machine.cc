@@ -180,6 +180,42 @@ void Machine::ServiceLoop() {
 }
 
 void Machine::Dispatch(Message msg) {
+  // Coordinator-term fence (DESIGN §4j): every control-plane message
+  // carries the term of the coordinator that issued it. Adopt the
+  // highest term ever witnessed — from ANY stamped message, heartbeats
+  // included, so terms propagate even between rounds — and drop stream /
+  // migration control traffic stamped with an older term: a deposed
+  // zombie leader's in-flight plan stream must not truncate or fork the
+  // new term's. Data-plane traffic is never fenced (exactly-once
+  // delivery plus idempotent intake already make duplicates safe, and
+  // §5.4 replay legitimately re-delivers old-term messages). term 0 =
+  // unfenced legacy traffic, always passes.
+  if (msg.term != 0) {
+    std::uint64_t seen = fence_term_.load(std::memory_order_acquire);
+    while (seen < msg.term &&
+           !fence_term_.compare_exchange_weak(seen, msg.term,
+                                              std::memory_order_acq_rel)) {
+    }
+    if (msg.term < seen) {
+      switch (msg.type) {
+        case Message::Type::kSinkPlan:
+        case Message::Type::kPlanStreamEnd:
+        case Message::Type::kMigrateBegin:
+        case Message::Type::kPartitionImage:
+        case Message::Type::kMigrateCommit:
+          fenced_messages_.fetch_add(1, std::memory_order_relaxed);
+          TPART_TRACE(Instant("fenced_stale_term", "fault",
+                              {{"machine", id_},
+                               {"stale_term", msg.term},
+                               {"current_term", seen}}));
+          TPART_FLIGHT(obs::FlightEvent::kFencedMessage, 1 + id_, msg.term,
+                       seen);
+          return;
+        default:
+          break;
+      }
+    }
+  }
   // The §5.4 network log records every inbound value-bearing message the
   // machine actually processes, except re-deliveries of already-logged
   // traffic (offline replay, and recovery's redelivery-marked
@@ -1394,10 +1430,12 @@ void Machine::HandleMigrateBegin(Message msg) {
     chunk.epoch = i;                 // chunk index
     chunk.txn = chunks.size();       // total chunks
     chunk.plan_bytes = chunks[i];
+    chunk.term = msg.term;  // fence chain: begin's term covers the stream
     SendOut(target, std::move(chunk));
   }
   Message commit;
   commit.type = Message::Type::kMigrateCommit;
+  commit.term = msg.term;
   commit.req_id = stream;
   commit.key = WireChecksum(encoded);  // image checksum
   commit.txn = chunks.size();
@@ -1567,7 +1605,10 @@ std::string Machine::StallDiagnostic() const {
     out << " stashed=" << down_stash_.size();
   }
   out << " executed=" << executed_plans_.load(std::memory_order_relaxed)
-      << " heartbeat_seen=" << heartbeat_seen();
+      << " heartbeat_seen=" << heartbeat_seen()
+      << " fence_term=" << fence_term()
+      << " fenced=" << fenced_messages();
+  if (diagnostic_context_) out << diagnostic_context_();
   std::string text = out.str();
   TPART_TRACE(Instant("stall_diagnostic", "fault", {{"machine", id_}},
                       text));

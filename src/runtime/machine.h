@@ -203,6 +203,26 @@ class Machine {
   /// One-line snapshot of queue depths, stream progress and credit state
   /// for stall reports.
   std::string StallDiagnostic() const;
+  /// Installs a cluster-level context provider whose output is appended
+  /// to every StallDiagnostic() (per-link retry backlog, resend-window
+  /// depth, failure-detector suspicion levels). Must be thread-safe; the
+  /// cluster clears it (nullptr) before the run frame unwinds.
+  void set_diagnostic_context(std::function<std::string()> context) {
+    diagnostic_context_ = std::move(context);
+  }
+
+  // ---- Coordinator-term fencing (DESIGN §4j) --------------------------
+  /// Highest coordinator term this machine has witnessed on any inbound
+  /// message (0 before the first stamped message). Stream and migration
+  /// control traffic carrying an older term is dropped — a deposed
+  /// zombie leader cannot truncate or fork the new term's stream.
+  std::uint64_t fence_term() const {
+    return fence_term_.load(std::memory_order_acquire);
+  }
+  /// Stale-term control messages dropped by the fence.
+  std::uint64_t fenced_messages() const {
+    return fenced_messages_.load(std::memory_order_relaxed);
+  }
   /// Releases every blocked wait with its shutdown value so a doomed run
   /// (detected failure, no recovery) drains instead of hanging. The
   /// machine keeps running; results are garbage and the caller reports
@@ -544,6 +564,15 @@ class Machine {
 
   std::atomic<std::uint64_t> heartbeat_seen_{0};
   std::atomic<std::uint64_t> executed_plans_{0};
+  // Coordinator-term fence (DESIGN §4j): highest term witnessed on any
+  // inbound message, and the count of stale-term control messages
+  // dropped. Monotonic knowledge — recovery deliberately leaves it
+  // intact (a rebuilt machine must keep rejecting its deposed leader).
+  std::atomic<std::uint64_t> fence_term_{0};
+  std::atomic<std::uint64_t> fenced_messages_{0};
+  /// Cluster-supplied extra diagnostics (link backlog, resend-window
+  /// depth, suspicion levels) appended to StallDiagnostic().
+  std::function<std::string()> diagnostic_context_;
   /// Timeline sampling stride (set_txn_sample); read on the execute path.
   std::uint64_t txn_sample_ = 0;
   std::chrono::microseconds stall_timeout_{0};

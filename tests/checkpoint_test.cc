@@ -18,6 +18,7 @@
 #include "runtime/cluster.h"
 #include "storage/kv_store.h"
 #include "storage/zigzag_checkpoint.h"
+#include "test_time.h"
 #include "workload/micro.h"
 
 namespace tpart {
@@ -243,8 +244,8 @@ TEST(CheckpointTest, CrashWithCheckpointReplaysOnlySuffix) {
     LocalClusterOptions opts = StreamingOpts(TransportKind::kDirect);
     opts.crash.machine = 1;
     opts.crash.at_epoch = 12;  // late crash: a long prefix to not replay
-    opts.detector.heartbeat_interval_us = 2000;
-    opts.detector.deadline_us = 100000;
+    opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+    opts.detector.deadline_us = test::ScaledUs(100000);
     opts.checkpoint_every = every;
     return opts;
   };
@@ -269,8 +270,8 @@ TEST(CheckpointTest, CheckpointedCrashRunIsDeterministic) {
   LocalClusterOptions opts = StreamingOpts(TransportKind::kInProcess);
   opts.crash.machine = 2;
   opts.crash.at_epoch = 9;
-  opts.detector.heartbeat_interval_us = 2000;
-  opts.detector.deadline_us = 100000;
+  opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+  opts.detector.deadline_us = test::ScaledUs(100000);
   opts.checkpoint_every = 3;
   const RunSnapshot first = RunOnce(w, opts);
   const RunSnapshot second = RunOnce(w, opts);

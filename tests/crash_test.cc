@@ -20,6 +20,7 @@
 #include "runtime/cluster.h"
 #include "runtime/storage_service.h"
 #include "storage/kv_store.h"
+#include "test_time.h"
 #include "workload/micro.h"
 #include "workload/tpcc.h"
 
@@ -48,8 +49,8 @@ LocalClusterOptions CrashOpts(TransportKind kind, MachineId victim,
   LocalClusterOptions opts = StreamingOpts(kind);
   opts.crash.machine = victim;
   opts.crash.at_epoch = at_epoch;
-  opts.detector.heartbeat_interval_us = 2000;
-  opts.detector.deadline_us = 100000;
+  opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+  opts.detector.deadline_us = test::ScaledUs(100000);
   return opts;
 }
 
@@ -266,8 +267,8 @@ TEST(CrashTest, SeededChaosMatrixMatchesFaultFreeRunOnEveryTransport) {
   };
   for (const Case& c : cases) {
     LocalClusterOptions opts = StreamingOpts(c.kind);
-    opts.detector.heartbeat_interval_us = 2000;
-    opts.detector.deadline_us = 100000;
+    opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+    opts.detector.deadline_us = test::ScaledUs(100000);
     const std::string schedule =
         ApplySeededChaos(c.seed, w.num_machines, span, opts);
     if (c.network_faults) {
@@ -320,8 +321,8 @@ TEST(CrashTest, StragglerDelaysHeartbeatsWithoutFalseFailure) {
 
   LocalClusterOptions opts = StreamingOpts(TransportKind::kDirect);
   opts.detector.enabled = true;  // watchdog on, no crash scheduled
-  opts.detector.heartbeat_interval_us = 2000;
-  opts.detector.deadline_us = 100000;
+  opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+  opts.detector.deadline_us = test::ScaledUs(100000);
   opts.straggler.machine = 1;
   opts.straggler.delay_us = opts.detector.deadline_us / 2;
   opts.straggler.period_us = 2 * opts.detector.deadline_us;

@@ -16,6 +16,7 @@
 #include "elastic/elastic_map.h"
 #include "runtime/cluster.h"
 #include "storage/kv_store.h"
+#include "test_time.h"
 #include "workload/micro.h"
 
 namespace tpart {
@@ -186,8 +187,8 @@ TEST(ElasticityTest, CrashDuringMigrationWindowOnSource) {
       ResizeOpts(TransportKind::kInProcess, {{4, +1}});
   opts.crash.machine = 1;
   opts.crash.at_epoch = 4;
-  opts.detector.heartbeat_interval_us = 2000;
-  opts.detector.deadline_us = 100000;
+  opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+  opts.detector.deadline_us = test::ScaledUs(100000);
   const RunSnapshot got = RunOnce(w, opts);
   ExpectSameResults(ref.out.results, got.out.results);
   EXPECT_EQ(got.state, ref.state)
@@ -210,8 +211,8 @@ TEST(ElasticityTest, CrashOnGrownMachineAfterInstall) {
       ResizeOpts(TransportKind::kInProcess, {{4, +1}});
   opts.crash.machine = 2;
   opts.crash.at_epoch = 5;
-  opts.detector.heartbeat_interval_us = 2000;
-  opts.detector.deadline_us = 100000;
+  opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+  opts.detector.deadline_us = test::ScaledUs(100000);
   const RunSnapshot got = RunOnce(w, opts);
   ExpectSameResults(ref.out.results, got.out.results);
   EXPECT_EQ(got.state, ref.state)

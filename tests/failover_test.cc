@@ -25,6 +25,7 @@
 #include "scheduler/push_plan.h"
 #include "storage/kv_store.h"
 #include "txn/procedure.h"
+#include "test_time.h"
 #include "workload/micro.h"
 
 namespace tpart {
@@ -182,8 +183,8 @@ TEST(FailoverTest, ComposedWithWorkerCrashAndNetFaults) {
     LocalClusterOptions opts = FailoverOpts(c.kind, 5);
     opts.crash.machine = 1;
     opts.crash.at_epoch = 5;
-    opts.detector.heartbeat_interval_us = 2000;
-    opts.detector.deadline_us = 100000;
+    opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+    opts.detector.deadline_us = test::ScaledUs(100000);
     if (c.network_faults) AddNetFaults(opts);
     const std::string label =
         "transport " + std::to_string(static_cast<int>(c.kind)) +
@@ -255,8 +256,8 @@ TEST(FailoverTest, SeededChaosMatrixWithCoordinatorEventMatchesReference) {
 
   LocalClusterOptions opts = StreamingOpts(TransportKind::kInProcess);
   opts.coordinator.standbys = 1;
-  opts.detector.heartbeat_interval_us = 2000;
-  opts.detector.deadline_us = 100000;
+  opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+  opts.detector.deadline_us = test::ScaledUs(100000);
   const std::string schedule = ApplySeededChaos(7, w.num_machines, span, opts);
   ASSERT_EQ(opts.crash.coordinator_at.size(), 1u) << schedule;
   AddNetFaults(opts);
@@ -280,14 +281,14 @@ TEST(FailoverTest, StragglerBeyondBaseDeadlineIsNotDeclaredDead) {
 
   LocalClusterOptions opts = StreamingOpts(TransportKind::kDirect);
   opts.detector.enabled = true;  // watchdog on, no crash scheduled
-  opts.detector.heartbeat_interval_us = 2000;
-  opts.detector.deadline_us = 50000;
+  opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+  opts.detector.deadline_us = test::ScaledUs(50000);
   opts.straggler.machine = 1;
   // The freeze exceeds the base deadline: without the straggler-aware
   // widening this is a guaranteed false positive (and, with no crash
   // scheduled, a fatal kUnavailable fault).
-  opts.straggler.delay_us = 75000;
-  opts.straggler.period_us = 400000;
+  opts.straggler.delay_us = test::ScaledUs(75000);
+  opts.straggler.period_us = test::ScaledUs(400000);
   const RunSnapshot got = RunOnce(w, opts);
   EXPECT_TRUE(got.out.fault.ok()) << got.out.fault.ToString();
   EXPECT_EQ(got.out.recovery.crashes_injected, 0u);
@@ -340,6 +341,14 @@ TEST(FailoverTest, StallDiagnosticReportsLiveExecutorState) {
   EXPECT_NE(diag.find("state=live"), std::string::npos) << diag;
   EXPECT_NE(diag.find("work=0"), std::string::npos) << diag;
   EXPECT_NE(diag.find("executed=0"), std::string::npos) << diag;
+  // Fence state rides along (no term witnessed, nothing dropped) ...
+  EXPECT_NE(diag.find("fence_term=0"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("fenced=0"), std::string::npos) << diag;
+  // ... and the cluster-installed context hook (per-link retry backlog,
+  // resend-window depth, suspicion levels) is appended verbatim.
+  m.set_diagnostic_context([] { return std::string(" fd{m1 phi=0.1}"); });
+  EXPECT_NE(m.StallDiagnostic().find("fd{m1 phi=0.1}"), std::string::npos);
+  m.set_diagnostic_context(nullptr);
 
   // Deliver the push; the executor unblocks and the round drains.
   Message push;
@@ -353,6 +362,60 @@ TEST(FailoverTest, StallDiagnosticReportsLiveExecutorState) {
   m.JoinExecutor();
   EXPECT_EQ(m.TakeResults().size(), 1u);
   m.Stop();
+}
+
+// ---------------------------------------------------------------------
+// Zombie-leader fencing (DESIGN §4j): a leader that merely paused is
+// revived after its successor's election and replays its in-flight
+// traffic — a stale round, a stale plan-stream end marker, and a stale
+// log append. Every machine and replica must drop the stale-term
+// messages (a stale end marker would truncate the plan stream and
+// silently diverge), leaving the run byte-identical to fault-free.
+// ---------------------------------------------------------------------
+
+TEST(FailoverTest, ZombieLeaderRevivalIsFenced) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  for (TransportKind kind : {TransportKind::kDirect,
+                             TransportKind::kInProcess,
+                             TransportKind::kTcp}) {
+    LocalClusterOptions opts = FailoverOpts(kind, 4);
+    opts.crash.coordinator_revive_at = {7};
+    const std::string label =
+        "transport " + std::to_string(static_cast<int>(kind));
+    const RunSnapshot got = RunOnce(w, opts);
+    ExpectSameResults(ref.out.results, got.out.results);
+    EXPECT_EQ(got.state, ref.state)
+        << label << ": zombie traffic leaked through the term fence";
+    ExpectFailedOver(got.out, 1);
+    EXPECT_EQ(got.out.failover.zombie_revivals, 1u) << label;
+    // The revival injects a stale round + a stale end marker to every
+    // machine (it waits until all of them have witnessed the new term),
+    // and a stale append to the successor replica.
+    EXPECT_GE(got.out.failover.fenced_messages, 2 * w.num_machines) << label;
+    EXPECT_GE(got.out.failover.fenced_appends, 1u) << label;
+  }
+}
+
+TEST(FailoverTest, ZombieRevivalComposedWithWorkerCrashAndNetFaults) {
+  const Workload w = MakeMicroWorkload(SmallMicro());
+  const RunSnapshot ref = RunOnce(w, StreamingOpts(TransportKind::kDirect));
+
+  LocalClusterOptions opts = FailoverOpts(TransportKind::kInProcess, 5);
+  opts.crash.coordinator_revive_at = {8};
+  opts.crash.machine = 1;
+  opts.crash.at_epoch = 5;
+  opts.detector.heartbeat_interval_us = test::ScaledUs(2000);
+  opts.detector.deadline_us = test::ScaledUs(100000);
+  AddNetFaults(opts);
+  const RunSnapshot got = RunOnce(w, opts);
+  ExpectSameResults(ref.out.results, got.out.results);
+  EXPECT_EQ(got.state, ref.state);
+  ExpectFailedOver(got.out, 1);
+  EXPECT_EQ(got.out.recovery.crashes_injected, 1u);
+  EXPECT_EQ(got.out.failover.zombie_revivals, 1u);
+  EXPECT_GE(got.out.failover.fenced_messages, 2 * w.num_machines);
 }
 
 // ---------------------------------------------------------------------

@@ -17,6 +17,7 @@
 #include "runtime/cluster.h"
 #include "runtime/recovery.h"
 #include "scheduler/tpart_scheduler.h"
+#include "test_time.h"
 #include "workload/micro.h"
 
 namespace tpart {
@@ -275,8 +276,8 @@ TEST_P(ChaosTransportReplayProperty, TcpChaosRunMatchesCleanDirectRun) {
   LocalClusterOptions chaotic = clean;
   chaotic.transport.kind = TransportKind::kTcp;
   chaotic.checkpoint_every = 4;
-  chaotic.detector.heartbeat_interval_us = 2000;
-  chaotic.detector.deadline_us = 100000;
+  chaotic.detector.heartbeat_interval_us = test::ScaledUs(2000);
+  chaotic.detector.deadline_us = test::ScaledUs(100000);
   const SinkEpoch span = static_cast<SinkEpoch>(o.num_txns / 20);
   const std::string schedule = ApplySeededChaos(
       static_cast<std::uint64_t>(GetParam()), w.num_machines, span, chaotic);

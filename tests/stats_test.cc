@@ -272,14 +272,20 @@ TEST(PublishToTest, NestedStatsPublishWhenPopulated) {
   EXPECT_DOUBLE_EQ(reg.Value("tpart_recovery_replayed_txns_total"), 11.0);
 }
 
-TEST(PublishToTest, RecoveryWithoutCrashesPublishesOnlyTheCrashCounter) {
+TEST(PublishToTest, RecoveryWithoutCrashesPublishesDetectorActivity) {
   RecoveryStats r;
+  r.suspicions_suppressed = 2;
+  r.peak_healthy_phi = 3.5;
   obs::MetricsRegistry reg;
   r.PublishTo(reg);
-  // The explicit "no crashes happened" counter is published; the
-  // detection/replay/downtime series are gated on a crash occurring.
-  EXPECT_EQ(reg.size(), 1u);
+  // The explicit "no crashes happened" counter and the adaptive
+  // detector's activity gauges are published unconditionally (a run with
+  // zero crashes still exercises the phi gate); the detection / replay /
+  // downtime series stay gated on a crash occurring.
+  EXPECT_EQ(reg.size(), 3u);
   EXPECT_DOUBLE_EQ(reg.Value("tpart_recovery_crashes_injected_total"), 0.0);
+  EXPECT_DOUBLE_EQ(reg.Value("tpart_fd_suspicions_suppressed_total"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.Value("tpart_fd_peak_healthy_phi_ratio"), 3.5);
   EXPECT_FALSE(Contains(reg.PrometheusText(), "tpart_recovery_downtime_us"));
 }
 

@@ -1,0 +1,35 @@
+#ifndef TPART_TESTS_TEST_TIME_H_
+#define TPART_TESTS_TEST_TIME_H_
+
+// Deflaking knob for timing-sensitive tests: every detector deadline,
+// heartbeat interval, straggler delay, and election timeout a test pins
+// goes through ScaledUs(), and TPART_TEST_TIME_SCALE (a positive
+// integer, default 1) multiplies them all. A loaded CI box or a
+// sanitizer build that runs 5x slow sets TPART_TEST_TIME_SCALE=5 and
+// every margin widens together — the ratios between the constants (the
+// thing the tests actually assert) are preserved exactly.
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace tpart::test {
+
+inline std::uint64_t TimeScale() {
+  static const std::uint64_t scale = [] {
+    const char* env = std::getenv("TPART_TEST_TIME_SCALE");
+    if (env == nullptr || *env == '\0') return std::uint64_t{1};
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == nullptr || *end != '\0' || v < 1 || v > 1000) {
+      return std::uint64_t{1};  // garbage or out of range: ignore
+    }
+    return static_cast<std::uint64_t>(v);
+  }();
+  return scale;
+}
+
+inline std::uint64_t ScaledUs(std::uint64_t us) { return us * TimeScale(); }
+
+}  // namespace tpart::test
+
+#endif  // TPART_TESTS_TEST_TIME_H_

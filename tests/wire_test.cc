@@ -142,6 +142,7 @@ Message FullMessage() {
   m.reply_to = 2;
   m.req_id = 123456;
   m.txn = 88;
+  m.term = 7;
   m.trace_ctx = obs::PackTraceCtx(/*origin=*/3, /*term=*/2);
   m.kvs = {{5, Record({7})}, {6, Record::Absent()}};
   // plan_bytes is opaque at the Message layer: arbitrary (non-UTF-8,
@@ -200,6 +201,62 @@ TEST(WireMessageTest, HeartbeatMutationFuzzRoundTripsOrRejects) {
       ASSERT_TRUE(again.ok());
       EXPECT_TRUE(*again == *got);
     }
+  }
+}
+
+// The coordinator-term fence (DESIGN §4j) rides in every control
+// message; a codec that dropped, truncated, or re-widthed the term
+// varint would let a deposed leader's traffic through the fence.
+
+TEST(WireMessageTest, TermFieldRoundTripsAtEveryVarintWidth) {
+  const std::uint64_t terms[] = {
+      0,          1,           127,         128,
+      16383,      16384,       (1ull << 21) - 1, 1ull << 21,
+      1ull << 28, 1ull << 35,  1ull << 42,  1ull << 49,
+      1ull << 56, 1ull << 63,  ~0ull,
+  };
+  for (Message::Type type : {Message::Type::kSinkPlan,
+                             Message::Type::kPlanStreamEnd,
+                             Message::Type::kMigrateBegin,
+                             Message::Type::kHeartbeat,
+                             Message::Type::kLogAppend}) {
+    for (std::uint64_t term : terms) {
+      Message m;
+      m.type = type;
+      m.epoch = 5;
+      m.term = term;
+      Result<Message> got = DecodeMessage(EncodeMessage(m));
+      ASSERT_TRUE(got.ok()) << "term " << term << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(got->term, term);
+      EXPECT_TRUE(*got == m) << "term " << term;
+    }
+  }
+}
+
+TEST(WireMessageTest, TermStampedPlanMutationFuzzRoundTripsOrRejects) {
+  Rng rng(0x7E21);
+  Message m;
+  m.type = Message::Type::kSinkPlan;
+  m.epoch = 12;
+  m.term = 0x8000000000000001ull;  // worst-case 10-byte varint
+  m.plan_bytes = std::string("\x02\x00\x7F", 3);
+  const std::string base = EncodeMessage(m);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bytes = base;
+    const auto pos = rng.NextBelow(bytes.size());
+    bytes[pos] = static_cast<char>(rng.Next());
+    Result<Message> got = DecodeMessage(bytes);
+    if (got.ok()) {
+      Result<Message> again = DecodeMessage(EncodeMessage(*got));
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(*again == *got);
+    }
+  }
+  // Every truncation of the term-stamped encoding is a clean reject.
+  for (std::size_t cut = 0; cut < base.size(); ++cut) {
+    EXPECT_FALSE(DecodeMessage(std::string_view(base.data(), cut)).ok())
+        << "cut " << cut;
   }
 }
 
